@@ -1,0 +1,224 @@
+(* echo-verify: command-line driver for the Echo verification toolchain.
+
+   Subcommands operate on MiniSpark source files or on the built-in AES
+   case study:
+     check      parse and type-check a program
+     metrics    print the §5.2 metric hybrid
+     suggest    propose loop-rerolling sites (§5.2 "suggested automatically")
+     vcs        generate and summarise verification conditions
+     prove      run the implementation proof (VC generation + prover)
+     aes        drive the AES case study (refactor / proofs / defects) *)
+
+open Minispark
+
+let read_program path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  Typecheck.check (Parser.of_string src)
+
+let with_errors f =
+  try f () with
+  | Parser.Error (msg, line, col) ->
+      Fmt.epr "parse error at %d:%d: %s@." line col msg;
+      exit 1
+  | Typecheck.Type_error msg ->
+      Fmt.epr "type error: %s@." msg;
+      exit 1
+  | Refactor.Transform.Not_applicable msg ->
+      Fmt.epr "transformation not applicable: %s@." msg;
+      exit 1
+
+(* ---------------- subcommands ---------------- *)
+
+let cmd_check path () =
+  with_errors (fun () ->
+      let _, prog = read_program path in
+      Fmt.pr "%s: %d declarations, %d subprograms — OK@." prog.Ast.prog_name
+        (List.length prog.Ast.prog_decls)
+        (List.length (Ast.subprograms prog)))
+
+let cmd_metrics path () =
+  with_errors (fun () ->
+      let _, prog = read_program path in
+      Fmt.pr "%a@." Metrics.pp (Metrics.analyze prog))
+
+let cmd_suggest path () =
+  with_errors (fun () ->
+      let _, prog = read_program path in
+      (match Refactor.Reroll.suggest prog with
+      | [] -> Fmt.pr "no rerolling opportunities found@."
+      | suggestions ->
+          List.iter
+            (fun (sub, from, group_len, count) ->
+              Fmt.pr "reroll: %s statements %d..%d as %d groups of %d@." sub from
+                (from + (group_len * count) - 1)
+                count group_len)
+            suggestions);
+      match Refactor.Inline_reverse.suggest_clones prog with
+      | [] -> Fmt.pr "no cloned fragments found@."
+      | clones ->
+          List.iter
+            (fun c -> Fmt.pr "clone:  %a@." Refactor.Inline_reverse.pp_clone c)
+            clones)
+
+let cmd_vcs path () =
+  with_errors (fun () ->
+      let env, prog = read_program path in
+      let report = Vcgen.generate env prog in
+      (match report.Vcgen.r_infeasible with
+      | Some reason -> Fmt.pr "VC generation infeasible: %s@." reason
+      | None -> ());
+      List.iter
+        (fun (sr : Vcgen.sub_report) ->
+          Fmt.pr "%-24s %d VCs@." sr.Vcgen.sr_sub (List.length sr.Vcgen.sr_vcs))
+        report.Vcgen.r_subs;
+      Fmt.pr "total: %d VCs, ~%d KB@."
+        (List.length (Vcgen.all_vcs report))
+        (Vcgen.bytes_of_nodes (Vcgen.total_nodes report) / 1024))
+
+let cmd_prove path verbose () =
+  with_errors (fun () ->
+      let env, prog = read_program path in
+      let r = Echo.Implementation_proof.run env prog in
+      if verbose then Fmt.pr "%a@." Echo.Implementation_proof.pp_details r
+      else Fmt.pr "%a@." Echo.Implementation_proof.pp_report r;
+      if r.Echo.Implementation_proof.ip_residual > 0 then exit 2)
+
+let cmd_aes_refactor upto dump () =
+  with_errors (fun () ->
+      let snapshots, h = Aes.Aes_refactoring.run ~upto () in
+      List.iter
+        (fun (s : Aes.Aes_refactoring.snapshot) ->
+          let m = Metrics.analyze s.Aes.Aes_refactoring.sn_program in
+          Fmt.pr "block %2d: %4d LoC, %2d subprograms, cyclomatic %.2f — %s@."
+            s.Aes.Aes_refactoring.sn_block m.Metrics.element.Metrics.em_lines
+            m.Metrics.element.Metrics.em_subprograms
+            m.Metrics.complexity.Metrics.cm_avg_cyclomatic s.Aes.Aes_refactoring.sn_title)
+        snapshots;
+      Fmt.pr "%a@." Refactor.History.pp_summary h;
+      match dump with
+      | None -> ()
+      | Some path ->
+          let final = List.nth snapshots (min upto (List.length snapshots - 1)) in
+          let oc = open_out path in
+          output_string oc
+            (Pretty.program_to_string final.Aes.Aes_refactoring.sn_program);
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+
+let cmd_aes_verify () =
+  with_errors (fun () ->
+      let report = Aes.Aes_echo.verify () in
+      Fmt.pr "%a@." Echo.Pipeline.pp_report report;
+      match report.Echo.Pipeline.p_verdict with
+      | Echo.Pipeline.Verified | Echo.Pipeline.Conditionally_verified _ -> ()
+      | Echo.Pipeline.Failed _ -> exit 2)
+
+let cmd_aes_defects setup () =
+  with_errors (fun () ->
+      let t1, t2 = Defects.Experiment.run_experiment () in
+      (match setup with
+      | 1 -> Fmt.pr "%a@." Defects.Experiment.pp_table t1
+      | 2 -> Fmt.pr "%a@." Defects.Experiment.pp_table t2
+      | _ ->
+          Fmt.pr "%a@." Defects.Experiment.pp_table t1;
+          Fmt.pr "%a@." Defects.Experiment.pp_table t2))
+
+let cmd_aes_dump which path () =
+  with_errors (fun () ->
+      let program =
+        match which with
+        | "optimized" -> snd (Aes.Aes_impl.checked ())
+        | "refactored" ->
+            let snapshots, _ = Aes.Aes_refactoring.run () in
+            (List.nth snapshots 14).Aes.Aes_refactoring.sn_program
+        | "annotated" ->
+            let snapshots, _ = Aes.Aes_refactoring.run () in
+            Aes.Aes_annotations.annotate
+              (List.nth snapshots 14).Aes.Aes_refactoring.sn_program
+        | other ->
+            Fmt.epr "unknown variant %S (optimized|refactored|annotated)@." other;
+            exit 1
+      in
+      let text = Pretty.program_to_string program in
+      match path with
+      | None -> print_string text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniSpark source file")
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a MiniSpark program")
+    Term.(const cmd_check $ path_arg $ const ())
+
+let metrics_cmd =
+  Cmd.v (Cmd.info "metrics" ~doc:"Print the verification-guidance metrics (§5.2)")
+    Term.(const cmd_metrics $ path_arg $ const ())
+
+let suggest_cmd =
+  Cmd.v (Cmd.info "suggest" ~doc:"Suggest loop-rerolling transformations")
+    Term.(const cmd_suggest $ path_arg $ const ())
+
+let vcs_cmd =
+  Cmd.v (Cmd.info "vcs" ~doc:"Generate verification conditions and report sizes")
+    Term.(const cmd_vcs $ path_arg $ const ())
+
+let prove_cmd =
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-VC details") in
+  Cmd.v (Cmd.info "prove" ~doc:"Run the implementation proof on an annotated program")
+    Term.(const cmd_prove $ path_arg $ verbose $ const ())
+
+let aes_refactor_cmd =
+  let upto =
+    Arg.(value & opt int 14 & info [ "upto" ] ~docv:"N" ~doc:"Stop after block N")
+  in
+  let dump =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc:"Write the result")
+  in
+  Cmd.v (Cmd.info "refactor" ~doc:"Run the 14-block AES verification refactoring")
+    Term.(const cmd_aes_refactor $ upto $ dump $ const ())
+
+let aes_verify_cmd =
+  Cmd.v (Cmd.info "verify" ~doc:"Full Echo pipeline on AES: refactor, both proofs")
+    Term.(const cmd_aes_verify $ const ())
+
+let aes_defects_cmd =
+  let setup =
+    Arg.(value & opt int 0 & info [ "setup" ] ~docv:"N" ~doc:"Run only setup 1 or 2")
+  in
+  Cmd.v (Cmd.info "defects" ~doc:"Run the seeded-defect experiment (Tables 2/3)")
+    Term.(const cmd_aes_defects $ setup $ const ())
+
+let aes_dump_cmd =
+  let which =
+    Arg.(value & pos 0 string "optimized" & info [] ~docv:"VARIANT"
+           ~doc:"optimized | refactored | annotated")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print an AES program variant as MiniSpark source")
+    Term.(const cmd_aes_dump $ which $ out $ const ())
+
+let aes_cmd =
+  Cmd.group (Cmd.info "aes" ~doc:"The AES case study (§6)")
+    [ aes_refactor_cmd; aes_verify_cmd; aes_defects_cmd; aes_dump_cmd ]
+
+let main =
+  Cmd.group
+    (Cmd.info "echo-verify" ~version:"1.0.0"
+       ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
+    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/aes_pipeline.ml: Aes Echo Extract Fmt List Metrics Minispark Refactor Specl

@@ -1,0 +1,1 @@
+examples/aes_pipeline.mli:

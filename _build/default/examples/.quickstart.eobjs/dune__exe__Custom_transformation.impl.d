@@ -1,0 +1,1 @@
+examples/custom_transformation.ml: Ast Fmt Minispark Parser Pretty Printf Refactor Typecheck

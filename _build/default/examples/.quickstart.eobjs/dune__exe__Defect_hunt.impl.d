@@ -1,0 +1,1 @@
+examples/defect_hunt.ml: Aes Array Defects Fmt List Sys

@@ -1,0 +1,1 @@
+examples/defect_hunt.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Echo Fmt List Metrics Minispark Parser Refactor Typecheck

@@ -1,0 +1,1 @@
+lib/aes/aes_annotations.ml: List Minispark Option Printf String

@@ -1,0 +1,1 @@
+lib/aes/aes_echo.ml: Aes_annotations Aes_implication Aes_refactoring Aes_spec Echo List

@@ -1,0 +1,1 @@
+lib/aes/aes_impl.ml: Aes_tables Array List Minispark

@@ -1,0 +1,1 @@
+lib/aes/aes_impl.mli: Minispark

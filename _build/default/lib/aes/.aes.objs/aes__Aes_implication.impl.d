@@ -1,0 +1,1 @@
+lib/aes/aes_implication.ml: Aes_kat Aes_reference Aes_spec Array Echo Fun List Specl

@@ -1,0 +1,1 @@
+lib/aes/aes_kat.ml: Aes_reference Array Interp List Minispark Value

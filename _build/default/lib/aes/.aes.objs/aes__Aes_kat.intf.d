@@ -1,0 +1,1 @@
+lib/aes/aes_kat.mli: Aes_reference Minispark

@@ -1,0 +1,1 @@
+lib/aes/aes_refactoring.ml: Aes_impl Aes_kat Aes_reference Array List Minispark Option Printf Refactor String

@@ -1,0 +1,1 @@
+lib/aes/aes_refactoring.mli: Minispark Refactor

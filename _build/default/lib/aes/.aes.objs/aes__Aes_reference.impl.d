@@ -1,0 +1,1 @@
+lib/aes/aes_reference.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/aes/aes_spec.ml: Aes_reference Array Specl

@@ -1,0 +1,1 @@
+lib/aes/aes_spec.mli: Specl

@@ -1,0 +1,1 @@
+lib/aes/aes_tables.ml: Aes_reference Array

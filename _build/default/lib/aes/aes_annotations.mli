@@ -1,0 +1,29 @@
+(** The low-level specification of the refactored AES (§6.2.3): the manual
+    annotation set — preconditions, element-wise quantified postconditions,
+    prefix-style loop invariants — whose line counts are the paper's
+    Table 1 artifact. *)
+
+type annotation = {
+  an_sub : string;
+  an_pre : string option;
+  an_post : string option;
+  an_loops : (int list * string list) list;  (** loop path -> invariants *)
+}
+
+val annotations : annotation list
+
+val annotate : Minispark.Ast.program -> Minispark.Ast.program
+(** Apply the annotation set to the final refactored program.
+    @raise Invalid_argument if the program shape has drifted from what the
+    annotations expect. *)
+
+type table1 = {
+  t1_pre_lines : int;
+  t1_post_lines : int;
+  t1_invariant_lines : int;
+  t1_other_lines : int;
+}
+
+val annotation_lines : Minispark.Ast.program -> table1
+(** Count annotation lines as the paper does (wrapped at the comment
+    margin). *)

@@ -1,0 +1,396 @@
+(* The optimized AES implementation as a MiniSpark program — the subject of
+   verification, playing the role of the Rijmen et al. ANSI C
+   implementation (rijndael-alg-fst.c) translated statement-by-statement
+   into the SPARK-like subset (§6.2).
+
+   Characteristic optimizations, all of which obstruct verification:
+   - round function implemented by four 256-entry word tables (Te0..Te3,
+     Td0..Td3) plus Te4/Td4 for the final round and the key schedule;
+   - four 8-bit bytes packed into each 32-bit word (block and key arrays
+     carry byte values in words, as C's u8 data reaches u32 expressions);
+   - fully unrolled rounds in encrypt/decrypt, with guard conditionals for
+     the 192/256-bit key sizes;
+   - per-key-size specialised key-schedule paths.
+
+   The round-key array is dimensioned for the 256-bit worst case (60
+   words); for shorter keys its tail is unused — the benign seeded defect
+   of §7.3 lives there. *)
+
+open Minispark.Ast
+module B = Minispark.Builder
+
+let word_modulus = 0x100000000
+
+(* ---------------- type and table declarations ---------------- *)
+
+let type_decls =
+  [ B.typedef "word" (Tmod word_modulus);
+    B.typedef "block_t" (Tarray (0, 15, Tnamed "word"));
+    B.typedef "key_bytes" (Tarray (0, 31, Tnamed "word"));
+    B.typedef "sched_t" (Tarray (0, 59, Tnamed "word"));
+    B.typedef "word_table" (Tarray (0, 255, Tnamed "word"));
+    B.typedef "rcon_t" (Tarray (0, 9, Tnamed "word"));
+    B.typedef "nk_range" (Tint (Some (4, 8)));
+    B.typedef "nr_range" (Tint (Some (10, 14))) ]
+
+let table_decl name (values : int array) =
+  B.const_ints name (Tnamed "word_table") (Array.to_list values)
+
+let table_decls =
+  [ table_decl "te0" Aes_tables.te0;
+    table_decl "te1" Aes_tables.te1;
+    table_decl "te2" Aes_tables.te2;
+    table_decl "te3" Aes_tables.te3;
+    table_decl "te4" Aes_tables.te4;
+    table_decl "td0" Aes_tables.td0;
+    table_decl "td1" Aes_tables.td1;
+    table_decl "td2" Aes_tables.td2;
+    table_decl "td3" Aes_tables.td3;
+    table_decl "td4" Aes_tables.td4;
+    B.const_ints "rcon" (Tnamed "rcon_t") (Array.to_list Aes_tables.rcon_words) ]
+
+(* ---------------- expression shorthands ---------------- *)
+
+(* byte extraction from a packed word, big-endian byte 0 first *)
+let byte0 w = B.shr w (B.i 24)
+let byte1 w = B.band (B.shr w (B.i 16)) (B.i 0xff)
+let byte2 w = B.band (B.shr w (B.i 8)) (B.i 0xff)
+let byte3 w = B.band w (B.i 0xff)
+
+let bytes = [| byte0; byte1; byte2; byte3 |]
+
+let mask_of = [| 0xff000000; 0xff0000; 0xff00; 0xff |]
+
+let xor_chain = function
+  | [] -> invalid_arg "xor_chain"
+  | first :: rest -> List.fold_left B.bxor first rest
+
+let pack_chain es =
+  match List.map2 (fun f e -> f e) [ (fun e -> B.shl e (B.i 24));
+                                     (fun e -> B.shl e (B.i 16));
+                                     (fun e -> B.shl e (B.i 8));
+                                     (fun e -> e) ] es with
+  | [ a; b; c; d ] -> B.bor (B.bor (B.bor a b) c) d
+  | _ -> invalid_arg "pack_chain"
+
+(* [sub_rot temp]: the fused SubWord-RotWord of the key schedule, exactly as
+   the optimized C writes it via Te4 and masks *)
+let sub_rot temp =
+  xor_chain
+    [ B.band (B.idx "te4" (byte1 temp)) (B.i 0xff000000);
+      B.band (B.idx "te4" (byte2 temp)) (B.i 0xff0000);
+      B.band (B.idx "te4" (byte3 temp)) (B.i 0xff00);
+      B.band (B.idx "te4" (byte0 temp)) (B.i 0xff) ]
+
+(* [sub_only temp]: SubWord without rotation (AES-256 middle step) *)
+let sub_only temp =
+  xor_chain
+    [ B.band (B.idx "te4" (byte0 temp)) (B.i 0xff000000);
+      B.band (B.idx "te4" (byte1 temp)) (B.i 0xff0000);
+      B.band (B.idx "te4" (byte2 temp)) (B.i 0xff00);
+      B.band (B.idx "te4" (byte3 temp)) (B.i 0xff) ]
+
+(* ---------------- encrypt ---------------- *)
+
+let s_names = [| "s0"; "s1"; "s2"; "s3" |]
+let t_names = [| "t0"; "t1"; "t2"; "t3" |]
+
+(* a full table round: dst_c := Te0[b0 src_c] ^ Te1[b1 src_{c+1}] ^
+   Te2[b2 src_{c+2}] ^ Te3[b3 src_{c+3}] ^ rk[koff c] *)
+let enc_round_stmt ~dst ~src ~koff c =
+  let operand j table =
+    B.idx table (bytes.(j) (B.v src.((c + j) mod 4)))
+  in
+  B.set dst.(c)
+    (xor_chain
+       [ operand 0 "te0"; operand 1 "te1"; operand 2 "te2"; operand 3 "te3"; koff c ])
+
+let dec_round_stmt ~dst ~src ~koff c =
+  let operand j table =
+    B.idx table (bytes.(j) (B.v src.(((c - j) + 4) mod 4)))
+  in
+  B.set dst.(c)
+    (xor_chain
+       [ operand 0 "td0"; operand 1 "td1"; operand 2 "td2"; operand 3 "td3"; koff c ])
+
+let enc_round ~dst ~src ~koff = List.init 4 (enc_round_stmt ~dst ~src ~koff)
+let dec_round ~dst ~src ~koff = List.init 4 (dec_round_stmt ~dst ~src ~koff)
+
+(* final round via Te4/Td4 masks *)
+let enc_final_stmt ~koff c =
+  let operand j =
+    B.band (B.idx "te4" (bytes.(j) (B.v t_names.((c + j) mod 4)))) (B.i mask_of.(j))
+  in
+  B.set s_names.(c) (xor_chain [ operand 0; operand 1; operand 2; operand 3; koff c ])
+
+let dec_final_stmt ~koff c =
+  let operand j =
+    B.band (B.idx "td4" (bytes.(j) (B.v t_names.(((c - j) + 4) mod 4)))) (B.i mask_of.(j))
+  in
+  B.set s_names.(c) (xor_chain [ operand 0; operand 1; operand 2; operand 3; koff c ])
+
+let rk_at n = B.idx "rk" (B.i n)
+
+(* koff for the variable rounds: rk (4*nr + delta + c) *)
+let rk_nr delta c = B.idx "rk" (Binop (Add, Binop (Mul, Int_lit 4, Var "nr"), Int_lit (delta + c)))
+
+let pack_block ~src ~dst ~key_offset =
+  List.init 4 (fun c ->
+      B.set dst.(c)
+        (B.bxor
+           (pack_chain (List.init 4 (fun j -> B.idx src (B.i ((4 * c) + j)))))
+           (rk_at (key_offset + c))))
+
+let unpack_block ~src ~dst =
+  List.concat
+    (List.init 4 (fun c ->
+         List.init 4 (fun j ->
+             B.seti dst (B.i ((4 * c) + j)) (bytes.(j) (B.v src.(c))))))
+
+let double_round ~round ~koff_t ~koff_s =
+  round ~dst:t_names ~src:s_names ~koff:(fun c -> rk_at (koff_t + c))
+  @ round ~dst:s_names ~src:t_names ~koff:(fun c -> rk_at (koff_s + c))
+
+let state_locals =
+  List.map (fun n -> B.local n (Tnamed "word")) (Array.to_list s_names @ Array.to_list t_names)
+
+let encrypt_body =
+  pack_block ~src:"pt" ~dst:s_names ~key_offset:0
+  (* four unrolled double rounds: pairs 0..3 at key offsets 8k+4 / 8k+8 *)
+  @ List.concat
+      (List.init 4 (fun k ->
+           double_round ~round:enc_round ~koff_t:((8 * k) + 4) ~koff_s:((8 * k) + 8)))
+  (* 192/256-bit guard rounds: instances of the pair at k = 4, 5 *)
+  @ [ B.if_ B.(v "nr" > i 10)
+        (double_round ~round:enc_round ~koff_t:36 ~koff_s:40);
+      B.if_ B.(v "nr" > i 12)
+        (double_round ~round:enc_round ~koff_t:44 ~koff_s:48) ]
+  (* round nr-1 into t, then the final Te4 round into s *)
+  @ enc_round ~dst:t_names ~src:s_names ~koff:(rk_nr (-4))
+  @ List.init 4 (enc_final_stmt ~koff:(rk_nr 0))
+  @ unpack_block ~src:s_names ~dst:"ct"
+
+let decrypt_body =
+  pack_block ~src:"ct" ~dst:s_names ~key_offset:0
+  @ List.concat
+      (List.init 4 (fun k ->
+           double_round ~round:dec_round ~koff_t:((8 * k) + 4) ~koff_s:((8 * k) + 8)))
+  @ [ B.if_ B.(v "nr" > i 10)
+        (double_round ~round:dec_round ~koff_t:36 ~koff_s:40);
+      B.if_ B.(v "nr" > i 12)
+        (double_round ~round:dec_round ~koff_t:44 ~koff_s:48) ]
+  @ dec_round ~dst:t_names ~src:s_names ~koff:(rk_nr (-4))
+  @ List.init 4 (dec_final_stmt ~koff:(rk_nr 0))
+  @ unpack_block ~src:s_names ~dst:"pt"
+
+let bytes_below array_name n count =
+  B.forall "k" ~lo:(B.i 0) ~hi:(B.i (count - 1))
+    B.(idx array_name (v "k") < i n)
+
+let encrypt_sub =
+  B.proc "encrypt"
+    ~params:
+      [ B.param "rk" (Tnamed "sched_t");
+        B.param "nr" (Tnamed "nr_range");
+        B.param "pt" (Tnamed "block_t");
+        B.param_out "ct" (Tnamed "block_t") ]
+    ~pre:
+      B.((v "nr" = i 10 || v "nr" = i 12 || v "nr" = i 14)
+         && bytes_below "pt" 256 16)
+    ~locals:state_locals encrypt_body
+
+let decrypt_sub =
+  B.proc "decrypt"
+    ~params:
+      [ B.param "rk" (Tnamed "sched_t");
+        B.param "nr" (Tnamed "nr_range");
+        B.param "ct" (Tnamed "block_t");
+        B.param_out "pt" (Tnamed "block_t") ]
+    ~pre:
+      B.((v "nr" = i 10 || v "nr" = i 12 || v "nr" = i 14)
+         && bytes_below "ct" 256 16)
+    ~locals:state_locals decrypt_body
+
+(* ---------------- key schedule ---------------- *)
+
+(* rk (base + c) := packed key word c *)
+let pack_key_words ~from_word ~count =
+  List.init count (fun c ->
+      let w = from_word + c in
+      B.seti "rk" (B.i w)
+        (pack_chain (List.init 4 (fun j -> B.idx "key" (B.i ((4 * w) + j))))))
+
+(* the 128-bit expansion loop body at word stride 4 *)
+let expand4_body =
+  [ B.set "temp" (B.idx "rk" B.((i 4 * v "r") + i 3));
+    B.seti "rk"
+      B.((i 4 * v "r") + i 4)
+      (xor_chain [ B.idx "rk" B.(i 4 * v "r"); sub_rot (B.v "temp"); B.idx "rcon" (B.v "r") ]) ]
+  @ List.init 3 (fun j ->
+        let tgt = 5 + j and src1 = 1 + j and src2 = 4 + j in
+        B.seti "rk"
+          B.((i 4 * v "r") + i tgt)
+          (B.bxor (B.idx "rk" B.((i 4 * v "r") + i src1))
+             (B.idx "rk" B.((i 4 * v "r") + i src2))))
+
+let expand6_body =
+  [ B.set "temp" (B.idx "rk" B.((i 6 * v "r") + i 5));
+    B.seti "rk"
+      B.((i 6 * v "r") + i 6)
+      (xor_chain [ B.idx "rk" B.(i 6 * v "r"); sub_rot (B.v "temp"); B.idx "rcon" (B.v "r") ]) ]
+  @ List.init 5 (fun j ->
+        let tgt = 7 + j and src1 = 1 + j and src2 = 6 + j in
+        B.seti "rk"
+          B.((i 6 * v "r") + i tgt)
+          (B.bxor (B.idx "rk" B.((i 6 * v "r") + i src1))
+             (B.idx "rk" B.((i 6 * v "r") + i src2))))
+
+let expand8_body =
+  [ B.set "temp" (B.idx "rk" B.((i 8 * v "r") + i 7));
+    B.seti "rk"
+      B.((i 8 * v "r") + i 8)
+      (xor_chain [ B.idx "rk" B.(i 8 * v "r"); sub_rot (B.v "temp"); B.idx "rcon" (B.v "r") ]) ]
+  @ List.init 3 (fun j ->
+        let tgt = 9 + j and src1 = 1 + j and src2 = 8 + j in
+        B.seti "rk"
+          B.((i 8 * v "r") + i tgt)
+          (B.bxor (B.idx "rk" B.((i 8 * v "r") + i src1))
+             (B.idx "rk" B.((i 8 * v "r") + i src2))))
+  @ [ B.set "temp" (B.idx "rk" B.((i 8 * v "r") + i 11));
+      B.seti "rk"
+        B.((i 8 * v "r") + i 12)
+        (B.bxor (B.idx "rk" B.((i 8 * v "r") + i 4)) (sub_only (B.v "temp"))) ]
+  @ List.init 3 (fun j ->
+        let tgt = 13 + j and src1 = 5 + j and src2 = 12 + j in
+        B.seti "rk"
+          B.((i 8 * v "r") + i tgt)
+          (B.bxor (B.idx "rk" B.((i 8 * v "r") + i src1))
+             (B.idx "rk" B.((i 8 * v "r") + i src2))))
+
+(* the partial tail iterations producing the last 4 words *)
+let tail_words ~first ~stride ~rcon_index =
+  [ B.set "temp" (B.idx "rk" (B.i (first - 1)));
+    B.seti "rk" (B.i first)
+      (xor_chain
+         [ B.idx "rk" (B.i (first - stride)); sub_rot (B.v "temp");
+           B.idx "rcon" (B.i rcon_index) ]) ]
+  @ List.init 3 (fun j ->
+        B.seti "rk"
+          (B.i (first + 1 + j))
+          (B.bxor (B.idx "rk" (B.i (first - stride + 1 + j)))
+             (B.idx "rk" (B.i (first + j)))))
+
+let key_setup_enc_body =
+  pack_key_words ~from_word:0 ~count:4
+  @ [ B.if_chain
+        [ ( B.(v "nk" = i 4),
+            [ B.set "nr" (B.i 10);
+              B.for_ "r" ~lo:(B.i 0) ~hi:(B.i 9) expand4_body ] );
+          ( B.(v "nk" = i 6),
+            pack_key_words ~from_word:4 ~count:2
+            @ [ B.set "nr" (B.i 12);
+                B.for_ "r" ~lo:(B.i 0) ~hi:(B.i 6) expand6_body ]
+            @ tail_words ~first:48 ~stride:6 ~rcon_index:7 );
+          ( B.(v "nk" = i 8),
+            pack_key_words ~from_word:4 ~count:4
+            @ [ B.set "nr" (B.i 14);
+                B.for_ "r" ~lo:(B.i 0) ~hi:(B.i 5) expand8_body ]
+            @ tail_words ~first:56 ~stride:8 ~rcon_index:6 ) ]
+        [] ]
+
+let key_pre =
+  B.((v "nk" = i 4 || v "nk" = i 6 || v "nk" = i 8) && bytes_below "key" 256 32)
+
+let key_setup_enc_sub =
+  B.proc "key_setup_enc"
+    ~params:
+      [ B.param "key" (Tnamed "key_bytes");
+        B.param "nk" (Tnamed "nk_range");
+        B.param_out "rk" (Tnamed "sched_t");
+        B.param_out "nr" (Tnamed "nr_range") ]
+    ~pre:key_pre
+    ~locals:[ B.local "temp" (Tnamed "word") ]
+    key_setup_enc_body
+
+(* decryption key schedule: encryption schedule, order inverted, middle
+   round keys pushed through InvMixColumns via the Td/Te4 tables *)
+let inv_mix_word w =
+  xor_chain
+    [ B.idx "td0" (B.band (B.idx "te4" (byte0 w)) (B.i 0xff));
+      B.idx "td1" (B.band (B.idx "te4" (byte1 w)) (B.i 0xff));
+      B.idx "td2" (B.band (B.idx "te4" (byte2 w)) (B.i 0xff));
+      B.idx "td3" (B.band (B.idx "te4" (byte3 w)) (B.i 0xff)) ]
+
+let key_setup_dec_body =
+  [ B.pcall "key_setup_enc" [ B.v "key"; B.v "nk"; B.v "rk"; B.v "nr" ];
+    B.set "i" (B.i 0);
+    B.set "j" B.(i 4 * v "nr");
+    B.while_
+      B.(v "i" < v "j")
+      (List.concat
+         (List.init 4 (fun c ->
+              [ B.set "temp" (B.idx "rk" B.(v "i" + i c));
+                B.seti "rk" B.(v "i" + i c) (B.idx "rk" B.(v "j" + i c));
+                B.seti "rk" B.(v "j" + i c) (B.v "temp") ]))
+      @ [ B.set "i" B.(v "i" + i 4); B.set "j" B.(v "j" - i 4) ]);
+    B.for_ "r" ~lo:(B.i 1)
+      ~hi:B.(v "nr" - i 1)
+      (List.init 4 (fun c ->
+           B.seti "rk"
+             B.((i 4 * v "r") + i c)
+             (inv_mix_word (B.idx "rk" B.((i 4 * v "r") + i c))))) ]
+
+let key_setup_dec_sub =
+  B.proc "key_setup_dec"
+    ~params:
+      [ B.param "key" (Tnamed "key_bytes");
+        B.param "nk" (Tnamed "nk_range");
+        B.param_out "rk" (Tnamed "sched_t");
+        B.param_out "nr" (Tnamed "nr_range") ]
+    ~pre:key_pre
+    ~locals:
+      [ B.local "temp" (Tnamed "word");
+        B.local "i" B.t_int;
+        B.local "j" B.t_int ]
+    key_setup_dec_body
+
+(* ---------------- public one-shot API ---------------- *)
+
+let block_pre name =
+  B.((v "nk" = i 4 || v "nk" = i 6 || v "nk" = i 8)
+     && bytes_below "key" 256 32 && bytes_below name 256 16)
+
+let encrypt_block_sub =
+  B.proc "encrypt_block"
+    ~params:
+      [ B.param "key" (Tnamed "key_bytes");
+        B.param "nk" (Tnamed "nk_range");
+        B.param "pt" (Tnamed "block_t");
+        B.param_out "ct" (Tnamed "block_t") ]
+    ~pre:(block_pre "pt")
+    ~locals:[ B.local "rk" (Tnamed "sched_t"); B.local "nr" (Tnamed "nr_range") ]
+    [ B.pcall "key_setup_enc" [ B.v "key"; B.v "nk"; B.v "rk"; B.v "nr" ];
+      B.pcall "encrypt" [ B.v "rk"; B.v "nr"; B.v "pt"; B.v "ct" ] ]
+
+let decrypt_block_sub =
+  B.proc "decrypt_block"
+    ~params:
+      [ B.param "key" (Tnamed "key_bytes");
+        B.param "nk" (Tnamed "nk_range");
+        B.param "ct" (Tnamed "block_t");
+        B.param_out "pt" (Tnamed "block_t") ]
+    ~pre:(block_pre "ct")
+    ~locals:[ B.local "rk" (Tnamed "sched_t"); B.local "nr" (Tnamed "nr_range") ]
+    [ B.pcall "key_setup_dec" [ B.v "key"; B.v "nk"; B.v "rk"; B.v "nr" ];
+      B.pcall "decrypt" [ B.v "rk"; B.v "nr"; B.v "ct"; B.v "pt" ] ]
+
+(* ---------------- the program ---------------- *)
+
+let program =
+  B.program "aes_fast"
+    (type_decls @ table_decls
+    @ [ key_setup_enc_sub; key_setup_dec_sub; encrypt_sub; decrypt_sub;
+        encrypt_block_sub; decrypt_block_sub ])
+
+(** The type-checked optimized implementation (block 0 of §6.2.2). *)
+let checked () = Minispark.Typecheck.check program

@@ -1,0 +1,20 @@
+(** The optimized AES implementation as a MiniSpark program — the subject
+    of verification, playing the role of the Rijmen et al. ANSI C
+    implementation translated into the SPARK-like subset (§6.2).
+
+    Table-driven rounds (Te0..Te4/Td0..Td4), fully unrolled double-rounds
+    with key-size guard conditionals, four bytes packed per 32-bit word,
+    per-key-size key-schedule paths.  The round-key array is dimensioned
+    for the 256-bit worst case; its tail is unused for shorter keys — the
+    home of the paper's benign defect (§7.3). *)
+
+val word_modulus : int
+
+val program : Minispark.Ast.program
+(** The raw program (entry points: [key_setup_enc], [key_setup_dec],
+    [encrypt], [decrypt], and the one-shot [encrypt_block]/
+    [decrypt_block]). *)
+
+val checked : unit -> Minispark.Typecheck.env * Minispark.Ast.program
+(** The type-checked (normalised) optimized implementation — block 0 of
+    the refactoring sequence. *)

@@ -1,0 +1,16 @@
+(** The implication theorem for the AES case study (§6.2.4): the
+    specification extracted from the final refactored program implies the
+    FIPS-197 formalisation, as one lemma per matched architecture element.
+    Byte-level elements are decided exhaustively; block-level elements are
+    sampled and include the official vectors; the decryption round lemma
+    carries the equivalent-inverse-cipher argument. *)
+
+val synonyms : (string * string) list
+(** The case study's naming dictionary (block/block_t, cipher/encrypt, …)
+    for the match-ratio comparison. *)
+
+val match_ratio : extracted:Specl.Sast.theory -> Specl.Match_ratio.result
+
+val lemmas : extracted:Specl.Sast.theory -> Echo.Implication.lemma list
+
+val run : extracted:Specl.Sast.theory -> Echo.Implication.result

@@ -1,0 +1,31 @@
+(** The verification refactoring of the optimized AES (§6.2.1/§6.2.2):
+    fourteen blocks of transformations, each mechanically checked, with
+    differential semantics-preservation evidence on the public entry
+    points and FIPS-197 validation after every block. *)
+
+type block = {
+  b_index : int;
+  b_title : string;
+  b_run : Refactor.History.t -> unit;
+}
+
+val blocks : block list
+
+type snapshot = {
+  sn_block : int;       (** 0 = the original optimized program *)
+  sn_title : string;
+  sn_env : Minispark.Typecheck.env;
+  sn_program : Minispark.Ast.program;
+}
+
+val run :
+  ?upto:int -> ?kat_gate:bool ->
+  ?start:Minispark.Typecheck.env * Minispark.Ast.program ->
+  unit -> snapshot list * Refactor.History.t
+(** Run the refactoring through block [upto] (default 14).  [kat_gate]
+    (default true) validates the FIPS vectors after every block; disable
+    for the seeded-defect experiment, where the vectors are not part of
+    the Echo process.  [start] overrides the initial program.
+    @raise Refactor.Transform.Not_applicable when a transformation's
+    mechanical applicability check rejects (how defects are caught at this
+    stage). *)

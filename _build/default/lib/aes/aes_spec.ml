@@ -1,0 +1,342 @@
+(* The original system specification: FIPS-197 formalised in the
+   specification language (the role PVS plays in the Echo instantiation —
+   the paper's hand-written 811-line PVS specification of the standard).
+
+   Structure follows the standard: byte/word/state types, the S-box table
+   (given as a table in FIPS-197 Figure 7), GF(2^8) arithmetic (xtime and
+   multiplication, §4.2), the four round transformations (§5.1), key
+   expansion (§5.2), Cipher and InvCipher (§5.1, §5.3). *)
+
+open Specl.Sast
+
+let b n = Sint_lit n
+let v x = Svar x
+let app f args = Sapp (f, args)
+let ( ^^ ) a c = Sprim (Pbxor, [ a; c ])
+let idx a i = Sindex (a, i)
+let idx2 a i j = Sindex (Sindex (a, i), j)
+let tab ~lo ~hi x body = Stabulate (lo, hi, x, body)
+let add a c = Sprim (Padd, [ a; c ])
+let sub a c = Sprim (Psub, [ a; c ])
+let mul a c = Sprim (Pmul, [ a; c ])
+let md a c = Sprim (Pmod, [ a; c ])
+
+let types =
+  [ ("byte", Smod 256);
+    ("word", Sarray (0, 3, Snamed "byte"));
+    ("state", Sarray (0, 3, Snamed "word"));
+    ("block", Sarray (0, 15, Snamed "byte"));
+    ("key_t", Sarray (0, 31, Snamed "byte"));
+    ("sched", Sarray (0, 59, Snamed "word")) ]
+
+(* ---------------- tables given by the standard ---------------- *)
+
+let table name values =
+  {
+    sd_name = name;
+    sd_kind = Dtable;
+    sd_params = [];
+    sd_ret = Sarray (0, Array.length values - 1, Snamed "byte");
+    sd_body = Sarray_lit (0, Array.to_list (Array.map (fun n -> Sint_lit n) values));
+  }
+
+let sbox_def = table "sbox" Aes_reference.sbox
+let inv_sbox_def = table "inv_sbox" Aes_reference.inv_sbox
+let rcon_def = table "rcon" Aes_reference.rcon
+
+(* ---------------- GF(2^8) arithmetic (§4.2) ---------------- *)
+
+let fn name params ret body =
+  { sd_name = name; sd_kind = Dfun; sd_params = params; sd_ret = ret; sd_body = body }
+
+(* xtime(a) = (a << 1) xor (if a7 then 1b) reduced mod 256 *)
+let xtime_def =
+  fn "xtime" [ ("a", Snamed "byte") ] (Snamed "byte")
+    (Sif
+       ( Sprim (Pge, [ v "a"; b 128 ]),
+         md (mul (v "a") (b 2)) (b 256) ^^ b 0x1b,
+         md (mul (v "a") (b 2)) (b 256) ))
+
+(* Russian-peasant product: fold over the 8 bits of b, carrying the pair
+   (running power of a, accumulator) *)
+let gf_mul_def =
+  fn "gf_mul" [ ("a", Snamed "byte"); ("c", Snamed "byte") ] (Snamed "byte")
+    (Sproj
+       ( 1,
+         Sfold
+           {
+             f_var = "k";
+             f_lo = b 0;
+             f_hi = b 7;
+             f_acc = "acc";
+             f_init = Stuple_lit [ v "a"; b 0 ];
+             f_body =
+               Slet
+                 ( "p", Sproj (0, v "acc"),
+                   Slet
+                     ( "r", Sproj (1, v "acc"),
+                       Stuple_lit
+                         [ app "xtime" [ v "p" ];
+                           Sif
+                             ( Sprim
+                                 (Peq,
+                                  [ Sprim (Pband, [ Sprim (Pshr, [ v "c"; v "k" ]); b 1 ]);
+                                    b 1 ]),
+                               v "r" ^^ v "p",
+                               v "r" ) ] ) );
+           } ))
+
+(* ---------------- state round transformations (§5.1) ---------------- *)
+
+let sub_bytes_def =
+  fn "sub_bytes" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c" (tab ~lo:0 ~hi:3 "r" (idx (v "sbox") (idx2 (v "s") (v "c") (v "r")))))
+
+let inv_sub_bytes_def =
+  fn "inv_sub_bytes" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (tab ~lo:0 ~hi:3 "r" (idx (v "inv_sbox") (idx2 (v "s") (v "c") (v "r")))))
+
+(* row r rotates left by r: out(c)(r) = s((c + r) mod 4)(r) *)
+let shift_rows_def =
+  fn "shift_rows" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (tab ~lo:0 ~hi:3 "r" (idx2 (v "s") (md (add (v "c") (v "r")) (b 4)) (v "r"))))
+
+let inv_shift_rows_def =
+  fn "inv_shift_rows" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (tab ~lo:0 ~hi:3 "r"
+          (idx2 (v "s") (md (add (sub (v "c") (v "r")) (b 4)) (b 4)) (v "r"))))
+
+let gf2 e = app "gf_mul" [ b 2; e ]
+let gf3 e = app "gf_mul" [ b 3; e ]
+
+let mix_columns_def =
+  fn "mix_columns" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (Slet
+          ( "w", idx (v "s") (v "c"),
+            Sarray_lit
+              ( 0,
+                [ gf2 (idx (v "w") (b 0)) ^^ gf3 (idx (v "w") (b 1))
+                  ^^ idx (v "w") (b 2) ^^ idx (v "w") (b 3);
+                  idx (v "w") (b 0) ^^ gf2 (idx (v "w") (b 1))
+                  ^^ gf3 (idx (v "w") (b 2)) ^^ idx (v "w") (b 3);
+                  idx (v "w") (b 0) ^^ idx (v "w") (b 1)
+                  ^^ gf2 (idx (v "w") (b 2)) ^^ gf3 (idx (v "w") (b 3));
+                  gf3 (idx (v "w") (b 0)) ^^ idx (v "w") (b 1)
+                  ^^ idx (v "w") (b 2) ^^ gf2 (idx (v "w") (b 3)) ] ) )))
+
+let gfk k e = app "gf_mul" [ b k; e ]
+
+let inv_mix_columns_def =
+  fn "inv_mix_columns" [ ("s", Snamed "state") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (Slet
+          ( "w", idx (v "s") (v "c"),
+            Sarray_lit
+              ( 0,
+                [ gfk 0x0e (idx (v "w") (b 0)) ^^ gfk 0x0b (idx (v "w") (b 1))
+                  ^^ gfk 0x0d (idx (v "w") (b 2)) ^^ gfk 0x09 (idx (v "w") (b 3));
+                  gfk 0x09 (idx (v "w") (b 0)) ^^ gfk 0x0e (idx (v "w") (b 1))
+                  ^^ gfk 0x0b (idx (v "w") (b 2)) ^^ gfk 0x0d (idx (v "w") (b 3));
+                  gfk 0x0d (idx (v "w") (b 0)) ^^ gfk 0x09 (idx (v "w") (b 1))
+                  ^^ gfk 0x0e (idx (v "w") (b 2)) ^^ gfk 0x0b (idx (v "w") (b 3));
+                  gfk 0x0b (idx (v "w") (b 0)) ^^ gfk 0x0d (idx (v "w") (b 1))
+                  ^^ gfk 0x09 (idx (v "w") (b 2)) ^^ gfk 0x0e (idx (v "w") (b 3)) ] ) )))
+
+let add_round_key_def =
+  fn "add_round_key"
+    [ ("s", Snamed "state"); ("w", Snamed "sched"); ("round", Sint) ]
+    (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (tab ~lo:0 ~hi:3 "r"
+          (idx2 (v "s") (v "c") (v "r")
+          ^^ idx2 (v "w") (add (mul (b 4) (v "round")) (v "c")) (v "r"))))
+
+(* ---------------- key expansion (§5.2) ---------------- *)
+
+let rot_word_def =
+  fn "rot_word" [ ("w", Snamed "word") ] (Snamed "word")
+    (Sarray_lit (0, [ idx (v "w") (b 1); idx (v "w") (b 2); idx (v "w") (b 3); idx (v "w") (b 0) ]))
+
+let sub_word_def =
+  fn "sub_word" [ ("w", Snamed "word") ] (Snamed "word")
+    (tab ~lo:0 ~hi:3 "r" (idx (v "sbox") (idx (v "w") (v "r"))))
+
+let xor_word_def =
+  fn "xor_word" [ ("x", Snamed "word"); ("y", Snamed "word") ] (Snamed "word")
+    (tab ~lo:0 ~hi:3 "r" (idx (v "x") (v "r") ^^ idx (v "y") (v "r")))
+
+let zero_word = Sarray_lit (0, [ b 0; b 0; b 0; b 0 ])
+
+(* w = zeros; w(i) = key word for i < nk; then the FIPS recurrence up to
+   4*(nk+6)+3.  Entries beyond 4*(nr+1)-1 stay zero, matching the
+   implementation's uninitialised tail. *)
+let key_expansion_def =
+  fn "key_expansion" [ ("key", Snamed "key_t"); ("nk", Sint) ] (Snamed "sched")
+    (Slet
+       ( "w0",
+         Sfold
+           {
+             f_var = "i";
+             f_lo = b 0;
+             f_hi = sub (v "nk") (b 1);
+             f_acc = "acc";
+             f_init = tab ~lo:0 ~hi:59 "j" zero_word;
+             f_body =
+               Supdate
+                 ( v "acc", v "i",
+                   tab ~lo:0 ~hi:3 "r" (idx (v "key") (add (mul (b 4) (v "i")) (v "r"))) );
+           },
+         Sfold
+           {
+             f_var = "i";
+             f_lo = v "nk";
+             f_hi = add (mul (b 4) (add (v "nk") (b 6))) (b 3);
+             f_acc = "w";
+             f_init = v "w0";
+             f_body =
+               Slet
+                 ( "temp",
+                   Slet
+                     ( "prev", idx (v "w") (sub (v "i") (b 1)),
+                       Sif
+                         ( Sprim (Peq, [ md (v "i") (v "nk"); b 0 ]),
+                           app "xor_word"
+                             [ app "sub_word" [ app "rot_word" [ v "prev" ] ];
+                               Sarray_lit
+                                 ( 0,
+                                   [ idx (v "rcon")
+                                       (sub (Sprim (Pdiv, [ v "i"; v "nk" ])) (b 1));
+                                     b 0; b 0; b 0 ] ) ],
+                           Sif
+                             ( Sprim
+                                 (Pand,
+                                  [ Sprim (Pgt, [ v "nk"; b 6 ]);
+                                    Sprim (Peq, [ md (v "i") (v "nk"); b 4 ]) ]),
+                               app "sub_word" [ v "prev" ],
+                               v "prev" ) ) ),
+                   Supdate
+                     (v "w", v "i", app "xor_word" [ idx (v "w") (sub (v "i") (v "nk")); v "temp" ])
+                 );
+           } ))
+
+(* ---------------- block <-> state (§3.4) ---------------- *)
+
+let state_of_block_def =
+  fn "state_of_block" [ ("blk", Snamed "block") ] (Snamed "state")
+    (tab ~lo:0 ~hi:3 "c"
+       (tab ~lo:0 ~hi:3 "r" (idx (v "blk") (add (mul (b 4) (v "c")) (v "r")))))
+
+let block_of_state_def =
+  fn "block_of_state" [ ("s", Snamed "state") ] (Snamed "block")
+    (tab ~lo:0 ~hi:15 "i"
+       (idx2 (v "s") (Sprim (Pdiv, [ v "i"; b 4 ])) (md (v "i") (b 4))))
+
+(* ---------------- cipher and inverse cipher ---------------- *)
+
+let cipher_def =
+  fn "cipher"
+    [ ("w", Snamed "sched"); ("nr", Sint); ("blk", Snamed "block") ]
+    (Snamed "block")
+    (Slet
+       ( "s0", app "add_round_key" [ app "state_of_block" [ v "blk" ]; v "w"; b 0 ],
+         Slet
+           ( "sn",
+             Sfold
+               {
+                 f_var = "round";
+                 f_lo = b 1;
+                 f_hi = sub (v "nr") (b 1);
+                 f_acc = "s";
+                 f_init = v "s0";
+                 f_body =
+                   app "add_round_key"
+                     [ app "mix_columns" [ app "shift_rows" [ app "sub_bytes" [ v "s" ] ] ];
+                       v "w"; v "round" ];
+               },
+             app "block_of_state"
+               [ app "add_round_key"
+                   [ app "shift_rows" [ app "sub_bytes" [ v "sn" ] ]; v "w"; v "nr" ] ] ) ))
+
+let inv_cipher_def =
+  fn "inv_cipher"
+    [ ("w", Snamed "sched"); ("nr", Sint); ("blk", Snamed "block") ]
+    (Snamed "block")
+    (Slet
+       ( "s0", app "add_round_key" [ app "state_of_block" [ v "blk" ]; v "w"; v "nr" ],
+         Slet
+           ( "sn",
+             Sfold
+               {
+                 f_var = "k";
+                 f_lo = b 1;
+                 f_hi = sub (v "nr") (b 1);
+                 f_acc = "s";
+                 f_init = v "s0";
+                 (* round = nr - k, descending *)
+                 f_body =
+                   app "inv_mix_columns"
+                     [ app "add_round_key"
+                         [ app "inv_shift_rows" [ app "inv_sub_bytes" [ v "s" ] ];
+                           v "w"; sub (v "nr") (v "k") ] ];
+               },
+             app "block_of_state"
+               [ app "add_round_key"
+                   [ app "inv_shift_rows" [ app "inv_sub_bytes" [ v "sn" ] ]; v "w"; b 0 ]
+               ] ) ))
+
+(* top-level: what "functional correctness of AES" means *)
+let encrypt_def =
+  fn "encrypt" [ ("key", Snamed "key_t"); ("nk", Sint); ("pt", Snamed "block") ]
+    (Snamed "block")
+    (app "cipher" [ app "key_expansion" [ v "key"; v "nk" ]; add (v "nk") (b 6); v "pt" ])
+
+let decrypt_def =
+  fn "decrypt" [ ("key", Snamed "key_t"); ("nk", Sint); ("ct", Snamed "block") ]
+    (Snamed "block")
+    (app "inv_cipher" [ app "key_expansion" [ v "key"; v "nk" ]; add (v "nk") (b 6); v "ct" ])
+
+let theory =
+  {
+    th_name = "fips197";
+    th_types = types;
+    th_defs =
+      [ sbox_def; inv_sbox_def; rcon_def; xtime_def; gf_mul_def; sub_bytes_def;
+        inv_sub_bytes_def; shift_rows_def; inv_shift_rows_def; mix_columns_def;
+        inv_mix_columns_def; add_round_key_def; rot_word_def; sub_word_def;
+        xor_word_def; key_expansion_def; state_of_block_def; block_of_state_def;
+        cipher_def; inv_cipher_def; encrypt_def; decrypt_def ];
+  }
+
+(* ---------------- executable interface ---------------- *)
+
+let eval_encrypt ~key ~nk ~pt =
+  let env = Specl.Seval.make theory in
+  let arr ~width a =
+    Specl.Seval.Varr
+      (0, Array.init width (fun i ->
+           Specl.Seval.Vint (if i < Array.length a then a.(i) else 0)))
+  in
+  match
+    Specl.Seval.apply env "encrypt"
+      [ arr ~width:32 key; Specl.Seval.Vint nk; arr ~width:16 pt ]
+  with
+  | Specl.Seval.Varr (_, out) -> Array.map Specl.Seval.as_int out
+  | _ -> failwith "Aes_spec.eval_encrypt: non-array result"
+
+let eval_decrypt ~key ~nk ~ct =
+  let env = Specl.Seval.make theory in
+  let arr ~width a =
+    Specl.Seval.Varr
+      (0, Array.init width (fun i ->
+           Specl.Seval.Vint (if i < Array.length a then a.(i) else 0)))
+  in
+  match
+    Specl.Seval.apply env "decrypt"
+      [ arr ~width:32 key; Specl.Seval.Vint nk; arr ~width:16 ct ]
+  with
+  | Specl.Seval.Varr (_, out) -> Array.map Specl.Seval.as_int out
+  | _ -> failwith "Aes_spec.eval_decrypt: non-array result"

@@ -1,0 +1,13 @@
+(** The original system specification: FIPS-197 formalised in the
+    specification language (the role PVS plays in the Echo instantiation).
+    Structure follows the standard: byte/word/state types, the S-box table,
+    GF(2^8) arithmetic, the four round transformations, key expansion,
+    Cipher and InvCipher. *)
+
+val theory : Specl.Sast.theory
+
+val eval_encrypt : key:int array -> nk:int -> pt:int array -> int array
+(** Run the specification's [encrypt] through the evaluator (used to
+    validate the formalisation against the FIPS-197 vectors). *)
+
+val eval_decrypt : key:int array -> nk:int -> ct:int array -> int array

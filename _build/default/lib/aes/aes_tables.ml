@@ -1,0 +1,68 @@
+(* The precomputed tables of the optimized AES implementation (Rijmen et
+   al.'s rijndael-alg-fst), generated from the reference arithmetic rather
+   than transcribed — every entry is derived from FIPS-197 first
+   principles, and the table-reversal refactoring later re-derives them
+   the other way around.
+
+   Te0[x] = (2·S[x], S[x], S[x], 3·S[x]) packed big-endian into a word;
+   Te1..Te3 are byte rotations of Te0; Te4 replicates S[x] in all four
+   byte positions; Td0..Td4 are the inverse-cipher analogues. *)
+
+let pack b0 b1 b2 b3 = (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+
+let sbox = Aes_reference.sbox
+let inv_sbox = Aes_reference.inv_sbox
+let gf_mul = Aes_reference.gf_mul
+
+let te0 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      pack (gf_mul 2 s) s s (gf_mul 3 s))
+
+let te1 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      pack (gf_mul 3 s) (gf_mul 2 s) s s)
+
+let te2 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      pack s (gf_mul 3 s) (gf_mul 2 s) s)
+
+let te3 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      pack s s (gf_mul 3 s) (gf_mul 2 s))
+
+let te4 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      pack s s s s)
+
+let td0 =
+  Array.init 256 (fun x ->
+      let s = inv_sbox.(x) in
+      pack (gf_mul 0x0e s) (gf_mul 0x09 s) (gf_mul 0x0d s) (gf_mul 0x0b s))
+
+let td1 =
+  Array.init 256 (fun x ->
+      let s = inv_sbox.(x) in
+      pack (gf_mul 0x0b s) (gf_mul 0x0e s) (gf_mul 0x09 s) (gf_mul 0x0d s))
+
+let td2 =
+  Array.init 256 (fun x ->
+      let s = inv_sbox.(x) in
+      pack (gf_mul 0x0d s) (gf_mul 0x0b s) (gf_mul 0x0e s) (gf_mul 0x09 s))
+
+let td3 =
+  Array.init 256 (fun x ->
+      let s = inv_sbox.(x) in
+      pack (gf_mul 0x09 s) (gf_mul 0x0d s) (gf_mul 0x0b s) (gf_mul 0x0e s))
+
+let td4 =
+  Array.init 256 (fun x ->
+      let s = inv_sbox.(x) in
+      pack s s s s)
+
+(* rcon packed into the top byte, as the optimized code consumes it *)
+let rcon_words = Array.map (fun r -> pack r 0 0 0) Aes_reference.rcon

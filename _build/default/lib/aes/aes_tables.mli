@@ -1,0 +1,19 @@
+(** The precomputed tables of the optimized implementation
+    (rijndael-alg-fst), generated from the reference arithmetic:
+    Te0[x] = (2·S[x], S[x], S[x], 3·S[x]) packed big-endian, Te1..Te3 its
+    byte rotations, Te4 the replicated S-box; Td0..Td4 the inverse-cipher
+    analogues; Rcon packed into the top byte. *)
+
+val pack : int -> int -> int -> int -> int
+
+val te0 : int array
+val te1 : int array
+val te2 : int array
+val te3 : int array
+val te4 : int array
+val td0 : int array
+val td1 : int array
+val td2 : int array
+val td3 : int array
+val td4 : int array
+val rcon_words : int array

@@ -1,0 +1,1 @@
+lib/defects/experiment.ml: Aes Ast Echo Extract Fmt List Logic Minispark Printexc Printf Refactor Seed Typecheck

@@ -1,0 +1,1 @@
+lib/defects/experiment.mli: Fmt Seed

@@ -1,0 +1,1 @@
+lib/defects/seed.ml: Aes Ast Fmt List Minispark Printf

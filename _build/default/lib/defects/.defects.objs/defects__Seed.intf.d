@@ -1,0 +1,1 @@
+lib/defects/seed.mli: Ast Fmt Minispark

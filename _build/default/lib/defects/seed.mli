@@ -1,0 +1,44 @@
+(** Defect seeding (§7.1): deterministic mutation of an AES program with
+    the paper's five basic defect types.  Non-benign candidates are
+    validated against the FIPS-197 vectors so each is a real fault, not an
+    accidental no-op. *)
+
+open Minispark
+
+type defect_type =
+  | Numeric_value
+  | Array_index
+  | Operator
+  | Reference
+  | Statement
+
+val defect_type_name : defect_type -> string
+
+type defect = {
+  d_id : int;
+  d_type : defect_type;
+  d_sub : string;          (** subprogram mutated *)
+  d_describe : string;
+  d_benign : bool;
+  d_apply : Ast.program -> Ast.program;
+}
+
+val mutate_expr_sites :
+  sub_name:string -> site:(Ast.expr -> bool) -> rewrite:(Ast.expr -> Ast.expr) ->
+  nth:int -> Ast.program -> Ast.program
+(** Apply [rewrite] to the [nth] expression node satisfying [site] in one
+    subprogram (deterministic traversal).
+    @raise Invalid_argument when out of range. *)
+
+val delete_statement : sub_name:string -> nth:int -> Ast.program -> Ast.program
+(** Delete the [nth] assignment (anywhere, including loop bodies). *)
+
+val seed_all :
+  ?seed:int -> ?subs:string list -> ?ref_pairs:(string * string) list ->
+  Ast.program -> defect list
+(** The paper's 15 defects: three of each type, one statement defect
+    crafted benign.  [subs] and [ref_pairs] adapt the mutation surface to
+    the program being seeded (optimized original by default; pass the
+    refactored names for the post-refactoring variant). *)
+
+val pp_defect : defect Fmt.t

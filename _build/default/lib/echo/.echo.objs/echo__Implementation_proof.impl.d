@@ -1,0 +1,1 @@
+lib/echo/implementation_proof.ml: Ast Fmt Interp Lazy List Logic Minispark String Unix Value Vcgen

@@ -1,0 +1,1 @@
+lib/echo/implementation_proof.mli: Ast Fmt Logic Minispark Typecheck Vcgen

@@ -1,0 +1,1 @@
+lib/echo/implication.ml: Fmt Hashtbl List Printf Specl String Unix

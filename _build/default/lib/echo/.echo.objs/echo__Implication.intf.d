@@ -1,0 +1,1 @@
+lib/echo/implication.mli: Fmt Specl

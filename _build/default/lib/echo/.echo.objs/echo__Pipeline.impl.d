@@ -1,0 +1,1 @@
+lib/echo/pipeline.ml: Ast Extract Fmt Implementation_proof Implication List Minispark Printf Refactor Specl Typecheck Unix

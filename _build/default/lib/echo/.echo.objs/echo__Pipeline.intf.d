@@ -1,0 +1,1 @@
+lib/echo/pipeline.mli: Ast Fmt Implementation_proof Implication Minispark Refactor Specl Typecheck

@@ -1,0 +1,53 @@
+(** The implementation proof (§6.2.3): the annotated program is shown to
+    conform to its annotations — the stand-in for the SPARK toolset run,
+    with the automation fraction measured rather than estimated. *)
+
+open Minispark
+
+type vc_status =
+  | Auto                 (** discharged with no interaction *)
+  | Hinted of int        (** discharged after n interactive steps *)
+  | Residual of string   (** not discharged mechanically *)
+
+type vc_result = {
+  vr_vc : Logic.Formula.vc;
+  vr_status : vc_status;
+  vr_time : float;
+}
+
+type sub_stats = {
+  ss_name : string;
+  ss_total : int;
+  ss_auto : int;
+  ss_hinted : int;
+  ss_residual : int;
+}
+
+type report = {
+  ip_results : vc_result list;
+  ip_subs : sub_stats list;
+  ip_total : int;
+  ip_auto : int;
+  ip_hinted : int;
+  ip_residual : int;
+  ip_generated_nodes : int;
+  ip_time : float;
+  ip_infeasible : string option;
+}
+
+val auto_fraction : report -> float
+val fully_auto_subs : report -> int
+
+val interp_of :
+  Typecheck.env -> Ast.program -> string -> int list -> int option
+(** Ground evaluation of program functions for the prover. *)
+
+val standard_hints : Logic.Prover.hint list
+(** The paper's two interactive steps: application of preconditions and
+    induction on loop invariants. *)
+
+val run : ?budget:Vcgen.budget -> ?max_steps:int ->
+  Typecheck.env -> Ast.program -> report
+
+val pp_report : report Fmt.t
+val pp_details : report Fmt.t

@@ -1,0 +1,96 @@
+(* The Echo pipeline (§3): one entry point running the whole approach over
+   a prepared case study — refactor, annotate, implementation proof,
+   reverse synthesis, implication proof — and collecting the evidence into
+   a single verdict.
+
+   The pipeline is case-study-parametric: the AES instantiation supplies
+   the refactoring script, the annotation set, the original specification
+   and the lemma builder; other case studies plug in their own. *)
+
+open Minispark
+
+type case_study = {
+  cs_name : string;
+  cs_refactor :
+    unit -> (Typecheck.env * Ast.program) list * Refactor.History.t;
+      (** run the verification refactoring; returns per-stage programs
+          (first = original, last = final) and the recorded history *)
+  cs_annotate : Ast.program -> Ast.program;
+      (** attach the low-level specification *)
+  cs_original_spec : Specl.Sast.theory;
+  cs_synonyms : (string * string) list;
+  cs_lemmas : extracted:Specl.Sast.theory -> Implication.lemma list;
+}
+
+type verdict =
+  | Verified
+      (** every VC automatic or hint-discharged, every lemma holds *)
+  | Conditionally_verified of int
+      (** all lemmas hold but n VCs remain for interactive proof *)
+  | Failed of string
+
+type report = {
+  p_history : Refactor.History.t;
+  p_final : Ast.program;
+  p_annotated : Ast.program;
+  p_impl : Implementation_proof.report;
+  p_extracted : Specl.Sast.theory;
+  p_match : Specl.Match_ratio.result;
+  p_implication : Implication.result;
+  p_verdict : verdict;
+  p_time : float;
+}
+
+let verdict_of impl implication =
+  if not (Implication.all_proved implication) then
+    Failed
+      (Printf.sprintf "%d implication lemma(s) do not hold"
+         (implication.Implication.im_total - implication.Implication.im_proved))
+  else if impl.Implementation_proof.ip_residual = 0 then Verified
+  else Conditionally_verified impl.Implementation_proof.ip_residual
+
+(** Run the full Echo process for a case study. *)
+let run (cs : case_study) : report =
+  let t0 = Unix.gettimeofday () in
+  let stages, history = cs.cs_refactor () in
+  let _, final =
+    match List.rev stages with
+    | last :: _ -> last
+    | [] -> invalid_arg "Pipeline.run: no stages"
+  in
+  let annotated = cs.cs_annotate final in
+  let env, annotated = Typecheck.check annotated in
+  let impl = Implementation_proof.run env annotated in
+  let extracted = Extract.extract_program env annotated in
+  let match_result =
+    Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
+      ~original:cs.cs_original_spec ~extracted ()
+  in
+  let implication = Implication.run (cs.cs_lemmas ~extracted) in
+  {
+    p_history = history;
+    p_final = final;
+    p_annotated = annotated;
+    p_impl = impl;
+    p_extracted = extracted;
+    p_match = match_result;
+    p_implication = implication;
+    p_verdict = verdict_of impl implication;
+    p_time = Unix.gettimeofday () -. t0;
+  }
+
+let pp_verdict ppf = function
+  | Verified -> Fmt.string ppf "VERIFIED"
+  | Conditionally_verified n ->
+      Fmt.pf ppf "CONDITIONALLY VERIFIED (%d VCs left for interactive proof)" n
+  | Failed msg -> Fmt.pf ppf "FAILED: %s" msg
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>%a@,refactoring: %d transformations@,%a@,structure match: %a@,\
+     implication: %d/%d lemmas@,verdict: %a (%.1fs)@]"
+    Refactor.History.pp_summary r.p_history
+    (Refactor.History.step_count r.p_history)
+    Implementation_proof.pp_report r.p_impl Specl.Match_ratio.pp_result r.p_match
+    r.p_implication.Implication.im_proved r.p_implication.Implication.im_total
+    pp_verdict r.p_verdict r.p_time

@@ -1,0 +1,551 @@
+(* Specification extraction — the "reverse synthesis" of the Echo approach
+   (§3), by architectural and direct mapping (§4.1).
+
+   Two levels, matching the paper's use:
+
+   - [skeleton]: the structural skeleton extracted from *any* version of
+     the program (before annotation): types, tables, function names and
+     the operators they use.  This is what the Fig. 2(f) match-ratio
+     metric compares against the original specification.
+
+   - [extract_program]: the full extracted specification from the final
+     refactored program: each subprogram is translated into a pure
+     function of the specification language (assignment becomes
+     let-binding/functional update, loops become folds, out parameters
+     become results).  Requires structured code — the point of the
+     refactoring is precisely to make this mapping direct. *)
+
+open Minispark
+open Specl.Sast
+
+exception Unextractable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unextractable s)) fmt
+
+(* ---------------- types ---------------- *)
+
+let rec styp_of_typ (t : Ast.typ) : styp =
+  match t with
+  | Ast.Tbool -> Sbool
+  | Ast.Tint _ -> Sint
+  | Ast.Tmod m -> Smod m
+  | Ast.Tarray (lo, hi, elt) -> Sarray (lo, hi, styp_of_typ elt)
+  | Ast.Tnamed n -> Snamed n
+
+(* ---------------- skeletons ---------------- *)
+
+let prim_of_binop (op : Ast.binop) : prim option =
+  match op with
+  | Ast.Add -> Some Padd
+  | Ast.Sub -> Some Psub
+  | Ast.Mul -> Some Pmul
+  | Ast.Div -> Some Pdiv
+  | Ast.Mod -> Some Pmod
+  | Ast.Band -> Some Pband
+  | Ast.Bor -> Some Pbor
+  | Ast.Bxor -> Some Pbxor
+  | Ast.Shl -> Some Pshl
+  | Ast.Shr -> Some Pshr
+  | Ast.Eq -> Some Peq
+  | Ast.Ne -> Some Pne
+  | Ast.Lt -> Some Plt
+  | Ast.Le -> Some Ple
+  | Ast.Gt -> Some Pgt
+  | Ast.Ge -> Some Pge
+  | Ast.And | Ast.And_then -> Some Pand
+  | Ast.Or | Ast.Or_else -> Some Por
+
+let ops_of_sub (sub : Ast.subprogram) : prim list =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      Ast.iter_own_exprs
+        (fun e ->
+          Ast.iter_expr
+            (function
+              | Ast.Binop (op, _, _) -> (
+                  match prim_of_binop op with Some p -> acc := p :: !acc | None -> ())
+              | _ -> ())
+            e)
+        s)
+    sub.Ast.sub_body;
+  List.sort_uniq compare !acc
+
+(* a body that carries exactly the operators a subprogram uses, so the
+   match-ratio's operator elements are visible on the skeleton *)
+let ops_carrier ops =
+  List.fold_left
+    (fun acc p ->
+      let arity_1 = match p with Pneg | Pnot -> true | _ -> false in
+      if arity_1 then Sprim (p, [ acc ]) else Sprim (p, [ acc; Sint_lit 0 ]))
+    (Sint_lit 0) ops
+
+(** Structural skeleton of a program as a specification theory: extracted
+    before annotation, compared against the original specification for the
+    Fig. 2(f) metric. *)
+let skeleton (program : Ast.program) : theory =
+  let types =
+    List.map (fun (n, t) -> (n, styp_of_typ t)) (Ast.type_decls program)
+  in
+  let tables =
+    List.map
+      (fun (c : Ast.const_decl) ->
+        {
+          sd_name = c.Ast.k_name;
+          sd_kind = Dtable;
+          sd_params = [];
+          sd_ret = styp_of_typ c.Ast.k_typ;
+          sd_body = Sint_lit 0;
+        })
+      (Ast.constants program)
+  in
+  let funcs =
+    List.map
+      (fun (sub : Ast.subprogram) ->
+        let params =
+          List.map
+            (fun (p : Ast.param) -> (p.Ast.par_name, styp_of_typ p.Ast.par_typ))
+            sub.Ast.sub_params
+        in
+        {
+          sd_name = sub.Ast.sub_name;
+          sd_kind = Dfun;
+          sd_params = params;
+          sd_ret =
+            (match sub.Ast.sub_return with
+            | Some t -> styp_of_typ t
+            | None -> Sint);
+          sd_body = ops_carrier (ops_of_sub sub);
+        })
+      (Ast.subprograms program)
+  in
+  { th_name = program.Ast.prog_name ^ "_skeleton"; th_types = types; th_defs = tables @ funcs }
+
+(* ---------------- full extraction ---------------- *)
+
+(* Typing oracle for modular-wrap placement: MiniSpark Tmod arithmetic
+   wraps, the specification language works over naturals, so arithmetic on
+   modular operands gets an explicit reduction.  [typing] resolves the type
+   of a source-program expression (set up per subprogram). *)
+(* pure-expression translation under a variable state *)
+let rec tr_expr ?typing state (e : Ast.expr) : sexpr =
+  match e with
+  | Ast.Bool_lit b -> Sbool_lit b
+  | Ast.Int_lit n -> Sint_lit n
+  | Ast.Var x -> (
+      match List.assoc_opt x state with Some v -> v | None -> Svar x)
+  | Ast.Index (a, i) -> Sindex (tr_expr ?typing state a, tr_expr ?typing state i)
+  | Ast.Unop (Ast.Neg, a) -> (
+      let a' = tr_expr ?typing state a in
+      match typing with
+      | Some ty when (match ty e with Ast.Tmod _ -> true | _ -> false) ->
+          let m = match ty e with Ast.Tmod m -> m | _ -> assert false in
+          Sprim (Pmod, [ Sprim (Pneg, [ a' ]); Sint_lit m ])
+      | _ -> Sprim (Pneg, [ a' ]))
+  | Ast.Unop (Ast.Not, a) -> Sprim (Pnot, [ tr_expr ?typing state a ])
+  | Ast.Binop (op, a, b) -> (
+      let a' = tr_expr ?typing state a and b' = tr_expr ?typing state b in
+      match prim_of_binop op with
+      | Some p -> (
+          (* the interpreter wraps the result of every arithmetic,
+             bitwise and shift operation whose type is modular (operands
+             are used raw); mirror that exactly *)
+          let wrap =
+            match (op, typing) with
+            | ( ( Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod
+                | Ast.Band | Ast.Bor | Ast.Bxor ),
+                Some ty ) -> (
+                match ty e with Ast.Tmod m -> Some m | _ -> None)
+            | (Ast.Shl | Ast.Shr), Some ty -> (
+                (* the interpreter wraps a shift only when the shifted
+                   (left) operand is modular *)
+                match ty a with Ast.Tmod m -> Some m | _ -> None)
+            | _ -> None
+          in
+          match wrap with
+          | Some m -> Sprim (Pmod, [ Sprim (p, [ a'; b' ]); Sint_lit m ])
+          | None -> Sprim (p, [ a'; b' ]))
+      | None -> fail "operator not extractable")
+  | Ast.Call (f, args) -> Sapp (f, List.map (tr_expr ?typing state) args)
+  | Ast.Aggregate es -> Sarray_lit (0, List.map (tr_expr ?typing state) es)
+  | Ast.Old _ | Ast.Result -> fail "annotation-only construct in code"
+  | Ast.Quantified _ -> fail "quantifier in executable code"
+
+let update_path tr state (lv : Ast.lvalue) (value : sexpr) : string * sexpr =
+  let rec go lv value =
+    match lv with
+    | Ast.Lvar x -> (x, value)
+    | Ast.Lindex (lv', i) ->
+        let current = tr state (Ast.expr_of_lvalue lv') in
+        go lv' (Supdate (current, tr state i, value))
+  in
+  go lv value
+
+(* the variables a statement list assigns (out-params of calls included);
+   loop variables are locally bound, not state *)
+let assigned program stmts =
+  let loop_vars = ref [] in
+  Ast.iter_stmts
+    (function
+      | Ast.For fl -> loop_vars := fl.Ast.for_var :: !loop_vars
+      | _ -> ())
+    stmts;
+  Ast.written_vars
+    ~out_params_of:(fun name ->
+      match Ast.find_sub program name with
+      | Some callee ->
+          List.mapi (fun k (p : Ast.param) -> (k, p.Ast.par_mode)) callee.Ast.sub_params
+          |> List.filter_map (fun (k, m) ->
+                 match m with
+                 | Ast.Mode_out | Ast.Mode_in_out -> Some k
+                 | Ast.Mode_in -> None)
+      | None -> [])
+    stmts
+  |> List.filter (fun v -> not (List.mem v !loop_vars))
+
+type ctx = {
+  program : Ast.program;
+  env : Typecheck.env;
+  mutable fresh : int;
+  mutable var_types : (string * Ast.typ) list;  (** per-subprogram, resolved *)
+}
+
+let fresh ctx base =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s_%d" base ctx.fresh
+
+(* lightweight type resolution over the source expression, for placing
+   modular reductions *)
+let rec type_of ctx (e : Ast.expr) : Ast.typ =
+  match e with
+  | Ast.Bool_lit _ -> Ast.Tbool
+  | Ast.Int_lit _ -> Ast.Tint None
+  | Ast.Var x | Ast.Old x -> (
+      match List.assoc_opt x ctx.var_types with
+      | Some t -> t
+      | None -> Ast.Tint None)
+  | Ast.Result -> Ast.Tint None
+  | Ast.Index (a, _) -> (
+      match type_of ctx a with Ast.Tarray (_, _, elt) -> elt | _ -> Ast.Tint None)
+  | Ast.Unop (_, a) -> type_of ctx a
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) -> (
+      match (type_of ctx a, type_of ctx b) with
+      | Ast.Tmod m, _ | _, Ast.Tmod m -> Ast.Tmod m
+      | _ -> Ast.Tint None)
+  | Ast.Binop ((Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr), a, b) -> (
+      match (type_of ctx a, type_of ctx b) with
+      | Ast.Tmod m, _ | _, Ast.Tmod m -> Ast.Tmod m
+      | _ -> Ast.Tint None)
+  | Ast.Binop (_, _, _) | Ast.Quantified _ -> Ast.Tbool
+  | Ast.Call (f, _) -> (
+      match Ast.find_sub ctx.program f with
+      | Some { Ast.sub_return = Some t; _ } -> Typecheck.resolve ctx.env t
+      | _ -> Ast.Tint None)
+  | Ast.Aggregate _ -> Ast.Tint None
+
+let tr ctx state e = tr_expr ~typing:(type_of ctx) state e
+
+let rec lvalue_type ctx (lv : Ast.lvalue) : Ast.typ =
+  match lv with
+  | Ast.Lvar x -> (
+      match List.assoc_opt x ctx.var_types with
+      | Some t -> t
+      | None -> Ast.Tint None)
+  | Ast.Lindex (lv', _) -> (
+      match lvalue_type ctx lv' with
+      | Ast.Tarray (_, _, elt) -> elt
+      | _ -> Ast.Tint None)
+
+(* assignment-site coercion: MiniSpark wraps on assignment to a modular
+   object; mirror it unless the value is already of that modulus *)
+let coerce_to _ctx (target : Ast.typ) (source : Ast.typ) (v : sexpr) : sexpr =
+  match (target, source) with
+  | Ast.Tmod m, Ast.Tmod m' when m = m' -> v
+  | Ast.Tmod m, _ -> Sprim (Pmod, [ v; Sint_lit m ])
+  | _ -> v
+
+(* default (zero) value of a type, as a specification expression *)
+let rec zero_of ctx (t : Ast.typ) : sexpr =
+  match Typecheck.resolve ctx.env t with
+  | Ast.Tbool -> Sbool_lit false
+  | Ast.Tint (Some (lo, _)) -> Sint_lit lo
+  | Ast.Tint None -> Sint_lit 0
+  | Ast.Tmod _ -> Sint_lit 0
+  | Ast.Tarray (lo, hi, elt) -> Stabulate (lo, hi, fresh ctx "z", zero_of ctx elt)
+  | Ast.Tnamed _ -> assert false
+
+(* execute statements over a pure state; returns the final state or the
+   returned expression *)
+let rec exec ctx (state : (string * sexpr) list) (stmts : Ast.stmt list) :
+    [ `State of (string * sexpr) list | `Return of sexpr ] =
+  match stmts with
+  | [] -> `State state
+  | stmt :: rest -> (
+      match exec_stmt ctx state stmt with
+      | `State state -> exec ctx state rest
+      | `Return e -> `Return e)
+
+and exec_stmt ctx state (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Null | Ast.Assert _ -> `State state
+  | Ast.Return (Some e) -> `Return (tr ctx state e)
+  | Ast.Return None -> fail "procedure return is not extractable mid-body"
+  | Ast.Assign (lv, e) ->
+      let value = coerce_to ctx (lvalue_type ctx lv) (type_of ctx e) (tr ctx state e) in
+      let x, v = update_path (tr ctx) state lv value in
+      `State ((x, v) :: List.remove_assoc x state)
+  | Ast.If (branches, els) ->
+      let results = List.map (fun (g, body) -> (g, exec ctx state body)) branches in
+      let els_result = exec ctx state els in
+      let all_return =
+        List.for_all (fun (_, r) -> match r with `Return _ -> true | _ -> false) results
+        && (match els_result with `Return _ -> true | _ -> false)
+      in
+      if all_return then
+        (* a function whose branches each return: nested conditionals *)
+        let rec fold_ret results =
+          match results with
+          | [] -> ( match els_result with `Return e -> e | _ -> assert false)
+          | (g, `Return e) :: rest -> Sif (tr ctx state g, e, fold_ret rest)
+          | _ -> assert false
+        in
+        `Return (fold_ret results)
+      else begin
+        (* all paths fall through: merge per assigned variable *)
+        let vars = assigned ctx.program (List.concat_map snd branches @ els) in
+        let as_state = function
+          | `State s -> s
+          | `Return _ -> fail "mixed return/fall-through conditional is not extractable"
+        in
+        let merged_of cond then_state else_state =
+          List.map
+            (fun x ->
+              let v_then =
+                match List.assoc_opt x then_state with Some v -> v | None -> Svar x
+              in
+              let v_else =
+                match List.assoc_opt x else_state with Some v -> v | None -> Svar x
+              in
+              (x, if v_then = v_else then v_then else Sif (cond, v_then, v_else)))
+            vars
+        in
+        let rec fold_branches results =
+          match results with
+          | [] -> as_state els_result
+          | (g, r) :: rest ->
+              let cond = tr ctx state g in
+              let then_state = as_state r in
+              let else_state = fold_branches rest in
+              merged_of cond then_state else_state
+              @ List.filter (fun (x, _) -> not (List.mem x vars)) state
+        in
+        `State (fold_branches results)
+      end
+  | Ast.For fl ->
+      let vars = assigned ctx.program fl.Ast.for_body in
+      let vars = List.filter (fun v -> not (String.equal v fl.Ast.for_var)) vars in
+      if vars = [] then `State state
+      else
+        let acc_name = fresh ctx "acc" in
+        (* accumulator: tuple of the modified variables *)
+        let init = Stuple_lit (List.map (fun x -> tr ctx state (Ast.Var x)) vars) in
+        let inner_state =
+          List.mapi (fun k x -> (x, Sproj (k, Svar acc_name))) vars
+          @ List.filter (fun (x, _) -> not (List.mem x vars)) state
+          |> List.remove_assoc fl.Ast.for_var
+        in
+        let body_state =
+          match exec ctx inner_state fl.Ast.for_body with
+          | `State s -> s
+          | `Return _ -> fail "return inside loop is not extractable"
+        in
+        let body_tuple =
+          Stuple_lit
+            (List.map
+               (fun x ->
+                 match List.assoc_opt x body_state with
+                 | Some v -> v
+                 | None -> Svar x)
+               vars)
+        in
+        let lo = tr ctx state fl.Ast.for_lo and hi = tr ctx state fl.Ast.for_hi in
+        if fl.Ast.for_reverse then fail "reverse loops are not extractable yet"
+        else
+          let folded =
+            Sfold
+              {
+                f_var = fl.Ast.for_var;
+                f_lo = lo;
+                f_hi = hi;
+                f_acc = acc_name;
+                f_init = init;
+                f_body = body_tuple;
+              }
+          in
+          let result_name = fresh ctx "res" in
+          let state' =
+            List.mapi (fun k x -> (x, Sproj (k, Svar result_name))) vars
+            @ List.filter (fun (x, _) -> not (List.mem x vars)) state
+          in
+          (* bind the fold once via a let at use time: we inline it by
+             substituting; to keep terms shared, bind through a let *)
+          `State (List.map (fun (x, v) -> (x, subst_var result_name folded v)) state')
+  | Ast.While _ -> fail "while loops are not extractable (refactor them first)"
+  | Ast.Call_stmt (name, args) -> (
+      match Ast.find_sub ctx.program name with
+      | None -> fail "unknown procedure %s" name
+      | Some callee ->
+          let in_args =
+            List.filter_map
+              (fun ((p : Ast.param), a) ->
+                match p.Ast.par_mode with
+                | Ast.Mode_in | Ast.Mode_in_out -> Some (tr ctx state a)
+                | Ast.Mode_out -> None)
+              (List.combine callee.Ast.sub_params args)
+          in
+          let outs =
+            List.filter
+              (fun ((p : Ast.param), _) -> p.Ast.par_mode <> Ast.Mode_in)
+              (List.combine callee.Ast.sub_params args)
+          in
+          let call = Sapp (name, in_args) in
+          match outs with
+          | [ (_, Ast.Var x) ] -> `State ((x, call) :: List.remove_assoc x state)
+          | outs ->
+              let tmp = fresh ctx "call" in
+              let state' =
+                List.fold_left
+                  (fun state (k, (_, actual)) ->
+                    match actual with
+                    | Ast.Var x ->
+                        (x, Sproj (k, Svar tmp)) :: List.remove_assoc x state
+                    | _ -> fail "out actual is not a variable")
+                  state
+                  (List.mapi (fun k o -> (k, o)) outs)
+              in
+              `State
+                (List.map (fun (x, v) -> (x, subst_var tmp call v)) state'))
+
+and subst_var name replacement (e : sexpr) : sexpr =
+  let rec go e =
+    match e with
+    | Svar x when String.equal x name -> replacement
+    | Sbool_lit _ | Sint_lit _ | Svar _ -> e
+    | Sif (a, b, c) -> Sif (go a, go b, go c)
+    | Slet (x, a, b) -> Slet (x, go a, if String.equal x name then b else go b)
+    | Sprim (p, args) -> Sprim (p, List.map go args)
+    | Sapp (f, args) -> Sapp (f, List.map go args)
+    | Sarray_lit (lo, es) -> Sarray_lit (lo, List.map go es)
+    | Sindex (a, i) -> Sindex (go a, go i)
+    | Supdate (a, i, v) -> Supdate (go a, go i, go v)
+    | Stuple_lit es -> Stuple_lit (List.map go es)
+    | Sproj (k, a) -> Sproj (k, go a)
+    | Stabulate (lo, hi, x, body) ->
+        Stabulate (lo, hi, x, if String.equal x name then body else go body)
+    | Sfold f ->
+        Sfold
+          {
+            f with
+            f_lo = go f.f_lo;
+            f_hi = go f.f_hi;
+            f_init = go f.f_init;
+            f_body =
+              (if String.equal f.f_var name || String.equal f.f_acc name then f.f_body
+               else go f.f_body);
+          }
+  in
+  go e
+
+(** Extract one subprogram as a pure specification function.  A function
+    yields its return value; a procedure yields its single out parameter,
+    or the tuple of its out parameters. *)
+let extract_sub ctx (sub : Ast.subprogram) : sdef =
+  let params =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.Ast.par_mode with
+        | Ast.Mode_in | Ast.Mode_in_out ->
+            Some (p.Ast.par_name, styp_of_typ p.Ast.par_typ)
+        | Ast.Mode_out -> None)
+      sub.Ast.sub_params
+  in
+  ctx.var_types <-
+    List.map
+      (fun (p : Ast.param) -> (p.Ast.par_name, Typecheck.resolve ctx.env p.Ast.par_typ))
+      sub.Ast.sub_params
+    @ List.map
+        (fun (v : Ast.var_decl) -> (v.Ast.v_name, Typecheck.resolve ctx.env v.Ast.v_typ))
+        sub.Ast.sub_locals
+    @ List.map
+        (fun (c : Ast.const_decl) -> (c.Ast.k_name, Typecheck.resolve ctx.env c.Ast.k_typ))
+        (Ast.constants ctx.program);
+  (* initial state: out params and locals start at their default values *)
+  let state0 =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.Ast.par_mode with
+        | Ast.Mode_out -> Some (p.Ast.par_name, zero_of ctx p.Ast.par_typ)
+        | _ -> None)
+      sub.Ast.sub_params
+    @ List.map
+        (fun (v : Ast.var_decl) ->
+          match v.Ast.v_init with
+          | Some e -> (v.Ast.v_name, tr ctx [] e)
+          | None -> (v.Ast.v_name, zero_of ctx v.Ast.v_typ))
+        sub.Ast.sub_locals
+  in
+  match sub.Ast.sub_return with
+  | Some ret -> (
+      match exec ctx state0 sub.Ast.sub_body with
+      | `Return e ->
+          let ret_t = Typecheck.resolve ctx.env ret in
+          let e =
+            match ret_t with
+            | Ast.Tmod m -> Sprim (Pmod, [ e; Sint_lit m ])
+            | _ -> e
+          in
+          { sd_name = sub.Ast.sub_name; sd_kind = Dfun; sd_params = params;
+            sd_ret = styp_of_typ ret; sd_body = e }
+      | `State _ -> fail "function %s does not end in a return" sub.Ast.sub_name)
+  | None -> (
+      let outs =
+        List.filter (fun (p : Ast.param) -> p.Ast.par_mode <> Ast.Mode_in)
+          sub.Ast.sub_params
+      in
+      match exec ctx state0 sub.Ast.sub_body with
+      | `Return _ -> fail "procedure %s returns a value" sub.Ast.sub_name
+      | `State final -> (
+          let value_of (p : Ast.param) =
+            match List.assoc_opt p.Ast.par_name final with
+            | Some v -> v
+            | None -> Svar p.Ast.par_name
+          in
+          match outs with
+          | [] -> fail "procedure %s has no out parameters" sub.Ast.sub_name
+          | [ p ] ->
+              { sd_name = sub.Ast.sub_name; sd_kind = Dfun; sd_params = params;
+                sd_ret = styp_of_typ p.Ast.par_typ; sd_body = value_of p }
+          | ps ->
+              { sd_name = sub.Ast.sub_name; sd_kind = Dfun; sd_params = params;
+                sd_ret = Stuple (List.map (fun (p : Ast.param) -> styp_of_typ p.Ast.par_typ) ps);
+                sd_body = Stuple_lit (List.map value_of ps) }))
+
+(** Extract the whole program: types, tables (with their values), and one
+    pure function per subprogram. *)
+let extract_program env (program : Ast.program) : theory =
+  let ctx = { program; env; fresh = 0; var_types = [] } in
+  let types = List.map (fun (n, t) -> (n, styp_of_typ t)) (Ast.type_decls program) in
+  let tables =
+    List.map
+      (fun (c : Ast.const_decl) ->
+        {
+          sd_name = c.Ast.k_name;
+          sd_kind = Dtable;
+          sd_params = [];
+          sd_ret = styp_of_typ c.Ast.k_typ;
+          sd_body = tr ctx [] c.Ast.k_value;
+        })
+      (Ast.constants program)
+  in
+  let funcs = List.map (extract_sub ctx) (Ast.subprograms program) in
+  { th_name = program.Ast.prog_name ^ "_extracted"; th_types = types; th_defs = tables @ funcs }

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/logic/formula.mli: Fmt

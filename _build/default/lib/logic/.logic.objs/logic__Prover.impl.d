@@ -1,0 +1,1 @@
+lib/logic/prover.ml: Formula List Option Printf Simplify String Unix

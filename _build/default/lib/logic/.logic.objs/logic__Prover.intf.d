@@ -1,0 +1,1 @@
+lib/logic/prover.mli: Formula

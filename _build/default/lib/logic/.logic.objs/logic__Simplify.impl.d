@@ -1,0 +1,1 @@
+lib/logic/simplify.ml: Formula List Option

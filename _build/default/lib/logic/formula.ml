@@ -1,0 +1,196 @@
+(* First-order terms and formulas for verification conditions.
+
+   The language mirrors what weakest-precondition generation over MiniSpark
+   needs: linear integer arithmetic, modular (wrapping) arithmetic and bit
+   operations carrying their modulus, McCarthy array select/store, bounded
+   quantifiers, and uninterpreted occurrences of program functions. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | App of op * t list
+  | Ite of t * t * t
+  | Forall of string * t * t * t  (** var, lo, hi, body *)
+  | Exists of string * t * t * t
+
+and op =
+  | Add | Sub | Mul | Div | Mod_op
+  | Neg
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or | Not | Implies
+  | Band of int | Bor of int | Bxor of int | Bnot of int
+  | Shl of int | Shr of int   (** int payload: the modulus of the left operand, 0 = unbounded *)
+  | Wrap of int               (** reduce into [0, m) *)
+  | Select | Store
+  | Arrlit of int             (** array literal; payload = first index *)
+  | Uf of string              (** program function symbol *)
+
+let tru = Bool true
+let fls = Bool false
+let var x = Var x
+let num n = Int n
+
+let rec conj = function
+  | [] -> tru
+  | [ f ] -> f
+  | f :: rest -> App (And, [ f; conj rest ])
+
+let implies a b =
+  match a with Bool true -> b | _ -> App (Implies, [ a; b ])
+
+let eq a b = App (Eq, [ a; b ])
+let select a i = App (Select, [ a; i ])
+let store a i v = App (Store, [ a; i; v ])
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec map f t =
+  let t' =
+    match t with
+    | Int _ | Bool _ | Var _ -> t
+    | App (op, args) -> App (op, List.map (map f) args)
+    | Ite (c, a, b) -> Ite (map f c, map f a, map f b)
+    | Forall (x, lo, hi, body) -> Forall (x, map f lo, map f hi, map f body)
+    | Exists (x, lo, hi, body) -> Exists (x, map f lo, map f hi, map f body)
+  in
+  f t'
+
+let rec iter f t =
+  f t;
+  match t with
+  | Int _ | Bool _ | Var _ -> ()
+  | App (_, args) -> List.iter (iter f) args
+  | Ite (c, a, b) ->
+      iter f c;
+      iter f a;
+      iter f b
+  | Forall (_, lo, hi, body) | Exists (_, lo, hi, body) ->
+      iter f lo;
+      iter f hi;
+      iter f body
+
+(** Capture-naive substitution of a variable by a term (quantified variables
+    shadow as expected). *)
+let rec subst x v t =
+  match t with
+  | Var y when String.equal x y -> v
+  | Int _ | Bool _ | Var _ -> t
+  | App (op, args) -> App (op, List.map (subst x v) args)
+  | Ite (c, a, b) -> Ite (subst x v c, subst x v a, subst x v b)
+  | Forall (y, lo, hi, body) ->
+      if String.equal x y then Forall (y, subst x v lo, subst x v hi, body)
+      else Forall (y, subst x v lo, subst x v hi, subst x v body)
+  | Exists (y, lo, hi, body) ->
+      if String.equal x y then Exists (y, subst x v lo, subst x v hi, body)
+      else Exists (y, subst x v lo, subst x v hi, subst x v body)
+
+let free_vars t =
+  let rec go bound acc = function
+    | Int _ | Bool _ -> acc
+    | Var x -> if List.mem x bound then acc else x :: acc
+    | App (_, args) -> List.fold_left (go bound) acc args
+    | Ite (c, a, b) -> go bound (go bound (go bound acc c) a) b
+    | Forall (x, lo, hi, body) | Exists (x, lo, hi, body) ->
+        go (x :: bound) (go bound (go bound acc lo) hi) body
+  in
+  List.sort_uniq String.compare (go [] [] t)
+
+let node_count t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Printing (defines the byte-size metric for VCs)                     *)
+(* ------------------------------------------------------------------ *)
+
+let op_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod_op -> "mod"
+  | Neg -> "-"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or" | Not -> "not" | Implies -> "->"
+  | Band _ -> "band" | Bor _ -> "bor" | Bxor _ -> "bxor" | Bnot _ -> "bnot"
+  | Shl _ -> "shl" | Shr _ -> "shr"
+  | Wrap m -> Printf.sprintf "wrap%d" m
+  | Select -> "select" | Store -> "store"
+  | Arrlit lo -> Printf.sprintf "arr%d" lo
+  | Uf name -> name
+
+let rec pp ppf t =
+  match t with
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Var x -> Fmt.string ppf x
+  | App ((Add | Sub | Mul | Div | Mod_op | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Implies) as op, [ a; b ]) ->
+      Fmt.pf ppf "(%a %s %a)" pp a (op_name op) pp b
+  | App (Not, [ a ]) -> Fmt.pf ppf "(not %a)" pp a
+  | App (Neg, [ a ]) -> Fmt.pf ppf "(- %a)" pp a
+  | App (op, args) ->
+      Fmt.pf ppf "%s(%a)" (op_name op) (Fmt.list ~sep:(Fmt.any ", ") pp) args
+  | Ite (c, a, b) -> Fmt.pf ppf "(if %a then %a else %a)" pp c pp a pp b
+  | Forall (x, lo, hi, body) ->
+      Fmt.pf ppf "(forall %s in %a .. %a: %a)" x pp lo pp hi pp body
+  | Exists (x, lo, hi, body) ->
+      Fmt.pf ppf "(exists %s in %a .. %a: %a)" x pp lo pp hi pp body
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Byte size of the printed form — the paper reports VC sizes in MB/KB. *)
+let byte_size t = String.length (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Verification conditions                                             *)
+(* ------------------------------------------------------------------ *)
+
+type vc_kind =
+  | Vc_postcondition
+  | Vc_precondition_call   (** callee precondition holds at a call site *)
+  | Vc_assert
+  | Vc_invariant_init
+  | Vc_invariant_preserve
+  | Vc_index_check
+  | Vc_range_check
+  | Vc_div_check
+  | Vc_overflow_check
+
+let vc_kind_name = function
+  | Vc_postcondition -> "postcondition"
+  | Vc_precondition_call -> "call-precondition"
+  | Vc_assert -> "assert"
+  | Vc_invariant_init -> "invariant-init"
+  | Vc_invariant_preserve -> "invariant-preserve"
+  | Vc_index_check -> "index-check"
+  | Vc_range_check -> "range-check"
+  | Vc_div_check -> "div-check"
+  | Vc_overflow_check -> "overflow-check"
+
+type vc = {
+  vc_name : string;        (** e.g. "encrypt.3" *)
+  vc_sub : string;         (** owning subprogram *)
+  vc_kind : vc_kind;
+  vc_hyps : t list;
+  vc_goal : t;
+}
+
+let vc_formula vc = implies (conj vc.vc_hyps) vc.vc_goal
+
+let vc_byte_size vc =
+  List.fold_left (fun acc h -> acc + byte_size h + 1) (byte_size vc.vc_goal) vc.vc_hyps
+
+(** Printed lines of one VC — the paper's "maximum length of verification
+    conditions" metric (>10,000 lines at block 1, 68 at block 14, 126 with
+    full annotations). *)
+let vc_line_count vc =
+  let line_width = 78 in
+  List.fold_left
+    (fun acc h -> acc + 1 + (byte_size h / line_width))
+    (1 + (byte_size vc.vc_goal / line_width))
+    vc.vc_hyps
+
+let pp_vc ppf vc =
+  Fmt.pf ppf "@[<v>%s [%s]@,%a@,|- %a@]" vc.vc_name (vc_kind_name vc.vc_kind)
+    Fmt.(list ~sep:(any "@,") (fun ppf h -> Fmt.pf ppf "H: %a" pp h))
+    vc.vc_hyps pp vc.vc_goal

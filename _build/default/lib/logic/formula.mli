@@ -1,0 +1,109 @@
+(** First-order terms and formulas for verification conditions.
+
+    The language mirrors what weakest-precondition generation over
+    MiniSpark needs: linear integer arithmetic, modular (wrapping)
+    arithmetic and bit operations carrying their modulus, McCarthy array
+    select/store, bounded quantifiers, and uninterpreted occurrences of
+    program functions. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | App of op * t list
+  | Ite of t * t * t
+  | Forall of string * t * t * t  (** var, lo, hi, body *)
+  | Exists of string * t * t * t
+
+and op =
+  | Add | Sub | Mul | Div | Mod_op
+  | Neg
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or | Not | Implies
+  | Band of int | Bor of int | Bxor of int | Bnot of int
+  | Shl of int | Shr of int
+      (** int payload: the modulus of the left operand, 0 = unbounded *)
+  | Wrap of int               (** reduce into [0, m) *)
+  | Select | Store
+  | Arrlit of int             (** array literal; payload = first index *)
+  | Uf of string              (** program function symbol *)
+
+(** {1 Smart constructors} *)
+
+val tru : t
+val fls : t
+val var : string -> t
+val num : int -> t
+
+val conj : t list -> t
+(** Right-nested conjunction; [conj [] = tru]. *)
+
+val implies : t -> t -> t
+(** Implication, collapsing a [true] antecedent. *)
+
+val eq : t -> t -> t
+val select : t -> t -> t
+val store : t -> t -> t -> t
+
+(** {1 Traversal} *)
+
+val map : (t -> t) -> t -> t
+(** Bottom-up rewriting: children first, then the node itself. *)
+
+val iter : (t -> unit) -> t -> unit
+
+val subst : string -> t -> t -> t
+(** [subst x v t]: capture-naive substitution of a variable by a term
+    (quantified variables shadow as expected). *)
+
+val free_vars : t -> string list
+(** Free variable names, sorted and deduplicated. *)
+
+val node_count : t -> int
+
+(** {1 Printing}
+
+    The printed form defines the byte-size metric for VCs (the paper
+    reports VC sizes in MB/KB). *)
+
+val op_name : op -> string
+val pp : t Fmt.t
+val to_string : t -> string
+
+val byte_size : t -> int
+(** Byte size of the printed form. *)
+
+(** {1 Verification conditions} *)
+
+type vc_kind =
+  | Vc_postcondition
+  | Vc_precondition_call   (** callee precondition holds at a call site *)
+  | Vc_assert
+  | Vc_invariant_init
+  | Vc_invariant_preserve
+  | Vc_index_check
+  | Vc_range_check
+  | Vc_div_check
+  | Vc_overflow_check
+
+val vc_kind_name : vc_kind -> string
+
+type vc = {
+  vc_name : string;        (** e.g. "encrypt.3" *)
+  vc_sub : string;         (** owning subprogram *)
+  vc_kind : vc_kind;
+  vc_hyps : t list;
+  vc_goal : t;
+}
+
+val vc_formula : vc -> t
+(** The VC as one closed formula: hypotheses imply goal. *)
+
+val vc_byte_size : vc -> int
+
+val vc_line_count : vc -> int
+(** Printed lines of one VC — the paper's "maximum length of verification
+    conditions" metric (>10,000 lines at block 1, 68 at block 14, 126
+    with full annotations). *)
+
+val pp_vc : vc Fmt.t

@@ -1,0 +1,772 @@
+(* Automatic discharger for verification conditions — the stand-in for the
+   SPARK proof checker (implementation proof) and the lemma-level engine the
+   implication proof builds on.
+
+   Pipeline, mirroring what the paper reports about SPARK behaviour:
+   1. simplification (constant folding, select/store, xor cancellation);
+   2. syntactic entailment (goal among hypotheses);
+   3. rewriting with equational hypotheses;
+   4. ground evaluation, optionally consulting an interpretation for
+      program function symbols;
+   5. Fourier–Motzkin refutation over the rationals for linear arithmetic
+      (sound for integer goals);
+   6. bounded case-splitting on range-constrained variables.
+
+   Anything not dischargeable automatically is [Unknown] and needs a hint —
+   the analogue of the paper's "straightforward manual intervention"
+   (application of preconditions, induction on loop invariants). *)
+
+open Formula
+
+type outcome =
+  | Proved
+  | Unknown of string  (** reason / residual goal *)
+
+type hint =
+  | Hint_induction
+      (** split the last index off a goal quantifier: matches "induction on
+          loop invariants" *)
+  | Hint_apply_hyp
+      (** instantiate quantified hypotheses at goal indices: matches
+          "application of preconditions" *)
+  | Hint_unfold of string * string list * Formula.t
+      (** function name, formal parameters, defining body: rewrite
+          applications of an uninterpreted program function *)
+
+type config = {
+  interp : (string -> int list -> int option) option;
+      (** evaluate a program function on ground integer arguments *)
+  max_split : int;    (** widest range eligible for case splitting *)
+  max_steps : int;    (** recursion budget *)
+}
+
+let default_config = { interp = None; max_split = 64; max_steps = 4000 }
+
+(* ------------------------------------------------------------------ *)
+(* Ground evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_ground cfg t : int option =
+  (* integers only; booleans encoded via eval_ground_bool *)
+  match t with
+  | Int n -> Some n
+  | Bool _ | Var _ -> None
+  | App (op, args) -> (
+      let args' = List.map (eval_ground cfg) args in
+      if List.exists Option.is_none args' then
+        match (op, args) with
+        | Uf _, _ -> None
+        | _ -> None
+      else
+        let vals = List.map Option.get args' in
+        match (op, vals) with
+        | Add, [ a; b ] -> Some (a + b)
+        | Sub, [ a; b ] -> Some (a - b)
+        | Mul, [ a; b ] -> Some (a * b)
+        | Div, [ a; b ] when b <> 0 -> Some (a / b)
+        | Mod_op, [ a; b ] when b <> 0 -> Some (((a mod b) + abs b) mod abs b)
+        | Neg, [ a ] -> Some (-a)
+        | Wrap m, [ a ] when m > 0 -> Some (((a mod m) + m) mod m)
+        | Band m, [ a; b ] -> Some (Simplify.wrap_int m (Simplify.wrap_int m a land Simplify.wrap_int m b))
+        | Bor m, [ a; b ] -> Some (Simplify.wrap_int m (Simplify.wrap_int m a lor Simplify.wrap_int m b))
+        | Bxor m, [ a; b ] -> Some (Simplify.wrap_int m (Simplify.wrap_int m a lxor Simplify.wrap_int m b))
+        | Bnot m, [ a ] when m > 0 -> Some (m - 1 - Simplify.wrap_int m a)
+        | Shl m, [ a; k ] when k >= 0 && k < 62 ->
+            Some (Simplify.wrap_int m (Simplify.wrap_int m a lsl k))
+        | Shr m, [ a; k ] when k >= 0 && k < 62 ->
+            Some (Simplify.wrap_int m (Simplify.wrap_int m a lsr k))
+        | Uf name, vals -> (
+            match cfg.interp with
+            | Some f -> f name vals
+            | None -> None)
+        | _ -> None)
+  | Ite (c, a, b) -> (
+      match eval_ground_bool cfg c with
+      | Some true -> eval_ground cfg a
+      | Some false -> eval_ground cfg b
+      | None -> None)
+  | Forall _ | Exists _ -> None
+
+and eval_ground_bool cfg t : bool option =
+  match t with
+  | Bool b -> Some b
+  | App ((Eq | Ne | Lt | Le | Gt | Ge) as op, [ a; b ]) -> (
+      match (eval_ground cfg a, eval_ground cfg b) with
+      | Some x, Some y ->
+          Some
+            (match op with
+            | Eq -> x = y
+            | Ne -> x <> y
+            | Lt -> x < y
+            | Le -> x <= y
+            | Gt -> x > y
+            | Ge -> x >= y
+            | _ -> assert false)
+      | _ -> None)
+  | App (And, [ a; b ]) -> (
+      match (eval_ground_bool cfg a, eval_ground_bool cfg b) with
+      | Some x, Some y -> Some (x && y)
+      | Some false, _ | _, Some false -> Some false
+      | _ -> None)
+  | App (Or, [ a; b ]) -> (
+      match (eval_ground_bool cfg a, eval_ground_bool cfg b) with
+      | Some x, Some y -> Some (x || y)
+      | Some true, _ | _, Some true -> Some true
+      | _ -> None)
+  | App (Not, [ a ]) -> Option.map not (eval_ground_bool cfg a)
+  | App (Implies, [ a; b ]) -> (
+      match (eval_ground_bool cfg a, eval_ground_bool cfg b) with
+      | Some false, _ -> Some true
+      | _, Some true -> Some true
+      | Some x, Some y -> Some ((not x) || y)
+      | _ -> None)
+  | Forall (x, lo, hi, body) -> (
+      match (eval_ground cfg lo, eval_ground cfg hi) with
+      | Some l, Some h when h - l <= 4096 ->
+          let rec all i =
+            if i > h then Some true
+            else
+              match eval_ground_bool cfg (Formula.subst x (Int i) body) with
+              | Some true -> all (i + 1)
+              | other -> other
+          in
+          all l
+      | _ -> None)
+  | Exists (x, lo, hi, body) -> (
+      match (eval_ground cfg lo, eval_ground cfg hi) with
+      | Some l, Some h when h - l <= 4096 ->
+          let rec some i =
+            if i > h then Some false
+            else
+              match eval_ground_bool cfg (Formula.subst x (Int i) body) with
+              | Some false -> some (i + 1)
+              | Some true -> Some true
+              | None -> None
+          in
+          some l
+      | _ -> None)
+  | App ((Eq | Ne), _) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fourier–Motzkin over the rationals                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* constraints: sum of coeff*var + const >= 0 (Ge0) or > 0 (Gt0) *)
+type constr = { coeffs : (string * int) list; cst : int; strict : bool }
+
+(* All terms denote integers, so a strict bound tightens to a non-strict
+   one: t > 0 becomes t - 1 >= 0.  This buys integer completeness that
+   plain rational Fourier–Motzkin lacks. *)
+let constr_of_lin ~strict (lin : Simplify.Lin.t) =
+  (* FM works over named atoms: any non-arithmetic subterm is treated as an
+     opaque variable, keyed by its printed form *)
+  let small = List.for_all (fun (t, _) -> Formula.node_count t <= 40) lin.Simplify.Lin.atoms in
+  if not small then None
+  else
+    let coeffs =
+      List.map
+        (fun (t, c) ->
+          match t with
+          | Var x -> (x, c)
+          | t -> ("!atom:" ^ Formula.to_string t, c))
+        lin.Simplify.Lin.atoms
+    in
+    let cst = if strict then lin.Simplify.Lin.const - 1 else lin.Simplify.Lin.const in
+    Some { coeffs; cst; strict = false }
+
+(* turn a simplified comparison into 1-2 constraints meaning "this holds" *)
+let constraints_of_formula t : constr list option =
+  let open Simplify in
+  let diff a b = difference a b in
+  match t with
+  | App (Le, [ a; b ]) ->
+      Option.bind (diff b a) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
+  | App (Lt, [ a; b ]) ->
+      Option.bind (diff b a) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
+  | App (Ge, [ a; b ]) ->
+      Option.bind (diff a b) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
+  | App (Gt, [ a; b ]) ->
+      Option.bind (diff a b) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
+  | App (Eq, [ a; b ]) -> (
+      match (Option.bind (diff a b) (constr_of_lin ~strict:false),
+             Option.bind (diff b a) (constr_of_lin ~strict:false))
+      with
+      | Some c1, Some c2 -> Some [ c1; c2 ]
+      | _ -> None)
+  | _ -> None
+
+let negation_constraints t : constr list option =
+  (* constraints meaning "not t" *)
+  match t with
+  | App (Le, [ a; b ]) -> constraints_of_formula (App (Gt, [ a; b ]))
+  | App (Lt, [ a; b ]) -> constraints_of_formula (App (Ge, [ a; b ]))
+  | App (Ge, [ a; b ]) -> constraints_of_formula (App (Lt, [ a; b ]))
+  | App (Gt, [ a; b ]) -> constraints_of_formula (App (Le, [ a; b ]))
+  | _ -> None (* Eq negation is a disjunction: not handled here *)
+
+let coeff x c = match List.assoc_opt x c.coeffs with Some k -> k | None -> 0
+
+let vars_of_constrs cs =
+  List.sort_uniq String.compare (List.concat_map (fun c -> List.map fst c.coeffs) cs)
+
+(* eliminate one variable by combining positive and negative occurrences *)
+let eliminate x cs =
+  let pos = List.filter (fun c -> coeff x c > 0) cs in
+  let neg = List.filter (fun c -> coeff x c < 0) cs in
+  let rest = List.filter (fun c -> coeff x c = 0) cs in
+  let combine p n =
+    let a = coeff x p and b = -coeff x n in
+    (* b*p + a*n eliminates x; a, b > 0 so the inequality direction holds *)
+    let add_scaled k c acc =
+      List.fold_left
+        (fun acc (y, cy) ->
+          let cur = match List.assoc_opt y acc with Some v -> v | None -> 0 in
+          (y, cur + (k * cy)) :: List.remove_assoc y acc)
+        acc c.coeffs
+    in
+    let coeffs = add_scaled a n (add_scaled b p []) in
+    let coeffs = List.filter (fun (y, v) -> v <> 0 && y <> x) coeffs in
+    { coeffs; cst = (b * p.cst) + (a * n.cst); strict = p.strict || n.strict }
+  in
+  rest @ List.concat_map (fun p -> List.map (combine p) neg) pos
+
+(* restrict a constraint set to those transitively sharing variables with
+   the seed constraints — Fourier-Motzkin then only eliminates variables in
+   the goal's cone of influence instead of drowning in unrelated facts *)
+let cone_of_influence ~seed cs =
+  let vars_of c = List.map fst c.coeffs in
+  let rec grow vars selected rest =
+    let related, rest' =
+      List.partition (fun c -> List.exists (fun v -> List.mem v vars) (vars_of c)) rest
+    in
+    if related = [] then selected
+    else
+      let vars' =
+        List.sort_uniq String.compare (vars @ List.concat_map vars_of related)
+      in
+      grow vars' (selected @ related) rest'
+  in
+  let seed_vars = List.sort_uniq String.compare (List.concat_map vars_of seed) in
+  grow seed_vars seed cs
+
+let rec fm_unsat budget cs =
+  if budget <= 0 || List.length cs > 600 then false
+  else if
+    List.exists
+      (fun c ->
+        c.coeffs = [] && (if c.strict then c.cst <= 0 else c.cst < 0))
+      cs
+  then true
+  else
+    match vars_of_constrs cs with
+    | [] -> false
+    | x :: _ -> fm_unsat (budget - 1) (eliminate x cs)
+
+(* Does the linear fragment of [hyps] entail [f]?  Refutes hyps /\ not f. *)
+let rec fm_implies hyps f =
+  let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+  match negation_constraints f with
+  | Some neg ->
+      let cs = cone_of_influence ~seed:neg lin_hyps in
+      fm_unsat (List.length (vars_of_constrs cs) + 8) cs
+  | None -> (
+      (* equalities negate to a disjunction; prove via both strict sides
+         being refuted is wrong, so only handle the conjunction forms *)
+      match f with
+      | App (Eq, [ a; b ]) ->
+          fm_implies hyps (App (Le, [ a; b ])) && fm_implies hyps (App (Ge, [ a; b ]))
+      | _ -> false)
+
+(* Resolve select-over-store nodes whose indices are separated (or equated)
+   by the linear hypotheses, e.g. [select (store (a, i, v), k)] with
+   hypothesis [k <= i - 1]. *)
+let reduce_selects hyps t =
+  let rec reduce hyps t =
+    let distinct i j =
+      fm_implies hyps (App (Lt, [ i; j ])) || fm_implies hyps (App (Gt, [ i; j ]))
+    in
+    let equal_idx i j = fm_implies hyps (App (Eq, [ i; j ])) in
+    match t with
+    | App (Select, [ arr; j ]) -> (
+        let j = reduce hyps j in
+        let rec through arr =
+          match arr with
+          | App (Store, [ arr'; i; v ]) ->
+              if i = j || equal_idx i j then reduce hyps v
+              else if distinct i j then through arr'
+              else App (Select, [ reduce hyps arr; j ])
+          | _ -> App (Select, [ reduce hyps arr; j ])
+        in
+        through arr)
+    | Int _ | Bool _ | Var _ -> t
+    | App (op, args) -> App (op, List.map (reduce hyps) args)
+    | Ite (c, a, b) -> Ite (reduce hyps c, reduce hyps a, reduce hyps b)
+    | Forall (x, lo, hi, body) ->
+        (* inside the binder, the bound variable's range is known *)
+        let extra = [ App (Ge, [ Var x; lo ]); App (Le, [ Var x; hi ]) ] in
+        Forall (x, reduce hyps lo, reduce hyps hi, reduce (extra @ hyps) body)
+    | Exists (x, lo, hi, body) ->
+        let extra = [ App (Ge, [ Var x; lo ]); App (Le, [ Var x; hi ]) ] in
+        Exists (x, reduce hyps lo, reduce hyps hi, reduce (extra @ hyps) body)
+  in
+  reduce hyps t
+
+(* ------------------------------------------------------------------ *)
+(* Equational rewriting with hypotheses                                *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite_with_equalities hyps goal =
+  (* use hypotheses of the form [x = t] (variable on either side) as
+     substitutions into the goal *)
+  let substitutions =
+    List.filter_map
+      (fun h ->
+        match h with
+        | App (Eq, [ Var x; t ]) when not (List.mem x (free_vars t)) -> Some (x, t)
+        | App (Eq, [ t; Var x ]) when not (List.mem x (free_vars t)) -> Some (x, t)
+        | _ -> None)
+      hyps
+  in
+  List.fold_left (fun g (x, t) -> Formula.subst x t g) goal substitutions
+
+(* Use equational hypotheses whose left side is a function application as
+   left-to-right rewrite rules on the goal — how assumed postconditions of
+   called functions ([f(x) = x + 1]) propagate into proof goals. *)
+let rewrite_with_uf_equations hyps goal =
+  let rules =
+    List.filter_map
+      (fun h ->
+        match h with
+        | App (Eq, [ (App (Uf _, _) as lhs); rhs ]) when lhs <> rhs -> Some (lhs, rhs)
+        (* definitional equations on array cells (select chains over havoc
+           symbols) rewrite the same way: how callee postconditions about
+           out-parameter elements propagate *)
+        | App (Eq, [ (App (Select, _) as lhs); rhs ]) when lhs <> rhs ->
+            let contains_lhs = ref false in
+            Formula.iter (fun t -> if t = lhs then contains_lhs := true) rhs;
+            if !contains_lhs then None else Some (lhs, rhs)
+        | _ -> None)
+      hyps
+    (* larger left sides first, so outer applications rewrite before the
+       inner applications they contain *)
+    |> List.sort (fun (a, _) (b, _) -> compare (node_count b) (node_count a))
+  in
+  let apply_rules rules t =
+    Formula.map
+      (fun t ->
+        match List.assoc_opt t rules with Some rhs -> rhs | None -> t)
+      t
+  in
+  let rec fixpoint rules n t =
+    if n = 0 then t
+    else
+      let t' = apply_rules rules t in
+      if t' = t then t else fixpoint rules (n - 1) t'
+  in
+  (* saturate: rewrite each rule with the others, so that rules over
+     intermediate program variables compose (inner applications may have
+     been rewritten away before an outer rule is tried) *)
+  let saturated =
+    List.mapi
+      (fun i (lhs, rhs) ->
+        let others = List.filteri (fun j _ -> j <> i) rules in
+        (fixpoint others 4 lhs, fixpoint others 4 rhs))
+      rules
+    |> List.filter (fun (l, r) -> l <> r)
+  in
+  fixpoint (rules @ saturated) 8 goal
+
+(* ------------------------------------------------------------------ *)
+(* Main proof search                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let split_conjuncts goal = Simplify.flatten_chain And goal
+
+(* find hypothesis-derived bounds for a variable *)
+let bounds_of hyps x =
+  let lo = ref None and hi = ref None in
+  List.iter
+    (fun h ->
+      match h with
+      | App (Ge, [ Var y; Int n ]) when y = x ->
+          lo := Some (max n (Option.value ~default:n !lo))
+      | App (Le, [ Var y; Int n ]) when y = x ->
+          hi := Some (min n (Option.value ~default:n !hi))
+      | App (Gt, [ Var y; Int n ]) when y = x ->
+          lo := Some (max (n + 1) (Option.value ~default:(n + 1) !lo))
+      | App (Lt, [ Var y; Int n ]) when y = x ->
+          hi := Some (min (n - 1) (Option.value ~default:(n - 1) !hi))
+      | App (Eq, [ Var y; Int n ]) when y = x ->
+          lo := Some n;
+          hi := Some n
+      | _ -> ())
+    hyps;
+  match (!lo, !hi) with Some l, Some h -> Some (l, h) | _ -> None
+
+let steps = ref 0
+let const_counter = ref 0
+
+let fresh_const base =
+  incr const_counter;
+  Printf.sprintf "%s!%d" base !const_counter
+
+(* Capabilities enabled by interactive hints.  Automatic proof runs with
+   both disabled; each hint in the list passed to [prove_vc] switches one
+   on, and a VC that only proves with capabilities enabled is counted as
+   needing manual intervention. *)
+type caps = {
+  c_instantiate : bool;  (** instantiate quantified hypotheses at goal indices *)
+  c_induction : bool;    (** range-split quantified goals / case-split stores *)
+}
+
+let no_caps = { c_instantiate = false; c_induction = false }
+
+(* instantiate quantified hypotheses at index terms appearing in the goal;
+   instances carry their range guard as an implication *)
+let instantiate_hyps hyps goal =
+  let index_terms = ref [] in
+  Formula.iter
+    (fun t ->
+      match t with
+      | App (Select, [ _; i ]) -> index_terms := i :: !index_terms
+      | Var _ -> index_terms := t :: !index_terms
+      | _ -> ())
+    goal;
+  let index_terms = List.sort_uniq compare !index_terms in
+  List.concat_map
+    (fun h ->
+      match h with
+      | Forall (x, lo, hi, body) ->
+          h
+          :: List.map
+               (fun i ->
+                 Simplify.simplify
+                   (App
+                      ( Implies,
+                        [ App (And, [ App (Le, [ lo; i ]); App (Le, [ i; hi ]) ]);
+                          Formula.subst x i body ] )))
+               index_terms
+      | _ -> [ h ])
+    hyps
+
+(* range-split: forall x in lo .. hi => P  into
+   hi < lo \/ ((forall x in lo .. hi-1 => P) /\ P[hi]) *)
+let split_last_index goal =
+  match goal with
+  | Forall (x, lo, hi, body) ->
+      let prefix = Forall (x, lo, App (Sub, [ hi; Int 1 ]), body) in
+      let last = Formula.subst x hi body in
+      Some (App (Or, [ App (Lt, [ hi; lo ]); App (And, [ prefix; last ]) ]))
+  | _ -> None
+
+(* first unresolved select-over-store node, for case splitting *)
+let find_store_conflict goal =
+  let found = ref None in
+  Formula.iter
+    (fun t ->
+      match t with
+      | App (Select, [ App (Store, [ _; i; _ ]); j ]) when !found = None && i <> j ->
+          found := Some (i, j)
+      | _ -> ())
+    goal;
+  !found
+
+let rec prove_goal cfg caps depth hyps goal : outcome =
+  incr steps;
+  if !steps > cfg.max_steps then Unknown "step budget exhausted"
+  else if depth <= 0 then Unknown "depth budget exhausted"
+  else
+    let goal = Simplify.simplify goal in
+    match goal with
+    | Bool true -> Proved
+    | Bool false -> Unknown "goal is false"
+    | App (Implies, [ a; b ]) ->
+        prove_goal cfg caps depth (Simplify.flatten_chain And (Simplify.simplify a) @ hyps) b
+    | App (Or, [ a; b ]) -> (
+        match prove_goal cfg caps (depth - 1) hyps a with
+        | Proved -> Proved
+        | Unknown _ -> (
+            let not_a = Simplify.simplify (App (Not, [ a ])) in
+            match prove_goal cfg caps (depth - 1) (not_a :: hyps) b with
+            | Proved -> Proved
+            | Unknown r -> Unknown r))
+    | Forall (x, lo, hi, body) -> (
+        (* resolved-under-binder form may match a hypothesis directly *)
+        let reduced = Simplify.simplify (reduce_selects hyps goal) in
+        if List.mem reduced hyps || reduced = Bool true then Proved
+        else
+          let split =
+            if caps.c_induction then
+              match split_last_index reduced with
+              | Some g -> prove_goal cfg caps (depth - 1) hyps g
+              | None -> Unknown "no split"
+            else Unknown "induction not enabled"
+          in
+          match split with
+          | Proved -> Proved
+          | Unknown _ ->
+              (* intro a fresh constant for the bound variable *)
+              let c = fresh_const x in
+              let hyps' = App (Ge, [ Var c; lo ]) :: App (Le, [ Var c; hi ]) :: hyps in
+              prove_goal cfg caps (depth - 1) hyps' (Formula.subst x (Var c) body))
+    | _ -> (
+        match split_conjuncts goal with
+        | [ _ ] -> prove_atomic cfg caps depth hyps goal
+        | parts ->
+            let rec all = function
+              | [] -> Proved
+              | p :: rest -> (
+                  match prove_goal cfg caps depth hyps p with
+                  | Proved -> all rest
+                  | Unknown r -> Unknown r)
+            in
+            all parts)
+
+and prove_atomic cfg caps depth hyps goal : outcome =
+  (* 1. syntactic entailment *)
+  if List.mem goal hyps then Proved
+  else
+    (* 2. equational rewriting: variable equations, then function-contract
+       equations, then arithmetic-aware select/store resolution *)
+    let goal' = Simplify.simplify (rewrite_with_equalities hyps goal) in
+    if goal' = Bool true || List.mem goal' hyps then Proved
+    else
+      let hyps =
+        if goal' <> goal then
+          List.map (fun h -> Simplify.simplify (rewrite_with_equalities hyps h)) hyps
+        else hyps
+      in
+      let goal' = Simplify.simplify (rewrite_with_uf_equations hyps goal') in
+      if goal' = Bool true || List.mem goal' hyps then Proved
+      else
+        let goal' = Simplify.simplify (reduce_selects hyps goal') in
+        let hyps = List.map (fun h -> Simplify.simplify (reduce_selects hyps h)) hyps in
+        if goal' = Bool true || List.mem goal' hyps then Proved
+        else if goal' = Bool false then Unknown "goal is false"
+        else
+          (* 3. ground evaluation *)
+          match eval_ground_bool cfg goal' with
+          | Some true -> Proved
+          | Some false -> Unknown "goal evaluates to false"
+          | None -> (
+              (* 4. linear arithmetic: refute hyps /\ not goal *)
+              let decided =
+                match negation_constraints goal' with
+                | Some neg ->
+                    let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+                    let cs = cone_of_influence ~seed:neg lin_hyps in
+                    fm_unsat (List.length (vars_of_constrs cs) + 8) cs
+                | None -> (
+                    match goal' with
+                    | App (Eq, _) -> fm_implies hyps goal'
+                    | _ -> false)
+              in
+              if decided then Proved
+              else
+                (* 5. capability: instantiate quantified hypotheses *)
+                let after_inst =
+                  if caps.c_instantiate && List.exists (function Forall _ -> true | _ -> false) hyps
+                  then
+                    let hyps' = discharge_guards cfg caps depth (instantiate_hyps hyps goal') in
+                    if hyps' <> hyps then
+                      prove_with_hyps cfg caps (depth - 1) hyps' goal'
+                    else Unknown "nothing to instantiate"
+                  else Unknown "instantiation not enabled"
+                in
+                match after_inst with
+                | Proved -> Proved
+                | Unknown _ -> (
+                    (* 6. capability: case-split an unresolved store index *)
+                    let after_store =
+                      if caps.c_induction then
+                        match find_store_conflict goal' with
+                        | Some (i, j) -> store_case_split cfg caps depth hyps goal' i j
+                        | None -> Unknown "no store conflict"
+                      else Unknown "store split not enabled"
+                    in
+                    match after_store with
+                    | Proved -> Proved
+                    | Unknown _ -> case_split cfg caps depth hyps goal'))
+
+and prove_with_hyps cfg caps depth hyps goal =
+  (* retry the cheap stages with enriched hypotheses *)
+  if List.mem goal hyps then Proved
+  else
+    let goal' = Simplify.simplify (rewrite_with_equalities hyps goal) in
+    let goal' = Simplify.simplify (reduce_selects hyps goal') in
+    if goal' = Bool true || List.mem goal' hyps then Proved
+    else
+      let lin_ok =
+        match negation_constraints goal' with
+        | Some neg ->
+            let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+            let cs = cone_of_influence ~seed:neg lin_hyps in
+            fm_unsat (List.length (vars_of_constrs cs) + 8) cs
+        | None -> ( match goal' with App (Eq, _) -> fm_implies hyps goal' | _ -> false)
+      in
+      if lin_ok then Proved else case_split cfg caps depth hyps goal'
+
+and store_case_split cfg caps depth hyps goal i j =
+  let branches =
+    [ App (Eq, [ i; j ]); App (Lt, [ i; j ]); App (Gt, [ i; j ]) ]
+  in
+  let rec all = function
+    | [] -> Proved
+    | br :: rest -> (
+        let hyps' = br :: hyps in
+        (* skip infeasible branches *)
+        let infeasible =
+          let lin = List.concat (List.filter_map constraints_of_formula hyps') in
+          lin <> [] && fm_unsat 24 lin
+        in
+        if infeasible then all rest
+        else
+          match prove_goal cfg caps (depth - 1) hyps' goal with
+          | Proved -> all rest
+          | Unknown r -> Unknown r)
+  in
+  all branches
+
+and discharge_guards cfg _caps depth hyps =
+  List.map
+    (fun h ->
+      match h with
+      | App (Implies, [ guard; body ]) -> (
+          match
+            prove_goal cfg no_caps (depth - 1)
+              (List.filter (fun x -> x <> h) hyps)
+              guard
+          with
+          | Proved -> body
+          | Unknown _ -> h)
+      | h -> h)
+    hyps
+
+and case_split cfg caps depth hyps goal : outcome =
+  (* bounded enumeration of a range-constrained free variable: variables of
+     the goal first, then variables its hypotheses depend on (a bound like
+     [r <= (nr - 10) / 2] only becomes usable once nr is concrete) *)
+  let goal_vars = free_vars goal in
+  let hyp_vars =
+    List.concat_map
+      (fun h ->
+        let vs = free_vars h in
+        if List.exists (fun v -> List.mem v goal_vars) vs then vs else [])
+      hyps
+  in
+  let candidates = goal_vars @ List.filter (fun v -> not (List.mem v goal_vars)) hyp_vars in
+  (* hypothesis-only variables get a tighter width cap: they are a fallback
+     (e.g. nk making a division concrete), not a primary search dimension *)
+  let width_cap x = if List.mem x goal_vars then cfg.max_split else 16 in
+  let contradictory = ref false in
+  let pick =
+    List.find_map
+      (fun x ->
+        match bounds_of hyps x with
+        | Some (lo, hi) when hi < lo ->
+            (* empty range: the hypotheses are contradictory *)
+            contradictory := true;
+            None
+        | Some (lo, hi) when hi - lo < width_cap x -> Some (x, lo, hi)
+        | _ -> None)
+      candidates
+  in
+  if !contradictory then Proved
+  else
+  match pick with
+  | None ->
+      (* last resort: contradictory linear hypotheses prove anything
+         (infeasible symbolic path, e.g. the empty-loop fork) *)
+      let lin = List.concat (List.filter_map constraints_of_formula hyps) in
+      if lin <> [] && fm_unsat 24 lin then Proved
+      else Unknown (Printf.sprintf "residual goal: %s" (to_string goal))
+  | Some (x, lo, hi) ->
+      let rec all i =
+        if i > hi then Proved
+        else
+          let inst h = Simplify.simplify (Formula.subst x (Int i) h) in
+          let hyps' = List.map inst hyps in
+          if List.mem (Bool false) hyps' then all (i + 1) (* infeasible case *)
+          else
+            match prove_goal cfg caps (depth - 1) hyps' (Formula.subst x (Int i) goal) with
+            | Proved -> all (i + 1)
+            | Unknown r -> Unknown r
+      in
+      all lo
+
+(* ------------------------------------------------------------------ *)
+(* Hints (interactive steps)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let apply_unfold name formals body t =
+  Formula.map
+    (fun t ->
+      match t with
+      | App (Uf n, args) when String.equal n name && List.length args = List.length formals ->
+          List.fold_left2 (fun acc x v -> Formula.subst x v acc) body formals args
+      | t -> t)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type proof_result = {
+  pr_vc : vc;
+  pr_outcome : outcome;
+  pr_hints_used : int;
+  pr_time : float;
+}
+
+let max_depth = 18
+
+let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
+  steps := 0;
+  let t0 = Unix.gettimeofday () in
+  let vc = Simplify.simplify_vc vc in
+  (* unfold hints are structural rewrites, applied before proof *)
+  let unfolds =
+    List.filter_map (function Hint_unfold (n, fs, b) -> Some (n, fs, b) | _ -> None) hints
+  in
+  let apply_unfolds t =
+    List.fold_left (fun t (n, fs, b) -> apply_unfold n fs b t) t unfolds
+  in
+  (* capability ladder: automatic first, then one more capability enabled
+     at each rung *)
+  let enablers =
+    List.filter_map
+      (fun h ->
+        match h with
+        | Hint_apply_hyp -> Some (fun c -> { c with c_instantiate = true })
+        | Hint_induction -> Some (fun c -> { c with c_induction = true })
+        | Hint_unfold _ -> None)
+      hints
+  in
+  let ladder =
+    let _, rungs =
+      List.fold_left
+        (fun (c, acc) f ->
+          let c' = f c in
+          (c', c' :: acc))
+        (no_caps, []) enablers
+    in
+    no_caps :: List.rev rungs
+  in
+  let with_unfold_step = unfolds <> [] in
+  let hyps0 = List.map apply_unfolds vc.vc_hyps in
+  let goal0 = apply_unfolds vc.vc_goal in
+  let rec try_ladder used = function
+    | [] -> (Unknown "all capability levels exhausted", used)
+    | caps :: rest -> (
+        steps := 0;
+        match prove_goal cfg caps max_depth hyps0 goal0 with
+        | Proved -> (Proved, used + if with_unfold_step then 1 else 0)
+        | Unknown r -> (
+            match rest with
+            | [] -> (Unknown r, used)
+            | _ -> try_ladder (used + 1) rest))
+  in
+  let outcome, used = try_ladder 0 ladder in
+  { pr_vc = vc; pr_outcome = outcome; pr_hints_used = used; pr_time = Unix.gettimeofday () -. t0 }
+
+let is_proved r = match r.pr_outcome with Proved -> true | Unknown _ -> false

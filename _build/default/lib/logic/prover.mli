@@ -1,0 +1,47 @@
+(** Automatic discharger for verification conditions — the stand-in for the
+    SPARK proof checker, with the paper's "straightforward manual
+    interventions" modelled as explicit hint capabilities so automation can
+    be measured. *)
+
+type outcome =
+  | Proved
+  | Unknown of string  (** reason / residual goal *)
+
+(** Interactive steps (§6.2.3): each hint enables one prover capability. *)
+type hint =
+  | Hint_induction
+      (** split the last index off quantified goals and case-split
+          unresolved stores — "induction on loop invariants" *)
+  | Hint_apply_hyp
+      (** instantiate quantified hypotheses at goal index terms —
+          "application of preconditions" *)
+  | Hint_unfold of string * string list * Formula.t
+      (** function name, formals, defining body: definitional rewriting *)
+
+type config = {
+  interp : (string -> int list -> int option) option;
+      (** evaluate a program function on ground integer arguments *)
+  max_split : int;    (** widest range eligible for case splitting *)
+  max_steps : int;    (** proof-search budget *)
+}
+
+val default_config : config
+
+val eval_ground : config -> Formula.t -> int option
+(** Ground integer evaluation (consults [interp] for program functions). *)
+
+val eval_ground_bool : config -> Formula.t -> bool option
+
+type proof_result = {
+  pr_vc : Formula.vc;
+  pr_outcome : outcome;
+  pr_hints_used : int;   (** 0 = fully automatic *)
+  pr_time : float;
+}
+
+val prove_vc : ?cfg:config -> ?hints:hint list -> Formula.vc -> proof_result
+(** Try automatically first; each listed hint then enables one more
+    capability (a capability ladder), so [pr_hints_used] counts the
+    interactive steps a VC needed. *)
+
+val is_proved : proof_result -> bool

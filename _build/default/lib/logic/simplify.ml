@@ -1,0 +1,278 @@
+(* Formula simplifier — the stand-in for the SPARK Simplifier.
+
+   The paper measures both generated VC size and simplified VC size
+   (Fig. 2(d)/(e)); this module defines "simplified".  It performs constant
+   folding, boolean and comparison reduction, linear-arithmetic
+   normalisation, McCarthy select/store reduction, xor-chain cancellation,
+   and bounded quantifier expansion. *)
+
+open Formula
+
+(* ---------------- linear forms ---------------- *)
+
+(* A linear form is a constant plus atom*coefficient products, where an atom
+   is any non-arithmetic subterm.  Only used over numeric terms. *)
+
+module Lin = struct
+  type t = { const : int; atoms : (Formula.t * int) list }
+
+  let of_const n = { const = n; atoms = [] }
+  let of_atom a = { const = 0; atoms = [ (a, 1) ] }
+
+  let add a b =
+    let atoms =
+      List.fold_left
+        (fun acc (t, c) ->
+          match List.assoc_opt t acc with
+          | Some c' -> (t, c + c') :: List.remove_assoc t acc
+          | None -> (t, c) :: acc)
+        a.atoms b.atoms
+    in
+    { const = a.const + b.const; atoms = List.filter (fun (_, c) -> c <> 0) atoms }
+
+  let scale k a =
+    if k = 0 then of_const 0
+    else { const = k * a.const; atoms = List.map (fun (t, c) -> (t, k * c)) a.atoms }
+
+  let neg = scale (-1)
+  let sub a b = add a (neg b)
+  let is_const a = a.atoms = []
+
+  (* canonical term rebuild: atoms sorted for deterministic output *)
+  let to_term a =
+    let atoms = List.sort compare a.atoms in
+    let term_of (t, c) =
+      if c = 1 then t
+      else if c = -1 then App (Neg, [ t ])
+      else App (Mul, [ Int c; t ])
+    in
+    match (atoms, a.const) with
+    | [], n -> Int n
+    | first :: rest, n ->
+        let base = List.fold_left (fun acc at -> App (Add, [ acc; term_of at ])) (term_of first) rest in
+        if n = 0 then base
+        else if n > 0 then App (Add, [ base; Int n ])
+        else App (Sub, [ base; Int (-n) ])
+end
+
+(* Attempt to view a term as a linear form.  Non-arithmetic heads become
+   atoms; [None] is returned for terms that are clearly non-numeric
+   (booleans, stores), so comparisons over them are left alone. *)
+let rec linearize t : Lin.t option =
+  match t with
+  | Int n -> Some (Lin.of_const n)
+  | Bool _ -> None
+  | App (Add, [ a; b ]) -> lin2 a b Lin.add
+  | App (Sub, [ a; b ]) -> lin2 a b Lin.sub
+  | App (Neg, [ a ]) -> Option.map Lin.neg (linearize a)
+  | App (Mul, [ Int k; b ]) -> Option.map (Lin.scale k) (linearize b)
+  | App (Mul, [ a; Int k ]) -> Option.map (Lin.scale k) (linearize a)
+  | App (Mul, _) | App (Div, _) | App (Mod_op, _) -> Some (Lin.of_atom t)
+  | App ((Eq | Ne | Lt | Le | Gt | Ge | And | Or | Not | Implies), _) -> None
+  | App (Store, _) -> None
+  | Var _ | App ((Select | Uf _ | Wrap _ | Band _ | Bor _ | Bxor _ | Bnot _ | Shl _ | Shr _), _) ->
+      Some (Lin.of_atom t)
+  | App (_, _) -> Some (Lin.of_atom t)
+  | Ite _ -> Some (Lin.of_atom t)
+  | Forall _ | Exists _ -> None
+
+and lin2 a b f =
+  match (linearize a, linearize b) with
+  | Some la, Some lb -> Some (f la lb)
+  | _ -> None
+
+(** The canonical difference a - b as a linear form, when both numeric. *)
+let difference a b =
+  match (linearize a, linearize b) with
+  | Some la, Some lb -> Some (Lin.sub la lb)
+  | _ -> None
+
+(* ---------------- xor / and / or chains ---------------- *)
+
+let rec flatten_chain op t =
+  match t with
+  | App (o, [ a; b ]) when o = op -> flatten_chain op a @ flatten_chain op b
+  | _ -> [ t ]
+
+(* xor chains: sort operands, cancel equal pairs, drop zeros *)
+let rebuild_xor m operands =
+  let sorted = List.sort compare operands in
+  let rec cancel = function
+    | a :: b :: rest when a = b -> cancel rest
+    | a :: rest -> a :: cancel rest
+    | [] -> []
+  in
+  let remaining = cancel sorted |> List.filter (fun t -> t <> Int 0) in
+  match remaining with
+  | [] -> Int 0
+  | first :: rest ->
+      List.fold_left (fun acc t -> App (Bxor m, [ acc; t ])) first rest
+
+(* ---------------- one bottom-up simplification pass ---------------- *)
+
+let expand_limit = 16
+
+let wrap_int m n = if m <= 0 then n else ((n mod m) + m) mod m
+
+(* Is this term certainly within [0, m)?  Conservative syntactic check used
+   to drop redundant Wrap nodes. *)
+let rec in_range m t =
+  match t with
+  | Int n -> n >= 0 && n < m
+  | App (Wrap m', [ _ ]) -> m' = m
+  | App ((Band m' | Bor m' | Bxor m' | Bnot m' | Shl m' | Shr m'), _) -> m' = m && m' > 0
+  | Ite (_, a, b) -> in_range m a && in_range m b
+  | _ -> false
+
+let step t =
+  match t with
+  (* ---- constant folding: arithmetic ---- *)
+  | App (Add, [ Int a; Int b ]) -> Int (a + b)
+  | App (Sub, [ Int a; Int b ]) -> Int (a - b)
+  | App (Mul, [ Int a; Int b ]) -> Int (a * b)
+  | App (Div, [ Int a; Int b ]) when b <> 0 -> Int (a / b)
+  | App (Mod_op, [ Int a; Int b ]) when b <> 0 -> Int (wrap_int (abs b) a)
+  | App (Neg, [ Int a ]) -> Int (-a)
+  | App (Add, [ a; Int 0 ]) | App (Add, [ Int 0; a ]) -> a
+  | App (Sub, [ a; Int 0 ]) -> a
+  | App (Mul, [ a; Int 1 ]) | App (Mul, [ Int 1; a ]) -> a
+  | App (Mul, [ _; Int 0 ]) | App (Mul, [ Int 0; _ ]) -> Int 0
+  (* canonical linear form for remaining additive terms, e.g. (i+1)-1 = i *)
+  | App ((Add | Sub | Neg), _) as t -> (
+      match linearize t with
+      | Some l ->
+          let t' = Lin.to_term l in
+          if t' = t then t else t'
+      | None -> t)
+  (* ---- wrap ---- *)
+  | App (Wrap m, [ Int n ]) -> Int (wrap_int m n)
+  | App (Wrap m, [ a ]) when in_range m a -> a
+  (* ---- bit operations (operands normalised into the modulus first, so
+     folding agrees with ground evaluation on negative literals) ---- *)
+  | App (Band m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a land wrap_int m b))
+  | App (Bor m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a lor wrap_int m b))
+  | App (Bxor m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a lxor wrap_int m b))
+  | App (Bnot m, [ Int a ]) when m > 0 -> Int (m - 1 - wrap_int m a)
+  | App (Shl m, [ Int a; Int k ]) when k >= 0 && k < 62 -> Int (wrap_int m (wrap_int m a lsl k))
+  | App (Shr m, [ Int a; Int k ]) when k >= 0 && k < 62 -> Int (wrap_int m (wrap_int m a lsr k))
+  | App (Bxor m, [ _; _ ]) as t -> rebuild_xor m (flatten_chain (Bxor m) t)
+  | App (Band _, [ a; b ]) when a = b -> a
+  | App (Bor _, [ a; b ]) when a = b -> a
+  | App (Bor _, [ a; Int 0 ]) | App (Bor _, [ Int 0; a ]) -> a
+  (* ---- booleans ---- *)
+  | App (And, [ Bool true; a ]) | App (And, [ a; Bool true ]) -> a
+  | App (And, [ Bool false; _ ]) | App (And, [ _; Bool false ]) -> fls
+  | App (And, [ a; b ]) when a = b -> a
+  | App (Or, [ Bool false; a ]) | App (Or, [ a; Bool false ]) -> a
+  | App (Or, [ Bool true; _ ]) | App (Or, [ _; Bool true ]) -> tru
+  | App (Or, [ a; b ]) when a = b -> a
+  | App (Not, [ Bool b ]) -> Bool (not b)
+  | App (Not, [ App (Not, [ a ]) ]) -> a
+  | App (Not, [ App (Eq, [ a; b ]) ]) -> App (Ne, [ a; b ])
+  | App (Not, [ App (Ne, [ a; b ]) ]) -> App (Eq, [ a; b ])
+  | App (Not, [ App (Lt, [ a; b ]) ]) -> App (Ge, [ a; b ])
+  | App (Not, [ App (Le, [ a; b ]) ]) -> App (Gt, [ a; b ])
+  | App (Not, [ App (Gt, [ a; b ]) ]) -> App (Le, [ a; b ])
+  | App (Not, [ App (Ge, [ a; b ]) ]) -> App (Lt, [ a; b ])
+  | App (Implies, [ Bool true; a ]) -> a
+  | App (Implies, [ Bool false; _ ]) -> tru
+  | App (Implies, [ _; Bool true ]) -> tru
+  | App (Implies, [ a; Bool false ]) -> App (Not, [ a ])
+  | App (Implies, [ a; b ]) when a = b -> tru
+  (* ---- ite ---- *)
+  | Ite (Bool true, a, _) -> a
+  | Ite (Bool false, _, b) -> b
+  | Ite (_, a, b) when a = b -> a
+  (* ---- select / store ---- *)
+  | App (Select, [ App (Arrlit lo, elems); Int i ])
+    when i >= lo && i - lo < List.length elems ->
+      List.nth elems (i - lo)
+  | App (Select, [ App (Store, [ arr; i; v ]); j ]) -> (
+      if i = j then v
+      else
+        match difference i j with
+        | Some d when Lin.is_const d ->
+            if d.Lin.const = 0 then v else App (Select, [ arr; j ])
+        | _ -> t)
+  | App (Store, [ App (Store, [ arr; i; _ ]); j; w ]) when i = j ->
+      App (Store, [ arr; j; w ])
+  (* ---- wrapped values are within [0, m) by construction ---- *)
+  | App (Ge, [ App (Wrap _, _); Int n ]) when n <= 0 -> tru
+  | App (Lt, [ App (Wrap m, _); Int n ]) when n >= m -> tru
+  | App (Le, [ App (Wrap m, _); Int n ]) when n >= m - 1 -> tru
+  (* ---- comparisons ---- *)
+  | App (Eq, [ a; b ]) when a = b -> tru
+  | App (Ne, [ a; b ]) when a = b -> fls
+  | App (Le, [ a; b ]) when a = b -> tru
+  | App (Ge, [ a; b ]) when a = b -> tru
+  | App (Lt, [ a; b ]) when a = b -> fls
+  | App (Gt, [ a; b ]) when a = b -> fls
+  | App ((Eq | Ne | Lt | Le | Gt | Ge) as op, [ a; b ]) -> (
+      match difference a b with
+      | Some d when Lin.is_const d ->
+          let c = d.Lin.const in
+          Bool
+            (match op with
+            | Eq -> c = 0
+            | Ne -> c <> 0
+            | Lt -> c < 0
+            | Le -> c <= 0
+            | Gt -> c > 0
+            | Ge -> c >= 0
+            | _ -> assert false)
+      | Some d -> (
+          (* single atom with unit coefficient: present as "atom op const" *)
+          match d.Lin.atoms with
+          | [ (atom, 1) ] ->
+              let rhs = Int (-d.Lin.const) in
+              if App (op, [ atom; rhs ]) = t then t else App (op, [ atom; rhs ])
+          | [ (atom, -1) ] ->
+              let flipped =
+                match op with
+                | Eq -> Eq | Ne -> Ne
+                | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le
+                | _ -> assert false
+              in
+              let rhs = Int d.Lin.const in
+              if App (flipped, [ atom; rhs ]) = t then t
+              else App (flipped, [ atom; rhs ])
+          | _ -> t)
+      | None -> t)
+  (* ---- quantifiers ---- *)
+  | Forall (x, Int lo, Int hi, body) ->
+      if hi < lo then tru
+      else if hi - lo + 1 <= expand_limit then
+        conj (List.init (hi - lo + 1) (fun k -> Formula.subst x (Int (lo + k)) body))
+      else t
+  | Exists (x, Int lo, Int hi, body) ->
+      if hi < lo then fls
+      else if hi - lo + 1 <= expand_limit then
+        let cases = List.init (hi - lo + 1) (fun k -> Formula.subst x (Int (lo + k)) body) in
+        List.fold_left (fun acc c -> App (Or, [ acc; c ])) fls cases
+      else t
+  | Forall (_, _, _, Bool true) -> tru
+  | Exists (_, _, _, Bool false) -> fls
+  | t -> t
+
+let max_passes = 12
+
+let simplify t =
+  let rec fixpoint n t =
+    if n >= max_passes then t
+    else
+      let t' = Formula.map step t in
+      if t' = t then t else fixpoint (n + 1) t'
+  in
+  fixpoint 0 t
+
+(** Simplify a VC: hypotheses and goal; drops trivially-true hypotheses and
+    detects trivially-true goals early. *)
+let simplify_vc (vc : vc) =
+  let hyps =
+    vc.vc_hyps |> List.map simplify
+    |> List.concat_map (fun h -> flatten_chain And h)
+    |> List.filter (fun h -> h <> Bool true)
+  in
+  let goal = simplify vc.vc_goal in
+  if List.exists (fun h -> h = Bool false) hyps then { vc with vc_hyps = []; vc_goal = tru }
+  else { vc with vc_hyps = hyps; vc_goal = goal }

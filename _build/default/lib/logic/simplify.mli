@@ -1,0 +1,42 @@
+(** Formula simplifier — the stand-in for the SPARK Simplifier.
+
+    Constant folding, boolean/comparison reduction, canonical linear forms,
+    McCarthy select/store reduction, xor-chain cancellation, and bounded
+    quantifier expansion.  Fig. 2(e)'s "simplified VC size" is defined by
+    this module's output. *)
+
+(** Canonical linear forms over opaque atoms. *)
+module Lin : sig
+  type t = { const : int; atoms : (Formula.t * int) list }
+
+  val of_const : int -> t
+  val of_atom : Formula.t -> t
+  val add : t -> t -> t
+  val scale : int -> t -> t
+  val neg : t -> t
+  val sub : t -> t -> t
+  val is_const : t -> bool
+  val to_term : t -> Formula.t
+end
+
+val linearize : Formula.t -> Lin.t option
+(** View a numeric term as a linear form; [None] for boolean/array terms. *)
+
+val difference : Formula.t -> Formula.t -> Lin.t option
+(** Canonical [a - b], when both sides are numeric. *)
+
+val flatten_chain : Formula.op -> Formula.t -> Formula.t list
+(** Operands of a nested chain of one associative operator. *)
+
+val wrap_int : int -> int -> int
+(** [wrap_int m n] reduces [n] into [0, m) ([n] itself when [m <= 0]). *)
+
+val expand_limit : int
+(** Widest constant quantifier range expanded into a conjunction. *)
+
+val simplify : Formula.t -> Formula.t
+(** Bottom-up rewriting to a bounded fixpoint. *)
+
+val simplify_vc : Formula.vc -> Formula.vc
+(** Simplify hypotheses (flattening conjunctions, dropping trivial ones)
+    and goal; a contradictory hypothesis set yields a [true] goal. *)

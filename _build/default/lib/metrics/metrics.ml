@@ -1,0 +1,182 @@
+(* Source-code metrics over MiniSpark programs — the stand-in for the GNAT
+   metric tool plus the paper's own analyzer (§5.2).
+
+   The hybrid presented to the user comprises element metrics, complexity
+   metrics, and (from Vcgen / the spec matcher, reported elsewhere) VC
+   metrics and specification-structure metrics. *)
+
+open Minispark
+
+type element_metrics = {
+  em_lines : int;               (** LoC of the canonical printed form *)
+  em_logical_sloc : int;        (** statements + declarations *)
+  em_declarations : int;
+  em_statements : int;
+  em_subprograms : int;
+  em_avg_subprogram_size : float;  (** statements per subprogram *)
+  em_max_subprogram_size : int;
+  em_construct_nesting : int;   (** deepest if/loop nesting *)
+}
+
+type complexity_metrics = {
+  cm_avg_cyclomatic : float;    (** average McCabe over subprograms *)
+  cm_max_cyclomatic : int;
+  cm_avg_essential : float;     (** cyclomatic of the structure-reduced graph *)
+  cm_statement_complexity : float;  (** decisions per statement *)
+  cm_short_circuit : int;       (** and-then / or-else operator count *)
+  cm_max_loop_nesting : int;
+}
+
+type t = {
+  element : element_metrics;
+  complexity : complexity_metrics;
+}
+
+(* ---------------- helpers ---------------- *)
+
+let rec stmt_nesting (s : Ast.stmt) =
+  match s with
+  | Ast.Null | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return _ | Ast.Assert _ -> 0
+  | Ast.If (branches, els) ->
+      let depth body = List.fold_left (fun acc s -> max acc (stmt_nesting s)) 0 body in
+      1 + List.fold_left (fun acc (_, body) -> max acc (depth body)) (depth els) branches
+  | Ast.For fl -> 1 + List.fold_left (fun acc s -> max acc (stmt_nesting s)) 0 fl.Ast.for_body
+  | Ast.While wl -> 1 + List.fold_left (fun acc s -> max acc (stmt_nesting s)) 0 wl.Ast.while_body
+
+let rec loop_nesting (s : Ast.stmt) =
+  match s with
+  | Ast.Null | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return _ | Ast.Assert _ -> 0
+  | Ast.If (branches, els) ->
+      let depth body = List.fold_left (fun acc s -> max acc (loop_nesting s)) 0 body in
+      List.fold_left (fun acc (_, body) -> max acc (depth body)) (depth els) branches
+  | Ast.For fl -> 1 + List.fold_left (fun acc s -> max acc (loop_nesting s)) 0 fl.Ast.for_body
+  | Ast.While wl -> 1 + List.fold_left (fun acc s -> max acc (loop_nesting s)) 0 wl.Ast.while_body
+
+(* decision points for McCabe: each if/elsif guard, each loop *)
+let decisions stmts =
+  let n = ref 0 in
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.If (branches, _) -> n := !n + List.length branches
+      | Ast.For _ | Ast.While _ -> incr n
+      | Ast.Null | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return _ | Ast.Assert _ -> ())
+    stmts;
+  !n
+
+let short_circuits stmts =
+  let n = ref 0 in
+  Ast.iter_stmts
+    (fun s ->
+      Ast.iter_own_exprs
+        (fun e ->
+          Ast.iter_expr
+            (function
+              | Ast.Binop ((Ast.And_then | Ast.Or_else), _, _) -> incr n
+              | _ -> ())
+            e)
+        s)
+    stmts;
+  !n
+
+let cyclomatic (sub : Ast.subprogram) = 1 + decisions sub.Ast.sub_body
+
+(* Essential complexity: cyclomatic complexity after collapsing
+   single-entry single-exit regions.  In MiniSpark the only unstructured
+   construct is a [return] that is not the final statement of the body, so
+   the reduced graph keeps one decision per branch construct that contains
+   an early return. *)
+let essential (sub : Ast.subprogram) =
+  let contains_return body =
+    let found = ref false in
+    Ast.iter_stmts (function Ast.Return _ -> found := true | _ -> ()) body;
+    !found
+  in
+  let early_return_regions = ref 0 in
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.If (branches, els) ->
+          if List.exists (fun (_, body) -> contains_return body) branches
+             || contains_return els
+          then incr early_return_regions
+      | Ast.For fl -> if contains_return fl.Ast.for_body then incr early_return_regions
+      | Ast.While wl -> if contains_return wl.Ast.while_body then incr early_return_regions
+      | Ast.Null | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return _ | Ast.Assert _ -> ())
+    sub.Ast.sub_body;
+  1 + !early_return_regions
+
+(* ---------------- program-level aggregation ---------------- *)
+
+let analyze (program : Ast.program) : t =
+  let subs = Ast.subprograms program in
+  let decls = List.length program.prog_decls in
+  let local_decls =
+    List.fold_left (fun acc s -> acc + List.length s.Ast.sub_locals) 0 subs
+  in
+  let stmt_counts = List.map (fun s -> Ast.stmt_count s.Ast.sub_body) subs in
+  let statements = List.fold_left ( + ) 0 stmt_counts in
+  let n_subs = max 1 (List.length subs) in
+  let cyclomatics = List.map cyclomatic subs in
+  let essentials = List.map essential subs in
+  let total_decisions = List.fold_left (fun acc s -> acc + decisions s.Ast.sub_body) 0 subs in
+  let nesting =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc st -> max acc (stmt_nesting st)) acc s.Ast.sub_body)
+      0 subs
+  in
+  let loop_nest =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc st -> max acc (loop_nesting st)) acc s.Ast.sub_body)
+      0 subs
+  in
+  {
+    element =
+      {
+        em_lines = Pretty.line_count program;
+        em_logical_sloc = statements + decls + local_decls;
+        em_declarations = decls + local_decls;
+        em_statements = statements;
+        em_subprograms = List.length subs;
+        em_avg_subprogram_size = float_of_int statements /. float_of_int n_subs;
+        em_max_subprogram_size = List.fold_left max 0 stmt_counts;
+        em_construct_nesting = nesting;
+      };
+    complexity =
+      {
+        cm_avg_cyclomatic =
+          float_of_int (List.fold_left ( + ) 0 cyclomatics) /. float_of_int n_subs;
+        cm_max_cyclomatic = List.fold_left max 0 cyclomatics;
+        cm_avg_essential =
+          float_of_int (List.fold_left ( + ) 0 essentials) /. float_of_int n_subs;
+        cm_statement_complexity =
+          (if statements = 0 then 0.0
+           else float_of_int total_decisions /. float_of_int statements);
+        cm_short_circuit =
+          List.fold_left (fun acc s -> acc + short_circuits s.Ast.sub_body) 0 subs;
+        cm_max_loop_nesting = loop_nest;
+      };
+  }
+
+let per_sub_cyclomatic program =
+  List.map (fun s -> (s.Ast.sub_name, cyclomatic s)) (Ast.subprograms program)
+
+(* ---------------- reporting ---------------- *)
+
+let pp ppf (m : t) =
+  Fmt.pf ppf
+    "@[<v>lines of code         : %d@,logical SLOC          : %d@,declarations          : \
+     %d@,statements            : %d@,subprograms           : %d@,avg subprogram size   : \
+     %.2f@,max subprogram size   : %d@,construct nesting     : %d@,avg cyclomatic        : \
+     %.2f@,max cyclomatic        : %d@,avg essential         : %.2f@,statement complexity  : \
+     %.3f@,short-circuit ops     : %d@,max loop nesting      : %d@]"
+    m.element.em_lines m.element.em_logical_sloc m.element.em_declarations
+    m.element.em_statements m.element.em_subprograms m.element.em_avg_subprogram_size
+    m.element.em_max_subprogram_size m.element.em_construct_nesting
+    m.complexity.cm_avg_cyclomatic m.complexity.cm_max_cyclomatic
+    m.complexity.cm_avg_essential m.complexity.cm_statement_complexity
+    m.complexity.cm_short_circuit m.complexity.cm_max_loop_nesting
+
+let to_string m = Fmt.str "%a" pp m

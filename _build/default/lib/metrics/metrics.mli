@@ -1,0 +1,41 @@
+(** Source-code metrics over MiniSpark programs — the stand-in for the GNAT
+    metric tool plus the paper's own analyzer (§5.2).  Together with the VC
+    metrics (from {!Vcgen}) and the specification-structure match ratio
+    (from [Specl.Match_ratio]) they form the hybrid presented to the user
+    to guide transformation selection. *)
+
+type element_metrics = {
+  em_lines : int;                  (** LoC of the canonical printed form *)
+  em_logical_sloc : int;           (** statements + declarations *)
+  em_declarations : int;
+  em_statements : int;
+  em_subprograms : int;
+  em_avg_subprogram_size : float;  (** statements per subprogram *)
+  em_max_subprogram_size : int;
+  em_construct_nesting : int;      (** deepest if/loop nesting *)
+}
+
+type complexity_metrics = {
+  cm_avg_cyclomatic : float;       (** average McCabe over subprograms *)
+  cm_max_cyclomatic : int;
+  cm_avg_essential : float;        (** after collapsing structured regions *)
+  cm_statement_complexity : float; (** decisions per statement *)
+  cm_short_circuit : int;          (** and-then / or-else count *)
+  cm_max_loop_nesting : int;
+}
+
+type t = {
+  element : element_metrics;
+  complexity : complexity_metrics;
+}
+
+val analyze : Minispark.Ast.program -> t
+
+val per_sub_cyclomatic : Minispark.Ast.program -> (string * int) list
+(** McCabe cyclomatic complexity per subprogram. *)
+
+val cyclomatic : Minispark.Ast.subprogram -> int
+val essential : Minispark.Ast.subprogram -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

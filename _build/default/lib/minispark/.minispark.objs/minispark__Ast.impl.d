@@ -1,0 +1,1 @@
+lib/minispark/ast.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/minispark/builder.ml: Ast List

@@ -1,0 +1,1 @@
+lib/minispark/builder.mli: Ast

@@ -1,0 +1,1 @@
+lib/minispark/interp.ml: Array Ast Hashtbl List Option Printf Typecheck Value

@@ -1,0 +1,1 @@
+lib/minispark/interp.mli: Ast Typecheck Value

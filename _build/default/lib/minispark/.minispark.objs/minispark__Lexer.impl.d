@@ -1,0 +1,1 @@
+lib/minispark/lexer.ml: Char List Printf String

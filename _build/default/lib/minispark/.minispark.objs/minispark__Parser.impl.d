@@ -1,0 +1,1 @@
+lib/minispark/parser.ml: Array Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/minispark/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/minispark/pretty.ml: Ast Buffer Fmt Format List Option String

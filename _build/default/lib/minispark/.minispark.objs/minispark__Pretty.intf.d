@@ -1,0 +1,1 @@
+lib/minispark/pretty.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/minispark/typecheck.ml: Ast List Option Pretty Printf String

@@ -1,0 +1,1 @@
+lib/minispark/typecheck.mli: Ast

@@ -1,0 +1,1 @@
+lib/minispark/value.ml: Array Bool Printf String

@@ -1,0 +1,1 @@
+lib/minispark/value.mli:

@@ -1,0 +1,47 @@
+(** Big-step interpreter for MiniSpark.
+
+    Annotations ([Assert], loop invariants, pre/post) are not executed —
+    they are comments to Ada — so an annotated program and its bare version
+    have identical dynamic semantics, which the refactoring equivalence
+    checks rely on.  Procedure calls use SPARK copy-in/copy-out passing;
+    arrays are values, so there is no aliasing at runtime. *)
+
+exception Stuck of string
+(** Execution cannot proceed: fuel exhausted, out-of-range index, division
+    by zero, unbound name. *)
+
+type rt
+(** A runtime: a type-checked program with initialised globals and a fuel
+    budget. *)
+
+val default_fuel : int
+
+val make : ?fuel:int -> Typecheck.env -> Ast.program -> rt
+(** Build a runtime; evaluates global constant and variable initialisers.
+    The program must already be type-checked (normalised). *)
+
+val fresh_runtime : ?fuel:int -> Typecheck.env -> Ast.program -> rt
+(** Alias of {!make}. *)
+
+val default_value : Typecheck.env -> Ast.typ -> Value.t
+(** Zero/default value of a type (range types default to their lower
+    bound). *)
+
+val coerce : Typecheck.env -> Ast.typ -> Value.t -> Value.t
+(** Coerce a value to a declared type: wraps plain integers into modular
+    values and fixes array bounds, recursively. *)
+
+val run_function : rt -> string -> Value.t list -> Value.t
+(** Call a function by name.  @raise Stuck on runtime errors. *)
+
+val run_procedure : rt -> string -> Value.t list -> Value.t list
+(** Call a procedure with values for its [in] and [in out] parameters (in
+    declaration order); [out] parameters are synthesised.  Returns the
+    final values of out / in-out parameters, in declaration order. *)
+
+val global_value : rt -> string -> Value.t
+(** Current value of a global object (e.g. a table constant). *)
+
+val eval_expr : rt -> (string * Value.t) list -> Ast.expr -> Value.t
+(** Evaluate an expression under explicit bindings; globals of the program
+    are visible.  Quantifiers are evaluated by enumeration. *)

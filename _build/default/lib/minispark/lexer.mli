@@ -1,0 +1,30 @@
+(** Lexer for MiniSpark concrete syntax (Ada-flavoured).
+
+    A comment starting with [--#] is an annotation marker: the marker is
+    dropped and lexing continues, so SPARK-style annotations surface as
+    ordinary tokens.  A plain [--] comment runs to end of line. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string            (** reserved word, lowercased *)
+  | ANNOT of string         (** annotation keyword after [--#]: pre/post/invariant/assert *)
+  | LPAREN | RPAREN
+  | COMMA | SEMI | COLON
+  | ASSIGN                  (** [:=] *)
+  | ARROW                   (** [=>] *)
+  | DOTDOT                  (** [..] *)
+  | TILDE                   (** [~], 'old' in annotations *)
+  | PLUS | MINUS | STAR | SLASH
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Error of string * int * int
+(** Message, line, column. *)
+
+val tokenize : string -> positioned list
+(** @raise Error on lexical errors.  The result always ends with [EOF]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniSpark.
+
+    The name-application ambiguity ([a (i)] indexing vs [f (x)] call) is
+    resolved by {!Typecheck.check}: the parser emits [Call] for the first
+    argument group and [Index] for subsequent groups. *)
+
+exception Error of string * int * int
+(** Message, line, column. *)
+
+val of_string : string -> Ast.program
+(** Parse a whole program.  @raise Error on syntax errors. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a single expression (used for annotations and transformation
+    parameters).  @raise Error on syntax errors. *)
+
+val stmts_of_string : string -> Ast.stmt list
+(** Parse a statement sequence.  @raise Error on syntax errors. *)

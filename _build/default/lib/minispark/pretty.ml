@@ -1,0 +1,218 @@
+(* Concrete-syntax printer for MiniSpark.  The output is the canonical
+   source form: it round-trips through [Parser], and line-oriented metrics
+   (LoC) are defined over it. *)
+
+open Ast
+
+let keyword_result = "result"
+
+(* Precedence levels, loosest to tightest; used to parenthesise minimally. *)
+let level_or = 1
+let level_and = 2
+let level_xor = 3
+let level_rel = 4
+let level_add = 5
+let level_mul = 6
+let level_unary = 7
+let level_primary = 8
+
+let binop_level = function
+  | Or | Or_else | Bor -> level_or
+  | And | And_then | Band -> level_and
+  | Bxor -> level_xor
+  | Eq | Ne | Lt | Le | Gt | Ge -> level_rel
+  | Add | Sub -> level_add
+  | Mul | Div | Mod -> level_mul
+  | Shl | Shr -> level_primary (* printed as intrinsic calls *)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+  | Eq -> "="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And | Band -> "and"
+  | Or | Bor -> "or"
+  | And_then -> "and then"
+  | Or_else -> "or else"
+  | Bxor -> "xor"
+  | Shl -> "shift_left"
+  | Shr -> "shift_right"
+
+let rec pp_expr_prec prec ppf e =
+  match e with
+  | Bool_lit true -> Fmt.string ppf "true"
+  | Bool_lit false -> Fmt.string ppf "false"
+  | Int_lit n ->
+      if n >= 0 then Fmt.int ppf n
+      else if prec >= level_unary then Fmt.pf ppf "(%d)" n
+      else Fmt.int ppf n
+  | Var x -> Fmt.string ppf x
+  | Old x -> Fmt.pf ppf "%s~" x
+  | Result -> Fmt.string ppf keyword_result
+  | Index (a, i) -> Fmt.pf ppf "%a (%a)" (pp_expr_prec level_primary) a pp_expr i
+  | Unop (Neg, a) ->
+      (* operand printed at primary level: "--" would lex as a comment *)
+      if prec > level_unary then Fmt.pf ppf "(-%a)" (pp_expr_prec level_primary) a
+      else Fmt.pf ppf "-%a" (pp_expr_prec level_primary) a
+  | Unop (Not, a) ->
+      if prec > level_unary then Fmt.pf ppf "(not %a)" (pp_expr_prec level_primary) a
+      else Fmt.pf ppf "not %a" (pp_expr_prec level_primary) a
+  | Binop ((Shl | Shr) as op, a, b) ->
+      Fmt.pf ppf "%s (%a, %a)" (binop_name op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+      let lv = binop_level op in
+      (* relational operators are non-associative in the grammar, so both
+         operands must be printed one level tighter *)
+      let left_lv = if lv = level_rel then lv + 1 else lv in
+      let body ppf () =
+        Fmt.pf ppf "%a %s@ %a" (pp_expr_prec left_lv) a (binop_name op)
+          (pp_expr_prec (lv + 1)) b
+      in
+      if prec > lv then Fmt.pf ppf "@[<hov 2>(%a)@]" body ()
+      else Fmt.pf ppf "@[<hov 2>%a@]" body ()
+  | Call (name, []) -> Fmt.pf ppf "%s ()" name
+  | Call (name, args) ->
+      Fmt.pf ppf "%s (%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | Aggregate es ->
+      Fmt.pf ppf "@[<hov 1>(%a)@]" (Fmt.list ~sep:(Fmt.any ",@ ") pp_expr) es
+  | Quantified (q, i, lo, hi, body) ->
+      let kw = match q with Forall -> "all" | Exists -> "some" in
+      Fmt.pf ppf "(for %s %s in %a .. %a => %a)" kw i pp_expr lo pp_expr hi
+        pp_expr body
+
+and pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_lvalue ppf = function
+  | Lvar x -> Fmt.string ppf x
+  | Lindex (lv, i) -> Fmt.pf ppf "%a (%a)" pp_lvalue lv pp_expr i
+
+let rec pp_typ ppf = function
+  | Tbool -> Fmt.string ppf "boolean"
+  | Tint None -> Fmt.string ppf "integer"
+  | Tint (Some (lo, hi)) -> Fmt.pf ppf "range %d .. %d" lo hi
+  | Tmod m -> Fmt.pf ppf "mod %d" m
+  | Tarray (lo, hi, elt) -> Fmt.pf ppf "array (%d .. %d) of %a" lo hi pp_typ elt
+  | Tnamed n -> Fmt.string ppf n
+
+let indent_str n = String.make (2 * n) ' '
+
+let rec pp_stmt ind ppf stmt =
+  let pad = indent_str ind in
+  match stmt with
+  | Null -> Fmt.pf ppf "%snull;" pad
+  | Assign (lv, e) ->
+      Fmt.pf ppf "%s@[<hov 4>%a :=@ %a;@]" pad pp_lvalue lv pp_expr e
+  | If (branches, els) ->
+      (match branches with
+      | [] -> invalid_arg "Pretty.pp_stmt: If with no branches"
+      | (g, body) :: rest ->
+          Fmt.pf ppf "%sif %a then@\n%a" pad pp_expr g (pp_stmts (ind + 1)) body;
+          List.iter
+            (fun (g, body) ->
+              Fmt.pf ppf "@\n%selsif %a then@\n%a" pad pp_expr g
+                (pp_stmts (ind + 1))
+                body)
+            rest);
+      (match els with
+      | [] -> ()
+      | _ -> Fmt.pf ppf "@\n%selse@\n%a" pad (pp_stmts (ind + 1)) els);
+      Fmt.pf ppf "@\n%send if;" pad
+  | For fl ->
+      Fmt.pf ppf "%sfor %s in %s%a .. %a" pad fl.for_var
+        (if fl.for_reverse then "reverse " else "")
+        pp_expr fl.for_lo pp_expr fl.for_hi;
+      List.iter
+        (fun inv -> Fmt.pf ppf "@\n%s--# invariant %a;" pad pp_expr inv)
+        fl.for_invariants;
+      Fmt.pf ppf "@\n%sloop@\n%a@\n%send loop;" pad
+        (pp_stmts (ind + 1))
+        fl.for_body pad
+  | While wl ->
+      Fmt.pf ppf "%swhile %a" pad pp_expr wl.while_cond;
+      List.iter
+        (fun inv -> Fmt.pf ppf "@\n%s--# invariant %a;" pad pp_expr inv)
+        wl.while_invariants;
+      Fmt.pf ppf "@\n%sloop@\n%a@\n%send loop;" pad
+        (pp_stmts (ind + 1))
+        wl.while_body pad
+  | Call_stmt (name, []) -> Fmt.pf ppf "%s%s;" pad name
+  | Call_stmt (name, args) ->
+      Fmt.pf ppf "%s%s (%a);" pad name (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Assert e -> Fmt.pf ppf "%s--# assert %a;" pad pp_expr e
+
+and pp_stmts ind ppf = function
+  | [] -> Fmt.pf ppf "%snull;" (indent_str ind)
+  | stmts -> Fmt.(list ~sep:(any "@\n") (pp_stmt ind)) ppf stmts
+
+let pp_mode ppf = function
+  | Mode_in -> Fmt.string ppf "in"
+  | Mode_out -> Fmt.string ppf "out"
+  | Mode_in_out -> Fmt.string ppf "in out"
+
+let pp_param ppf p =
+  Fmt.pf ppf "%s : %a %a" p.par_name pp_mode p.par_mode pp_typ p.par_typ
+
+let pp_var_decl ind ppf v =
+  match v.v_init with
+  | None -> Fmt.pf ppf "%s%s : %a;" (indent_str ind) v.v_name pp_typ v.v_typ
+  | Some e ->
+      Fmt.pf ppf "%s%s : %a := %a;" (indent_str ind) v.v_name pp_typ v.v_typ
+        pp_expr e
+
+let pp_subprogram ind ppf s =
+  let pad = indent_str ind in
+  let kind = match s.sub_return with Some _ -> "function" | None -> "procedure" in
+  Fmt.pf ppf "%s%s %s" pad kind s.sub_name;
+  (match s.sub_params with
+  | [] -> ()
+  | ps -> Fmt.pf ppf " (%a)" (Fmt.list ~sep:(Fmt.any "; ") pp_param) ps);
+  (match s.sub_return with
+  | Some t -> Fmt.pf ppf " return %a" pp_typ t
+  | None -> ());
+  Option.iter (fun e -> Fmt.pf ppf "@\n%s--# pre %a;" pad pp_expr e) s.sub_pre;
+  Option.iter (fun e -> Fmt.pf ppf "@\n%s--# post %a;" pad pp_expr e) s.sub_post;
+  Fmt.pf ppf "@\n%sis@\n" pad;
+  List.iter (fun v -> Fmt.pf ppf "%a@\n" (pp_var_decl (ind + 1)) v) s.sub_locals;
+  Fmt.pf ppf "%sbegin@\n%a@\n%send %s;" pad
+    (pp_stmts (ind + 1))
+    s.sub_body pad s.sub_name
+
+let pp_decl ind ppf = function
+  | Dtype (n, t) -> Fmt.pf ppf "%stype %s is %a;" (indent_str ind) n pp_typ t
+  | Dconst c ->
+      Fmt.pf ppf "%s%s : constant %a := %a;" (indent_str ind) c.k_name pp_typ
+        c.k_typ pp_expr c.k_value
+  | Dvar v -> pp_var_decl ind ppf v
+  | Dsub s -> pp_subprogram ind ppf s
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>program %s is@\n@\n%a@\n@\nend %s;@]" p.prog_name
+    Fmt.(list ~sep:(any "@\n@\n") (pp_decl 1))
+    p.prog_decls p.prog_name
+
+let program_to_string p =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 100;
+  pp_program ppf p;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmts_to_string stmts = Fmt.str "@[<v>%a@]" (pp_stmts 0) stmts
+let typ_to_string t = Fmt.str "%a" pp_typ t
+
+(** Source lines of the canonical form — the paper's Fig. 2(a) metric. *)
+let line_count p =
+  let s = program_to_string p in
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

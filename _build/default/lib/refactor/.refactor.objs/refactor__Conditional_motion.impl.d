@@ -1,0 +1,1 @@
+lib/refactor/conditional_motion.ml: Ast List Minispark Printf Transform

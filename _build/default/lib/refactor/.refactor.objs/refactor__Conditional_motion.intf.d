@@ -1,0 +1,1 @@
+lib/refactor/conditional_motion.mli: Transform

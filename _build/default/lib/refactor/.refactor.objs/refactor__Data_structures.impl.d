@@ -1,0 +1,1 @@
+lib/refactor/data_structures.ml: Ast List Minispark Option Pretty Printf String Transform Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/data_structures.mli: Ast Minispark Transform

@@ -1,0 +1,1 @@
+lib/refactor/equivalence.ml: Array Ast Interp List Minispark Option Printf String Typecheck Value

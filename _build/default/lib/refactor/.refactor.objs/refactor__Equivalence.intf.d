@@ -1,0 +1,1 @@
+lib/refactor/equivalence.mli: Ast Minispark Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/history.ml: Ast Equivalence Fmt Hashtbl List Minispark Option Transform Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/history.mli: Ast Fmt Minispark Transform Typecheck

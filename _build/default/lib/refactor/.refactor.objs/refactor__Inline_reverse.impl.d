@@ -1,0 +1,1 @@
+lib/refactor/inline_reverse.ml: Array Ast Fmt Hashtbl List Minispark Option Printf String Transform

@@ -1,0 +1,1 @@
+lib/refactor/inline_reverse.mli: Ast Fmt Minispark Transform

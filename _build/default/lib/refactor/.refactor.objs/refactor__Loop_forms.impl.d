@@ -1,0 +1,1 @@
+lib/refactor/loop_forms.ml: Ast List Minispark Pretty Printf Transform

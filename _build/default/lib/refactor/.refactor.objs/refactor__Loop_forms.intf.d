@@ -1,0 +1,1 @@
+lib/refactor/loop_forms.mli: Minispark Transform

@@ -1,0 +1,1 @@
+lib/refactor/loop_separation.ml: Ast List Minispark Printf String Transform

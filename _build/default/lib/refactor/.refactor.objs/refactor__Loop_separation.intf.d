@@ -1,0 +1,1 @@
+lib/refactor/loop_separation.mli: Transform

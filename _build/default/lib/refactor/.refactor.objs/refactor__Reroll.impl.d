@@ -1,0 +1,1 @@
+lib/refactor/reroll.ml: Ast List Minispark Printf String Transform

@@ -1,0 +1,1 @@
+lib/refactor/reroll.mli: Minispark Transform

@@ -1,0 +1,1 @@
+lib/refactor/rewrite_body.ml: Ast Equivalence List Minispark Option Printf String Transform Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/rewrite_body.mli: Ast Minispark Transform

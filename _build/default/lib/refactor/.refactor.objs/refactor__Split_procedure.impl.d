@@ -1,0 +1,1 @@
+lib/refactor/split_procedure.ml: Ast List Minispark Printf String Transform Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/split_procedure.mli: Transform

@@ -1,0 +1,1 @@
+lib/refactor/storage_adjust.ml: Array Ast List Minispark Option Pretty Printf String Transform

@@ -1,0 +1,1 @@
+lib/refactor/storage_adjust.mli: Ast Minispark Transform

@@ -1,0 +1,1 @@
+lib/refactor/table_reverse.ml: Ast Equivalence List Minispark Option Printf String Transform Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/table_reverse.mli: Minispark Transform

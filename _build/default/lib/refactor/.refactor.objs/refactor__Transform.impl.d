@@ -1,0 +1,1 @@
+lib/refactor/transform.ml: Ast List Minispark Option Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/refactor/transform.mli: Ast Minispark Typecheck

@@ -1,0 +1,141 @@
+(* Moving statements into or out of conditionals (§5.1):
+
+       S1; if B then S2 else S3 end if;
+   ==> if B then S1; S2 else S1; S3 end if;
+
+   provided S1 has no effect on B.  The reverse direction hoists a common
+   prefix (or suffix) out of every branch. *)
+
+open Minispark
+
+(** Move the statement at [at] into the conditional that directly follows
+    it (distributing it into every branch, including the implicit else). *)
+let move_into ~proc ~at =
+  Transform.make
+    ~name:(Printf.sprintf "move_into_conditional(%s@%d)" proc at)
+    ~category:Transform.Move_conditional
+    ~describe:(Printf.sprintf "distribute statement %d of %s into the following if" at proc)
+    (fun _env program ->
+      let sub = Ast.find_sub_exn program proc in
+      let body = sub.Ast.sub_body in
+      if at + 1 >= List.length body then Transform.reject "no conditional after statement";
+      let s1 = List.nth body at in
+      match List.nth body (at + 1) with
+      | Ast.If (branches, els) ->
+          (* mechanical check: S1 must not affect any guard *)
+          let w = Transform.written_vars program [ s1 ] in
+          List.iter
+            (fun (g, _) ->
+              if List.exists (fun v -> List.mem v (Ast.expr_vars g)) w then
+                Transform.reject "statement writes a variable used by a guard")
+            branches;
+          let branches' = List.map (fun (g, b) -> (g, s1 :: b)) branches in
+          let els' = s1 :: els in
+          let body' =
+            Transform.splice body ~from:at ~len:2 [ Ast.If (branches', els') ]
+          in
+          Ast.replace_sub program { sub with Ast.sub_body = body' }
+      | _ -> Transform.reject "statement %d is not followed by an if" at)
+
+(** Hoist the common leading statements out of every branch of the
+    conditional at [at] (the else branch must exist or hoisting changes
+    behaviour when no guard holds). *)
+let move_out ~proc ~at =
+  Transform.make
+    ~name:(Printf.sprintf "move_out_of_conditional(%s@%d)" proc at)
+    ~category:Transform.Move_conditional
+    ~describe:
+      (Printf.sprintf "hoist the common prefix out of the if at statement %d of %s" at proc)
+    (fun _env program ->
+      let sub = Ast.find_sub_exn program proc in
+      let body = sub.Ast.sub_body in
+      match List.nth_opt body at with
+      | Some (Ast.If (branches, els)) when els <> [] ->
+          let bodies = List.map snd branches @ [ els ] in
+          let rec common_prefix bodies acc =
+            match bodies with
+            | [] -> List.rev acc
+            | first :: _ -> (
+                match first with
+                | [] -> List.rev acc
+                | s :: _ ->
+                    if
+                      List.for_all
+                        (function s' :: _ -> Ast.equal_stmts [ s ] [ s' ] | [] -> false)
+                        bodies
+                    then common_prefix (List.map List.tl bodies) (s :: acc)
+                    else List.rev acc)
+          in
+          let prefix = common_prefix bodies [] in
+          if prefix = [] then Transform.reject "branches share no common prefix";
+          (* the prefix must not affect the guards *)
+          let w = Transform.written_vars program prefix in
+          List.iter
+            (fun (g, _) ->
+              if List.exists (fun v -> List.mem v (Ast.expr_vars g)) w then
+                Transform.reject "common prefix writes a variable used by a guard")
+            branches;
+          let k = List.length prefix in
+          let drop body = List.filteri (fun i _ -> i >= k) body in
+          let branches' = List.map (fun (g, b) -> (g, drop b)) branches in
+          let els' = drop els in
+          let body' =
+            Transform.splice body ~from:at ~len:1
+              (prefix @ [ Ast.If (branches', els') ])
+          in
+          Ast.replace_sub program { sub with Ast.sub_body = body' }
+      | Some (Ast.If _) -> Transform.reject "conditional has no else branch"
+      | _ -> Transform.reject "statement %d is not an if" at)
+
+(** Merge consecutive conditionals with identical guard structure into one
+    (used to reveal the per-key-size execution paths in the AES key
+    schedule, §6.2.2 block 7). *)
+let merge_adjacent ~proc ~at ~count =
+  Transform.make
+    ~name:(Printf.sprintf "merge_adjacent_ifs(%s@%d,%d)" proc at count)
+    ~category:Transform.Move_conditional
+    ~describe:
+      (Printf.sprintf "merge %d consecutive ifs with identical guards in %s" count proc)
+    (fun _env program ->
+      let sub = Ast.find_sub_exn program proc in
+      let body = sub.Ast.sub_body in
+      let ifs = Transform.slice body ~from:at ~len:count in
+      let parts =
+        List.map
+          (function
+            | Ast.If (branches, els) -> (branches, els)
+            | _ -> Transform.reject "statement in range is not an if")
+          ifs
+      in
+      match parts with
+      | [] -> Transform.reject "empty range"
+      | (branches0, _) :: _ ->
+          let guards0 = List.map fst branches0 in
+          List.iter
+            (fun (branches, _) ->
+              if not (List.map fst branches = guards0) then
+                Transform.reject "guards differ between the conditionals")
+            parts;
+          (* no conditional may write variables read by the guards *)
+          List.iter
+            (fun (branches, els) ->
+              let w =
+                Transform.written_vars program (List.concat_map snd branches @ els)
+              in
+              List.iter
+                (fun g ->
+                  if List.exists (fun v -> List.mem v (Ast.expr_vars g)) w then
+                    Transform.reject "a branch writes a variable used by a guard")
+                guards0)
+            parts;
+          let merged_branches =
+            List.mapi
+              (fun gi g -> (g, List.concat_map (fun (br, _) -> snd (List.nth br gi)) parts))
+              guards0
+          in
+          let merged_else = List.concat_map snd parts in
+          let body' =
+            Transform.splice body ~from:at ~len:count
+              [ Ast.If (merged_branches, merged_else) ]
+          in
+          Ast.replace_sub program { sub with Ast.sub_body = body' })

@@ -1,0 +1,14 @@
+(** Moving statements into or out of conditionals (§5.1), plus merging of
+    adjacent conditionals with identical guards (used to reveal the AES
+    key-size execution paths, §6.2.2 block 7).  All mechanically checked:
+    moved statements must not affect the guards. *)
+
+val move_into : proc:string -> at:int -> Transform.t
+(** Distribute the statement at [at] into every branch of the conditional
+    that follows it. *)
+
+val move_out : proc:string -> at:int -> Transform.t
+(** Hoist the common prefix out of every branch of the conditional at
+    [at] (which must have an else branch). *)
+
+val merge_adjacent : proc:string -> at:int -> count:int -> Transform.t

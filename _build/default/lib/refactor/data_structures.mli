@@ -1,0 +1,28 @@
+(** Adjusting data structures (§6.2.1): 32-bit words become arrays of four
+    bytes with their packed idioms rewritten type-directedly, and families
+    of scalars are packed into the specification's State. *)
+
+open Minispark
+
+type conversion =
+  | To_vec   (** word elements become 4-byte vectors *)
+  | To_byte  (** word elements hold byte values and become bytes *)
+
+type plan = {
+  word_type : string;
+  byte_name : string;
+  vec_name : string;
+  array_types : (string * conversion) list;
+}
+
+val word_to_bytes : plan:plan -> unit -> Transform.t
+(** Rewrites extraction ([shift_right (w, 24) and 255] to [w (0)]),
+    packing (shifted or-chains to aggregates), masking, and elementwise
+    xor/or combination.  Any packed idiom the rewriter does not cover
+    leaves an ill-typed mixed expression behind, so the framework's
+    re-typecheck is the applicability check. *)
+
+val group_vars :
+  proc:string -> vars:string list -> array_name:string -> elem_type:Ast.typ ->
+  ?array_typ:Ast.typ -> unit -> Transform.t
+(** Pack same-typed locals (s0..s3) into one array object. *)

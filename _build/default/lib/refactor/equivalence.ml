@@ -1,0 +1,296 @@
+(* Semantics-preservation checking (§5.1).
+
+   The paper proves, in PVS, the theorem
+       init_state(P) = init_state(P') => final_state(P) = final_state(P')
+   for each generalised transformation.  This module is the mechanical
+   substitute: for the *instance* actually applied, it decides or tests the
+   theorem directly —
+
+   - [check_sub]: differential execution of one subprogram in two program
+     versions over (a) deterministically generated random inputs and (b)
+     exhaustive enumeration when the input domain is small;
+   - [check_program]: differential execution of a set of entry points;
+   - [check_expr_table]: exhaustive equality of a table and a replacement
+     expression over the table's index range (used by table reversal — for
+     finite domains this *is* a proof, not a test).
+
+   A deterministic xorshift PRNG keeps every check reproducible. *)
+
+open Minispark
+
+type verdict =
+  | Equivalent of int   (** number of trials/points checked *)
+  | Counterexample of string
+
+let is_equivalent = function Equivalent _ -> true | Counterexample _ -> false
+
+(* deterministic xorshift64 *)
+let make_rng seed =
+  let state = ref (if seed = 0 then 0x1e3779b97f4a7c15 else seed) in
+  fun () ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x;
+    x land max_int
+
+let rec random_value env rng (t : Ast.typ) : Value.t =
+  match Typecheck.resolve env t with
+  | Ast.Tbool -> Value.Vbool (rng () land 1 = 0)
+  | Ast.Tint (Some (lo, hi)) -> Value.Vint (lo + (rng () mod (hi - lo + 1)))
+  | Ast.Tint None -> Value.Vint ((rng () mod 2001) - 1000)
+  | Ast.Tmod m -> Value.Vmod (rng () mod m, m)
+  | Ast.Tarray (lo, hi, elt) ->
+      Value.Varray (lo, Array.init (hi - lo + 1) (fun _ -> random_value env rng elt))
+  | Ast.Tnamed _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Precondition-directed input domains                                 *)
+(*                                                                     *)
+(* Semantics preservation is equality of final states from the same    *)
+(* *valid* initial state (section 5.1), so inputs must satisfy the     *)
+(* entry's precondition.  Common precondition shapes are turned into   *)
+(* sampling domains; anything else is a rejection filter.              *)
+(* ------------------------------------------------------------------ *)
+
+type domain =
+  | Dmember of int list        (** x = a or x = b or ... *)
+  | Delems_below of int        (** for all k => x (k) < n *)
+  | Dbelow of int              (** x < n *)
+
+let conjuncts (e : Ast.expr) =
+  let rec go e =
+    match e with
+    | Ast.Binop ((Ast.And | Ast.And_then), a, b) -> go a @ go b
+    | e -> [ e ]
+  in
+  go e
+
+let membership (e : Ast.expr) =
+  (* [x = a or x = b or ...] for one variable x *)
+  let rec go e =
+    match e with
+    | Ast.Binop (Ast.Eq, Ast.Var x, Ast.Int_lit v) -> Some (x, [ v ])
+    | Ast.Binop ((Ast.Or | Ast.Or_else), a, b) -> (
+        match (go a, go b) with
+        | Some (x, vs), Some (y, ws) when String.equal x y -> Some (x, vs @ ws)
+        | _ -> None)
+    | _ -> None
+  in
+  go e
+
+let domains_of_pre (pre : Ast.expr option) : (string * domain) list =
+  match pre with
+  | None -> []
+  | Some pre ->
+      List.filter_map
+        (fun c ->
+          match membership c with
+          | Some (x, vs) -> Some (x, Dmember vs)
+          | None -> (
+              match c with
+              | Ast.Quantified
+                  (Ast.Forall, k, _, _,
+                   Ast.Binop (Ast.Lt, Ast.Index (Ast.Var p, Ast.Var k'), Ast.Int_lit n))
+                when String.equal k k' ->
+                  Some (p, Delems_below n)
+              | Ast.Quantified
+                  (Ast.Forall, k, _, _,
+                   Ast.Binop (Ast.Le, Ast.Index (Ast.Var p, Ast.Var k'), Ast.Int_lit n))
+                when String.equal k k' ->
+                  Some (p, Delems_below (n + 1))
+              | Ast.Binop (Ast.Lt, Ast.Var x, Ast.Int_lit n) -> Some (x, Dbelow n)
+              | Ast.Binop (Ast.Le, Ast.Var x, Ast.Int_lit n) -> Some (x, Dbelow (n + 1))
+              | _ -> None))
+        (conjuncts pre)
+
+let rec constrained_value env rng (t : Ast.typ) (d : domain option) : Value.t =
+  match d with
+  | Some (Dmember vs) -> (
+      let v = List.nth vs (rng () mod List.length vs) in
+      match Typecheck.resolve env t with
+      | Ast.Tmod m -> Value.Vmod (v mod m, m)
+      | _ -> Value.Vint v)
+  | Some (Dbelow n) -> (
+      match Typecheck.resolve env t with
+      | Ast.Tmod m -> Value.Vmod (rng () mod min n m, m)
+      | Ast.Tint (Some (lo, _)) -> Value.Vint (lo + (rng () mod max 1 (n - lo)))
+      | _ -> Value.Vint (rng () mod n))
+  | Some (Delems_below n) -> (
+      match Typecheck.resolve env t with
+      | Ast.Tarray (lo, hi, elt) ->
+          Value.Varray
+            ( lo,
+              Array.init (hi - lo + 1) (fun _ ->
+                  constrained_value env rng elt (Some (Dbelow n))) )
+      | t -> random_value env rng t)
+  | None -> random_value env rng t
+
+(* in-domain inputs for a subprogram: values for in / in-out parameters,
+   respecting the sampling domains extracted from the precondition *)
+let random_inputs env rng (sub : Ast.subprogram) =
+  let domains = domains_of_pre sub.Ast.sub_pre in
+  List.filter_map
+    (fun (p : Ast.param) ->
+      match p.Ast.par_mode with
+      | Ast.Mode_in | Ast.Mode_in_out ->
+          Some
+            (constrained_value env rng p.Ast.par_typ
+               (List.assoc_opt p.Ast.par_name domains))
+      | Ast.Mode_out -> None)
+    sub.Ast.sub_params
+
+(* evaluate the precondition on candidate inputs (rejection filter for
+   conjuncts the domain extraction did not understand) *)
+let satisfies_pre env program (sub : Ast.subprogram) inputs =
+  match sub.Ast.sub_pre with
+  | None -> true
+  | Some pre -> (
+      let rt = Interp.make env program in
+      let bindings =
+        let remaining = ref inputs in
+        List.filter_map
+          (fun (p : Ast.param) ->
+            match p.Ast.par_mode with
+            | Ast.Mode_in | Ast.Mode_in_out -> (
+                match !remaining with
+                | v :: rest ->
+                    remaining := rest;
+                    Some (p.Ast.par_name, v)
+                | [] -> None)
+            | Ast.Mode_out -> None)
+          sub.Ast.sub_params
+      in
+      match Interp.eval_expr rt bindings pre with
+      | Value.Vbool b -> b
+      | _ -> false
+      | exception (Interp.Stuck _ | Value.Runtime_error _) -> false)
+
+(* enumerate all inputs when the domain is small; [None] otherwise *)
+let enumerate_inputs env ?(limit = 4096) (sub : Ast.subprogram) =
+  let values_of (t : Ast.typ) =
+    match Typecheck.resolve env t with
+    | Ast.Tbool -> Some [ Value.Vbool false; Value.Vbool true ]
+    | Ast.Tint (Some (lo, hi)) when hi - lo < limit ->
+        Some (List.init (hi - lo + 1) (fun k -> Value.Vint (lo + k)))
+    | Ast.Tmod m when m <= limit -> Some (List.init m (fun k -> Value.Vmod (k, m)))
+    | Ast.Tarray _ | Ast.Tint _ | Ast.Tmod _ -> None
+    | Ast.Tnamed _ -> assert false
+  in
+  let ins =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.Ast.par_mode with
+        | Ast.Mode_in | Ast.Mode_in_out -> Some p.Ast.par_typ
+        | Ast.Mode_out -> None)
+      sub.Ast.sub_params
+  in
+  let rec product = function
+    | [] -> Some [ [] ]
+    | t :: rest ->
+        Option.bind (values_of t) (fun vs ->
+            Option.bind (product rest) (fun rows ->
+                let combined =
+                  List.concat_map (fun v -> List.map (fun row -> v :: row) rows) vs
+                in
+                if List.length combined > limit then None else Some combined))
+  in
+  product ins
+
+let run_sub env program (sub : Ast.subprogram) inputs =
+  let rt = Interp.make env program in
+  if sub.Ast.sub_return <> None then [ Interp.run_function rt sub.Ast.sub_name inputs ]
+  else Interp.run_procedure rt sub.Ast.sub_name inputs
+
+let values_equal a b =
+  List.length a = List.length b && List.for_all2 Value.equal a b
+
+(** Differentially check one subprogram across two program versions.  The
+    subprogram (same name) must exist in both; inputs are exhaustive when
+    the domain is small, sampled otherwise. *)
+let check_sub ?(seed = 42) ?(trials = 64) env_a prog_a env_b prog_b name : verdict =
+  let sub_a = Ast.find_sub_exn prog_a name in
+  let sub_b = Ast.find_sub_exn prog_b name in
+  let run_case inputs =
+    match
+      ( run_sub env_a prog_a sub_a inputs,
+        run_sub env_b prog_b sub_b inputs )
+    with
+    | ra, rb when values_equal ra rb -> None
+    | ra, rb ->
+        Some
+          (Printf.sprintf "%s(%s): %s vs %s" name
+             (String.concat ", " (List.map Value.to_string inputs))
+             (String.concat ", " (List.map Value.to_string ra))
+             (String.concat ", " (List.map Value.to_string rb)))
+    | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
+        Some (Printf.sprintf "%s raised: %s" name msg)
+  in
+  (* inputs are generated from the *after* version's parameter types: a
+     data-representation refactoring narrows value domains (word holding a
+     byte value -> byte), and the narrower domain is the contract both
+     versions must agree on; the interpreter's copy-in coercion widens the
+     values losslessly for the before version *)
+  match enumerate_inputs env_b sub_b with
+  | Some cases -> (
+      let cases = List.filter (satisfies_pre env_b prog_b sub_b) cases in
+      let failures = List.filter_map run_case cases in
+      match failures with
+      | [] -> Equivalent (List.length cases)
+      | msg :: _ -> Counterexample msg)
+  | None ->
+      let rng = make_rng seed in
+      let rec go k checked rejections =
+        if k >= trials then Equivalent checked
+        else if rejections > 200 * trials then
+          Counterexample
+            (Printf.sprintf "cannot sample the precondition of %s" name)
+        else
+          let inputs = random_inputs env_b rng sub_b in
+          if not (satisfies_pre env_b prog_b sub_b inputs) then
+            go k checked (rejections + 1)
+          else
+            match run_case inputs with
+            | None -> go (k + 1) (checked + 1) rejections
+            | Some msg -> Counterexample msg
+      in
+      go 0 0 0
+
+(** Differentially check a whole program through the given entry points. *)
+let check_program ?(seed = 42) ?(trials = 32) ~entries env_a prog_a env_b prog_b : verdict =
+  let rec go total = function
+    | [] -> Equivalent total
+    | name :: rest -> (
+        match check_sub ~seed ~trials env_a prog_a env_b prog_b name with
+        | Equivalent n -> go (total + n) rest
+        | Counterexample _ as c -> c)
+  in
+  go 0 entries
+
+(** Exhaustive proof that [replacement] (an expression over the variable
+    [index_var]) computes exactly the entries of constant table [table]:
+    for every index in the table's range the interpreted values agree.
+    Finite domain, every point checked — a decision, not a test. *)
+let check_expr_table env program ~table ~index_var ~replacement : verdict =
+  let rt = Interp.make env program in
+  let table_value = Interp.global_value rt table in
+  let lo, data = Value.as_array table_value in
+  let bad = ref None in
+  Array.iteri
+    (fun k expected ->
+      if !bad = None then
+        let i = lo + k in
+        match Interp.eval_expr rt [ (index_var, Value.Vint i) ] replacement with
+        | v when Value.equal v expected -> ()
+        | v ->
+            bad :=
+              Some
+                (Printf.sprintf "%s(%d) = %s but replacement yields %s" table i
+                   (Value.to_string expected) (Value.to_string v))
+        | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
+            bad := Some (Printf.sprintf "replacement stuck at %s(%d): %s" table i msg))
+    data;
+  match !bad with
+  | None -> Equivalent (Array.length data)
+  | Some msg -> Counterexample msg

@@ -1,0 +1,33 @@
+(** Semantics-preservation checking (§5.1): the mechanical substitute for
+    the paper's PVS proofs of [init(P) = init(P') => final(P) = final(P')].
+
+    Finite domains are decided exhaustively; others are tested
+    differentially on deterministic samples drawn from the *entry's
+    contract* (inputs satisfy the precondition — equal *valid* initial
+    states). *)
+
+open Minispark
+
+type verdict =
+  | Equivalent of int   (** trials/points checked *)
+  | Counterexample of string
+
+val is_equivalent : verdict -> bool
+
+val check_sub :
+  ?seed:int -> ?trials:int ->
+  Typecheck.env -> Ast.program -> Typecheck.env -> Ast.program -> string -> verdict
+(** Differentially check one subprogram (same name in both programs).
+    Inputs are generated from the *after* version's parameter types (a
+    data-representation refactoring narrows domains; copy-in coercion
+    widens losslessly for the before version). *)
+
+val check_program :
+  ?seed:int -> ?trials:int -> entries:string list ->
+  Typecheck.env -> Ast.program -> Typecheck.env -> Ast.program -> verdict
+
+val check_expr_table :
+  Typecheck.env -> Ast.program ->
+  table:string -> index_var:string -> replacement:Ast.expr -> verdict
+(** Exhaustive proof that [replacement] computes exactly the entries of a
+    constant table over its whole index range — a decision, not a test. *)

@@ -1,0 +1,92 @@
+(* Refactoring history (§5.2): "removing a transformation is made possible
+   by recording the software's state prior to the application of each
+   transformation".  The history records every applied step with the
+   program before and after and the equivalence evidence gathered, and
+   supports rollback. *)
+
+open Minispark
+
+type evidence =
+  | Ev_typecheck                 (** transformed program re-type-checked *)
+  | Ev_differential of int       (** differential trials/points passed *)
+  | Ev_exhaustive of int         (** exhaustive finite-domain points checked *)
+
+let pp_evidence ppf = function
+  | Ev_typecheck -> Fmt.string ppf "type-checked"
+  | Ev_differential n -> Fmt.pf ppf "differential x%d" n
+  | Ev_exhaustive n -> Fmt.pf ppf "exhaustive x%d" n
+
+type step = {
+  st_index : int;
+  st_name : string;
+  st_category : Transform.category;
+  st_before : Ast.program;
+  st_after : Ast.program;
+  st_evidence : evidence list;
+}
+
+type t = {
+  mutable steps : step list;  (** newest first *)
+  mutable current : Typecheck.env * Ast.program;
+}
+
+let create env program = { steps = []; current = (env, program) }
+
+let current h = h.current
+let step_count h = List.length h.steps
+let steps h = List.rev h.steps
+
+(** Apply a transformation, with differential-equivalence evidence over the
+    given entry points, and record the step.  Raises
+    [Transform.Not_applicable] (state unchanged) on rejection. *)
+let apply ?(entries = []) ?(trials = 24) h (tr : Transform.t) =
+  let env, program = h.current in
+  let env', program' = Transform.apply tr env program in
+  let evidence = ref [ Ev_typecheck ] in
+  (match entries with
+  | [] -> ()
+  | entries -> (
+      match Equivalence.check_program ~trials ~entries env program env' program' with
+      | Equivalence.Equivalent n -> evidence := Ev_differential n :: !evidence
+      | Equivalence.Counterexample msg ->
+          Transform.reject "%s is not semantics-preserving: %s" tr.Transform.tr_name msg));
+  let step =
+    {
+      st_index = List.length h.steps;
+      st_name = tr.Transform.tr_name;
+      st_category = tr.Transform.tr_category;
+      st_before = program;
+      st_after = program';
+      st_evidence = !evidence;
+    }
+  in
+  h.steps <- step :: h.steps;
+  h.current <- (env', program');
+  step
+
+(** Roll back the most recent step. *)
+let undo h =
+  match h.steps with
+  | [] -> invalid_arg "History.undo: empty history"
+  | step :: rest ->
+      h.steps <- rest;
+      let env, before = Typecheck.check step.st_before in
+      h.current <- (env, before);
+      step
+
+let category_counts h =
+  let tally = Hashtbl.create 11 in
+  List.iter
+    (fun s ->
+      let k = s.st_category in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    h.steps;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_summary ppf h =
+  Fmt.pf ppf "@[<v>%d transformations applied:@," (step_count h);
+  List.iter
+    (fun (cat, n) -> Fmt.pf ppf "  %-55s %d@," (Transform.category_name cat) n)
+    (category_counts h);
+  Fmt.pf ppf "@]"

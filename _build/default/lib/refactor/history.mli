@@ -1,0 +1,41 @@
+(** Refactoring history (§5.2): every applied step is recorded with the
+    program before and after and the equivalence evidence gathered, so any
+    transformation can be removed ("recording the software's state prior to
+    the application of each transformation"). *)
+
+open Minispark
+
+type evidence =
+  | Ev_typecheck                 (** transformed program re-type-checked *)
+  | Ev_differential of int       (** differential trials/points passed *)
+  | Ev_exhaustive of int         (** exhaustive finite-domain points *)
+
+val pp_evidence : evidence Fmt.t
+
+type step = {
+  st_index : int;
+  st_name : string;
+  st_category : Transform.category;
+  st_before : Ast.program;
+  st_after : Ast.program;
+  st_evidence : evidence list;
+}
+
+type t
+
+val create : Typecheck.env -> Ast.program -> t
+val current : t -> Typecheck.env * Ast.program
+val step_count : t -> int
+val steps : t -> step list
+
+val apply : ?entries:string list -> ?trials:int -> t -> Transform.t -> step
+(** Apply a transformation: framework applicability check (re-typecheck)
+    plus differential semantics-preservation evidence over the given entry
+    points.  @raise Transform.Not_applicable on rejection (state
+    unchanged). *)
+
+val undo : t -> step
+(** Roll back the most recent step, restoring its pre-image. *)
+
+val category_counts : t -> (Transform.category * int) list
+val pp_summary : t Fmt.t

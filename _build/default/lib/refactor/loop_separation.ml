@@ -1,0 +1,49 @@
+(* Separating loops (§5.1): a loop whose body combines independent
+   operations is split into consecutive loops so each invariant can be
+   stated separately.
+
+       for i in lo..hi loop S1; S2 end loop;
+   ==> for i in lo..hi loop S1 end loop; for i in lo..hi loop S2 end loop;
+
+   Mechanical applicability: the two halves must touch disjoint variable
+   sets (apart from the loop variable), which rules out cross-iteration
+   dependences wholesale — conservative but decidable. *)
+
+open Minispark
+
+let separate ~proc ~at ~split_at =
+  Transform.make
+    ~name:(Printf.sprintf "separate_loops(%s@%d,%d)" proc at split_at)
+    ~category:Transform.Separate_loops
+    ~describe:
+      (Printf.sprintf "fission the loop at statement %d of %s at body position %d" at
+         proc split_at)
+    (fun _env program ->
+      let sub = Ast.find_sub_exn program proc in
+      let body = sub.Ast.sub_body in
+      match List.nth_opt body at with
+      | Some (Ast.For fl) ->
+          let n = List.length fl.Ast.for_body in
+          if split_at <= 0 || split_at >= n then
+            Transform.reject "split position %d out of range" split_at;
+          let s1 = List.filteri (fun k _ -> k < split_at) fl.Ast.for_body in
+          let s2 = List.filteri (fun k _ -> k >= split_at) fl.Ast.for_body in
+          let vars stmts =
+            List.sort_uniq String.compare
+              (Transform.written_vars program stmts @ Transform.read_vars stmts)
+            |> List.filter (fun v -> not (String.equal v fl.Ast.for_var))
+          in
+          let v1 = vars s1 and v2 = vars s2 in
+          let overlap = List.filter (fun v -> List.mem v v2) v1 in
+          if overlap <> [] then
+            Transform.reject "halves share variables: %s" (String.concat ", " overlap);
+          (* loop bounds must not be written by the first half *)
+          let w1 = Transform.written_vars program s1 in
+          let bound_vars = Ast.expr_vars fl.Ast.for_lo @ Ast.expr_vars fl.Ast.for_hi in
+          if List.exists (fun v -> List.mem v bound_vars) w1 then
+            Transform.reject "first half writes a loop bound";
+          let loop1 = Ast.For { fl with Ast.for_body = s1 } in
+          let loop2 = Ast.For { fl with Ast.for_body = s2 } in
+          let body' = Transform.splice body ~from:at ~len:1 [ loop1; loop2 ] in
+          Ast.replace_sub program { sub with Ast.sub_body = body' }
+      | _ -> Transform.reject "statement %d of %s is not a for-loop" at proc)

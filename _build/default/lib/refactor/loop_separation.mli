@@ -1,0 +1,5 @@
+(** Separating loops (§5.1): loop fission so each invariant can be stated
+    separately.  Conservative mechanical check: the halves must touch
+    disjoint variable sets, ruling out cross-iteration dependences. *)
+
+val separate : proc:string -> at:int -> split_at:int -> Transform.t

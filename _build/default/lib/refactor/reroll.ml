@@ -1,0 +1,119 @@
+(* Rerolling loops (§5.1): a sequence of repeated statement blocks that can
+   be differentiated by an integer parameter is converted into a for-loop.
+
+       S1; S2; ...; Sn;   ==>   for i in 0 .. n-1 loop S(i) end loop;
+
+   Applicability (mechanical): the [count] consecutive groups of
+   [group_len] statements starting at [from] must share a literal skeleton,
+   and every literal position must vary affinely with the group number. *)
+
+open Minispark
+
+(** [reroll ~proc ~from ~group_len ~count ~var] rerolls the [count] groups
+    of [group_len] top-level statements of [proc] starting at statement
+    [from] into [for var in 0 .. count-1]. *)
+let reroll ~proc ~from ~group_len ~count ~var =
+  Transform.make
+    ~name:(Printf.sprintf "reroll(%s@%d,%dx%d)" proc from group_len count)
+    ~category:Transform.Reroll_loops
+    ~describe:
+      (Printf.sprintf
+         "reroll %d repeated groups of %d statements in %s into a for-loop over %s"
+         count group_len proc var)
+    (fun _env program ->
+      if count < 2 then Transform.reject "rerolling needs at least two groups";
+      let sub = Ast.find_sub_exn program proc in
+      let body = sub.Ast.sub_body in
+      let groups =
+        List.init count (fun k ->
+            Transform.slice body ~from:(from + (k * group_len)) ~len:group_len)
+      in
+      (* the loop variable must be fresh in the groups *)
+      List.iter
+        (fun g ->
+          if List.mem var (Ast.read_vars g) || List.mem var (Transform.written_vars program g)
+          then Transform.reject "loop variable %s already occurs in the groups" var)
+        groups;
+      let skeletons = List.map Transform.literal_skeleton groups in
+      match Transform.affine_analysis skeletons with
+      | None ->
+          Transform.reject
+            "groups are not equal up to an affine change of integer literals"
+      | Some (skeleton, affines) ->
+          let gen k =
+            let { Transform.base; step } = List.nth affines k in
+            if step = 0 then Ast.Int_lit base
+            else
+              let scaled =
+                if step = 1 then Ast.Var var
+                else Ast.Binop (Ast.Mul, Ast.Int_lit step, Ast.Var var)
+              in
+              if base = 0 then scaled else Ast.Binop (Ast.Add, Ast.Int_lit base, scaled)
+          in
+          let loop_body = Transform.rebuild_literals skeleton gen in
+          let loop =
+            Ast.For
+              {
+                Ast.for_var = var;
+                for_reverse = false;
+                for_lo = Ast.Int_lit 0;
+                for_hi = Ast.Int_lit (count - 1);
+                for_invariants = [];
+                for_body = loop_body;
+              }
+          in
+          let body' = Transform.splice body ~from ~len:(group_len * count) [ loop ] in
+          Ast.replace_sub program { sub with Ast.sub_body = body' })
+
+(** Find reroll opportunities mechanically: for each subprogram, the
+    longest run of repeated literal-skeleton groups (used by the CLI to
+    suggest transformations, §5.2 "or suggested automatically"). *)
+let suggest program =
+  let suggestions = ref [] in
+  List.iter
+    (fun (sub : Ast.subprogram) ->
+      let body = sub.Ast.sub_body in
+      let n = List.length body in
+      (* try group lengths 1..8 at each offset *)
+      List.iter
+        (fun group_len ->
+          let max_count = n / group_len in
+          if max_count >= 2 then
+            List.iter
+              (fun from ->
+                let rec count_groups k =
+                  if from + ((k + 1) * group_len) > n then k
+                  else
+                    let groups =
+                      List.init (k + 1) (fun j ->
+                          Transform.slice body ~from:(from + (j * group_len))
+                            ~len:group_len)
+                    in
+                    let skels = List.map Transform.literal_skeleton groups in
+                    match Transform.affine_analysis skels with
+                    | Some _ -> count_groups (k + 1)
+                    | None -> k
+                in
+                let c = count_groups 1 in
+                if c >= 2 then
+                  suggestions := (sub.Ast.sub_name, from, group_len, c) :: !suggestions)
+              (List.init n (fun i -> i)))
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    (Ast.subprograms program);
+  (* keep maximal suggestions: longest spans first, overlapping shorter
+     suggestions within the same subprogram dropped *)
+  let sorted =
+    (* longest span first; on ties prefer the finer (smaller) group *)
+    List.sort
+      (fun (_, _, g1, c1) (_, _, g2, c2) ->
+        match compare (g2 * c2) (g1 * c1) with 0 -> compare g1 g2 | d -> d)
+      !suggestions
+  in
+  let overlaps (sub1, from1, g1, c1) (sub2, from2, g2, c2) =
+    String.equal sub1 sub2
+    && from1 < from2 + (g2 * c2)
+    && from2 < from1 + (g1 * c1)
+  in
+  List.fold_left
+    (fun kept s -> if List.exists (overlaps s) kept then kept else kept @ [ s ])
+    [] sorted

@@ -1,0 +1,16 @@
+(** Rerolling loops (§5.1): a sequence of repeated statement blocks that
+    can be differentiated by an integer parameter becomes a for-loop.
+    Applicability is mechanical: the groups must share a literal skeleton
+    and every literal position must vary affinely with the group number —
+    which is also why a defect in just one unrolled iteration makes the
+    transformation inapplicable (§7.2). *)
+
+val reroll :
+  proc:string -> from:int -> group_len:int -> count:int -> var:string ->
+  Transform.t
+
+val suggest : Minispark.Ast.program -> (string * int * int * int) list
+(** Reroll opportunities, mechanically detected (§5.2 "suggested
+    automatically"): subprogram, start index, group length, count.
+    Maximal non-overlapping spans, longest first; ties prefer the finer
+    grouping. *)

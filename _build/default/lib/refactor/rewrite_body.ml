@@ -1,0 +1,73 @@
+(* User-specified transformations (§5.2): "the user can specify and prove a
+   new semantics-preserving transformation using the proof template we
+   provide and add it to the library".
+
+   [replace_body] is that proof template, mechanised: the user supplies a
+   new body (and locals) for one subprogram; the applicability check *is*
+   the equivalence check — exhaustive over small input domains,
+   deterministic sampling otherwise — between the old and new versions of
+   the subprogram, in isolation.
+
+   [add_subprograms] introduces fresh, unused definitions (semantically a
+   no-op); it is how specification-shaped helpers (sub_bytes, rot_word,
+   key_expansion, ...) enter the program before a [replace_body] makes the
+   optimized code call them. *)
+
+open Minispark
+
+let add_subprograms ~defs ~anchor =
+  Transform.make
+    ~name:
+      (Printf.sprintf "add_subprograms(%s)"
+         (String.concat "," (List.map (fun (s : Ast.subprogram) -> s.Ast.sub_name) defs)))
+    ~category:Transform.Reverse_inlining
+    ~describe:"introduce helper subprogram definitions (no call sites yet)"
+    (fun _env program ->
+      List.fold_left
+        (fun program (def : Ast.subprogram) ->
+          if Ast.find_sub program def.Ast.sub_name <> None then
+            Transform.reject "subprogram %s already exists" def.Ast.sub_name;
+          Ast.insert_decl_before program ~anchor (Ast.Dsub def))
+        program defs)
+
+let add_decls ~decls ~anchor =
+  Transform.make ~name:"add_decls" ~category:Transform.Modify_storage
+    ~describe:"introduce type/constant declarations"
+    (fun _env program ->
+      List.fold_left
+        (fun program decl -> Ast.insert_decl_before program ~anchor decl)
+        program decls)
+
+(** [replace_body ~proc ~locals ~body]: swap in a new body for [proc];
+    applicability = the old and new versions of [proc] are observationally
+    equivalent (exhaustively when the input domain enumerates, otherwise on
+    [trials] deterministic random inputs). *)
+let replace_body ~proc ?new_locals ~body ?(trials = 48) ?(seed = 1337) () =
+  Transform.make
+    ~name:(Printf.sprintf "replace_body(%s)" proc)
+    ~category:Transform.Modify_computation
+    ~describe:
+      (Printf.sprintf
+         "rewrite the body of %s (equivalence checked on the subprogram in isolation)"
+         proc)
+    (fun env program ->
+      let sub = Ast.find_sub_exn program proc in
+      let sub' =
+        {
+          sub with
+          Ast.sub_body = body;
+          Ast.sub_locals = Option.value ~default:sub.Ast.sub_locals new_locals;
+        }
+      in
+      let program' = Ast.replace_sub program sub' in
+      (* the rewritten program must type-check before we can interpret it *)
+      let env', program' =
+        match Typecheck.check program' with
+        | result -> result
+        | exception Typecheck.Type_error msg ->
+            Transform.reject "new body of %s does not type-check: %s" proc msg
+      in
+      match Equivalence.check_sub ~seed ~trials env program env' program' proc with
+      | Equivalence.Equivalent _ -> program'
+      | Equivalence.Counterexample msg ->
+          Transform.reject "new body of %s is not equivalent: %s" proc msg)

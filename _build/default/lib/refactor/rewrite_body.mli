@@ -1,0 +1,20 @@
+(** User-specified transformations (§5.2): "the user can specify and prove
+    a new semantics-preserving transformation using the proof template we
+    provide".  [replace_body] is that proof template, mechanised: the
+    applicability check *is* the equivalence check between the old and new
+    versions of the subprogram, in isolation. *)
+
+open Minispark
+
+val add_subprograms : defs:Ast.subprogram list -> anchor:string -> Transform.t
+(** Introduce fresh helper definitions before [anchor] (semantically a
+    no-op; call sites come later). *)
+
+val add_decls : decls:Ast.decl list -> anchor:string -> Transform.t
+
+val replace_body :
+  proc:string -> ?new_locals:Ast.var_decl list -> body:Ast.stmt list ->
+  ?trials:int -> ?seed:int -> unit -> Transform.t
+(** Swap in a new body; rejected unless the two versions are
+    observationally equivalent (exhaustively over small input domains,
+    on deterministic samples otherwise). *)

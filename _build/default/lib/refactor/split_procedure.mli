@@ -1,0 +1,5 @@
+(** Splitting procedures (§5.1): a consecutive statement slice moves into a
+    fresh sub-procedure; parameter modes are derived mechanically from the
+    slice's dataflow. *)
+
+val split : proc:string -> from:int -> len:int -> new_name:string -> Transform.t

@@ -1,0 +1,108 @@
+(* Reversing table lookups (§6.2.1, case-study-specific category):
+   a precomputed table is replaced by the explicit computation it caches
+   ("based on the documentation"), and the table is removed.
+
+   The user supplies the replacement expression (over a distinguished index
+   variable) and, optionally, helper definitions the expression calls.  The
+   applicability check is an exhaustive proof over the table's finite index
+   range: every entry must equal the interpreted replacement — the
+   strongest possible semantics-preservation evidence. *)
+
+open Minispark
+
+(** [reverse ~table ~index_var ~replacement ~helpers]: replace every
+    occurrence [table (e)] by [replacement[index_var := e]], adding the
+    (fresh) helper declarations (types, constants such as the S-box,
+    functions such as gf_mul) first; the table constant is removed. *)
+let reverse ~table ~index_var ~replacement ?(helpers = []) () =
+  Transform.make
+    ~name:(Printf.sprintf "reverse_table(%s)" table)
+    ~category:Transform.Reverse_table_lookups
+    ~describe:(Printf.sprintf "replace lookups of %s by explicit computation" table)
+    (fun _env program ->
+      (* 1. install helpers so the replacement is interpretable *)
+      let decl_name = function
+        | Ast.Dtype (n, _) -> n
+        | Ast.Dconst c -> c.Ast.k_name
+        | Ast.Dvar v -> v.Ast.v_name
+        | Ast.Dsub s -> s.Ast.sub_name
+      in
+      let already_declared program name =
+        List.exists (fun d -> String.equal (decl_name d) name) program.Ast.prog_decls
+      in
+      (* helpers go, in order, before the first *original* subprogram so
+         every later declaration (and helpers further down the list) can
+         use them *)
+      let anchor =
+        match Ast.subprograms program with
+        | first :: _ -> first.Ast.sub_name
+        | [] -> Transform.reject "program has no subprograms"
+      in
+      let program =
+        List.fold_left
+          (fun program (decl : Ast.decl) ->
+            if already_declared program (decl_name decl) then program
+            else Ast.insert_decl_before program ~anchor decl)
+          program helpers
+      in
+      let env', program =
+        match Typecheck.check program with
+        | r -> r
+        | exception Typecheck.Type_error msg ->
+            Transform.reject "helper definitions do not type-check: %s" msg
+      in
+      (* 2. exhaustive applicability proof over the index range *)
+      (match Equivalence.check_expr_table env' program ~table ~index_var ~replacement with
+      | Equivalence.Equivalent _ -> ()
+      | Equivalence.Counterexample msg ->
+          Transform.reject "replacement does not compute %s: %s" table msg);
+      (* 3. rewrite lookups and drop the table *)
+      let rw =
+        Ast.map_expr (fun e ->
+            match e with
+            | Ast.Index (Ast.Var t, idx) when String.equal t table ->
+                Transform.fold_expr (Ast.subst_expr [ (index_var, idx) ] replacement)
+            | e -> e)
+      in
+      let decls =
+        List.filter_map
+          (function
+            | Ast.Dconst c when String.equal c.Ast.k_name table -> None
+            | Ast.Dsub s ->
+                Some
+                  (Ast.Dsub
+                     {
+                       s with
+                       Ast.sub_body =
+                         Transform.fold_stmts
+                           (Ast.map_stmts
+                              (fun st -> [ Ast.map_own_exprs rw st ])
+                              s.Ast.sub_body);
+                       sub_pre = Option.map rw s.Ast.sub_pre;
+                       sub_post = Option.map rw s.Ast.sub_post;
+                     })
+            | d -> Some d)
+          program.Ast.prog_decls
+      in
+      let program = { program with Ast.prog_decls = decls } in
+      (* the table must really be gone *)
+      let still_used = ref false in
+      List.iter
+        (function
+          | Ast.Dsub s ->
+              Ast.iter_stmts
+                (fun st ->
+                  Ast.iter_own_exprs
+                    (fun e ->
+                      Ast.iter_expr
+                        (function
+                          | Ast.Var v when String.equal v table -> still_used := true
+                          | _ -> ())
+                        e)
+                    st)
+                s.Ast.sub_body
+          | _ -> ())
+        program.Ast.prog_decls;
+      if !still_used then
+        Transform.reject "table %s is still referenced after rewriting" table;
+      program)

@@ -1,0 +1,10 @@
+(** Reversing table lookups (§6.2.1): a precomputed table is replaced by
+    the explicit computation it caches, and removed.  The applicability
+    check is an exhaustive proof over the table's finite index range —
+    every entry must equal the interpreted replacement. *)
+
+val reverse :
+  table:string -> index_var:string -> replacement:Minispark.Ast.expr ->
+  ?helpers:Minispark.Ast.decl list -> unit -> Transform.t
+(** [helpers] (types, constants such as the S-box, functions such as
+    gf_mul) are installed first, once, shared across reversals. *)

@@ -1,0 +1,1 @@
+lib/specl/match_ratio.ml: Fmt List Sast Seq Spretty String

@@ -1,0 +1,1 @@
+lib/specl/match_ratio.mli: Fmt Sast

@@ -1,0 +1,1 @@
+lib/specl/sast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/specl/seval.ml: Array List Printf Sast String

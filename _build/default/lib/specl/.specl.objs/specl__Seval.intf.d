@@ -1,0 +1,1 @@
+lib/specl/seval.mli: Sast

@@ -1,0 +1,1 @@
+lib/specl/spretty.ml: Fmt List Sast String

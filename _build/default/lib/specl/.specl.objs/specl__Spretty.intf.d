@@ -1,0 +1,1 @@
+lib/specl/spretty.mli: Fmt Sast

@@ -1,0 +1,186 @@
+(* Evaluator for the specification language.  Specifications must be
+   executable: the implication proof discharges leaf lemmas by exhaustive
+   evaluation over finite domains, and specification-level known-answer
+   tests validate the FIPS-197 formalisation itself. *)
+
+open Sast
+
+type value =
+  | Vbool of bool
+  | Vint of int
+  | Varr of int * value array
+  | Vtup of value list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let rec equal a b =
+  match (a, b) with
+  | Vbool x, Vbool y -> x = y
+  | Vint x, Vint y -> x = y
+  | Varr (lo, x), Varr (lo', y) ->
+      lo = lo' && Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i v -> if not (equal v y.(i)) then ok := false) x;
+          !ok)
+  | Vtup x, Vtup y -> List.length x = List.length y && List.for_all2 equal x y
+  | _ -> false
+
+let rec to_string = function
+  | Vbool b -> string_of_bool b
+  | Vint n -> string_of_int n
+  | Varr (_, a) ->
+      "[" ^ String.concat "; " (Array.to_list (Array.map to_string a)) ^ "]"
+  | Vtup vs -> "(" ^ String.concat ", " (List.map to_string vs) ^ ")"
+
+let as_int = function
+  | Vint n -> n
+  | Vbool _ | Varr _ | Vtup _ as v -> error "expected integer, got %s" (to_string v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> error "expected boolean, got %s" (to_string v)
+
+let default_fuel = 10_000_000
+
+type env = {
+  theory : theory;
+  mutable fuel : int;
+}
+
+let make ?(fuel = default_fuel) theory = { theory; fuel }
+
+let prim_eval p args =
+  match (p, args) with
+  | Padd, [ a; b ] -> Vint (as_int a + as_int b)
+  | Psub, [ a; b ] -> Vint (as_int a - as_int b)
+  | Pmul, [ a; b ] -> Vint (as_int a * as_int b)
+  | Pdiv, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "division by zero" else Vint (as_int a / d)
+  | Pmod, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "mod by zero"
+      else Vint (((as_int a mod d) + abs d) mod abs d)
+  | Pneg, [ a ] -> Vint (-as_int a)
+  | Peq, [ a; b ] -> Vbool (equal a b)
+  | Pne, [ a; b ] -> Vbool (not (equal a b))
+  | Plt, [ a; b ] -> Vbool (as_int a < as_int b)
+  | Ple, [ a; b ] -> Vbool (as_int a <= as_int b)
+  | Pgt, [ a; b ] -> Vbool (as_int a > as_int b)
+  | Pge, [ a; b ] -> Vbool (as_int a >= as_int b)
+  | Pand, [ a; b ] -> Vbool (as_bool a && as_bool b)
+  | Por, [ a; b ] -> Vbool (as_bool a || as_bool b)
+  | Pnot, [ a ] -> Vbool (not (as_bool a))
+  | Pband, [ a; b ] -> Vint (as_int a land as_int b)
+  | Pbor, [ a; b ] -> Vint (as_int a lor as_int b)
+  | Pbxor, [ a; b ] -> Vint (as_int a lxor as_int b)
+  | Pshl, [ a; b ] ->
+      let k = as_int b in
+      if k < 0 || k > 62 then error "shift out of range" else Vint (as_int a lsl k)
+  | Pshr, [ a; b ] ->
+      let k = as_int b in
+      if k < 0 || k > 62 then error "shift out of range" else Vint (as_int a lsr k)
+  | _ -> error "bad primitive application"
+
+let rec eval env bindings e =
+  env.fuel <- env.fuel - 1;
+  if env.fuel <= 0 then error "specification evaluation out of fuel";
+  match e with
+  | Sbool_lit b -> Vbool b
+  | Sint_lit n -> Vint n
+  | Svar x -> (
+      match List.assoc_opt x bindings with
+      | Some v -> v
+      | None -> (
+          (* 0-ary definitions (tables, named constants) *)
+          match find_def env.theory x with
+          | Some d when d.sd_params = [] -> eval env [] d.sd_body
+          | _ -> error "unbound specification variable %s" x))
+  | Sif (c, a, b) -> if as_bool (eval env bindings c) then eval env bindings a else eval env bindings b
+  | Slet (x, a, b) ->
+      let va = eval env bindings a in
+      eval env ((x, va) :: bindings) b
+  | Sprim (p, args) -> prim_eval p (List.map (eval env bindings) args)
+  | Sapp (name, args) -> (
+      match find_def env.theory name with
+      | None -> error "unknown specification function %s" name
+      | Some d ->
+          if List.length d.sd_params <> List.length args then
+            error "arity mismatch applying %s" name;
+          let argv = List.map (eval env bindings) args in
+          let frame = List.map2 (fun (p, _) v -> (p, v)) d.sd_params argv in
+          eval env frame d.sd_body)
+  | Sarray_lit (lo, es) ->
+      Varr (lo, Array.of_list (List.map (eval env bindings) es))
+  | Sindex (a, i) -> (
+      match eval env bindings a with
+      | Varr (lo, data) ->
+          let k = as_int (eval env bindings i) - lo in
+          if k < 0 || k >= Array.length data then error "spec index out of range"
+          else data.(k)
+      | v -> error "indexing non-array %s" (to_string v))
+  | Supdate (a, i, v) -> (
+      match eval env bindings a with
+      | Varr (lo, data) ->
+          let k = as_int (eval env bindings i) - lo in
+          if k < 0 || k >= Array.length data then error "spec update out of range"
+          else
+            let data' = Array.copy data in
+            data'.(k) <- eval env bindings v;
+            Varr (lo, data')
+      | v -> error "updating non-array %s" (to_string v))
+  | Stuple_lit es -> Vtup (List.map (eval env bindings) es)
+  | Sproj (k, e) -> (
+      match eval env bindings e with
+      | Vtup vs when k < List.length vs -> List.nth vs k
+      | v -> error "projection %d from %s" k (to_string v))
+  | Stabulate (lo, hi, x, body) ->
+      Varr (lo, Array.init (hi - lo + 1) (fun k ->
+                eval env ((x, Vint (lo + k)) :: bindings) body))
+  | Sfold f ->
+      let lo = as_int (eval env bindings f.f_lo) in
+      let hi = as_int (eval env bindings f.f_hi) in
+      let rec go i acc =
+        if i > hi then acc
+        else
+          let bindings' = (f.f_var, Vint i) :: (f.f_acc, acc) :: bindings in
+          go (i + 1) (eval env bindings' f.f_body)
+      in
+      go lo (eval env bindings f.f_init)
+
+(** Apply a named definition to values. *)
+let apply env name argv =
+  let d = find_def_exn env.theory name in
+  if List.length d.sd_params <> List.length argv then
+    error "arity mismatch applying %s" name;
+  let frame = List.map2 (fun (p, _) v -> (p, v)) d.sd_params argv in
+  eval env frame d.sd_body
+
+(** Default value of a type — for building sample inputs. *)
+let rec default env t =
+  match resolve_typ env.theory t with
+  | Sbool -> Vbool false
+  | Sint | Smod _ -> Vint 0
+  | Sarray (lo, hi, elt) -> Varr (lo, Array.init (hi - lo + 1) (fun _ -> default env elt))
+  | Stuple ts -> Vtup (List.map (default env) ts)
+  | Snamed _ -> assert false
+
+(** Deterministic pseudo-random value of a type (for differential testing). *)
+let rec random_value env rng t =
+  match resolve_typ env.theory t with
+  | Sbool -> Vbool (rng () land 1 = 0)
+  | Sint -> Vint (rng () mod 1000)
+  | Smod m -> Vint (rng () mod m)
+  | Sarray (lo, hi, elt) ->
+      Varr (lo, Array.init (hi - lo + 1) (fun _ -> random_value env rng elt))
+  | Stuple ts -> Vtup (List.map (random_value env rng) ts)
+  | Snamed _ -> assert false
+
+(** All values of a finite scalar type, when small enough to enumerate. *)
+let enumerate env ?(limit = 65536) t =
+  match resolve_typ env.theory t with
+  | Sbool -> Some [ Vbool false; Vbool true ]
+  | Smod m when m <= limit -> Some (List.init m (fun k -> Vint k))
+  | _ -> None

@@ -1,0 +1,73 @@
+(* Printer for specification theories, in a PVS-flavoured concrete syntax.
+   Used for documentation output and for the size metrics the paper quotes
+   about the extracted specification (§6.2.4). *)
+
+open Sast
+
+let prim_name = function
+  | Padd -> "+" | Psub -> "-" | Pmul -> "*" | Pdiv -> "/" | Pmod -> "mod"
+  | Pneg -> "-"
+  | Peq -> "=" | Pne -> "/=" | Plt -> "<" | Ple -> "<=" | Pgt -> ">" | Pge -> ">="
+  | Pand -> "AND" | Por -> "OR" | Pnot -> "NOT"
+  | Pband -> "band" | Pbor -> "bor" | Pbxor -> "xor"
+  | Pshl -> "shl" | Pshr -> "shr"
+
+let rec pp_typ ppf = function
+  | Sbool -> Fmt.string ppf "bool"
+  | Sint -> Fmt.string ppf "int"
+  | Smod m -> Fmt.pf ppf "below(%d)" m
+  | Sarray (lo, hi, elt) -> Fmt.pf ppf "[%d..%d -> %a]" lo hi pp_typ elt
+  | Stuple ts -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp_typ) ts
+  | Snamed n -> Fmt.string ppf n
+
+let rec pp_expr ppf = function
+  | Sbool_lit b -> Fmt.bool ppf b
+  | Sint_lit n -> Fmt.int ppf n
+  | Svar x -> Fmt.string ppf x
+  | Sif (c, a, b) ->
+      Fmt.pf ppf "@[<hv 2>IF %a@ THEN %a@ ELSE %a@ ENDIF@]" pp_expr c pp_expr a pp_expr b
+  | Slet (x, a, b) ->
+      Fmt.pf ppf "@[<hv 2>LET %s = %a IN@ %a@]" x pp_expr a pp_expr b
+  | Sprim ((Pneg | Pnot) as p, [ a ]) -> Fmt.pf ppf "%s(%a)" (prim_name p) pp_expr a
+  | Sprim (p, [ a; b ]) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (prim_name p) pp_expr b
+  | Sprim (p, args) ->
+      Fmt.pf ppf "%s(%a)" (prim_name p) Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Sapp (name, []) -> Fmt.string ppf name
+  | Sapp (name, args) ->
+      Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Sarray_lit (_, es) ->
+      Fmt.pf ppf "@[<hov 1>(:%a:)@]" Fmt.(list ~sep:(any ",@ ") pp_expr) es
+  | Sindex (a, i) -> Fmt.pf ppf "%a(%a)" pp_expr a pp_expr i
+  | Supdate (a, i, v) ->
+      Fmt.pf ppf "%a WITH [(%a) := %a]" pp_expr a pp_expr i pp_expr v
+  | Stuple_lit es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Sproj (k, e) -> Fmt.pf ppf "%a`%d" pp_expr e (k + 1)
+  | Stabulate (lo, hi, x, body) ->
+      Fmt.pf ppf "@[<hv 2>LAMBDA (%s : subrange(%d, %d)):@ %a@]" x lo hi pp_expr body
+  | Sfold f ->
+      Fmt.pf ppf "@[<hv 2>FOLD %s = %a..%a WITH %s := %a DO@ %a@]" f.f_var pp_expr
+        f.f_lo pp_expr f.f_hi f.f_acc pp_expr f.f_init pp_expr f.f_body
+
+let pp_def ppf d =
+  match d.sd_params with
+  | [] ->
+      Fmt.pf ppf "@[<hv 2>%s : %a =@ %a@]" d.sd_name pp_typ d.sd_ret pp_expr d.sd_body
+  | ps ->
+      let pp_param ppf (x, t) = Fmt.pf ppf "%s : %a" x pp_typ t in
+      Fmt.pf ppf "@[<hv 2>%s(%a) : %a =@ %a@]" d.sd_name
+        Fmt.(list ~sep:(any ", ") pp_param)
+        ps pp_typ d.sd_ret pp_expr d.sd_body
+
+let pp_theory ppf th =
+  Fmt.pf ppf "@[<v>%s : THEORY@,BEGIN@,@," th.th_name;
+  List.iter (fun (n, t) -> Fmt.pf ppf "%s : TYPE = %a@,@," n pp_typ t) th.th_types;
+  List.iter (fun d -> Fmt.pf ppf "%a@,@," pp_def d) th.th_defs;
+  Fmt.pf ppf "END %s@]" th.th_name
+
+let theory_to_string th = Fmt.str "%a" pp_theory th
+
+let line_count th =
+  theory_to_string th |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,1 @@
+test/str_replace.ml: Astring String

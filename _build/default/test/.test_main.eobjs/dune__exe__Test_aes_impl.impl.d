@@ -1,0 +1,1 @@
+test/test_aes_impl.ml: Aes Alcotest Array List Minispark Printf

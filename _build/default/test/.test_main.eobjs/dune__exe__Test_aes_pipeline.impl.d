@@ -1,0 +1,1 @@
+test/test_aes_pipeline.ml: Aes Alcotest Array Ast Echo Extract Lazy List Metrics Minispark Printf Refactor Specl String Typecheck

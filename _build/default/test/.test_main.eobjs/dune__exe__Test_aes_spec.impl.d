@@ -1,0 +1,1 @@
+test/test_aes_spec.ml: Aes Alcotest Astring List Printf Specl

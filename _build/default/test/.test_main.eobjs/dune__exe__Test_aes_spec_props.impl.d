@@ -1,0 +1,1 @@
+test/test_aes_spec_props.ml: Aes Alcotest Array List Printf Specl

@@ -1,0 +1,1 @@
+test/test_aes_tables.ml: Aes Alcotest Array Printf

@@ -1,0 +1,1 @@
+test/test_defects.ml: Aes Alcotest Ast Defects List Minispark Printexc Printf Refactor Typecheck

@@ -1,0 +1,1 @@
+test/test_echo.ml: Alcotest Astring Echo List Minispark Parser Specl Str_replace Typecheck

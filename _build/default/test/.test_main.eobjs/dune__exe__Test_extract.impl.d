@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Extract Interp List Minispark Parser Printf Specl Typecheck Value

@@ -1,0 +1,1 @@
+test/test_interp_edge.ml: Alcotest Array Interp Minispark Parser Typecheck Value

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Logic QCheck QCheck_alcotest

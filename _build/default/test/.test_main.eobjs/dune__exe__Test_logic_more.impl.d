@@ -1,0 +1,1 @@
+test/test_logic_more.ml: Alcotest List Logic Printf

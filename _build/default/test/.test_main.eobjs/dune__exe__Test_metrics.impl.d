@@ -1,0 +1,1 @@
+test/test_metrics.ml: Aes Alcotest List Metrics Minispark Parser Typecheck

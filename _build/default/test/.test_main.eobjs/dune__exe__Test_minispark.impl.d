@@ -1,0 +1,1 @@
+test/test_minispark.ml: Alcotest Ast Astring Interp Lexer List Minispark Parser Pretty QCheck QCheck_alcotest String Typecheck Value

@@ -1,0 +1,1 @@
+test/test_pretty_decl.ml: Alcotest Astring List Minispark Parser Pretty Printf String Typecheck

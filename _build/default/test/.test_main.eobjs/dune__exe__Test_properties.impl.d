@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Ast Extract Interp List Logic Minispark Parser Pretty QCheck QCheck_alcotest Refactor Specl Typecheck Value Vcgen

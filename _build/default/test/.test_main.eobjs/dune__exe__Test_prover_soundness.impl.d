@@ -1,0 +1,1 @@
+test/test_prover_soundness.ml: Alcotest Logic QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_refactor.ml: Alcotest Ast List Minispark Parser Pretty Refactor Str_replace Typecheck

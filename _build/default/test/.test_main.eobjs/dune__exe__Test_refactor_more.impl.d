@@ -1,0 +1,1 @@
+test/test_refactor_more.ml: Alcotest Ast List Minispark Parser Refactor Str_replace Typecheck

@@ -1,0 +1,1 @@
+test/test_specl.ml: Alcotest Array Astring List Specl

@@ -1,0 +1,1 @@
+test/test_typecheck_edge.ml: Alcotest Minispark Parser Typecheck

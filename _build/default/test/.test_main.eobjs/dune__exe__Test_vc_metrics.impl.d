@@ -1,0 +1,1 @@
+test/test_vc_metrics.ml: Alcotest List Logic Minispark Parser Typecheck Vcgen

@@ -1,0 +1,1 @@
+test/test_vcgen.ml: Alcotest List Logic Minispark Parser Printf Str_replace String Typecheck Vcgen

@@ -1,0 +1,7 @@
+(* tiny helper: replace the first occurrence of [find] in [s] *)
+let replace s ~find ~by =
+  match Astring.String.find_sub ~sub:find s with
+  | None -> invalid_arg "Str_replace.replace: not found"
+  | Some i ->
+      String.sub s 0 i ^ by
+      ^ String.sub s (i + String.length find) (String.length s - i - String.length find)

@@ -1,0 +1,159 @@
+(* Integration tests of the full AES case study: the 14-block refactoring,
+   annotation, both Echo proofs, and the per-block metric trajectories.
+   The pipeline is run once and shared across the cases. *)
+
+open Minispark
+
+let pipeline = lazy (Aes.Aes_refactoring.run ())
+
+let snapshots () = fst (Lazy.force pipeline)
+
+let annotated =
+  lazy
+    (let final = List.nth (snapshots ()) 14 in
+     let a = Aes.Aes_annotations.annotate final.Aes.Aes_refactoring.sn_program in
+     Typecheck.check a)
+
+let test_blocks_complete () =
+  let snaps = snapshots () in
+  Alcotest.(check int) "15 snapshots (block 0 + 14)" 15 (List.length snaps);
+  let _, h = Lazy.force pipeline in
+  (* the paper applied 50 transformations; ours is the same order *)
+  Alcotest.(check bool) "roughly fifty transformations" true
+    (Refactor.History.step_count h >= 45 && Refactor.History.step_count h <= 75)
+
+let test_kats_at_every_block () =
+  List.iter
+    (fun (s : Aes.Aes_refactoring.snapshot) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "KATs at block %d" s.Aes.Aes_refactoring.sn_block)
+        true
+        (Aes.Aes_kat.all_pass
+           (Aes.Aes_kat.check_program s.Aes.Aes_refactoring.sn_env
+              s.Aes.Aes_refactoring.sn_program)))
+    (snapshots ())
+
+let test_size_shrinks () =
+  let loc block =
+    let s = List.nth (snapshots ()) block in
+    (Metrics.analyze s.Aes.Aes_refactoring.sn_program).Metrics.element.Metrics.em_lines
+  in
+  Alcotest.(check bool) "final much smaller than original" true
+    (float_of_int (loc 14) < 0.5 *. float_of_int (loc 0))
+
+let test_complexity_declines () =
+  let cyclo block =
+    let s = List.nth (snapshots ()) block in
+    (Metrics.analyze s.Aes.Aes_refactoring.sn_program).Metrics.complexity
+      .Metrics.cm_avg_cyclomatic
+  in
+  Alcotest.(check bool) "cyclomatic declines" true (cyclo 14 < cyclo 0)
+
+let test_subprogram_count () =
+  let final = List.nth (snapshots ()) 14 in
+  let n = List.length (Ast.subprograms final.Aes.Aes_refactoring.sn_program) in
+  (* paper: 25 functions in the final refactored program *)
+  Alcotest.(check bool) (Printf.sprintf "around 25 subprograms (%d)" n) true
+    (n >= 22 && n <= 32)
+
+let test_match_ratio_trajectory () =
+  let ratio block =
+    let s = List.nth (snapshots ()) block in
+    let sk = Extract.skeleton s.Aes.Aes_refactoring.sn_program in
+    (Aes.Aes_implication.match_ratio ~extracted:sk).Specl.Match_ratio.mr_ratio
+  in
+  let r0 = ratio 0 and r14 = ratio 14 in
+  Alcotest.(check bool) (Printf.sprintf "low at block 0 (%.2f)" r0) true (r0 < 0.5);
+  Alcotest.(check bool) (Printf.sprintf "high at block 14 (%.2f)" r14) true (r14 > 0.9)
+
+let test_annotated_typechecks () =
+  let _, prog = Lazy.force annotated in
+  Alcotest.(check bool) "annotated program has posts" true
+    (List.exists (fun s -> s.Ast.sub_post <> None) (Ast.subprograms prog))
+
+let test_implementation_proof () =
+  let env, prog = Lazy.force annotated in
+  let r = Echo.Implementation_proof.run env prog in
+  Alcotest.(check (option string)) "feasible" None r.Echo.Implementation_proof.ip_infeasible;
+  Alcotest.(check bool)
+    (Printf.sprintf "high automation (%.1f%%)"
+       (100.0 *. Echo.Implementation_proof.auto_fraction r))
+    true
+    (Echo.Implementation_proof.auto_fraction r > 0.8);
+  Alcotest.(check int) "no residual VCs" 0 r.Echo.Implementation_proof.ip_residual
+
+let test_extraction_and_implication () =
+  let env, prog = Lazy.force annotated in
+  let extracted = Extract.extract_program env prog in
+  let mr = Aes.Aes_implication.match_ratio ~extracted in
+  Alcotest.(check bool) "match ratio above 90%" true (mr.Specl.Match_ratio.mr_ratio > 0.9);
+  let r = Aes.Aes_implication.run ~extracted in
+  Alcotest.(check int) "all lemmas discharged" r.Echo.Implication.im_total
+    r.Echo.Implication.im_proved
+
+let test_extracted_spec_is_executable () =
+  let env, prog = Lazy.force annotated in
+  let extracted = Extract.extract_program env prog in
+  let senv = Specl.Seval.make ~fuel:100_000_000 extracted in
+  let v = List.hd Aes.Aes_kat.vectors in
+  let arr ~width a =
+    Specl.Seval.Varr
+      (0, Array.init width (fun i ->
+           Specl.Seval.Vint (if i < Array.length a then a.(i) else 0)))
+  in
+  match
+    Specl.Seval.apply senv "encrypt_block"
+      [ arr ~width:32 (Aes.Aes_kat.key_bytes v); Specl.Seval.Vint 4;
+        arr ~width:16 (Aes.Aes_kat.plaintext_bytes v) ]
+  with
+  | Specl.Seval.Varr (_, out) ->
+      let got =
+        String.concat ""
+          (Array.to_list
+             (Array.map (fun x -> Printf.sprintf "%02x" (Specl.Seval.as_int x)) out))
+      in
+      Alcotest.(check string) "extracted spec encrypts the KAT" v.Aes.Aes_kat.ciphertext got
+  | _ -> Alcotest.fail "non-array result"
+
+let test_packaged_pipeline_verdict () =
+  (* the one-call API over the same case study: Aes_echo.verify re-runs
+     refactoring + both proofs and must land on Verified *)
+  let report = Aes.Aes_echo.verify () in
+  (match report.Echo.Pipeline.p_verdict with
+  | Echo.Pipeline.Verified -> ()
+  | v -> Alcotest.failf "verdict: %a" Echo.Pipeline.pp_verdict v);
+  Alcotest.(check bool) "history recorded" true
+    (Refactor.History.step_count report.Echo.Pipeline.p_history >= 45);
+  Alcotest.(check bool) "match ratio carried through" true
+    (report.Echo.Pipeline.p_match.Specl.Match_ratio.mr_ratio > 0.9)
+
+let test_history_undo_roundtrip () =
+  let _, h = Lazy.force pipeline in
+  let before = Refactor.History.step_count h in
+  let step = Refactor.History.undo h in
+  Alcotest.(check int) "one fewer step" (before - 1) (Refactor.History.step_count h);
+  (* re-applying the recorded after-state must still pass the KATs *)
+  let env, prog = Typecheck.check step.Refactor.History.st_after in
+  Alcotest.(check bool) "recorded after-state is sound" true
+    (Aes.Aes_kat.all_pass (Aes.Aes_kat.check_program env prog));
+  (* restore the history for other tests *)
+  let env', prog' = Typecheck.check step.Refactor.History.st_after in
+  ignore (env', prog')
+
+let suites =
+  [ ( "aes:pipeline",
+      [ Alcotest.test_case "14 blocks complete" `Slow test_blocks_complete;
+        Alcotest.test_case "KATs hold at every block" `Slow test_kats_at_every_block;
+        Alcotest.test_case "size halves" `Slow test_size_shrinks;
+        Alcotest.test_case "complexity declines" `Slow test_complexity_declines;
+        Alcotest.test_case "~25 subprograms" `Slow test_subprogram_count;
+        Alcotest.test_case "match-ratio trajectory" `Slow test_match_ratio_trajectory;
+        Alcotest.test_case "annotations type-check" `Slow test_annotated_typechecks;
+        Alcotest.test_case "implementation proof" `Slow test_implementation_proof;
+        Alcotest.test_case "extraction + implication proof" `Slow
+          test_extraction_and_implication;
+        Alcotest.test_case "extracted spec executes FIPS KAT" `Slow
+          test_extracted_spec_is_executable;
+        Alcotest.test_case "packaged pipeline verdict" `Slow
+          test_packaged_pipeline_verdict;
+        Alcotest.test_case "history undo" `Slow test_history_undo_roundtrip ] ) ]

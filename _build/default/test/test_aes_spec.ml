@@ -1,0 +1,43 @@
+(* Validation of the FIPS-197 specification-language formalisation against
+   the standard's vectors and the OCaml reference. *)
+
+module R = Aes.Aes_reference
+module K = Aes.Aes_kat
+
+let test_spec_vectors () =
+  List.iter
+    (fun v ->
+      let key = K.key_bytes v and pt = K.plaintext_bytes v and ct = K.ciphertext_bytes v in
+      let nk = R.nk_of v.K.size in
+      let got = Aes.Aes_spec.eval_encrypt ~key ~nk ~pt in
+      Alcotest.(check string) (v.K.name ^ " spec encrypt")
+        (R.hex_of_bytes ct) (R.hex_of_bytes got);
+      let back = Aes.Aes_spec.eval_decrypt ~key ~nk ~ct in
+      Alcotest.(check string) (v.K.name ^ " spec decrypt")
+        (R.hex_of_bytes pt) (R.hex_of_bytes back))
+    K.vectors
+
+let test_spec_gf_mul_matches_reference () =
+  let env = Specl.Seval.make Aes.Aes_spec.theory in
+  for a = 0 to 255 do
+    let c = (a * 37 + 11) land 0xff in
+    let got =
+      Specl.Seval.as_int
+        (Specl.Seval.apply env "gf_mul" [ Specl.Seval.Vint a; Specl.Seval.Vint c ])
+    in
+    Alcotest.(check int) (Printf.sprintf "gf_mul %d %d" a c) (R.gf_mul a c) got
+  done
+
+let test_spec_theory_prints () =
+  let s = Specl.Spretty.theory_to_string Aes.Aes_spec.theory in
+  Alcotest.(check bool) "mentions cipher" true
+    (Astring.String.is_infix ~affix:"cipher" s);
+  let loc = Specl.Spretty.line_count Aes.Aes_spec.theory in
+  (* the paper's PVS formalisation is 811 lines (excluding boilerplate) *)
+  Alcotest.(check bool) (Printf.sprintf "plausible size (%d)" loc) true (loc > 80)
+
+let suites =
+  [ ( "aes:spec",
+      [ Alcotest.test_case "FIPS-197 vectors" `Quick test_spec_vectors;
+        Alcotest.test_case "gf_mul matches reference" `Quick test_spec_gf_mul_matches_reference;
+        Alcotest.test_case "theory prints" `Quick test_spec_theory_prints ] ) ]

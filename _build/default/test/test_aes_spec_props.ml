@@ -1,0 +1,119 @@
+(* Algebraic properties of the FIPS-197 formalisation, checked through the
+   specification evaluator: the standard's §4 identities hold in the
+   theory itself, independent of any implementation. *)
+
+module V = Specl.Seval
+
+let env () = V.make ~fuel:200_000_000 Aes.Aes_spec.theory
+let apply name args = V.apply (env ()) name args
+
+let rng = ref 424242
+let next () =
+  rng := (!rng * 1103515245 + 12345) land 0x3fffffff;
+  (!rng lsr 7) land 0xff
+
+let rand_state () =
+  V.Varr (0, Array.init 4 (fun _ -> V.Varr (0, Array.init 4 (fun _ -> V.Vint (next ())))))
+
+let test_xtime_is_gf_mul_2 () =
+  for b = 0 to 255 do
+    Alcotest.(check bool) "xtime = gf_mul 2" true
+      (V.equal (apply "xtime" [ V.Vint b ]) (apply "gf_mul" [ V.Vint 2; V.Vint b ]))
+  done
+
+let test_gf_mul_distributes_over_xor () =
+  for _ = 1 to 200 do
+    let a = next () and b = next () and c = next () in
+    let lhs = apply "gf_mul" [ V.Vint a; V.Vint (b lxor c) ] in
+    let rhs =
+      V.Vint
+        (V.as_int (apply "gf_mul" [ V.Vint a; V.Vint b ])
+         lxor V.as_int (apply "gf_mul" [ V.Vint a; V.Vint c ]))
+    in
+    Alcotest.(check bool) "distributivity" true (V.equal lhs rhs)
+  done
+
+let test_gf_mul_associative_sample () =
+  for _ = 1 to 100 do
+    let a = next () and b = next () and c = next () in
+    let ab = V.as_int (apply "gf_mul" [ V.Vint a; V.Vint b ]) in
+    let bc = V.as_int (apply "gf_mul" [ V.Vint b; V.Vint c ]) in
+    Alcotest.(check bool) "associativity" true
+      (V.equal
+         (apply "gf_mul" [ V.Vint ab; V.Vint c ])
+         (apply "gf_mul" [ V.Vint a; V.Vint bc ]))
+  done
+
+let test_sub_bytes_inverse () =
+  for _ = 1 to 20 do
+    let s = rand_state () in
+    Alcotest.(check bool) "inv_sub . sub = id" true
+      (V.equal (apply "inv_sub_bytes" [ apply "sub_bytes" [ s ] ]) s)
+  done
+
+let test_shift_rows_inverse_and_period () =
+  for _ = 1 to 20 do
+    let s = rand_state () in
+    Alcotest.(check bool) "inv_shift . shift = id" true
+      (V.equal (apply "inv_shift_rows" [ apply "shift_rows" [ s ] ]) s);
+    (* ShiftRows has period 4 *)
+    let s4 =
+      apply "shift_rows"
+        [ apply "shift_rows" [ apply "shift_rows" [ apply "shift_rows" [ s ] ] ] ]
+    in
+    Alcotest.(check bool) "shift_rows^4 = id" true (V.equal s4 s)
+  done
+
+let test_mix_columns_inverse () =
+  for _ = 1 to 20 do
+    let s = rand_state () in
+    Alcotest.(check bool) "inv_mix . mix = id" true
+      (V.equal (apply "inv_mix_columns" [ apply "mix_columns" [ s ] ]) s)
+  done
+
+let test_add_round_key_involution () =
+  for _ = 1 to 20 do
+    let s = rand_state () in
+    let w =
+      V.Varr (0, Array.init 60 (fun _ ->
+          V.Varr (0, Array.init 4 (fun _ -> V.Vint (next ())))))
+    in
+    let once = apply "add_round_key" [ s; w; V.Vint 3 ] in
+    let twice = apply "add_round_key" [ once; w; V.Vint 3 ] in
+    Alcotest.(check bool) "ark self-inverse" true (V.equal twice s)
+  done
+
+let test_state_block_roundtrip () =
+  for _ = 1 to 20 do
+    let b = V.Varr (0, Array.init 16 (fun _ -> V.Vint (next ()))) in
+    Alcotest.(check bool) "block -> state -> block" true
+      (V.equal (apply "block_of_state" [ apply "state_of_block" [ b ] ]) b)
+  done
+
+let test_cipher_inverse_at_spec_level () =
+  (* InvCipher inverts Cipher for all three key sizes, entirely inside the
+     specification theory *)
+  List.iter
+    (fun nk ->
+      let key = V.Varr (0, Array.init 32 (fun _ -> V.Vint (next ()))) in
+      let pt = V.Varr (0, Array.init 16 (fun _ -> V.Vint (next ()))) in
+      let ct = apply "encrypt" [ key; V.Vint nk; pt ] in
+      let back = apply "decrypt" [ key; V.Vint nk; ct ] in
+      Alcotest.(check bool) (Printf.sprintf "nk=%d" nk) true (V.equal back pt))
+    [ 4; 6; 8 ]
+
+let suites =
+  [ ( "aes:spec-properties",
+      [ Alcotest.test_case "xtime = gf_mul 2" `Quick test_xtime_is_gf_mul_2;
+        Alcotest.test_case "gf_mul distributes over xor" `Quick
+          test_gf_mul_distributes_over_xor;
+        Alcotest.test_case "gf_mul associative (sampled)" `Quick
+          test_gf_mul_associative_sample;
+        Alcotest.test_case "SubBytes inverse" `Quick test_sub_bytes_inverse;
+        Alcotest.test_case "ShiftRows inverse and period" `Quick
+          test_shift_rows_inverse_and_period;
+        Alcotest.test_case "MixColumns inverse" `Quick test_mix_columns_inverse;
+        Alcotest.test_case "AddRoundKey involution" `Quick test_add_round_key_involution;
+        Alcotest.test_case "state/block round-trip" `Quick test_state_block_roundtrip;
+        Alcotest.test_case "InvCipher inverts Cipher" `Quick
+          test_cipher_inverse_at_spec_level ] ) ]

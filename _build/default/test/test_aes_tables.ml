@@ -1,0 +1,92 @@
+(* Structural relations between the optimized implementation's tables and
+   the FIPS-197 algebra: the facts the table-reversal refactoring proves
+   exhaustively, checked here independently. *)
+
+module R = Aes.Aes_reference
+module T = Aes.Aes_tables
+
+let byte t i shift = (t.(i) lsr shift) land 0xff
+
+let test_te0_structure () =
+  for x = 0 to 255 do
+    let s = R.sbox.(x) in
+    Alcotest.(check int) "byte0 = 2*S" (R.gf_mul 2 s) (byte T.te0 x 24);
+    Alcotest.(check int) "byte1 = S" s (byte T.te0 x 16);
+    Alcotest.(check int) "byte2 = S" s (byte T.te0 x 8);
+    Alcotest.(check int) "byte3 = 3*S" (R.gf_mul 3 s) (byte T.te0 x 0)
+  done
+
+let rotr32 w k = ((w lsr k) lor (w lsl (32 - k))) land 0xffffffff
+
+let test_te_rotations () =
+  (* Te1..Te3 are byte rotations of Te0 — the classic identity of the
+     rijndael-alg-fst tables *)
+  for x = 0 to 255 do
+    Alcotest.(check int) "te1 = ror8(te0)" (rotr32 T.te0.(x) 8) T.te1.(x);
+    Alcotest.(check int) "te2 = ror16(te0)" (rotr32 T.te0.(x) 16) T.te2.(x);
+    Alcotest.(check int) "te3 = ror24(te0)" (rotr32 T.te0.(x) 24) T.te3.(x)
+  done
+
+let test_td_structure () =
+  for x = 0 to 255 do
+    let s = R.inv_sbox.(x) in
+    Alcotest.(check int) "td0 byte0 = 14*Si" (R.gf_mul 14 s) (byte T.td0 x 24);
+    Alcotest.(check int) "td0 byte1 = 9*Si" (R.gf_mul 9 s) (byte T.td0 x 16);
+    Alcotest.(check int) "td0 byte2 = 13*Si" (R.gf_mul 13 s) (byte T.td0 x 8);
+    Alcotest.(check int) "td0 byte3 = 11*Si" (R.gf_mul 11 s) (byte T.td0 x 0)
+  done
+
+let test_td_rotations () =
+  for x = 0 to 255 do
+    Alcotest.(check int) "td1 = ror8(td0)" (rotr32 T.td0.(x) 8) T.td1.(x);
+    Alcotest.(check int) "td2 = ror16(td0)" (rotr32 T.td0.(x) 16) T.td2.(x);
+    Alcotest.(check int) "td3 = ror24(td0)" (rotr32 T.td0.(x) 24) T.td3.(x)
+  done
+
+let test_te4_td4_replication () =
+  for x = 0 to 255 do
+    let s = R.sbox.(x) and si = R.inv_sbox.(x) in
+    Alcotest.(check int) "te4 replicates S" (T.pack s s s s) T.te4.(x);
+    Alcotest.(check int) "td4 replicates Si" (T.pack si si si si) T.td4.(x)
+  done
+
+let test_rcon_top_byte () =
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "rcon packed in byte 0" (r lsl 24) T.rcon_words.(i))
+    R.rcon
+
+let test_round_identity_via_tables () =
+  (* one encryption round computed via the tables equals the FIPS
+     composition — the identity the optimized implementation exploits *)
+  let rng = ref 11 in
+  let next () = rng := (!rng * 48271) mod 0x7fffffff; !rng land 0xff in
+  for _ = 1 to 20 do
+    let s = Array.init 4 (fun _ -> Array.init 4 (fun _ -> next ())) in
+    (* table path: column c of the round output (before AddRoundKey) *)
+    let table_col c =
+      T.te0.(s.(c).(0)) lxor T.te1.(s.((c + 1) mod 4).(1))
+      lxor T.te2.(s.((c + 2) mod 4).(2)) lxor T.te3.(s.((c + 3) mod 4).(3))
+    in
+    (* specification path *)
+    let spec = R.mix_columns (R.shift_rows (R.sub_bytes s)) in
+    for c = 0 to 3 do
+      let w = table_col c in
+      for r = 0 to 3 do
+        Alcotest.(check int)
+          (Printf.sprintf "column %d row %d" c r)
+          spec.(c).(r)
+          ((w lsr (24 - (8 * r))) land 0xff)
+      done
+    done
+  done
+
+let suites =
+  [ ( "aes:tables",
+      [ Alcotest.test_case "Te0 structure" `Quick test_te0_structure;
+        Alcotest.test_case "Te rotations" `Quick test_te_rotations;
+        Alcotest.test_case "Td0 structure" `Quick test_td_structure;
+        Alcotest.test_case "Td rotations" `Quick test_td_rotations;
+        Alcotest.test_case "Te4/Td4 replication" `Quick test_te4_td4_replication;
+        Alcotest.test_case "Rcon packing" `Quick test_rcon_top_byte;
+        Alcotest.test_case "table round = spec round" `Quick test_round_identity_via_tables ] ) ]

@@ -1,0 +1,135 @@
+(* Tests for the Echo proof drivers: implementation proof accounting and
+   implication-proof lemma machinery. *)
+
+open Minispark
+
+let check_src src = Typecheck.check (Parser.of_string src)
+
+let annotated_src =
+  {|
+program swapper is
+
+  type byte is mod 256;
+
+  procedure swap (a : in out byte; b : in out byte)
+  --# post a = b~ and b = a~;
+  is
+    t : byte;
+  begin
+    t := a;
+    a := b;
+    b := t;
+  end swap;
+
+  procedure reset (a : out byte; b : out byte)
+  --# post a = 0 and b = 0;
+  is
+  begin
+    a := 0;
+    b := 0;
+  end reset;
+
+end swapper;
+|}
+
+let test_impl_proof_clean () =
+  let env, prog = check_src annotated_src in
+  let r = Echo.Implementation_proof.run env prog in
+  Alcotest.(check int) "no residual" 0 r.Echo.Implementation_proof.ip_residual;
+  Alcotest.(check bool) "has VCs" true (r.Echo.Implementation_proof.ip_total >= 2);
+  Alcotest.(check int) "all subs fully auto" 2 (Echo.Implementation_proof.fully_auto_subs r)
+
+let test_impl_proof_detects_defect () =
+  let env, prog =
+    check_src (Str_replace.replace annotated_src ~find:"b := t;" ~by:"b := t + 1;")
+  in
+  let r = Echo.Implementation_proof.run env prog in
+  Alcotest.(check bool) "detects wrong swap" true
+    (r.Echo.Implementation_proof.ip_residual > 0)
+
+let test_impl_proof_interp_callback () =
+  (* a postcondition mentioning a program function on ground arguments is
+     discharged by evaluating the function through the interpreter *)
+  let env, prog =
+    check_src
+      {|
+program evalme is
+  type byte is mod 256;
+  function square (x : in byte) return byte
+  is
+  begin
+    return x * x;
+  end square;
+  procedure store (r : out byte)
+  --# post r = square (7);
+  is
+  begin
+    r := 49;
+  end store;
+end evalme;|}
+  in
+  let r = Echo.Implementation_proof.run env prog in
+  Alcotest.(check int) "ground function post proved" 0
+    r.Echo.Implementation_proof.ip_residual
+
+(* ---------------- implication machinery ---------------- *)
+
+let test_lemma_exhaustive_pass () =
+  let lemma =
+    Echo.Implication.exhaustive ~name:"sq" ~original:"sq" ~extracted:"sq"
+      ~domain:(List.init 50 (fun n -> [ Specl.Seval.Vint n ]))
+      ~lhs:(fun p -> match p with [ Specl.Seval.Vint n ] -> Specl.Seval.Vint (n * n) | _ -> assert false)
+      ~rhs:(fun p -> match p with [ Specl.Seval.Vint n ] -> Specl.Seval.Vint (n * n) | _ -> assert false)
+      ()
+  in
+  let r = Echo.Implication.run [ lemma ] in
+  Alcotest.(check int) "proved" 1 r.Echo.Implication.im_proved
+
+let test_lemma_exhaustive_fail () =
+  let lemma =
+    Echo.Implication.exhaustive ~name:"sq" ~original:"sq" ~extracted:"almost-sq"
+      ~domain:(List.init 50 (fun n -> [ Specl.Seval.Vint n ]))
+      ~lhs:(fun p -> match p with [ Specl.Seval.Vint n ] -> Specl.Seval.Vint (n * n) | _ -> assert false)
+      ~rhs:(fun p ->
+        match p with
+        | [ Specl.Seval.Vint n ] -> Specl.Seval.Vint (if n = 31 then 0 else n * n)
+        | _ -> assert false)
+      ()
+  in
+  let r = Echo.Implication.run [ lemma ] in
+  Alcotest.(check int) "refuted" 0 r.Echo.Implication.im_proved;
+  match r.Echo.Implication.im_lemmas with
+  | [ (_, Echo.Implication.Fails msg) ] ->
+      Alcotest.(check bool) "counterexample mentions 31" true
+        (Astring.String.is_infix ~affix:"31" msg)
+  | _ -> Alcotest.fail "expected a failing lemma"
+
+let test_lemma_sampled_deterministic () =
+  let calls = ref [] in
+  let lemma () =
+    Echo.Implication.sampled ~name:"det" ~original:"d" ~extracted:"d" ~count:10
+      ~gen:(fun rng ->
+        let v = rng () land 0xff in
+        calls := v :: !calls;
+        [ Specl.Seval.Vint v ])
+      ~lhs:(fun p -> List.hd p)
+      ~rhs:(fun p -> List.hd p)
+      ()
+  in
+  ignore (Echo.Implication.run [ lemma () ]);
+  let first = !calls in
+  calls := [];
+  ignore (Echo.Implication.run [ lemma () ]);
+  Alcotest.(check (list int)) "same samples on re-run" first !calls
+
+let suites =
+  [ ( "echo:implementation_proof",
+      [ Alcotest.test_case "clean program proves" `Quick test_impl_proof_clean;
+        Alcotest.test_case "defective program fails" `Quick test_impl_proof_detects_defect;
+        Alcotest.test_case "ground evaluation of program functions" `Quick
+          test_impl_proof_interp_callback ] );
+    ( "echo:implication",
+      [ Alcotest.test_case "exhaustive lemma passes" `Quick test_lemma_exhaustive_pass;
+        Alcotest.test_case "exhaustive lemma refutes" `Quick test_lemma_exhaustive_fail;
+        Alcotest.test_case "sampling is deterministic" `Quick
+          test_lemma_sampled_deterministic ] ) ]

@@ -1,0 +1,282 @@
+(* Tests for specification extraction (reverse synthesis): the extracted
+   pure function must agree with the interpreted imperative original. *)
+
+open Minispark
+module V = Specl.Seval
+
+let check_src src = Typecheck.check (Parser.of_string src)
+
+let extract src =
+  let env, prog = check_src src in
+  (env, prog, Extract.extract_program env prog)
+
+let test_straight_line () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  function poly (x : in integer) return integer
+  is
+    a : integer;
+  begin
+    a := x * 3;
+    return a + 1;
+  end poly;
+end p;|}
+  in
+  let env = V.make th in
+  Alcotest.(check int) "poly 5" 16 (V.as_int (V.apply env "poly" [ V.Vint 5 ]))
+
+let test_conditional_merge () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  procedure clamp (x : in integer; r : out integer)
+  is
+  begin
+    r := x;
+    if x > 100 then
+      r := 100;
+    end if;
+    if x < 0 then
+      r := 0;
+    end if;
+  end clamp;
+end p;|}
+  in
+  let env = V.make th in
+  List.iter
+    (fun (x, want) ->
+      Alcotest.(check int) (Printf.sprintf "clamp %d" x) want
+        (V.as_int (V.apply env "clamp" [ V.Vint x ])))
+    [ (-5, 0); (50, 50); (150, 100) ]
+
+let test_all_return_conditional () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  function sign (x : in integer) return integer
+  is
+  begin
+    if x > 0 then
+      return 1;
+    elsif x < 0 then
+      return -1;
+    else
+      return 0;
+    end if;
+  end sign;
+end p;|}
+  in
+  let env = V.make th in
+  List.iter
+    (fun (x, want) ->
+      Alcotest.(check int) (Printf.sprintf "sign %d" x) want
+        (V.as_int (V.apply env "sign" [ V.Vint x ])))
+    [ (5, 1); (-5, -1); (0, 0) ]
+
+let test_loop_to_fold () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  type vec is array (0 .. 9) of integer;
+  function total (a : in vec) return integer
+  is
+    acc : integer;
+  begin
+    acc := 0;
+    for i in 0 .. 9 loop
+      acc := acc + a (i);
+    end loop;
+    return acc;
+  end total;
+end p;|}
+  in
+  let env = V.make th in
+  let a = V.Varr (0, Array.init 10 (fun i -> V.Vint i)) in
+  Alcotest.(check int) "total" 45 (V.as_int (V.apply env "total" [ a ]))
+
+let test_array_out_param () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  type vec is array (0 .. 4) of integer;
+  procedure fill (v : out vec; x : in integer)
+  is
+  begin
+    for i in 0 .. 4 loop
+      v (i) := x * i;
+    end loop;
+  end fill;
+end p;|}
+  in
+  let env = V.make th in
+  match V.apply env "fill" [ V.Vint 3 ] with
+  | V.Varr (0, data) ->
+      Alcotest.(check int) "v(4)" 12 (V.as_int data.(4))
+  | _ -> Alcotest.fail "expected array"
+
+let test_procedure_call_extraction () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  procedure inc (x : in integer; r : out integer)
+  is
+  begin
+    r := x + 1;
+  end inc;
+  procedure twice_inc (x : in integer; r : out integer)
+  is
+    t : integer;
+  begin
+    inc (x, t);
+    inc (t, r);
+  end twice_inc;
+end p;|}
+  in
+  let env = V.make th in
+  Alcotest.(check int) "twice_inc 5" 7 (V.as_int (V.apply env "twice_inc" [ V.Vint 5 ]))
+
+let test_multi_out_tuple () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  procedure divmod (a : in integer; b : in integer; q : out integer; r : out integer)
+  --# pre b > 0;
+  is
+  begin
+    q := a / b;
+    r := a mod b;
+  end divmod;
+end p;|}
+  in
+  let env = V.make th in
+  match V.apply env "divmod" [ V.Vint 17; V.Vint 5 ] with
+  | V.Vtup [ q; r ] ->
+      Alcotest.(check int) "q" 3 (V.as_int q);
+      Alcotest.(check int) "r" 2 (V.as_int r)
+  | _ -> Alcotest.fail "expected tuple"
+
+let test_modular_wrap_placement () =
+  let _, _, th =
+    extract
+      {|
+program p is
+  type byte is mod 256;
+  type vec is array (0 .. 3) of byte;
+  function mix (a : in vec; i : in integer) return byte
+  --# pre i >= 0 and i <= 2;
+  is
+  begin
+    return a (i + 1) + a (i);
+  end mix;
+end p;|}
+  in
+  let env = V.make th in
+  let a = V.Varr (0, [| V.Vint 200; V.Vint 100; V.Vint 3; V.Vint 4 |]) in
+  (* byte addition wraps; index arithmetic must NOT wrap *)
+  Alcotest.(check int) "wrapped add" 44 (V.as_int (V.apply env "mix" [ a; V.Vint 0 ]))
+
+let test_unextractable_while () =
+  let env, prog =
+    check_src
+      {|
+program p is
+  procedure spin (r : out integer)
+  is
+  begin
+    r := 0;
+    while r < 10 loop
+      r := r + 1;
+    end loop;
+  end spin;
+end p;|}
+  in
+  match Extract.extract_program env prog with
+  | exception Extract.Unextractable _ -> ()
+  | _ -> Alcotest.fail "expected Unextractable for while loops"
+
+let test_skeleton_elements () =
+  let _, prog =
+    check_src
+      {|
+program p is
+  type byte is mod 256;
+  type tab is array (0 .. 3) of byte;
+  lut : constant tab := (1, 2, 3, 4);
+  function f (x : in byte) return byte
+  is
+  begin
+    return lut (x mod 4) xor 7;
+  end f;
+end p;|}
+  in
+  let sk = Extract.skeleton prog in
+  Alcotest.(check int) "types" 2 (List.length sk.Specl.Sast.th_types);
+  Alcotest.(check int) "defs (table + function)" 2 (List.length sk.Specl.Sast.th_defs);
+  let f = Specl.Sast.find_def_exn sk "f" in
+  Alcotest.(check bool) "xor operator recorded" true
+    (List.mem Specl.Sast.Pbxor (Specl.Sast.prims_of_def f))
+
+let test_modular_wrap_all_operators () =
+  (* regression: the interpreter wraps the result of *every* operation on
+     a modular type — bitwise and division included — and raw literal
+     arithmetic feeding them can be negative; extraction must mirror
+     that.  Found by the extraction-vs-interpretation property test. *)
+  let env, prog, th =
+    extract
+      {|
+program p is
+  type byte is mod 256;
+  procedure f (b : in byte; r : out byte)
+  is
+    x : byte := 0;
+  begin
+    r := (b or b) * x xor 104 - 167;
+  end f;
+  function g (b : in byte) return byte
+  is
+  begin
+    return b / 2 xor (104 - 167 and 255);
+  end g;
+end p;|}
+  in
+  let senv = V.make th in
+  let rt = Interp.make env prog in
+  for b = 0 to 255 do
+    let via_interp =
+      match Interp.run_procedure rt "f" [ Value.Vint b ] with
+      | [ Value.Vint n ] | [ Value.Vmod (n, _) ] -> n
+      | _ -> Alcotest.fail "bad out params"
+    in
+    let via_spec = V.as_int (V.apply senv "f" [ V.Vint b ]) in
+    Alcotest.(check int) (Printf.sprintf "f b=%d" b) via_interp via_spec;
+    let gi =
+      match Interp.run_function rt "g" [ Value.Vint b ] with
+      | Value.Vint n | Value.Vmod (n, _) -> n
+      | _ -> Alcotest.fail "bad return"
+    in
+    Alcotest.(check int) (Printf.sprintf "g b=%d" b) gi
+      (V.as_int (V.apply senv "g" [ V.Vint b ]))
+  done
+
+let suites =
+  [ ( "extract",
+      [ Alcotest.test_case "straight line" `Quick test_straight_line;
+        Alcotest.test_case "conditional merge" `Quick test_conditional_merge;
+        Alcotest.test_case "all-return conditional" `Quick test_all_return_conditional;
+        Alcotest.test_case "loop to fold" `Quick test_loop_to_fold;
+        Alcotest.test_case "array out parameter" `Quick test_array_out_param;
+        Alcotest.test_case "procedure calls" `Quick test_procedure_call_extraction;
+        Alcotest.test_case "multiple outs as tuple" `Quick test_multi_out_tuple;
+        Alcotest.test_case "modular wrap placement" `Quick test_modular_wrap_placement;
+        Alcotest.test_case "modular wrap on all operators" `Quick
+          test_modular_wrap_all_operators;
+        Alcotest.test_case "while loops rejected" `Quick test_unextractable_while;
+        Alcotest.test_case "skeleton elements" `Quick test_skeleton_elements ] ) ]

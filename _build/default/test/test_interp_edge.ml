@@ -1,0 +1,222 @@
+(* Edge-case tests for the MiniSpark dynamic semantics: modular wrapping
+   corners, copy-in/copy-out, loop direction and shadowing, short-circuit
+   evaluation, and value-semantics of arrays. *)
+
+open Minispark
+
+let run src =
+  let env, prog = Typecheck.check (Parser.of_string src) in
+  Interp.make env prog
+
+let proc1 rt name args =
+  match Interp.run_procedure rt name args with
+  | [ r ] -> Value.as_int r
+  | _ -> Alcotest.fail "expected one out value"
+
+let test_modular_corners () =
+  let rt =
+    run
+      {|
+program m is
+  type byte is mod 256;
+  procedure ops (a : in byte; b : in byte; r : out byte)
+  is
+  begin
+    r := a - b;
+  end ops;
+  procedure neg (a : in byte; r : out byte)
+  is
+  begin
+    r := -a;
+  end neg;
+  procedure bnot (a : in byte; r : out byte)
+  is
+  begin
+    r := not a;
+  end bnot;
+end m;|}
+  in
+  Alcotest.(check int) "0 - 1 wraps" 255 (proc1 rt "ops" [ Value.Vint 0; Value.Vint 1 ]);
+  Alcotest.(check int) "-1 wraps" 255 (proc1 rt "neg" [ Value.Vint 1 ]);
+  Alcotest.(check int) "-0 is 0" 0 (proc1 rt "neg" [ Value.Vint 0 ]);
+  Alcotest.(check int) "not 0 = 255" 255 (proc1 rt "bnot" [ Value.Vint 0 ]);
+  Alcotest.(check int) "not 170 = 85" 85 (proc1 rt "bnot" [ Value.Vint 170 ])
+
+let test_shift_semantics () =
+  let rt =
+    run
+      {|
+program s is
+  type word is mod 4294967296;
+  procedure shl (a : in word; k : in integer; r : out word)
+  is
+  begin
+    r := shift_left (a, k);
+  end shl;
+  procedure shr (a : in word; k : in integer; r : out word)
+  is
+  begin
+    r := shift_right (a, k);
+  end shr;
+end s;|}
+  in
+  Alcotest.(check int) "shl wraps at 32 bits" 0
+    (proc1 rt "shl" [ Value.Vint 0x80000000; Value.Vint 1 ]);
+  Alcotest.(check int) "shl 1 24" 0x1000000 (proc1 rt "shl" [ Value.Vint 1; Value.Vint 24 ]);
+  Alcotest.(check int) "shr top byte" 0xab
+    (proc1 rt "shr" [ Value.Vint 0xab000000; Value.Vint 24 ])
+
+let test_copy_semantics_arrays () =
+  (* arrays are values: writing through one name never aliases another *)
+  let rt =
+    run
+      {|
+program c is
+  type byte is mod 256;
+  type vec is array (0 .. 2) of byte;
+  procedure stomp (v : in vec; r : out byte)
+  is
+    w : vec;
+  begin
+    w := v;
+    w (0) := 99;
+    r := v (0);
+  end stomp;
+end c;|}
+  in
+  let v = Value.Varray (0, [| Value.Vint 1; Value.Vint 2; Value.Vint 3 |]) in
+  Alcotest.(check int) "source array unchanged" 1 (proc1 rt "stomp" [ v ])
+
+let test_reverse_loop () =
+  let rt =
+    run
+      {|
+program r is
+  type vec is array (0 .. 4) of integer;
+  procedure count_down (v : out vec)
+  is
+    n : integer;
+  begin
+    n := 0;
+    for i in reverse 0 .. 4 loop
+      v (i) := n;
+      n := n + 1;
+    end loop;
+  end count_down;
+end r;|}
+  in
+  match Interp.run_procedure rt "count_down" [] with
+  | [ Value.Varray (0, data) ] ->
+      Alcotest.(check int) "v(4) filled first" 0 (Value.as_int data.(4));
+      Alcotest.(check int) "v(0) filled last" 4 (Value.as_int data.(0))
+  | _ -> Alcotest.fail "expected array"
+
+let test_loop_var_shadowing () =
+  let rt =
+    run
+      {|
+program sh is
+  procedure nest (r : out integer)
+  is
+  begin
+    r := 0;
+    for i in 0 .. 2 loop
+      for i in 0 .. 4 loop
+        r := r + 1;
+      end loop;
+    end loop;
+  end nest;
+end sh;|}
+  in
+  Alcotest.(check int) "15 iterations" 15 (proc1 rt "nest" [])
+
+let test_short_circuit () =
+  (* the right operand of 'and then' must not be evaluated when the left is
+     false: the division by zero would otherwise stick *)
+  let rt =
+    run
+      {|
+program sc is
+  procedure guard (d : in integer; r : out integer)
+  is
+  begin
+    if d /= 0 and then (100 / d) > 1 then
+      r := 1;
+    else
+      r := 0;
+    end if;
+  end guard;
+end sc;|}
+  in
+  Alcotest.(check int) "short-circuits on zero" 0 (proc1 rt "guard" [ Value.Vint 0 ]);
+  Alcotest.(check int) "evaluates otherwise" 1 (proc1 rt "guard" [ Value.Vint 3 ])
+
+let test_empty_loop () =
+  let rt =
+    run
+      {|
+program e is
+  procedure noiter (n : in integer; r : out integer)
+  is
+  begin
+    r := 7;
+    for i in 1 .. n loop
+      r := 0;
+    end loop;
+  end noiter;
+end e;|}
+  in
+  Alcotest.(check int) "empty range skips body" 7 (proc1 rt "noiter" [ Value.Vint 0 ])
+
+let test_in_out_roundtrip () =
+  let rt =
+    run
+      {|
+program io is
+  type byte is mod 256;
+  procedure bump (x : in out byte) is
+  begin
+    x := x + 1;
+  end bump;
+  procedure twice (x : in out byte) is
+  begin
+    bump (x);
+    bump (x);
+  end twice;
+end io;|}
+  in
+  Alcotest.(check int) "nested in-out" 7 (proc1 rt "twice" [ Value.Vint 5 ])
+
+let test_function_recursion () =
+  let rt =
+    run
+      {|
+program fx is
+  function fib (n : in integer) return integer
+  is
+  begin
+    if n <= 1 then
+      return n;
+    else
+      return fib (n - 1) + fib (n - 2);
+    end if;
+  end fib;
+  procedure get (r : out integer) is
+  begin
+    r := fib (12);
+  end get;
+end fx;|}
+  in
+  Alcotest.(check int) "fib 12" 144 (proc1 rt "get" [])
+
+let suites =
+  [ ( "minispark:interp-edge",
+      [ Alcotest.test_case "modular corners" `Quick test_modular_corners;
+        Alcotest.test_case "shift semantics" `Quick test_shift_semantics;
+        Alcotest.test_case "array value semantics" `Quick test_copy_semantics_arrays;
+        Alcotest.test_case "reverse loop" `Quick test_reverse_loop;
+        Alcotest.test_case "loop variable shadowing" `Quick test_loop_var_shadowing;
+        Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit;
+        Alcotest.test_case "empty loop range" `Quick test_empty_loop;
+        Alcotest.test_case "nested in-out" `Quick test_in_out_roundtrip;
+        Alcotest.test_case "recursive functions" `Quick test_function_recursion ] ) ]

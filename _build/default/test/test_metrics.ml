@@ -1,0 +1,89 @@
+(* Tests for the metrics analyzer (§5.2). *)
+
+open Minispark
+
+let check_src src = snd (Typecheck.check (Parser.of_string src))
+
+let sample =
+  check_src
+    {|
+program metrics_demo is
+
+  type byte is mod 256;
+
+  function pick (x : in integer) return integer
+  is
+  begin
+    if x > 10 then
+      return 1;
+    elsif x > 5 then
+      return 2;
+    else
+      return 3;
+    end if;
+  end pick;
+
+  procedure nest (r : out integer)
+  is
+  begin
+    r := 0;
+    for i in 0 .. 3 loop
+      for j in 0 .. 3 loop
+        if i = j then
+          r := r + 1;
+        end if;
+      end loop;
+    end loop;
+  end nest;
+
+  procedure shorty (x : in boolean; y : in boolean; r : out boolean)
+  is
+  begin
+    r := x and then y;
+  end shorty;
+
+end metrics_demo;
+|}
+
+let m = Metrics.analyze sample
+
+let test_element_metrics () =
+  Alcotest.(check int) "subprograms" 3 m.Metrics.element.Metrics.em_subprograms;
+  Alcotest.(check bool) "lines positive" true (m.Metrics.element.Metrics.em_lines > 20);
+  (* nest: for > for > if = 3 levels *)
+  Alcotest.(check int) "construct nesting" 3 m.Metrics.element.Metrics.em_construct_nesting
+
+let test_cyclomatic () =
+  let per_sub = Metrics.per_sub_cyclomatic sample in
+  (* pick: 2 guards + 1 = 3; nest: 2 loops + 1 if + 1 = 4; shorty: 1 *)
+  Alcotest.(check (option int)) "pick" (Some 3) (List.assoc_opt "pick" per_sub);
+  Alcotest.(check (option int)) "nest" (Some 4) (List.assoc_opt "nest" per_sub);
+  Alcotest.(check (option int)) "shorty" (Some 1) (List.assoc_opt "shorty" per_sub)
+
+let test_loop_nesting () =
+  Alcotest.(check int) "max loop nesting" 2 m.Metrics.complexity.Metrics.cm_max_loop_nesting
+
+let test_short_circuit () =
+  Alcotest.(check int) "short-circuit ops" 1 m.Metrics.complexity.Metrics.cm_short_circuit
+
+let test_essential () =
+  (* pick has early returns inside the conditional: essential complexity 2 *)
+  Alcotest.(check bool) "essential average > 1" true
+    (m.Metrics.complexity.Metrics.cm_avg_essential > 1.0)
+
+let test_monotone_on_aes () =
+  (* the headline claim of Fig. 2(a)/(b): refactoring reduces size and
+     complexity between the first and last block *)
+  let _, prog0 = Aes.Aes_impl.checked () in
+  let m0 = Metrics.analyze prog0 in
+  Alcotest.(check bool) "optimized AES is large" true
+    (m0.Metrics.element.Metrics.em_lines > 1000)
+
+let suites =
+  [ ( "metrics",
+      [ Alcotest.test_case "element metrics" `Quick test_element_metrics;
+        Alcotest.test_case "cyclomatic per subprogram" `Quick test_cyclomatic;
+        Alcotest.test_case "loop nesting" `Quick test_loop_nesting;
+        Alcotest.test_case "short-circuit count" `Quick test_short_circuit;
+        Alcotest.test_case "essential complexity" `Quick test_essential;
+        Alcotest.test_case "optimized AES size" `Quick test_monotone_on_aes ] ) ]

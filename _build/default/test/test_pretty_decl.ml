@@ -1,0 +1,138 @@
+(* Golden tests for the canonical printed form of declarations: the LoC
+   metric and the round-trip property both hinge on this shape staying
+   stable. *)
+
+open Minispark
+
+let roundtrip src =
+  let _, prog = Typecheck.check (Parser.of_string src) in
+  let printed = Pretty.program_to_string prog in
+  let _, reparsed = Typecheck.check (Parser.of_string printed) in
+  Alcotest.(check bool) "stable under a second round" true (reparsed = prog);
+  printed
+
+let contains printed frag =
+  Alcotest.(check bool) (Printf.sprintf "prints %S" frag) true
+    (Astring.String.is_infix ~affix:frag printed)
+
+let test_type_decls () =
+  let printed =
+    roundtrip
+      {|
+program t is
+  type b is mod 256;
+  type r is range 3 .. 9;
+  type v is array (0 .. 7) of b;
+  type m is array (0 .. 3) of v;
+  procedure f (x : in v; y : out m) is
+  begin
+    y (0) := x;
+  end f;
+end t;|}
+  in
+  contains printed "type b is mod 256;";
+  contains printed "type r is range 3 .. 9;";
+  contains printed "type v is array (0 .. 7) of b;";
+  contains printed "type m is array (0 .. 3) of v;"
+
+let test_subprogram_shape () =
+  let printed =
+    roundtrip
+      {|
+program s is
+  type b is mod 256;
+  function g (x : in b; y : in b) return b
+  --# pre x < 100;
+  --# post result = x + y;
+  is
+  begin
+    return x + y;
+  end g;
+end s;|}
+  in
+  contains printed "function g (x : in b; y : in b) return b";
+  contains printed "--# pre x < 100;";
+  contains printed "--# post result = x + y;";
+  contains printed "end g;"
+
+let test_annotation_markers () =
+  let printed =
+    roundtrip
+      {|
+program a is
+  procedure f (r : out integer) is
+  begin
+    r := 0;
+    for i in 0 .. 3
+    --# invariant r >= 0;
+    loop
+      r := r + i;
+      --# assert r >= 0;
+    end loop;
+  end f;
+end a;|}
+  in
+  contains printed "--# invariant r >= 0;";
+  contains printed "--# assert r >= 0;"
+
+let test_based_literals_accepted () =
+  (* based literals parse; the canonical form prints decimal *)
+  let printed =
+    roundtrip
+      {|
+program h is
+  type w is mod 4294967296;
+  k : constant w := 16#c66363a5#;
+  procedure f (r : out w) is
+  begin
+    r := k;
+  end f;
+end h;|}
+  in
+  contains printed (string_of_int 0xc66363a5)
+
+let test_in_out_modes () =
+  let printed =
+    roundtrip
+      {|
+program m is
+  procedure f (a : in integer; b : out integer; c : in out integer) is
+  begin
+    b := a;
+    c := c + a;
+  end f;
+end m;|}
+  in
+  contains printed "a : in integer";
+  contains printed "b : out integer";
+  contains printed "c : in out integer"
+
+let test_aggregate_wrapping () =
+  (* long aggregates wrap but still round-trip *)
+  let values = String.concat ", " (List.init 64 string_of_int) in
+  let printed =
+    roundtrip
+      (Printf.sprintf
+         {|
+program w is
+  type b is mod 256;
+  type t is array (0 .. 63) of b;
+  k : constant t := (%s);
+  procedure f (r : out b) is
+  begin
+    r := k (63);
+  end f;
+end w;|}
+         values)
+  in
+  Alcotest.(check bool) "spans multiple lines" true
+    (List.length (String.split_on_char '\n' printed) > 10)
+
+let suites =
+  [ ( "minispark:pretty-decl",
+      [ Alcotest.test_case "type declarations" `Quick test_type_decls;
+        Alcotest.test_case "subprogram shape" `Quick test_subprogram_shape;
+        Alcotest.test_case "annotation markers" `Quick test_annotation_markers;
+        Alcotest.test_case "based literals" `Quick test_based_literals_accepted;
+        Alcotest.test_case "parameter modes" `Quick test_in_out_modes;
+        Alcotest.test_case "aggregate wrapping" `Quick test_aggregate_wrapping ] ) ]

@@ -1,0 +1,199 @@
+(* Cross-layer property tests: random programs are pushed through the
+   refactoring, VC, and extraction machinery, checking the invariants the
+   whole system rests on:
+
+   - applicable transformations preserve interpreter semantics;
+   - the VC pipeline is sound for straight-line programs (if all VCs prove,
+     differential testing finds no counterexample against the annotations);
+   - extraction agrees with interpretation. *)
+
+open Minispark
+
+(* ------------------------------------------------------------------ *)
+(* generator: random straight-line byte programs over a fixed frame    *)
+(* ------------------------------------------------------------------ *)
+
+(* subprogram frame: procedure f (a : in byte; b : in byte; r : out byte),
+   locals x y : byte; statements assign x/y/r from byte expressions *)
+
+let gen_expr_over vars =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> Ast.Int_lit (n land 0xff)) (int_range 0 255);
+        map (fun k -> Ast.Var (List.nth vars (k mod List.length vars)))
+          (int_range 0 (List.length vars - 1)) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            (3,
+             map2
+               (fun op (a, b) -> Ast.Binop (op, a, b))
+               (oneofl Ast.[ Add; Sub; Mul; Bxor; Band; Bor ])
+               (pair (self (depth - 1)) (self (depth - 1)))) ])
+    3
+
+let gen_body =
+  let open QCheck.Gen in
+  let targets = [ "x"; "y"; "r" ] in
+  let stmt =
+    map2
+      (fun t e -> Ast.Assign (Ast.Lvar t, e))
+      (oneofl targets)
+      (gen_expr_over [ "a"; "b"; "x"; "y" ])
+  in
+  list_size (int_range 2 8) stmt
+
+let program_of_body body =
+  {
+    Ast.prog_name = "randprog";
+    prog_decls =
+      [ Ast.Dtype ("byte", Ast.Tmod 256);
+        Ast.Dsub
+          {
+            Ast.sub_name = "f";
+            sub_params =
+              [ { Ast.par_name = "a"; par_mode = Ast.Mode_in; par_typ = Ast.Tnamed "byte" };
+                { Ast.par_name = "b"; par_mode = Ast.Mode_in; par_typ = Ast.Tnamed "byte" };
+                { Ast.par_name = "r"; par_mode = Ast.Mode_out; par_typ = Ast.Tnamed "byte" } ];
+            sub_return = None;
+            sub_pre = None;
+            sub_post = None;
+            sub_locals =
+              [ { Ast.v_name = "x"; v_typ = Ast.Tnamed "byte"; v_init = Some (Ast.Int_lit 0) };
+                { Ast.v_name = "y"; v_typ = Ast.Tnamed "byte"; v_init = Some (Ast.Int_lit 0) } ];
+            sub_body = body;
+          } ];
+  }
+
+let arbitrary_program =
+  QCheck.make
+    ~print:(fun body -> Pretty.program_to_string (program_of_body body))
+    gen_body
+
+let run_f env prog a b =
+  let rt = Interp.make env prog in
+  match Interp.run_procedure rt "f" [ Value.Vint a; Value.Vint b ] with
+  | [ r ] -> Value.as_int r
+  | _ -> Alcotest.fail "expected one out value"
+
+(* ------------------------------------------------------------------ *)
+(* property 1: introduce_temp + inline_temp round-trips semantics      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_temp_roundtrip =
+  QCheck.Test.make ~name:"introduce_temp preserves semantics" ~count:60
+    arbitrary_program (fun body ->
+      let env, prog = Typecheck.check (program_of_body body) in
+      (* name the first assignment's right-hand side *)
+      match body with
+      | Ast.Assign (_, e) :: _ -> (
+          let tr =
+            Refactor.Storage_adjust.introduce_temp ~proc:"f" ~at:0 ~name:"fresh_t"
+              ~typ:(Ast.Tnamed "byte") ~expr:e
+          in
+          match Refactor.Transform.apply tr env prog with
+          | exception Refactor.Transform.Not_applicable _ -> QCheck.assume_fail ()
+          | env', prog' ->
+              List.for_all
+                (fun (a, b) -> run_f env prog a b = run_f env' prog' a b)
+                [ (0, 0); (1, 2); (255, 255); (17, 203); (128, 64) ])
+      | _ -> QCheck.assume_fail ())
+
+(* ------------------------------------------------------------------ *)
+(* property 2: the differential equivalence checker accepts identity   *)
+(* and rejects a mutation that changes behaviour                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_equivalence_identity =
+  QCheck.Test.make ~name:"equivalence checker accepts identical programs" ~count:40
+    arbitrary_program (fun body ->
+      let env, prog = Typecheck.check (program_of_body body) in
+      Refactor.Equivalence.is_equivalent
+        (Refactor.Equivalence.check_sub env prog env prog "f"))
+
+let prop_equivalence_rejects_mutation =
+  QCheck.Test.make ~name:"equivalence checker rejects behavioural change" ~count:40
+    arbitrary_program (fun body ->
+      let env, prog = Typecheck.check (program_of_body body) in
+      (* mutate: force r := r xor 1 at the end *)
+      let mutated =
+        Ast.update_sub prog "f" (fun sub ->
+            { sub with
+              Ast.sub_body =
+                sub.Ast.sub_body
+                @ [ Ast.Assign
+                      (Ast.Lvar "r", Ast.Binop (Ast.Bxor, Ast.Var "r", Ast.Int_lit 1)) ] })
+      in
+      let env', mutated = Typecheck.check mutated in
+      not
+        (Refactor.Equivalence.is_equivalent
+           (Refactor.Equivalence.check_sub env prog env' mutated "f")))
+
+(* ------------------------------------------------------------------ *)
+(* property 3: extraction agrees with interpretation                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_extraction_agrees =
+  QCheck.Test.make ~name:"extracted spec = interpreted program" ~count:300
+    arbitrary_program (fun body ->
+      let env, prog = Typecheck.check (program_of_body body) in
+      match Extract.extract_program env prog with
+      | exception Extract.Unextractable _ -> QCheck.assume_fail ()
+      | th ->
+          let senv = Specl.Seval.make th in
+          List.for_all
+            (fun (a, b) ->
+              let via_interp = run_f env prog a b in
+              let via_spec =
+                Specl.Seval.as_int
+                  (Specl.Seval.apply senv "f" [ Specl.Seval.Vint a; Specl.Seval.Vint b ])
+              in
+              via_interp = via_spec)
+            [ (0, 0); (3, 5); (255, 1); (77, 200) ])
+
+(* ------------------------------------------------------------------ *)
+(* property 4: VC soundness on annotated straight-line programs        *)
+(* ------------------------------------------------------------------ *)
+
+(* annotate f with the exact symbolic result of its own execution on a
+   randomly chosen postcondition shape: r compared against a constant; if
+   all VCs prove, the interpreter must agree on all sampled inputs *)
+let prop_vc_soundness =
+  QCheck.Test.make ~name:"proved VCs are never falsified by execution" ~count:40
+    arbitrary_program (fun body ->
+      let _env, prog = Typecheck.check (program_of_body body) in
+      (* postcondition: r <= 255 and r >= 0 (always true but nontrivial
+         through wraps); prover must not be fooled, executions must agree *)
+      let prog =
+        Ast.update_sub prog "f" (fun sub ->
+            { sub with
+              Ast.sub_post =
+                Some (Parser.expr_of_string "r >= 0 and r <= 255") })
+      in
+      let env, prog = Typecheck.check prog in
+      ignore env;
+      let env, prog = Typecheck.check prog in
+      let report = Vcgen.generate env prog in
+      let results =
+        List.map (fun vc -> Logic.Prover.prove_vc vc) (Vcgen.all_vcs report)
+      in
+      if List.for_all Logic.Prover.is_proved results then
+        List.for_all
+          (fun (a, b) ->
+            let r = run_f env prog a b in
+            r >= 0 && r <= 255)
+          [ (0, 0); (255, 254); (13, 57) ]
+      else QCheck.assume_fail ())
+
+let suites =
+  [ ( "properties",
+      [ QCheck_alcotest.to_alcotest prop_temp_roundtrip;
+        QCheck_alcotest.to_alcotest prop_equivalence_identity;
+        QCheck_alcotest.to_alcotest prop_equivalence_rejects_mutation;
+        QCheck_alcotest.to_alcotest prop_extraction_agrees;
+        QCheck_alcotest.to_alcotest prop_vc_soundness ] ) ]

@@ -1,0 +1,160 @@
+(* Prover soundness: on goals that are actually false, every capability —
+   arithmetic, rewriting, case splits, quantifier expansion, and both
+   interactive hints — must answer Unknown, never Proved.  The automation
+   percentages of §6.2.3 only mean something if the prover cannot prove
+   falsehoods. *)
+
+module F = Logic.Formula
+module P = Logic.Prover
+
+let vc ?(hyps = []) goal =
+  {
+    F.vc_name = "soundness";
+    vc_sub = "s";
+    vc_kind = F.Vc_assert;
+    vc_hyps = hyps;
+    vc_goal = goal;
+  }
+
+let all_hints = [ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ]
+
+let check_not_provable name ?hyps goal =
+  let r = P.prove_vc ~hints:all_hints (vc ?hyps goal) in
+  Alcotest.(check bool) name false (P.is_proved r)
+
+let test_false_ground () =
+  check_not_provable "1 = 2" (F.eq (F.num 1) (F.num 2));
+  check_not_provable "false" F.fls;
+  check_not_provable "3 > 4" (F.App (F.Gt, [ F.num 3; F.num 4 ]))
+
+let test_false_linear () =
+  (* x <= 10 does not give x <= 9 *)
+  check_not_provable "x<=10 |- x<=9"
+    ~hyps:[ F.App (F.Le, [ F.var "x"; F.num 10 ]) ]
+    (F.App (F.Le, [ F.var "x"; F.num 9 ]));
+  (* x < y, y < z does not give z < x *)
+  check_not_provable "cycle"
+    ~hyps:
+      [ F.App (F.Lt, [ F.var "x"; F.var "y" ]);
+        F.App (F.Lt, [ F.var "y"; F.var "z" ]) ]
+    (F.App (F.Lt, [ F.var "z"; F.var "x" ]))
+
+let test_false_equational () =
+  (* a = b does not give a = c *)
+  check_not_provable "wrong chain"
+    ~hyps:[ F.eq (F.var "a") (F.var "b") ]
+    (F.eq (F.var "a") (F.var "c"));
+  (* f(x) = 1 does not give f(y) = 1: congruence needs x = y *)
+  check_not_provable "uf congruence needs equal args"
+    ~hyps:[ F.eq (F.App (F.Uf "f", [ F.var "x" ])) (F.num 1) ]
+    (F.eq (F.App (F.Uf "f", [ F.var "y" ])) (F.num 1))
+
+let test_false_select_store () =
+  (* reading back a *different* index is unconstrained *)
+  check_not_provable "select over store, other index"
+    (F.eq
+       (F.select (F.store (F.var "a") (F.num 0) (F.num 7)) (F.num 1))
+       (F.num 7));
+  (* stores at distinct indices do not commute into equality of reads *)
+  check_not_provable "two stores, wrong value"
+    (F.eq
+       (F.select
+          (F.store (F.store (F.var "a") (F.num 0) (F.num 1)) (F.num 0) (F.num 2))
+          (F.num 0))
+       (F.num 1))
+
+let test_false_quantified () =
+  (* forall k in 0..3: k < 3 is false at k = 3 *)
+  check_not_provable "forall with failing edge"
+    (F.Forall ("k", F.num 0, F.num 3, F.App (F.Lt, [ F.var "k"; F.num 3 ])));
+  (* exists k in 0..3: k = 5 *)
+  check_not_provable "unsatisfiable exists"
+    (F.Exists ("k", F.num 0, F.num 3, F.eq (F.var "k") (F.num 5)))
+
+let test_false_modular () =
+  (* wrap256(x) = x is false for x = 256 even under 0 <= x <= 256 *)
+  check_not_provable "wrap not identity on the boundary"
+    ~hyps:
+      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
+        F.App (F.Le, [ F.var "x"; F.num 256 ]) ]
+    (F.eq (F.App (F.Wrap 256, [ F.var "x" ])) (F.var "x"));
+  (* xor is not addition *)
+  check_not_provable "xor /= add"
+    ~hyps:
+      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
+        F.App (F.Le, [ F.var "x"; F.num 255 ]) ]
+    (F.eq
+       (F.App (F.Bxor 256, [ F.var "x"; F.num 1 ]))
+       (F.App (F.Add, [ F.var "x"; F.num 1 ])))
+
+let test_false_with_case_split () =
+  (* small range: the splitter enumerates and must hit the counterexample *)
+  check_not_provable "split finds the failing case"
+    ~hyps:
+      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
+        F.App (F.Le, [ F.var "x"; F.num 7 ]) ]
+    (F.App (F.Lt, [ F.var "x"; F.num 7 ]))
+
+let test_false_hint_instantiation () =
+  (* a true quantified hypothesis must not discharge a false goal *)
+  check_not_provable "hyp instantiation stays sound"
+    ~hyps:
+      [ F.Forall
+          ( "k",
+            F.num 0,
+            F.num 3,
+            F.App (F.Ge, [ F.select (F.var "a") (F.var "k"); F.num 0 ]) ) ]
+    (F.eq (F.select (F.var "a") (F.num 2)) (F.num 0))
+
+(* Property: on random *ground* goals, Proved agrees with evaluation.
+   This nails both directions on the decidable fragment: the prover is
+   sound (never proves a false ground goal) and complete for ground
+   truths. *)
+let gen_ground_formula =
+  let open QCheck.Gen in
+  let num = map (fun n -> F.num (n - 32)) (int_range 0 64) in
+  let arith =
+    fix
+      (fun self depth ->
+        if depth = 0 then num
+        else
+          frequency
+            [ (2, num);
+              ( 3,
+                map2
+                  (fun op (a, b) -> F.App (op, [ a; b ]))
+                  (oneofl [ F.Add; F.Sub; F.Mul ])
+                  (pair (self (depth - 1)) (self (depth - 1))) );
+              ( 1,
+                map (fun a -> F.App (F.Wrap 256, [ a ])) (self (depth - 1)) ) ])
+      2
+  in
+  QCheck.Gen.map2
+    (fun op (a, b) -> F.App (op, [ a; b ]))
+    (oneofl [ F.Eq; F.Ne; F.Lt; F.Le; F.Gt; F.Ge ])
+    (QCheck.Gen.pair arith arith)
+
+let prop_ground_proved_iff_true =
+  QCheck.Test.make ~count:500 ~name:"ground goals: Proved <-> evaluates true"
+    (QCheck.make gen_ground_formula)
+    (fun goal ->
+      let truth = P.eval_ground_bool P.default_config goal in
+      let proved = P.is_proved (P.prove_vc (vc goal)) in
+      match truth with
+      | Some b -> proved = b
+      | None -> QCheck.assume_fail ())
+
+let suites =
+  [ ( "logic:soundness",
+      [ Alcotest.test_case "false ground goals" `Quick test_false_ground;
+        Alcotest.test_case "false linear goals" `Quick test_false_linear;
+        Alcotest.test_case "false equational goals" `Quick test_false_equational;
+        Alcotest.test_case "false select/store goals" `Quick
+          test_false_select_store;
+        Alcotest.test_case "false quantified goals" `Quick test_false_quantified;
+        Alcotest.test_case "false modular goals" `Quick test_false_modular;
+        Alcotest.test_case "case split stays sound" `Quick
+          test_false_with_case_split;
+        Alcotest.test_case "hint instantiation stays sound" `Quick
+          test_false_hint_instantiation;
+        QCheck_alcotest.to_alcotest prop_ground_proved_iff_true ] ) ]

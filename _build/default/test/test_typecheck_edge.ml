@@ -1,0 +1,148 @@
+(* Additional static-semantics tests: modulus widening/narrowing on
+   assignment, function purity, annotation contexts, and aggregate
+   assignment. *)
+
+open Minispark
+
+let check src = Typecheck.check (Parser.of_string src)
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match check src with
+      | _ -> ()
+      | exception Typecheck.Type_error m -> Alcotest.failf "rejected: %s" m)
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match check src with
+      | exception Typecheck.Type_error _ -> ()
+      | _ -> Alcotest.fail "expected a type error")
+
+let suites =
+  [ ( "minispark:typecheck-edge",
+      [ accepts "modulus widening on assignment"
+          {|program p is
+             type byte is mod 256;
+             type word is mod 4294967296;
+             procedure f (b : in byte; w : out word) is
+             begin
+               w := b;
+             end f;
+            end p;|};
+        rejects "mixed moduli in one operation"
+          {|program p is
+             type byte is mod 256;
+             type word is mod 4294967296;
+             procedure f (b : in byte; w : in word; r : out word) is
+             begin
+               r := b xor w;
+             end f;
+            end p;|};
+        accepts "aggregate assigned to array variable"
+          {|program p is
+             type byte is mod 256;
+             type vec is array (0 .. 3) of byte;
+             procedure f (v : out vec) is
+             begin
+               v := (1, 2, 3, 4);
+             end f;
+            end p;|};
+        rejects "aggregate of wrong length at declaration"
+          {|program p is
+             type byte is mod 256;
+             type vec is array (0 .. 3) of byte;
+             bad : constant vec := (1, 2, 3);
+             procedure f (r : out byte) is
+             begin
+               r := bad (0);
+             end f;
+            end p;|};
+        rejects "function calling a procedure"
+          {|program p is
+             procedure side (r : out integer) is
+             begin
+               r := 1;
+             end side;
+             function f (x : in integer) return integer is
+               t : integer;
+             begin
+               side (t);
+               return t + x;
+             end f;
+            end p;|};
+        rejects "function writing a global"
+          {|program p is
+             g : integer := 0;
+             function f (x : in integer) return integer is
+             begin
+               g := x;
+               return x;
+             end f;
+            end p;|};
+        rejects "old outside annotations"
+          {|program p is
+             procedure f (x : in out integer) is
+             begin
+               x := x~;
+             end f;
+            end p;|};
+        rejects "result in a precondition"
+          {|program p is
+             function f (x : in integer) return integer
+             --# pre result > 0;
+             is
+             begin
+               return x;
+             end f;
+            end p;|};
+        accepts "result indexed in a postcondition"
+          {|program p is
+             type byte is mod 256;
+             type vec is array (0 .. 3) of byte;
+             function f (v : in vec) return vec
+             --# post result (0) = v (0);
+             is
+             begin
+               return v;
+             end f;
+            end p;|};
+        rejects "quantifier in executable code"
+          {|program p is
+             procedure f (r : out boolean) is
+             begin
+               r := (for all k in 0 .. 3 => k < 4);
+             end f;
+            end p;|};
+        accepts "recursive function"
+          {|program p is
+             function fact (n : in integer) return integer is
+             begin
+               if n <= 1 then
+                 return 1;
+               else
+                 return n * fact (n - 1);
+               end if;
+             end fact;
+            end p;|};
+        rejects "duplicate subprogram names"
+          {|program p is
+             procedure f (r : out integer) is
+             begin
+               r := 1;
+             end f;
+             procedure f (r : out integer) is
+             begin
+               r := 2;
+             end f;
+            end p;|};
+        rejects "use before declaration"
+          {|program p is
+             procedure f (r : out integer) is
+             begin
+               g (r);
+             end f;
+             procedure g (r : out integer) is
+             begin
+               r := 1;
+             end g;
+            end p;|} ] ) ]

@@ -1,0 +1,61 @@
+(* Tests for the VC metrics (§5.2: "the number and size of verification
+   conditions, maximum length of verification conditions"). *)
+
+open Minispark
+module F = Logic.Formula
+
+let report_for src =
+  let env, prog = Typecheck.check (Parser.of_string src) in
+  Vcgen.generate env prog
+
+let src =
+  {|
+program vcm is
+
+  type byte is mod 256;
+  type vec is array (0 .. 7) of byte;
+
+  procedure touch (v : in out vec; i : in integer)
+  --# pre i >= 0 and i <= 7;
+  --# post v (i) = 0;
+  is
+  begin
+    v (i) := 0;
+  end touch;
+
+end vcm;
+|}
+
+let test_counts_and_sizes () =
+  let r = report_for src in
+  let vcs = Vcgen.all_vcs r in
+  Alcotest.(check bool) "some VCs" true (List.length vcs > 0);
+  Alcotest.(check bool) "total nodes positive" true (Vcgen.total_nodes r > 0);
+  Alcotest.(check bool) "max lines positive" true (Vcgen.max_vc_lines r > 0);
+  List.iter
+    (fun vc ->
+      Alcotest.(check bool) "line count >= hypothesis count" true
+        (F.vc_line_count vc >= List.length vc.F.vc_hyps))
+    vcs
+
+let test_simplification_shrinks_or_normalises () =
+  let r = report_for src in
+  List.iter
+    (fun vc ->
+      let vc' = Logic.Simplify.simplify_vc vc in
+      (* hypotheses never grow in number except by conjunction flattening;
+         the flattened set subsumes the original conjuncts *)
+      Alcotest.(check bool) "simplified VC well-formed" true
+        (List.for_all (fun h -> h <> F.Bool true) vc'.F.vc_hyps))
+    (Vcgen.all_vcs r)
+
+let test_bytes_of_nodes_monotone () =
+  Alcotest.(check bool) "monotone" true
+    (Vcgen.bytes_of_nodes 10 < Vcgen.bytes_of_nodes 1000)
+
+let suites =
+  [ ( "vcgen:metrics",
+      [ Alcotest.test_case "counts and sizes" `Quick test_counts_and_sizes;
+        Alcotest.test_case "simplified VCs well-formed" `Quick
+          test_simplification_shrinks_or_normalises;
+        Alcotest.test_case "bytes estimate monotone" `Quick test_bytes_of_nodes_monotone ] ) ]

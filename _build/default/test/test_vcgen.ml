@@ -1,0 +1,275 @@
+(* Tests for VC generation: kinds, counts, provability of correct programs,
+   failure on incorrect ones, and resource-budget behaviour. *)
+
+open Minispark
+module F = Logic.Formula
+module P = Logic.Prover
+
+let check_src src =
+  let prog = Parser.of_string src in
+  Typecheck.check prog
+
+let generate ?budget src =
+  let env, prog = check_src src in
+  (env, prog, Vcgen.generate ?budget env prog)
+
+let prove_all ?cfg report =
+  List.map (fun vc -> P.prove_vc ?cfg vc) (Vcgen.all_vcs report)
+
+let count_kind kind report =
+  List.length (List.filter (fun vc -> vc.F.vc_kind = kind) (Vcgen.all_vcs report))
+
+(* a small correct annotated program *)
+let clamp_src =
+  {|
+program clamp_demo is
+
+  type small is range 0 .. 100;
+
+  procedure clamp (x : in integer; r : out small)
+  --# post r >= 0 and r <= 100;
+  is
+  begin
+    if x < 0 then
+      r := 0;
+    elsif x > 100 then
+      r := 100;
+    else
+      r := x;
+    end if;
+  end clamp;
+
+end clamp_demo;
+|}
+
+let test_clamp_all_proved () =
+  let _, _, report = generate clamp_src in
+  Alcotest.(check (option string)) "feasible" None report.Vcgen.r_infeasible;
+  let results = prove_all report in
+  List.iter
+    (fun r ->
+      if not (P.is_proved r) then
+        Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+    results;
+  (* three paths, one postcondition VC each, plus range checks *)
+  Alcotest.(check bool) "has postcondition VCs" true
+    (count_kind F.Vc_postcondition report >= 3);
+  Alcotest.(check bool) "has range checks" true
+    (count_kind F.Vc_range_check report >= 3)
+
+let test_defective_clamp_fails () =
+  (* defect: upper clamp writes 101 *)
+  let src = Str_replace.replace clamp_src ~find:"r := 100;" ~by:"r := 101;" in
+  let _, _, report = generate src in
+  let results = prove_all report in
+  Alcotest.(check bool) "some VC fails" true
+    (List.exists (fun r -> not (P.is_proved r)) results)
+
+let array_sum_src =
+  {|
+program array_demo is
+
+  type byte is mod 256;
+  type vec is array (0 .. 7) of byte;
+
+  procedure fill (v : out vec)
+  --# post (for all k in 0 .. 7 => v (k) = 0);
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => v (k) = 0);
+    loop
+      v (i) := 0;
+    end loop;
+  end fill;
+
+end array_demo;
+|}
+
+let test_loop_invariant_vcs () =
+  let _, _, report = generate array_sum_src in
+  Alcotest.(check (option string)) "feasible" None report.Vcgen.r_infeasible;
+  Alcotest.(check bool) "invariant init" true (count_kind F.Vc_invariant_init report >= 1);
+  Alcotest.(check bool) "invariant preserve" true
+    (count_kind F.Vc_invariant_preserve report >= 1);
+  Alcotest.(check bool) "index checks" true (count_kind F.Vc_index_check report >= 1);
+  (* automatic + hint proofs: everything should go through with the
+     standard interactive hints *)
+  let results =
+    List.map
+      (fun vc -> P.prove_vc ~hints:[ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ] vc)
+      (Vcgen.all_vcs report)
+  in
+  List.iter
+    (fun r ->
+      if not (P.is_proved r) then
+        Alcotest.failf "unproved VC %s [%s]: %s" r.P.pr_vc.F.vc_name
+          (F.vc_kind_name r.P.pr_vc.F.vc_kind)
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+    results
+
+let test_index_check_catches_overrun () =
+  let src = Str_replace.replace array_sum_src ~find:"for i in 0 .. 7" ~by:"for i in 0 .. 8" in
+  let _, _, report = generate src in
+  let results = prove_all report in
+  let failed_index =
+    List.exists
+      (fun r -> (not (P.is_proved r)) && r.P.pr_vc.F.vc_kind = F.Vc_index_check)
+      results
+  in
+  Alcotest.(check bool) "index check fails" true failed_index
+
+let test_call_contract () =
+  let src =
+    {|
+program call_demo is
+
+  function inc (x : in integer) return integer
+  --# pre x >= 0;
+  --# post result = x + 1;
+  is
+  begin
+    return x + 1;
+  end inc;
+
+  procedure use_inc (a : in integer; r : out integer)
+  --# pre a >= 5;
+  --# post r = a + 2;
+  is
+    t : integer;
+  begin
+    t := inc (a);
+    r := inc (t);
+  end use_inc;
+
+end call_demo;
+|}
+  in
+  let _, _, report = generate src in
+  Alcotest.(check bool) "call preconditions emitted" true
+    (count_kind F.Vc_precondition_call report >= 2);
+  let results = prove_all report in
+  List.iter
+    (fun r ->
+      if not (P.is_proved r) then
+        Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+    results
+
+let test_procedure_call_havoc () =
+  let src =
+    {|
+program proc_call_demo is
+
+  procedure zero (r : out integer)
+  --# post r = 0;
+  is
+  begin
+    r := 0;
+  end zero;
+
+  procedure caller (r : out integer)
+  --# post r = 0;
+  is
+  begin
+    r := 7;
+    zero (r);
+  end caller;
+
+end proc_call_demo;
+|}
+  in
+  let _, _, report = generate src in
+  let results = prove_all report in
+  List.iter
+    (fun r ->
+      if not (P.is_proved r) then
+        Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+    results
+
+let test_div_check () =
+  let src =
+    {|
+program div_demo is
+
+  procedure half (x : in integer; d : in integer; r : out integer)
+  is
+  begin
+    r := x / d;
+  end half;
+
+end div_demo;
+|}
+  in
+  let _, _, report = generate src in
+  Alcotest.(check int) "one div check" 1 (count_kind F.Vc_div_check report);
+  let results = prove_all report in
+  Alcotest.(check bool) "div check unprovable without precondition" true
+    (List.exists (fun r -> not (P.is_proved r)) results)
+
+let test_budget_infeasible () =
+  (* an unrolled cascade on range-typed variables: every assignment carries
+     a range check whose hypotheses contain Fibonacci-growing terms *)
+  let unrolled =
+    List.init 24 (fun k ->
+        Printf.sprintf "    x%d := (x%d + x%d) mod 256;" ((k + 2) mod 26)
+          ((k + 1) mod 26) (k mod 26))
+    |> String.concat "\n"
+  in
+  let decls =
+    List.init 26 (fun k -> Printf.sprintf "    x%d : byte;" k) |> String.concat "\n"
+  in
+  let src =
+    Printf.sprintf
+      {|
+program blowup is
+
+  type byte is range 0 .. 255;
+  type vec is array (0 .. 25) of byte;
+
+  procedure churn (seed : in vec; r : out byte)
+  --# post r >= 0;
+  is
+%s
+  begin
+    x0 := seed (0);
+    x1 := seed (1);
+%s
+    r := x0;
+  end churn;
+
+end blowup;
+|}
+      decls unrolled
+  in
+  let tiny = { Vcgen.default_budget with Vcgen.max_total_nodes = 2000 } in
+  let _, _, report = generate ~budget:tiny src in
+  Alcotest.(check bool) "budget exceeded" true (report.Vcgen.r_infeasible <> None);
+  (* with the default budget the same program is analysable *)
+  let _, _, report = generate src in
+  Alcotest.(check (option string)) "feasible at full budget" None report.Vcgen.r_infeasible
+
+let test_vc_sizes_tracked () =
+  let _, _, report = generate clamp_src in
+  let total = Vcgen.total_nodes report in
+  Alcotest.(check bool) "positive size" true (total > 0);
+  List.iter
+    (fun sub ->
+      List.iter
+        (fun (_, n) -> Alcotest.(check bool) "every VC sized" true (n > 0))
+        sub.Vcgen.sr_sizes)
+    report.Vcgen.r_subs
+
+let suites =
+  [ ( "vcgen",
+      [ Alcotest.test_case "clamp: all VCs proved" `Quick test_clamp_all_proved;
+        Alcotest.test_case "defective clamp fails" `Quick test_defective_clamp_fails;
+        Alcotest.test_case "loop invariant VCs" `Quick test_loop_invariant_vcs;
+        Alcotest.test_case "index overrun caught" `Quick test_index_check_catches_overrun;
+        Alcotest.test_case "function call contracts" `Quick test_call_contract;
+        Alcotest.test_case "procedure call havoc" `Quick test_procedure_call_havoc;
+        Alcotest.test_case "division check" `Quick test_div_check;
+        Alcotest.test_case "budget infeasibility" `Quick test_budget_infeasible;
+        Alcotest.test_case "VC sizes tracked" `Quick test_vc_sizes_tracked ] ) ]
