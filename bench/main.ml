@@ -278,6 +278,91 @@ let ablation_order () =
   Fmt.pr "the paper's heuristics (§5.2) put structural/global transformations first@."
 
 (* ------------------------------------------------------------------ *)
+(* Orchestrated pipeline: per-stage timing + retry counts as JSON       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pipeline_json () =
+  section "Orchestrated pipeline timing (BENCH_pipeline.json)";
+  let r = Echo.Orchestrator.run Aes.Aes_echo.case_study in
+  let stage_obj (s, status) =
+    let name = Echo.Checkpoint.stage_name s in
+    match status with
+    | Echo.Orchestrator.St_ok { st_time; st_from_checkpoint } ->
+        Printf.sprintf
+          {|    {"name": "%s", "status": "ok", "seconds": %.3f, "from_checkpoint": %b}|}
+          name st_time st_from_checkpoint
+    | Echo.Orchestrator.St_failed f ->
+        Printf.sprintf {|    {"name": "%s", "status": "failed", "fault": "%s"}|} name
+          (json_escape (Echo.Fault.describe f))
+    | Echo.Orchestrator.St_skipped ->
+        Printf.sprintf {|    {"name": "%s", "status": "skipped"}|} name
+  in
+  let impl_obj =
+    match r.Echo.Orchestrator.o_impl with
+    | None -> "null"
+    | Some ip ->
+        let retried =
+          List.length
+            (List.filter
+               (fun (vr : Echo.Implementation_proof.vc_result) ->
+                 vr.Echo.Implementation_proof.vr_attempts > 1)
+               ip.Echo.Implementation_proof.ip_results)
+        in
+        let max_attempts =
+          List.fold_left
+            (fun acc (vr : Echo.Implementation_proof.vc_result) ->
+              max acc vr.Echo.Implementation_proof.vr_attempts)
+            0 ip.Echo.Implementation_proof.ip_results
+        in
+        Printf.sprintf
+          {|{"vcs": %d, "auto": %d, "hinted": %d, "residual": %d, "timed_out": %d,
+     "attempts": %d, "vcs_retried": %d, "max_attempts_per_vc": %d, "seconds": %.3f}|}
+          ip.Echo.Implementation_proof.ip_total ip.Echo.Implementation_proof.ip_auto
+          ip.Echo.Implementation_proof.ip_hinted ip.Echo.Implementation_proof.ip_residual
+          ip.Echo.Implementation_proof.ip_timed_out ip.Echo.Implementation_proof.ip_attempts
+          retried max_attempts ip.Echo.Implementation_proof.ip_time
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "%s",
+  "verdict": "%s",
+  "total_seconds": %.3f,
+  "prover_attempts": %d,
+  "refactor_steps": %d,
+  "stages": [
+%s
+  ],
+  "implementation_proof": %s
+}
+|}
+      (json_escape r.Echo.Orchestrator.o_case)
+      (json_escape (Fmt.str "%a" Echo.Orchestrator.pp_verdict r.Echo.Orchestrator.o_verdict))
+      r.Echo.Orchestrator.o_time r.Echo.Orchestrator.o_attempts
+      r.Echo.Orchestrator.o_refactor_steps
+      (String.concat ",\n" (List.map stage_obj r.Echo.Orchestrator.o_stages))
+      impl_obj
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "%a@." Echo.Orchestrator.pp_report r;
+  Fmt.pr "wrote BENCH_pipeline.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -345,5 +430,6 @@ let () =
   if want "ablation_simplify" || !only = None then ablation_simplifier ();
   if want "ablation_mapping" || !only = None then ablation_mapping ();
   if want "ablation_order" || !only = None then ablation_order ();
+  if want "pipeline" || !only = None then pipeline_json ();
   if want "micro" || !only = None then micro_benchmarks ();
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -7,7 +7,12 @@
      suggest    propose loop-rerolling sites (§5.2 "suggested automatically")
      vcs        generate and summarise verification conditions
      prove      run the implementation proof (VC generation + prover)
-     aes        drive the AES case study (refactor / proofs / defects) *)
+     aes        drive the AES case study (refactor / proofs / defects)
+     chaos      fault-injection suite over the orchestrated pipeline
+
+   Exit codes follow the fault taxonomy (Echo.Fault.exit_code): 2 parse,
+   3 type, 4 refactoring-not-applicable, 5 proof failure (residual VCs,
+   timeouts, failed lemmas), 1 everything else. *)
 
 open Minispark
 
@@ -18,17 +23,14 @@ let read_program path =
   close_in ic;
   Typecheck.check (Parser.of_string src)
 
+(* every failure leaves through the fault taxonomy, so each class has a
+   stable exit code (documented in --help) *)
 let with_errors f =
-  try f () with
-  | Parser.Error (msg, line, col) ->
-      Fmt.epr "parse error at %d:%d: %s@." line col msg;
-      exit 1
-  | Typecheck.Type_error msg ->
-      Fmt.epr "type error: %s@." msg;
-      exit 1
-  | Refactor.Transform.Not_applicable msg ->
-      Fmt.epr "transformation not applicable: %s@." msg;
-      exit 1
+  match Echo.Fault.guard f with
+  | Ok v -> v
+  | Error fault ->
+      Fmt.epr "%a@." Echo.Fault.pp fault;
+      exit (Echo.Fault.exit_code fault)
 
 (* ---------------- subcommands ---------------- *)
 
@@ -84,7 +86,9 @@ let cmd_prove path verbose () =
       let r = Echo.Implementation_proof.run env prog in
       if verbose then Fmt.pr "%a@." Echo.Implementation_proof.pp_details r
       else Fmt.pr "%a@." Echo.Implementation_proof.pp_report r;
-      if r.Echo.Implementation_proof.ip_residual > 0 then exit 2)
+      if r.Echo.Implementation_proof.ip_residual > 0
+         || r.Echo.Implementation_proof.ip_timed_out > 0
+      then exit 5)
 
 let cmd_aes_refactor upto dump () =
   with_errors (fun () ->
@@ -108,13 +112,48 @@ let cmd_aes_refactor upto dump () =
           close_out oc;
           Fmt.pr "wrote %s@." path)
 
-let cmd_aes_verify () =
+let cmd_aes_verify run_dir resume global_deadline vc_deadline () =
   with_errors (fun () ->
-      let report = Aes.Aes_echo.verify () in
-      Fmt.pr "%a@." Echo.Pipeline.pp_report report;
-      match report.Echo.Pipeline.p_verdict with
-      | Echo.Pipeline.Verified | Echo.Pipeline.Conditionally_verified _ -> ()
-      | Echo.Pipeline.Failed _ -> exit 2)
+      if resume && run_dir = None then begin
+        Fmt.epr "--resume requires --run-dir@.";
+        exit 1
+      end;
+      let config =
+        {
+          Echo.Orchestrator.default_config with
+          Echo.Orchestrator.oc_run_dir = run_dir;
+          oc_global_deadline_s = global_deadline;
+          oc_vc_deadline_s = vc_deadline;
+        }
+      in
+      let report = Echo.Orchestrator.run ~resume ~config Aes.Aes_echo.case_study in
+      Fmt.pr "%a@." Echo.Orchestrator.pp_report report;
+      match report.Echo.Orchestrator.o_verdict with
+      | Echo.Orchestrator.Verified | Echo.Orchestrator.Conditionally_verified _ -> ()
+      | Echo.Orchestrator.Degraded d ->
+          exit (Echo.Fault.exit_code d.Echo.Orchestrator.dg_fault)
+      | Echo.Orchestrator.Failed f -> exit (Echo.Fault.exit_code f))
+
+let cmd_chaos probe () =
+  with_errors (fun () ->
+      let outcomes =
+        match probe with
+        | None -> Defects.Chaos.run_suite Aes.Aes_echo.case_study
+        | Some name -> (
+            match
+              List.find_opt
+                (fun p -> String.equal (Defects.Chaos.probe_name p) name)
+                Defects.Chaos.all_probes
+            with
+            | Some p -> [ Defects.Chaos.run_probe p Aes.Aes_echo.case_study ]
+            | None ->
+                Fmt.epr "unknown probe %S (try: %s)@." name
+                  (String.concat ", "
+                     (List.map Defects.Chaos.probe_name Defects.Chaos.all_probes));
+                exit 1)
+      in
+      Fmt.pr "%a@." Defects.Chaos.pp_suite outcomes;
+      if not (Defects.Chaos.all_ok outcomes) then exit 1)
 
 let cmd_aes_defects setup () =
   with_errors (fun () ->
@@ -155,28 +194,38 @@ let cmd_aes_dump which path () =
 
 open Cmdliner
 
+(* the fault-taxonomy exit codes, shown in every subcommand's --help *)
+let exits =
+  Cmd.Exit.info ~doc:"on parse errors." 2
+  :: Cmd.Exit.info ~doc:"on type errors." 3
+  :: Cmd.Exit.info ~doc:"when a refactoring transformation is not applicable." 4
+  :: Cmd.Exit.info ~doc:"on proof failure: residual VCs, prover timeouts, infeasible \
+                         VC generation or failed implication lemmas."
+       5
+  :: Cmd.Exit.defaults
+
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniSpark source file")
 
 let check_cmd =
-  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a MiniSpark program")
+  Cmd.v (Cmd.info "check" ~exits ~doc:"Parse and type-check a MiniSpark program")
     Term.(const cmd_check $ path_arg $ const ())
 
 let metrics_cmd =
-  Cmd.v (Cmd.info "metrics" ~doc:"Print the verification-guidance metrics (§5.2)")
+  Cmd.v (Cmd.info "metrics" ~exits ~doc:"Print the verification-guidance metrics (§5.2)")
     Term.(const cmd_metrics $ path_arg $ const ())
 
 let suggest_cmd =
-  Cmd.v (Cmd.info "suggest" ~doc:"Suggest loop-rerolling transformations")
+  Cmd.v (Cmd.info "suggest" ~exits ~doc:"Suggest loop-rerolling transformations")
     Term.(const cmd_suggest $ path_arg $ const ())
 
 let vcs_cmd =
-  Cmd.v (Cmd.info "vcs" ~doc:"Generate verification conditions and report sizes")
+  Cmd.v (Cmd.info "vcs" ~exits ~doc:"Generate verification conditions and report sizes")
     Term.(const cmd_vcs $ path_arg $ const ())
 
 let prove_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-VC details") in
-  Cmd.v (Cmd.info "prove" ~doc:"Run the implementation proof on an annotated program")
+  Cmd.v (Cmd.info "prove" ~exits ~doc:"Run the implementation proof on an annotated program")
     Term.(const cmd_prove $ path_arg $ verbose $ const ())
 
 let aes_refactor_cmd =
@@ -186,18 +235,37 @@ let aes_refactor_cmd =
   let dump =
     Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc:"Write the result")
   in
-  Cmd.v (Cmd.info "refactor" ~doc:"Run the 14-block AES verification refactoring")
+  Cmd.v (Cmd.info "refactor" ~exits ~doc:"Run the 14-block AES verification refactoring")
     Term.(const cmd_aes_refactor $ upto $ dump $ const ())
 
 let aes_verify_cmd =
-  Cmd.v (Cmd.info "verify" ~doc:"Full Echo pipeline on AES: refactor, both proofs")
-    Term.(const cmd_aes_verify $ const ())
+  let run_dir =
+    Arg.(value & opt (some string) None
+         & info [ "run-dir" ] ~docv:"DIR" ~doc:"Checkpoint directory for the run")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ] ~doc:"Resume from the checkpoints in --run-dir")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Global pipeline wall-clock budget")
+  in
+  let vc_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "vc-deadline" ] ~docv:"SECONDS" ~doc:"Per-VC-attempt wall-clock budget")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~exits
+       ~doc:"Full Echo pipeline on AES under the resilient orchestrator: refactor, \
+             both proofs, with optional budgets and checkpoint/resume")
+    Term.(const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ const ())
 
 let aes_defects_cmd =
   let setup =
     Arg.(value & opt int 0 & info [ "setup" ] ~docv:"N" ~doc:"Run only setup 1 or 2")
   in
-  Cmd.v (Cmd.info "defects" ~doc:"Run the seeded-defect experiment (Tables 2/3)")
+  Cmd.v (Cmd.info "defects" ~exits ~doc:"Run the seeded-defect experiment (Tables 2/3)")
     Term.(const cmd_aes_defects $ setup $ const ())
 
 let aes_dump_cmd =
@@ -208,17 +276,28 @@ let aes_dump_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file")
   in
-  Cmd.v (Cmd.info "dump" ~doc:"Print an AES program variant as MiniSpark source")
+  Cmd.v (Cmd.info "dump" ~exits ~doc:"Print an AES program variant as MiniSpark source")
     Term.(const cmd_aes_dump $ which $ out $ const ())
 
 let aes_cmd =
-  Cmd.group (Cmd.info "aes" ~doc:"The AES case study (§6)")
+  Cmd.group (Cmd.info "aes" ~exits ~doc:"The AES case study (§6)")
     [ aes_refactor_cmd; aes_verify_cmd; aes_defects_cmd; aes_dump_cmd ]
+
+let chaos_cmd =
+  let probe =
+    Arg.(value & opt (some string) None
+         & info [ "probe" ] ~docv:"NAME" ~doc:"Run a single probe instead of the suite")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~exits
+       ~doc:"Inject a fault into each pipeline stage and check the orchestrator \
+             absorbs it (never raises, degrades gracefully)")
+    Term.(const cmd_chaos $ probe $ const ())
 
 let main =
   Cmd.group
-    (Cmd.info "echo-verify" ~version:"1.0.0"
+    (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
-    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd ]
+    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

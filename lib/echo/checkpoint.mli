@@ -1,0 +1,48 @@
+(** Stage checkpointing for orchestrated pipeline runs.
+
+    Each pipeline stage's output is serialized into a run directory as
+    soon as the stage completes, so an interrupted or partially-failed run
+    can resume from the last good stage ({!Orchestrator.resume}) instead
+    of recomputing hours of refactoring and proof search.
+
+    Programs are stored as pretty-printed MiniSpark source (reparsed on
+    resume — robust across binaries); closed data (proof reports, the
+    extracted theory) is stored with [Marshal] behind a version/case
+    header so a stale or foreign file is rejected, never misread. *)
+
+type stage =
+  | S_refactor
+  | S_annotate
+  | S_impl
+  | S_extract
+  | S_implication
+
+val all_stages : stage list
+(** In pipeline order. *)
+
+val stage_name : stage -> string
+val stage_index : stage -> int
+
+(** What each stage persists.  Programs travel as source text; everything
+    else is closed (closure-free) data. *)
+type payload =
+  | P_refactor of { pr_final_src : string; pr_steps : int; pr_summary : string }
+  | P_annotate of { pa_src : string }
+  | P_impl of Implementation_proof.report
+  | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
+  | P_implication of { pi_lemmas : (string * bool * string) list }
+      (** lemma name, holds?, method/reason *)
+
+val save : dir:string -> case:string -> stage -> payload -> (unit, string) result
+(** Write the stage file (creating [dir] as needed), atomically via a
+    temp file + rename. *)
+
+val load : dir:string -> case:string -> stage -> (payload, string) result option
+(** [None] — no checkpoint for this stage; [Some (Error _)] — a file is
+    present but has the wrong version/case or does not unmarshal; the
+    caller decides whether that is fatal. *)
+
+val clear : dir:string -> unit
+(** Remove all checkpoint files in [dir] (ignores other files). *)
+
+val pp_stage : stage Fmt.t

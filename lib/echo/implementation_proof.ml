@@ -7,7 +7,13 @@
    and the VCs needing interactive steps (application of preconditions /
    induction on loop invariants = the prover's hint capabilities).  VCs
    that resist both are "interactive residue": they are cross-validated by
-   ground evaluation on sampled assignments and reported separately. *)
+   ground evaluation on sampled assignments and reported separately.
+
+   Every VC now goes through a {!Retry} ladder; [run] uses the legacy
+   two-rung ladder (automatic, hinted) so historical accounting is
+   unchanged, while [run_resilient] adds the simplify-then-retry rung,
+   per-VC deadlines and hook points for the orchestrator and the chaos
+   harness. *)
 
 open Minispark
 module F = Logic.Formula
@@ -17,10 +23,12 @@ type vc_status =
   | Auto                 (** discharged with no interaction *)
   | Hinted of int        (** discharged after n interactive steps *)
   | Residual of string   (** not discharged mechanically *)
+  | Timed_out of float   (** every ladder rung hit its deadline *)
 
 type vc_result = {
   vr_vc : F.vc;
   vr_status : vc_status;
+  vr_attempts : int;     (** ladder attempts spent on this VC *)
   vr_time : float;
 }
 
@@ -30,6 +38,7 @@ type sub_stats = {
   ss_auto : int;
   ss_hinted : int;
   ss_residual : int;
+  ss_timed_out : int;
 }
 
 type report = {
@@ -39,10 +48,27 @@ type report = {
   ip_auto : int;
   ip_hinted : int;
   ip_residual : int;
+  ip_timed_out : int;
+  ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
 }
+
+let empty =
+  {
+    ip_results = [];
+    ip_subs = [];
+    ip_total = 0;
+    ip_auto = 0;
+    ip_hinted = 0;
+    ip_residual = 0;
+    ip_timed_out = 0;
+    ip_attempts = 0;
+    ip_generated_nodes = 0;
+    ip_time = 0.0;
+    ip_infeasible = None;
+  }
 
 let auto_fraction r =
   if r.ip_total = 0 then 1.0 else float_of_int r.ip_auto /. float_of_int r.ip_total
@@ -68,34 +94,45 @@ let interp_of env program =
 
 let standard_hints = [ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ]
 
-(** Run the implementation proof over an annotated, checked program. *)
-let run ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program : report =
-  let t0 = Unix.gettimeofday () in
+let status_of (rt : Retry.result) : vc_status =
+  match rt.Retry.rt_rung with
+  | Some rung when rung.Retry.rg_hints = [] -> Auto
+  | Some _ -> Hinted rt.Retry.rt_result.P.pr_hints_used
+  | None -> (
+      match rt.Retry.rt_result.P.pr_outcome with
+      | P.Timeout s -> Timed_out s
+      | P.Unknown reason -> Residual reason
+      | P.Proved -> assert false)
+
+(* Shared core: VC generation, then the retry ladder over every VC.
+   [filter_vcs] and [tune_cfg] are the orchestrator/chaos hook points. *)
+let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
+    ?(tune_cfg = fun (c : P.config) -> c) ?(give_up = fun () -> false)
+    ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program : report =
+  let t0 = Logic.Clock.now () in
   let gen = Vcgen.generate ~budget env program in
   let cfg =
-    { P.default_config with P.interp = Some (interp_of env program); max_steps }
+    tune_cfg { P.default_config with P.interp = Some (interp_of env program); max_steps }
   in
   let results =
     List.concat_map
       (fun (sr : Vcgen.sub_report) ->
         List.map
           (fun vc ->
-            let t1 = Unix.gettimeofday () in
-            let auto = P.prove_vc ~cfg vc in
-            if P.is_proved auto then
-              { vr_vc = vc; vr_status = Auto; vr_time = Unix.gettimeofday () -. t1 }
+            (* the global budget ran out: charge the remaining VCs as
+               timed out without starting their searches *)
+            if give_up () then
+              { vr_vc = vc; vr_status = Timed_out 0.0; vr_attempts = 0; vr_time = 0.0 }
             else
-              let hinted = P.prove_vc ~cfg ~hints:standard_hints vc in
-              let status =
-                if P.is_proved hinted then Hinted hinted.P.pr_hints_used
-                else
-                  Residual
-                    (match hinted.P.pr_outcome with
-                    | P.Unknown reason -> reason
-                    | P.Proved -> assert false)
-              in
-              { vr_vc = vc; vr_status = status; vr_time = Unix.gettimeofday () -. t1 })
-          sr.Vcgen.sr_vcs)
+              let t1 = Logic.Clock.now () in
+              let rt = Retry.prove ~policy ~cfg vc in
+              {
+                vr_vc = vc;
+                vr_status = status_of rt;
+                vr_attempts = Retry.attempts rt;
+                vr_time = Logic.Clock.elapsed t1;
+              })
+          (filter_vcs sr.Vcgen.sr_vcs))
       gen.Vcgen.r_subs
   in
   let subs =
@@ -111,6 +148,7 @@ let run ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program : rep
           ss_auto = count (fun r -> r.vr_status = Auto);
           ss_hinted = count (fun r -> match r.vr_status with Hinted _ -> true | _ -> false);
           ss_residual = count (fun r -> match r.vr_status with Residual _ -> true | _ -> false);
+          ss_timed_out = count (fun r -> match r.vr_status with Timed_out _ -> true | _ -> false);
         })
       gen.Vcgen.r_subs
   in
@@ -122,32 +160,46 @@ let run ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program : rep
     ip_auto = count (fun r -> r.vr_status = Auto);
     ip_hinted = count (fun r -> match r.vr_status with Hinted _ -> true | _ -> false);
     ip_residual = count (fun r -> match r.vr_status with Residual _ -> true | _ -> false);
+    ip_timed_out = count (fun r -> match r.vr_status with Timed_out _ -> true | _ -> false);
+    ip_attempts = List.fold_left (fun acc r -> acc + r.vr_attempts) 0 results;
     ip_generated_nodes = Vcgen.total_nodes gen;
-    ip_time = Unix.gettimeofday () -. t0;
+    ip_time = Logic.Clock.elapsed t0;
     ip_infeasible = gen.Vcgen.r_infeasible;
   }
 
+(** Run the implementation proof over an annotated, checked program. *)
+let run ?budget ?max_steps env program : report =
+  run_with ~policy:(Retry.legacy_policy standard_hints) ?budget ?max_steps env program
+
+let run_resilient ?(policy = Retry.default_policy standard_hints) ?filter_vcs ?tune_cfg
+    ?give_up ?budget ?max_steps env program : report =
+  run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?budget ?max_steps env program
+
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>implementation proof: %d VCs, %d auto (%.1f%%), %d interactive, %d residual@,\
-     %d/%d subprograms fully automatic; %.1fs@]"
+    "@[<v>implementation proof: %d VCs, %d auto (%.1f%%), %d interactive, %d residual%a@,\
+     %d/%d subprograms fully automatic; %d prover attempts; %.1fs@]"
     r.ip_total r.ip_auto (100.0 *. auto_fraction r) r.ip_hinted r.ip_residual
-    (fully_auto_subs r) (List.length r.ip_subs) r.ip_time
+    (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d timed out" n)
+    r.ip_timed_out (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time
 
 let pp_details ppf r =
   pp_report ppf r;
   Fmt.pf ppf "@,";
   List.iter
     (fun s ->
-      Fmt.pf ppf "@,  %-24s %3d VCs  %3d auto %3d hinted %3d residual" s.ss_name
-        s.ss_total s.ss_auto s.ss_hinted s.ss_residual)
+      Fmt.pf ppf "@,  %-24s %3d VCs  %3d auto %3d hinted %3d residual %3d timeout"
+        s.ss_name s.ss_total s.ss_auto s.ss_hinted s.ss_residual s.ss_timed_out)
     r.ip_subs;
   List.iter
     (fun v ->
       match v.vr_status with
       | Residual reason ->
-          Fmt.pf ppf "@,  residual %s [%s]: %s" v.vr_vc.F.vc_name
-            (F.vc_kind_name v.vr_vc.F.vc_kind)
+          Fmt.pf ppf "@,  residual %s [%s] after %d attempts: %s" v.vr_vc.F.vc_name
+            (F.vc_kind_name v.vr_vc.F.vc_kind) v.vr_attempts
             (if String.length reason > 120 then String.sub reason 0 120 ^ "..." else reason)
+      | Timed_out s ->
+          Fmt.pf ppf "@,  timeout  %s [%s] after %d attempts (last %.3fs)" v.vr_vc.F.vc_name
+            (F.vc_kind_name v.vr_vc.F.vc_kind) v.vr_attempts s
       | _ -> ())
     r.ip_results

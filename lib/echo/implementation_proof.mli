@@ -1,6 +1,10 @@
 (** The implementation proof (§6.2.3): the annotated program is shown to
     conform to its annotations — the stand-in for the SPARK toolset run,
-    with the automation fraction measured rather than estimated. *)
+    with the automation fraction measured rather than estimated.
+
+    Every VC climbs a {!Retry} ladder; [run] keeps the historical two-rung
+    behaviour, [run_resilient] adds simplify-then-retry, per-VC deadlines
+    and the orchestrator/chaos hook points. *)
 
 open Minispark
 
@@ -8,10 +12,12 @@ type vc_status =
   | Auto                 (** discharged with no interaction *)
   | Hinted of int        (** discharged after n interactive steps *)
   | Residual of string   (** not discharged mechanically *)
+  | Timed_out of float   (** every ladder rung hit its deadline *)
 
 type vc_result = {
   vr_vc : Logic.Formula.vc;
   vr_status : vc_status;
+  vr_attempts : int;     (** ladder attempts spent on this VC *)
   vr_time : float;
 }
 
@@ -21,6 +27,7 @@ type sub_stats = {
   ss_auto : int;
   ss_hinted : int;
   ss_residual : int;
+  ss_timed_out : int;
 }
 
 type report = {
@@ -30,10 +37,15 @@ type report = {
   ip_auto : int;
   ip_hinted : int;
   ip_residual : int;
+  ip_timed_out : int;
+  ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
 }
+
+val empty : report
+(** Degenerate report for pipeline stages that never ran. *)
 
 val auto_fraction : report -> float
 val fully_auto_subs : report -> int
@@ -48,6 +60,22 @@ val standard_hints : Logic.Prover.hint list
 
 val run : ?budget:Vcgen.budget -> ?max_steps:int ->
   Typecheck.env -> Ast.program -> report
+(** Legacy ladder (automatic, then hinted) with no deadlines — the §6.2.3
+    accounting baseline. *)
+
+val run_resilient :
+  ?policy:Retry.policy ->
+  ?filter_vcs:(Logic.Formula.vc list -> Logic.Formula.vc list) ->
+  ?tune_cfg:(Logic.Prover.config -> Logic.Prover.config) ->
+  ?give_up:(unit -> bool) ->
+  ?budget:Vcgen.budget -> ?max_steps:int ->
+  Typecheck.env -> Ast.program -> report
+(** The orchestrated form: configurable retry ladder, and hook points for
+    VC-list filtering and prover-config tuning (used by the chaos
+    harness).  [give_up] is polled before each VC — once true (e.g. the
+    orchestrator's global deadline expired), remaining VCs are charged as
+    timed out with zero attempts.  Timeouts are reported per VC, never
+    raised. *)
 
 val pp_report : report Fmt.t
 val pp_details : report Fmt.t

@@ -124,9 +124,20 @@ let structural ~name ~original ~extracted ~premises ~check () =
 (* runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let empty = { im_lemmas = []; im_total = 0; im_proved = 0; im_time = 0.0 }
+
+(* A lemma body that *raises* (rather than returning [Fails]) must not
+   abort the whole suite: the remaining lemmas still carry information.
+   The exception is folded into a [Fails] outcome. *)
+let run_lemma l =
+  match l.lm_run () with
+  | o -> o
+  | exception Sys.Break -> raise Sys.Break
+  | exception e -> Fails ("lemma raised: " ^ Printexc.to_string e)
+
 let run (lemmas : lemma list) : result =
   let t0 = Unix.gettimeofday () in
-  let outcomes = List.map (fun l -> (l, l.lm_run ())) lemmas in
+  let outcomes = List.map (fun l -> (l, run_lemma l)) lemmas in
   let proved =
     List.length (List.filter (fun (_, o) -> match o with Holds _ -> true | _ -> false) outcomes)
   in

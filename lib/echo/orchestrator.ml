@@ -1,0 +1,445 @@
+(* Resilient orchestration: the Echo pipeline as five independently
+   guarded, independently checkpointed stages under explicit budgets.
+
+   Design rules:
+   - a stage failure is a value ([Fault.t]), never an escaping exception;
+   - resources are bounded twice: per VC attempt (prover deadline + fuel)
+     and globally (pipeline deadline polled between stages and VCs);
+   - whatever evidence survives a fault is reported ([Degraded]), not
+     discarded;
+   - each completed stage is persisted so [resume] restarts after the
+     last good stage rather than from scratch. *)
+
+open Minispark
+module CK = Checkpoint
+
+type hooks = {
+  h_stage : CK.stage -> unit;
+  h_vcs : Logic.Formula.vc list -> Logic.Formula.vc list;
+  h_prover : Logic.Prover.config -> Logic.Prover.config;
+  h_lemmas : Implication.lemma list -> Implication.lemma list;
+}
+
+let no_hooks =
+  {
+    h_stage = (fun _ -> ());
+    h_vcs = (fun vcs -> vcs);
+    h_prover = (fun c -> c);
+    h_lemmas = (fun ls -> ls);
+  }
+
+type config = {
+  oc_run_dir : string option;
+  oc_global_deadline_s : float option;
+  oc_vc_deadline_s : float option;
+  oc_retry : Retry.policy;
+  oc_max_steps : int;
+  oc_budget : Vcgen.budget;
+  oc_hooks : hooks;
+}
+
+let default_config =
+  {
+    oc_run_dir = None;
+    oc_global_deadline_s = None;
+    oc_vc_deadline_s = None;
+    oc_retry = Retry.default_policy Implementation_proof.standard_hints;
+    oc_max_steps = 60_000;
+    oc_budget = Vcgen.default_budget;
+    oc_hooks = no_hooks;
+  }
+
+type stage_status =
+  | St_ok of { st_time : float; st_from_checkpoint : bool }
+  | St_failed of Fault.t
+  | St_skipped
+
+type degradation = {
+  dg_stage : string;
+  dg_fault : Fault.t;
+  dg_residual : int;
+  dg_timed_out : int;
+  dg_lemmas_failed : int;
+}
+
+type verdict =
+  | Verified
+  | Conditionally_verified of int
+  | Degraded of degradation
+  | Failed of Fault.t
+
+type report = {
+  o_case : string;
+  o_stages : (CK.stage * stage_status) list;
+  o_refactor_steps : int;
+  o_impl : Implementation_proof.report option;
+  o_match : Specl.Match_ratio.result option;
+  o_lemmas : (string * bool * string) list;
+  o_notes : string list;
+  o_verdict : verdict;
+  o_attempts : int;
+  o_time : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Running state threaded through the stages                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  cfg : config;
+  cs : Pipeline.case_study;
+  resume_run : bool;
+  global_deadline : float;  (* absolute monotonic clock value *)
+  mutable statuses : (CK.stage * stage_status) list;  (* reverse order *)
+  mutable notes : string list;
+  mutable degradations : (string * Fault.t) list;  (* reverse order *)
+}
+
+let note st fmt = Printf.ksprintf (fun s -> st.notes <- s :: st.notes) fmt
+
+let degrade st stage fault = st.degradations <- (CK.stage_name stage, fault) :: st.degradations
+
+let global_expired st = Logic.Clock.expired st.global_deadline
+
+let save_checkpoint st stage payload =
+  match st.cfg.oc_run_dir with
+  | None -> ()
+  | Some dir -> (
+      match CK.save ~dir ~case:st.cs.Pipeline.cs_name stage payload with
+      | Ok () -> ()
+      | Error e -> note st "checkpoint write failed for %s: %s" (CK.stage_name stage) e)
+
+let load_checkpoint st stage =
+  if not st.resume_run then None
+  else
+    match st.cfg.oc_run_dir with
+    | None -> None
+    | Some dir -> (
+        match CK.load ~dir ~case:st.cs.Pipeline.cs_name stage with
+        | None -> None
+        | Some (Ok payload) -> Some payload
+        | Some (Error e) ->
+            note st "ignoring unreadable checkpoint for %s: %s" (CK.stage_name stage) e;
+            None)
+
+(* Run one stage: global-deadline check, stage-entry hook, checkpoint
+   shortcut, then the body; any exception becomes the stage's fault. *)
+let stage st (stage_id : CK.stage) ~(from_ckpt : unit -> 'a option) ~(body : unit -> 'a)
+    : ('a, Fault.t) result =
+  let record status = st.statuses <- (stage_id, status) :: st.statuses in
+  if global_expired st then begin
+    let f =
+      Fault.Deadline
+        {
+          stage = CK.stage_name stage_id;
+          budget = Option.value ~default:0.0 st.cfg.oc_global_deadline_s;
+        }
+    in
+    record (St_failed f);
+    Error f
+  end
+  else
+    match Fault.guard (fun () -> st.cfg.oc_hooks.h_stage stage_id) with
+    | Error f ->
+        record (St_failed f);
+        Error f
+    | Ok () -> (
+        match from_ckpt () with
+        | Some v ->
+            record (St_ok { st_time = 0.0; st_from_checkpoint = true });
+            Ok v
+        | None -> (
+            let t0 = Logic.Clock.now () in
+            match Fault.guard body with
+            | Ok v ->
+                record (St_ok { st_time = Logic.Clock.elapsed t0; st_from_checkpoint = false });
+                Ok v
+            | Error f ->
+                record (St_failed f);
+                Error f))
+
+let reparse_program src =
+  let _, prog = Typecheck.check (Parser.of_string src) in
+  prog
+
+(* ------------------------------------------------------------------ *)
+(* Verdict synthesis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize st (impl : Implementation_proof.report option)
+    (lemmas : (string * bool * string) list) : verdict =
+  let residual = match impl with Some r -> r.Implementation_proof.ip_residual | None -> 0 in
+  let timed_out = match impl with Some r -> r.Implementation_proof.ip_timed_out | None -> 0 in
+  let failed_lemmas = List.filter (fun (_, holds, _) -> not holds) lemmas in
+  let first_failure =
+    List.rev st.statuses
+    |> List.find_map (fun (s, status) ->
+           match status with St_failed f -> Some (s, f) | _ -> None)
+  in
+  match first_failure with
+  | Some (s, f) ->
+      if impl <> None && CK.stage_index s > CK.stage_index CK.S_impl then
+        (* the proofs produced evidence before the fault: degrade *)
+        Degraded
+          {
+            dg_stage = CK.stage_name s;
+            dg_fault = f;
+            dg_residual = residual;
+            dg_timed_out = timed_out;
+            dg_lemmas_failed = List.length failed_lemmas;
+          }
+      else Failed f
+  | None -> (
+      match failed_lemmas with
+      | (name, _, reason) :: _ ->
+          Failed
+            (Fault.Lemma
+               {
+                 lemma = name;
+                 reason =
+                   Printf.sprintf "%d implication lemma(s) do not hold (first: %s)"
+                     (List.length failed_lemmas) reason;
+               })
+      | [] -> (
+          match List.rev st.degradations with
+          | (stage_name, f) :: _ ->
+              Degraded
+                {
+                  dg_stage = stage_name;
+                  dg_fault = f;
+                  dg_residual = residual;
+                  dg_timed_out = timed_out;
+                  dg_lemmas_failed = 0;
+                }
+          | [] ->
+              if residual = 0 && timed_out = 0 then Verified
+              else Conditionally_verified (residual + timed_out)))
+
+(* ------------------------------------------------------------------ *)
+(* The five stages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stage_refactor st =
+  stage st CK.S_refactor
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_refactor with
+      | Some (CK.P_refactor { pr_final_src; pr_steps; _ }) ->
+          Option.map (fun p -> (p, pr_steps)) (Fault.guard (fun () -> reparse_program pr_final_src) |> Result.to_option)
+      | _ -> None)
+    ~body:(fun () ->
+      let stages, history = st.cs.Pipeline.cs_refactor () in
+      let final =
+        match List.rev stages with
+        | (_, p) :: _ -> p
+        | [] -> invalid_arg "Orchestrator: refactoring produced no stages"
+      in
+      let steps = Refactor.History.step_count history in
+      save_checkpoint st CK.S_refactor
+        (CK.P_refactor
+           {
+             pr_final_src = Pretty.program_to_string final;
+             pr_steps = steps;
+             pr_summary = Fmt.str "%a" Refactor.History.pp_summary history;
+           });
+      (final, steps))
+
+let stage_annotate st final =
+  stage st CK.S_annotate
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_annotate with
+      | Some (CK.P_annotate { pa_src }) ->
+          Fault.guard (fun () -> Typecheck.check (Parser.of_string pa_src))
+          |> Result.to_option
+      | _ -> None)
+    ~body:(fun () ->
+      let env, annotated = Typecheck.check (st.cs.Pipeline.cs_annotate final) in
+      save_checkpoint st CK.S_annotate
+        (CK.P_annotate { pa_src = Pretty.program_to_string annotated });
+      (env, annotated))
+
+let stage_impl st env annotated =
+  stage st CK.S_impl
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_impl with
+      | Some (CK.P_impl report) -> Some report
+      | _ -> None)
+    ~body:(fun () ->
+      let policy = Retry.with_deadline st.cfg.oc_vc_deadline_s st.cfg.oc_retry in
+      let report =
+        Implementation_proof.run_resilient ~policy
+          ~filter_vcs:st.cfg.oc_hooks.h_vcs ~tune_cfg:st.cfg.oc_hooks.h_prover
+          ~give_up:(fun () -> global_expired st)
+          ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps env annotated
+      in
+      save_checkpoint st CK.S_impl (CK.P_impl report);
+      report)
+
+let stage_extract st env annotated =
+  stage st CK.S_extract
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_extract with
+      | Some (CK.P_extract { px_theory; px_match }) -> Some (px_theory, px_match)
+      | _ -> None)
+    ~body:(fun () ->
+      let extracted = Extract.extract_program env annotated in
+      let match_result =
+        Specl.Match_ratio.compare ~synonyms:st.cs.Pipeline.cs_synonyms
+          ~original:st.cs.Pipeline.cs_original_spec ~extracted ()
+      in
+      save_checkpoint st CK.S_extract
+        (CK.P_extract { px_theory = extracted; px_match = match_result });
+      (extracted, match_result))
+
+let stage_implication st extracted =
+  stage st CK.S_implication
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_implication with
+      | Some (CK.P_implication { pi_lemmas }) -> Some pi_lemmas
+      | _ -> None)
+    ~body:(fun () ->
+      let lemmas = st.cfg.oc_hooks.h_lemmas (st.cs.Pipeline.cs_lemmas ~extracted) in
+      let result = Implication.run lemmas in
+      let summaries =
+        List.map
+          (fun ((l : Implication.lemma), outcome) ->
+            match outcome with
+            | Implication.Holds m ->
+                (l.Implication.lm_name, true, Fmt.str "%a" Implication.pp_method m)
+            | Implication.Fails reason -> (l.Implication.lm_name, false, reason))
+          result.Implication.im_lemmas
+      in
+      save_checkpoint st CK.S_implication (CK.P_implication { pi_lemmas = summaries });
+      summaries)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) : report =
+  let t0 = Logic.Clock.now () in
+  (* a fresh run must not mix its checkpoints with a previous run's *)
+  (match (resume, config.oc_run_dir) with
+  | false, Some dir -> CK.clear ~dir
+  | _ -> ());
+  let st =
+    {
+      cfg = config;
+      cs;
+      resume_run = resume;
+      global_deadline = Logic.Clock.deadline config.oc_global_deadline_s;
+      statuses = [];
+      notes = [];
+      degradations = [];
+    }
+  in
+  let impl_ref = ref None in
+  let match_ref = ref None in
+  let steps_ref = ref 0 in
+  let lemmas_ref = ref [] in
+  (let ( let* ) r f = match r with Ok v -> f v | Error (_ : Fault.t) -> () in
+   let* final, steps = stage_refactor st in
+   steps_ref := steps;
+   let* env, annotated = stage_annotate st final in
+   let* impl = stage_impl st env annotated in
+   impl_ref := Some impl;
+   (match impl.Implementation_proof.ip_infeasible with
+   | Some reason -> degrade st CK.S_impl (Fault.Vc_infeasible reason)
+   | None -> ());
+   (match
+      List.find_opt
+        (fun (r : Implementation_proof.vc_result) ->
+          match r.Implementation_proof.vr_status with
+          | Implementation_proof.Timed_out _ -> true
+          | _ -> false)
+        impl.Implementation_proof.ip_results
+    with
+   | Some r ->
+       let elapsed =
+         match r.Implementation_proof.vr_status with
+         | Implementation_proof.Timed_out s -> s
+         | _ -> 0.0
+       in
+       degrade st CK.S_impl
+         (Fault.Prover_timeout
+            { vc = r.Implementation_proof.vr_vc.Logic.Formula.vc_name; elapsed })
+   | None -> ());
+   let* extracted, match_result = stage_extract st env annotated in
+   match_ref := Some match_result;
+   let* lemmas = stage_implication st extracted in
+   lemmas_ref := lemmas);
+  (* mark unreached stages *)
+  let reached = List.map fst st.statuses in
+  let statuses =
+    List.map
+      (fun s ->
+        match List.assoc_opt s st.statuses with
+        | Some status -> (s, status)
+        | None ->
+            assert (not (List.mem s reached));
+            (s, St_skipped))
+      CK.all_stages
+  in
+  let verdict = synthesize st !impl_ref !lemmas_ref in
+  {
+    o_case = cs.Pipeline.cs_name;
+    o_stages = statuses;
+    o_refactor_steps = !steps_ref;
+    o_impl = !impl_ref;
+    o_match = !match_ref;
+    o_lemmas = !lemmas_ref;
+    o_notes = List.rev st.notes;
+    o_verdict = verdict;
+    o_attempts =
+      (match !impl_ref with Some r -> r.Implementation_proof.ip_attempts | None -> 0);
+    o_time = Logic.Clock.elapsed t0;
+  }
+
+let resume ?config cs = run ~resume:true ?config cs
+
+let verdict_failed r = match r.o_verdict with Failed _ -> true | _ -> false
+
+let verdict_fault r =
+  match r.o_verdict with
+  | Failed f -> Some f
+  | Degraded d -> Some d.dg_fault
+  | Verified | Conditionally_verified _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_verdict ppf = function
+  | Verified -> Fmt.string ppf "VERIFIED"
+  | Conditionally_verified n ->
+      Fmt.pf ppf "CONDITIONALLY VERIFIED (%d VCs left for interactive proof)" n
+  | Degraded d ->
+      Fmt.pf ppf
+        "DEGRADED at %s: %a (%d residual, %d timed out, %d lemmas failed)"
+        d.dg_stage Fault.pp d.dg_fault d.dg_residual d.dg_timed_out d.dg_lemmas_failed
+  | Failed f -> Fmt.pf ppf "FAILED: %a" Fault.pp f
+
+let pp_status ppf = function
+  | St_ok { st_from_checkpoint = true; _ } -> Fmt.string ppf "ok (from checkpoint)"
+  | St_ok { st_time; _ } -> Fmt.pf ppf "ok (%.1fs)" st_time
+  | St_failed f -> Fmt.pf ppf "failed: %a" Fault.pp f
+  | St_skipped -> Fmt.string ppf "skipped"
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>orchestrated run: %s@," r.o_case;
+  List.iter
+    (fun (s, status) ->
+      Fmt.pf ppf "  %-22s %a@," (CK.stage_name s) pp_status status)
+    r.o_stages;
+  (match r.o_impl with
+  | Some impl -> Fmt.pf ppf "%a@," Implementation_proof.pp_report impl
+  | None -> ());
+  (match r.o_match with
+  | Some m -> Fmt.pf ppf "structure match: %a@," Specl.Match_ratio.pp_result m
+  | None -> ());
+  (match r.o_lemmas with
+  | [] -> ()
+  | lemmas ->
+      let proved = List.length (List.filter (fun (_, h, _) -> h) lemmas) in
+      Fmt.pf ppf "implication: %d/%d lemmas@," proved (List.length lemmas));
+  List.iter (fun n -> Fmt.pf ppf "note: %s@," n) r.o_notes;
+  Fmt.pf ppf "verdict: %a (%.1fs)@]" pp_verdict r.o_verdict r.o_time

@@ -1,0 +1,94 @@
+(** Resilient orchestration of the Echo pipeline.
+
+    {!Pipeline.run} is the plain engine; this module drives the same five
+    stages — refactor, annotate, implementation proof, reverse synthesis,
+    implication proof — under an explicit resource-and-recovery policy:
+
+    - every stage body runs under {!Fault.guard}, so no failure escapes as
+      an exception: [run] always returns a verdict;
+    - per-VC wall-clock deadlines and a global pipeline deadline, enforced
+      on the monotonic clock ({!Logic.Clock});
+    - a {!Retry} ladder per VC (automatic → simplify-then-retry → hinted)
+      with every attempt recorded in the proof report;
+    - stage checkpointing ({!Checkpoint}) into a run directory, and
+      {!resume} to continue an interrupted or partially-failed run from
+      the last good stage;
+    - graceful degradation: timed-out or infeasible VCs and late-stage
+      faults produce a [Degraded] verdict carrying the surviving results
+      instead of aborting the run. *)
+
+(** Instrumentation/chaos hook points (identity by default).  [h_stage]
+    runs at stage entry and may raise — a raised {!Fault.Fault} is how the
+    chaos harness injects stage failures. *)
+type hooks = {
+  h_stage : Checkpoint.stage -> unit;
+  h_vcs : Logic.Formula.vc list -> Logic.Formula.vc list;
+  h_prover : Logic.Prover.config -> Logic.Prover.config;
+  h_lemmas : Implication.lemma list -> Implication.lemma list;
+}
+
+val no_hooks : hooks
+
+type config = {
+  oc_run_dir : string option;        (** checkpoint directory; [None] = no checkpoints *)
+  oc_global_deadline_s : float option;  (** whole-pipeline wall-clock budget *)
+  oc_vc_deadline_s : float option;   (** per-VC-attempt wall-clock budget *)
+  oc_retry : Retry.policy;           (** ladder for the implementation proof *)
+  oc_max_steps : int;                (** prover fuel per attempt (base) *)
+  oc_budget : Vcgen.budget;
+  oc_hooks : hooks;
+}
+
+val default_config : config
+
+type stage_status =
+  | St_ok of { st_time : float; st_from_checkpoint : bool }
+  | St_failed of Fault.t
+  | St_skipped           (** never reached because an earlier stage failed *)
+
+type degradation = {
+  dg_stage : string;         (** where resilience absorbed the fault *)
+  dg_fault : Fault.t;        (** representative fault *)
+  dg_residual : int;
+  dg_timed_out : int;
+  dg_lemmas_failed : int;
+}
+
+type verdict =
+  | Verified
+  | Conditionally_verified of int
+  | Degraded of degradation
+  | Failed of Fault.t
+
+type report = {
+  o_case : string;
+  o_stages : (Checkpoint.stage * stage_status) list;  (** pipeline order *)
+  o_refactor_steps : int;
+  o_impl : Implementation_proof.report option;
+  o_match : Specl.Match_ratio.result option;
+  o_lemmas : (string * bool * string) list;  (** name, holds?, method/reason *)
+  o_notes : string list;     (** non-fatal events, e.g. checkpoint trouble *)
+  o_verdict : verdict;
+  o_attempts : int;          (** prover-ladder attempts across all VCs *)
+  o_time : float;
+}
+
+val run : ?resume:bool -> ?config:config -> Pipeline.case_study -> report
+(** Drive the pipeline under the policy.  Never raises.  With a run
+    directory configured, each completed stage is checkpointed; a fresh
+    run ([resume = false], the default) clears stale checkpoints first. *)
+
+val resume : ?config:config -> Pipeline.case_study -> report
+(** [run ~resume:true]: stages with a valid checkpoint are loaded instead
+    of recomputed (their status says so); execution continues from the
+    first missing or corrupt checkpoint.  A checkpointed clean run resumed
+    this way reproduces its verdict bit-for-bit without re-proving. *)
+
+val verdict_failed : report -> bool
+(** True for [Failed _] verdicts (CLI exit-code helper). *)
+
+val verdict_fault : report -> Fault.t option
+(** The fault behind a [Failed]/[Degraded] verdict, if any. *)
+
+val pp_verdict : verdict Fmt.t
+val pp_report : report Fmt.t

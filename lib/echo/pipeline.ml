@@ -5,7 +5,13 @@
 
    The pipeline is case-study-parametric: the AES instantiation supplies
    the refactoring script, the annotation set, the original specification
-   and the lemma builder; other case studies plug in their own. *)
+   and the lemma builder; other case studies plug in their own.
+
+   No stage failure escapes [run] as an exception: stage bodies run under
+   {!Fault.guard}, a failure before the proofs yields [Failed], and a
+   failure after the implementation proof has produced evidence yields
+   [Degraded] so the surviving results are still reported.  The richer
+   budgeted/checkpointed driver is {!Orchestrator}. *)
 
 open Minispark
 
@@ -27,6 +33,8 @@ type verdict =
       (** every VC automatic or hint-discharged, every lemma holds *)
   | Conditionally_verified of int
       (** all lemmas hold but n VCs remain for interactive proof *)
+  | Degraded of string
+      (** a late stage faulted; the surviving evidence is in the report *)
   | Failed of string
 
 type report = {
@@ -46,43 +54,79 @@ let verdict_of impl implication =
     Failed
       (Printf.sprintf "%d implication lemma(s) do not hold"
          (implication.Implication.im_total - implication.Implication.im_proved))
-  else if impl.Implementation_proof.ip_residual = 0 then Verified
-  else Conditionally_verified impl.Implementation_proof.ip_residual
+  else if impl.Implementation_proof.ip_residual = 0
+          && impl.Implementation_proof.ip_timed_out = 0
+  then Verified
+  else
+    Conditionally_verified
+      (impl.Implementation_proof.ip_residual + impl.Implementation_proof.ip_timed_out)
 
-(** Run the full Echo process for a case study. *)
+(* placeholders for stages that never ran, so a partial run still yields a
+   well-formed report *)
+let empty_program = { Ast.prog_name = "<not-reached>"; Ast.prog_decls = [] }
+let empty_env = { Typecheck.types = []; Typecheck.objects = []; Typecheck.subs = [] }
+let empty_theory = { Specl.Sast.th_name = "<not-reached>"; th_types = []; th_defs = [] }
+let empty_history () = Refactor.History.create empty_env empty_program
+
+(** Run the full Echo process for a case study.  Never raises: stage
+    faults are folded into the verdict. *)
 let run (cs : case_study) : report =
   let t0 = Unix.gettimeofday () in
-  let stages, history = cs.cs_refactor () in
-  let _, final =
-    match List.rev stages with
-    | last :: _ -> last
-    | [] -> invalid_arg "Pipeline.run: no stages"
+  let finish ?(history = empty_history ()) ?(final = empty_program)
+      ?(annotated = empty_program) ?(impl = Implementation_proof.empty)
+      ?(extracted = empty_theory) ?(match_ = Specl.Match_ratio.empty)
+      ?(implication = Implication.empty) verdict =
+    {
+      p_history = history;
+      p_final = final;
+      p_annotated = annotated;
+      p_impl = impl;
+      p_extracted = extracted;
+      p_match = match_;
+      p_implication = implication;
+      p_verdict = verdict;
+      p_time = Unix.gettimeofday () -. t0;
+    }
   in
-  let annotated = cs.cs_annotate final in
-  let env, annotated = Typecheck.check annotated in
-  let impl = Implementation_proof.run env annotated in
-  let extracted = Extract.extract_program env annotated in
-  let match_result =
-    Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
-      ~original:cs.cs_original_spec ~extracted ()
-  in
-  let implication = Implication.run (cs.cs_lemmas ~extracted) in
-  {
-    p_history = history;
-    p_final = final;
-    p_annotated = annotated;
-    p_impl = impl;
-    p_extracted = extracted;
-    p_match = match_result;
-    p_implication = implication;
-    p_verdict = verdict_of impl implication;
-    p_time = Unix.gettimeofday () -. t0;
-  }
+  match
+    Fault.guard (fun () ->
+        let stages, history = cs.cs_refactor () in
+        match List.rev stages with
+        | (_, final) :: _ -> (final, history)
+        | [] -> invalid_arg "Pipeline.run: no stages")
+  with
+  | Error f -> finish (Failed (Fault.describe f))
+  | Ok (final, history) -> (
+      match Fault.guard (fun () -> Typecheck.check (cs.cs_annotate final)) with
+      | Error f -> finish ~history ~final (Failed (Fault.describe f))
+      | Ok (env, annotated) -> (
+          match Fault.guard (fun () -> Implementation_proof.run env annotated) with
+          | Error f -> finish ~history ~final ~annotated (Failed (Fault.describe f))
+          | Ok impl -> (
+              match
+                Fault.guard (fun () ->
+                    let extracted = Extract.extract_program env annotated in
+                    let match_result =
+                      Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
+                        ~original:cs.cs_original_spec ~extracted ()
+                    in
+                    let implication = Implication.run (cs.cs_lemmas ~extracted) in
+                    (extracted, match_result, implication))
+              with
+              | Error f ->
+                  (* the implementation proof survived: degrade, don't discard *)
+                  finish ~history ~final ~annotated ~impl
+                    (Degraded (Fault.describe f))
+              | Ok (extracted, match_result, implication) ->
+                  finish ~history ~final ~annotated ~impl ~extracted
+                    ~match_:match_result ~implication
+                    (verdict_of impl implication))))
 
 let pp_verdict ppf = function
   | Verified -> Fmt.string ppf "VERIFIED"
   | Conditionally_verified n ->
       Fmt.pf ppf "CONDITIONALLY VERIFIED (%d VCs left for interactive proof)" n
+  | Degraded msg -> Fmt.pf ppf "DEGRADED: %s" msg
   | Failed msg -> Fmt.pf ppf "FAILED: %s" msg
 
 let pp_report ppf r =

@@ -29,6 +29,8 @@ type verdict =
       (** every VC automatic or hint-discharged, every lemma holds *)
   | Conditionally_verified of int
       (** all lemmas hold but n VCs remain for interactive proof *)
+  | Degraded of string
+      (** a post-proof stage faulted; surviving evidence is in the report *)
   | Failed of string
 
 type report = {
@@ -44,11 +46,14 @@ type report = {
 }
 
 val run : case_study -> report
-(** Run the full Echo process.  Raises
-    [Refactor.Transform.Not_applicable] if a refactoring step's
-    mechanical applicability check rejects (the §7 experiments catch
-    seeded defects this way); the proof stages do not raise — their
-    failures are reported in the verdict. *)
+(** Run the full Echo process.  Never raises: every stage body runs under
+    {!Fault.guard}.  A refactoring step whose mechanical applicability
+    check rejects (the §7 experiments catch seeded defects this way), an
+    ill-typed annotation, or an infeasible VC generation all fold into a
+    [Failed] verdict; a fault after the implementation proof has produced
+    evidence folds into [Degraded].  Stages that never ran are represented
+    by empty placeholders in the report.  For budgets, retry ladders,
+    checkpointing and resumption use {!Orchestrator}. *)
 
 val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

@@ -1,0 +1,106 @@
+(* Retry ladders: staged proof strategies with explicit budgets, after
+   Grov's tactic-style staging.  Each rung is a self-contained attempt;
+   escalation order and budgets are data, not control flow, so policies
+   can be tuned (and chaos-tested) without touching the prover. *)
+
+module P = Logic.Prover
+
+type rung = {
+  rg_name : string;
+  rg_hints : P.hint list;
+  rg_presimplify : bool;
+  rg_fuel_factor : int;
+}
+
+type policy = {
+  pol_rungs : rung list;
+  pol_backoff_s : float;
+  pol_deadline_s : float option;
+}
+
+let automatic = { rg_name = "automatic"; rg_hints = []; rg_presimplify = false; rg_fuel_factor = 1 }
+
+let simplify_retry =
+  { rg_name = "simplify"; rg_hints = []; rg_presimplify = true; rg_fuel_factor = 2 }
+
+let hinted hints =
+  { rg_name = "hinted"; rg_hints = hints; rg_presimplify = false; rg_fuel_factor = 1 }
+
+let legacy_policy hints =
+  { pol_rungs = [ automatic; hinted hints ]; pol_backoff_s = 0.0; pol_deadline_s = None }
+
+let default_policy hints =
+  {
+    pol_rungs = [ automatic; simplify_retry; hinted hints ];
+    pol_backoff_s = 0.0;
+    pol_deadline_s = None;
+  }
+
+let with_deadline d policy = { policy with pol_deadline_s = d }
+
+type attempt = {
+  at_rung : string;
+  at_outcome : P.outcome;
+  at_time : float;
+}
+
+type result = {
+  rt_result : P.proof_result;
+  rt_attempts : attempt list;
+  rt_rung : rung option;
+}
+
+let attempts r = List.length r.rt_attempts
+
+let timed_out r = match r.rt_result.P.pr_outcome with P.Timeout _ -> true | _ -> false
+
+let run_rung ~policy ~cfg vc rung : P.proof_result =
+  let cfg =
+    {
+      cfg with
+      P.max_steps = cfg.P.max_steps * rung.rg_fuel_factor;
+      deadline_s =
+        (match (policy.pol_deadline_s, cfg.P.deadline_s) with
+        | Some p, Some c -> Some (Float.min p c)
+        | Some p, None -> Some p
+        | None, c -> c);
+    }
+  in
+  let vc = if rung.rg_presimplify then Logic.Simplify.simplify_vc vc else vc in
+  match P.prove_vc ~cfg ~hints:rung.rg_hints vc with
+  | r -> r
+  | exception Sys.Break -> raise Sys.Break
+  | exception e ->
+      (* a dying search is an Unknown attempt, not a dead ladder *)
+      {
+        P.pr_vc = vc;
+        pr_outcome = P.Unknown ("prover raised: " ^ Printexc.to_string e);
+        pr_hints_used = 0;
+        pr_time = 0.0;
+      }
+
+let prove ?policy ~cfg vc : result =
+  let policy = match policy with Some p -> p | None -> default_policy [] in
+  let rec climb acc = function
+    | [] -> assert false
+    | rung :: rest -> (
+        if acc <> [] && policy.pol_backoff_s > 0.0 then Unix.sleepf policy.pol_backoff_s;
+        let r = run_rung ~policy ~cfg vc rung in
+        let a = { at_rung = rung.rg_name; at_outcome = r.P.pr_outcome; at_time = r.P.pr_time } in
+        let acc = a :: acc in
+        match (r.P.pr_outcome, rest) with
+        | P.Proved, _ -> { rt_result = r; rt_attempts = List.rev acc; rt_rung = Some rung }
+        | _, [] -> { rt_result = r; rt_attempts = List.rev acc; rt_rung = None }
+        | _, rest -> climb acc rest)
+  in
+  match policy.pol_rungs with
+  | [] ->
+      (* an empty ladder proves nothing but still answers *)
+      let r =
+        { P.pr_vc = vc; pr_outcome = P.Unknown "empty retry ladder"; pr_hints_used = 0; pr_time = 0.0 }
+      in
+      { rt_result = r; rt_attempts = []; rt_rung = None }
+  | rungs -> climb [] rungs
+
+let pp_attempt ppf a =
+  Fmt.pf ppf "%s: %a (%.3fs)" a.at_rung P.pp_outcome a.at_outcome a.at_time

@@ -1,0 +1,16 @@
+(* Monotonic clamp over the wall clock: the OCaml stdlib exposes no
+   monotonic clock and we add no dependencies, so we make gettimeofday
+   monotone by never letting it go backwards within the process. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed t0 = Float.max 0.0 (now () -. t0)
+
+let deadline = function Some s -> now () +. s | None -> infinity
+
+let expired d = now () > d

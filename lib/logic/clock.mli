@@ -1,0 +1,21 @@
+(** Monotonic time for proof-search deadlines.
+
+    [Unix.gettimeofday] can step backwards (NTP adjustment, manual clock
+    change); a deadline computed against it could then never fire, or an
+    elapsed time could come out negative.  [now] clamps the wall clock to
+    be non-decreasing within the process, which is all budget enforcement
+    needs: durations are never negative and deadlines always eventually
+    trigger. *)
+
+val now : unit -> float
+(** Seconds, non-decreasing across calls within this process. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0], never negative. *)
+
+val deadline : float option -> float
+(** [deadline (Some s)] is the absolute clock value [s] seconds from now;
+    [deadline None] is [infinity] (no deadline). *)
+
+val expired : float -> bool
+(** [expired d] is true once [now () > d]. *)

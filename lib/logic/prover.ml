@@ -21,6 +21,7 @@ open Formula
 type outcome =
   | Proved
   | Unknown of string  (** reason / residual goal *)
+  | Timeout of float   (** wall-clock deadline hit after this many seconds *)
 
 type hint =
   | Hint_induction
@@ -38,9 +39,20 @@ type config = {
       (** evaluate a program function on ground integer arguments *)
   max_split : int;    (** widest range eligible for case splitting *)
   max_steps : int;    (** recursion budget *)
+  deadline_s : float option;
+      (** per-VC wall-clock budget, checked inside the search loop *)
 }
 
-let default_config = { interp = None; max_split = 64; max_steps = 4000 }
+let default_config =
+  { interp = None; max_split = 64; max_steps = 4000; deadline_s = None }
+
+(* The deadline is enforced with an exception so the check costs one
+   comparison per search step instead of threading a result through every
+   recursive return.  Scoped to [prove_vc], which converts it to
+   [Timeout]. *)
+exception Deadline_hit
+
+let deadline_abs = ref infinity
 
 (* ------------------------------------------------------------------ *)
 (* Ground evaluation                                                   *)
@@ -473,6 +485,7 @@ let find_store_conflict goal =
 
 let rec prove_goal cfg caps depth hyps goal : outcome =
   incr steps;
+  if !steps land 15 = 0 && Clock.now () > !deadline_abs then raise Deadline_hit;
   if !steps > cfg.max_steps then Unknown "step budget exhausted"
   else if depth <= 0 then Unknown "depth budget exhausted"
   else
@@ -485,11 +498,11 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
     | App (Or, [ a; b ]) -> (
         match prove_goal cfg caps (depth - 1) hyps a with
         | Proved -> Proved
-        | Unknown _ -> (
+        | _ -> (
             let not_a = Simplify.simplify (App (Not, [ a ])) in
             match prove_goal cfg caps (depth - 1) (not_a :: hyps) b with
             | Proved -> Proved
-            | Unknown r -> Unknown r))
+            | other -> other))
     | Forall (x, lo, hi, body) -> (
         (* resolved-under-binder form may match a hypothesis directly *)
         let reduced = Simplify.simplify (reduce_selects hyps goal) in
@@ -504,7 +517,7 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
           in
           match split with
           | Proved -> Proved
-          | Unknown _ ->
+          | _ ->
               (* intro a fresh constant for the bound variable *)
               let c = fresh_const x in
               let hyps' = App (Ge, [ Var c; lo ]) :: App (Le, [ Var c; hi ]) :: hyps in
@@ -518,7 +531,7 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
               | p :: rest -> (
                   match prove_goal cfg caps depth hyps p with
                   | Proved -> all rest
-                  | Unknown r -> Unknown r)
+                  | other -> other)
             in
             all parts)
 
@@ -575,7 +588,7 @@ and prove_atomic cfg caps depth hyps goal : outcome =
                 in
                 match after_inst with
                 | Proved -> Proved
-                | Unknown _ -> (
+                | _ -> (
                     (* 6. capability: case-split an unresolved store index *)
                     let after_store =
                       if caps.c_induction then
@@ -586,7 +599,7 @@ and prove_atomic cfg caps depth hyps goal : outcome =
                     in
                     match after_store with
                     | Proved -> Proved
-                    | Unknown _ -> case_split cfg caps depth hyps goal'))
+                    | _ -> case_split cfg caps depth hyps goal'))
 
 and prove_with_hyps cfg caps depth hyps goal =
   (* retry the cheap stages with enriched hypotheses *)
@@ -623,7 +636,7 @@ and store_case_split cfg caps depth hyps goal i j =
         else
           match prove_goal cfg caps (depth - 1) hyps' goal with
           | Proved -> all rest
-          | Unknown r -> Unknown r)
+          | other -> other)
   in
   all branches
 
@@ -638,7 +651,7 @@ and discharge_guards cfg _caps depth hyps =
               guard
           with
           | Proved -> body
-          | Unknown _ -> h)
+          | _ -> h)
       | h -> h)
     hyps
 
@@ -690,7 +703,7 @@ and case_split cfg caps depth hyps goal : outcome =
           else
             match prove_goal cfg caps (depth - 1) hyps' (Formula.subst x (Int i) goal) with
             | Proved -> all (i + 1)
-            | Unknown r -> Unknown r
+            | other -> other
       in
       all lo
 
@@ -722,7 +735,8 @@ let max_depth = 18
 
 let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
   steps := 0;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
+  deadline_abs := Clock.deadline cfg.deadline_s;
   let vc = Simplify.simplify_vc vc in
   (* unfold hints are structural rewrites, applied before proof *)
   let unfolds =
@@ -761,12 +775,21 @@ let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
         steps := 0;
         match prove_goal cfg caps max_depth hyps0 goal0 with
         | Proved -> (Proved, used + if with_unfold_step then 1 else 0)
+        | Timeout _ -> assert false (* prove_goal signals via Deadline_hit *)
         | Unknown r -> (
             match rest with
             | [] -> (Unknown r, used)
             | _ -> try_ladder (used + 1) rest))
   in
-  let outcome, used = try_ladder 0 ladder in
-  { pr_vc = vc; pr_outcome = outcome; pr_hints_used = used; pr_time = Unix.gettimeofday () -. t0 }
+  let outcome, used =
+    try try_ladder 0 ladder
+    with Deadline_hit -> (Timeout (Clock.elapsed t0), 0)
+  in
+  { pr_vc = vc; pr_outcome = outcome; pr_hints_used = used; pr_time = Clock.elapsed t0 }
 
-let is_proved r = match r.pr_outcome with Proved -> true | Unknown _ -> false
+let is_proved r = match r.pr_outcome with Proved -> true | Unknown _ | Timeout _ -> false
+
+let pp_outcome ppf = function
+  | Proved -> Fmt.string ppf "proved"
+  | Unknown r -> Fmt.pf ppf "unknown: %s" r
+  | Timeout s -> Fmt.pf ppf "timeout after %.3fs" s

@@ -6,6 +6,7 @@
 type outcome =
   | Proved
   | Unknown of string  (** reason / residual goal *)
+  | Timeout of float   (** wall-clock deadline hit after this many seconds *)
 
 (** Interactive steps (§6.2.3): each hint enables one prover capability. *)
 type hint =
@@ -23,6 +24,9 @@ type config = {
       (** evaluate a program function on ground integer arguments *)
   max_split : int;    (** widest range eligible for case splitting *)
   max_steps : int;    (** proof-search budget *)
+  deadline_s : float option;
+      (** per-VC wall-clock budget: the search loop checks a monotonic
+          clock ({!Clock.now}) and answers {!Timeout} once exceeded *)
 }
 
 val default_config : config
@@ -36,7 +40,7 @@ type proof_result = {
   pr_vc : Formula.vc;
   pr_outcome : outcome;
   pr_hints_used : int;   (** 0 = fully automatic *)
-  pr_time : float;
+  pr_time : float;       (** seconds on the monotonic clock, never negative *)
 }
 
 val prove_vc : ?cfg:config -> ?hints:hint list -> Formula.vc -> proof_result
@@ -45,3 +49,5 @@ val prove_vc : ?cfg:config -> ?hints:hint list -> Formula.vc -> proof_result
     interactive steps a VC needed. *)
 
 val is_proved : proof_result -> bool
+
+val pp_outcome : outcome Fmt.t

@@ -122,6 +122,82 @@ let test_lemma_sampled_deterministic () =
   ignore (Echo.Implication.run [ lemma () ]);
   Alcotest.(check (list int)) "same samples on re-run" first !calls
 
+(* ---------------- pipeline failure paths ---------------- *)
+
+(* a full case study over the swapper program; [sabotage] lets each test
+   break exactly one stage *)
+let swapper_case ?annotate ?lemmas () : Echo.Pipeline.case_study =
+  let env, prog = check_src annotated_src in
+  let spec = Extract.extract_program env prog in
+  {
+    Echo.Pipeline.cs_name = "swapper";
+    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_annotate = (match annotate with Some f -> f | None -> fun p -> p);
+    cs_original_spec = spec;
+    cs_synonyms = [];
+    cs_lemmas = (match lemmas with Some f -> f | None -> fun ~extracted:_ -> []);
+  }
+
+let test_pipeline_clean_verified () =
+  let r = Echo.Pipeline.run (swapper_case ()) in
+  match r.Echo.Pipeline.p_verdict with
+  | Echo.Pipeline.Verified -> ()
+  | v -> Alcotest.failf "expected Verified, got %a" Echo.Pipeline.pp_verdict v
+
+let test_pipeline_ill_typed_annotation_fails () =
+  (* the annotation step yields a program referencing an undeclared name:
+     run must fold the type error into a Failed verdict, never raise *)
+  let case =
+    swapper_case
+      ~annotate:(fun _ ->
+        Parser.of_string
+          {|
+program swapper is
+  type byte is mod 256;
+  procedure broken (a : out byte)
+  is
+  begin
+    a := undeclared_name;
+  end broken;
+end swapper;|})
+      ()
+  in
+  match (Echo.Pipeline.run case).Echo.Pipeline.p_verdict with
+  | Echo.Pipeline.Failed msg ->
+      Alcotest.(check bool) "mentions the type error" true
+        (Astring.String.is_infix ~affix:"type error" msg)
+  | v -> Alcotest.failf "expected Failed, got %a" Echo.Pipeline.pp_verdict v
+  | exception e ->
+      Alcotest.failf "Pipeline.run raised %s" (Printexc.to_string e)
+
+let test_pipeline_rejected_refactoring_fails () =
+  let case = swapper_case () in
+  let case =
+    {
+      case with
+      Echo.Pipeline.cs_refactor =
+        (fun () -> raise (Refactor.Transform.Not_applicable "loop bound mismatch"));
+    }
+  in
+  match (Echo.Pipeline.run case).Echo.Pipeline.p_verdict with
+  | Echo.Pipeline.Failed msg ->
+      Alcotest.(check bool) "mentions applicability" true
+        (Astring.String.is_infix ~affix:"not applicable" msg)
+  | v -> Alcotest.failf "expected Failed, got %a" Echo.Pipeline.pp_verdict v
+  | exception e ->
+      Alcotest.failf "Pipeline.run raised %s" (Printexc.to_string e)
+
+let test_pipeline_late_fault_degrades () =
+  (* a lemma *builder* that blows up (after the implementation proof has
+     produced evidence) must degrade, keeping the proof report *)
+  let case = swapper_case ~lemmas:(fun ~extracted:_ -> failwith "lemma builder crash") () in
+  let r = Echo.Pipeline.run case in
+  (match r.Echo.Pipeline.p_verdict with
+  | Echo.Pipeline.Degraded _ -> ()
+  | v -> Alcotest.failf "expected Degraded, got %a" Echo.Pipeline.pp_verdict v);
+  Alcotest.(check bool) "implementation evidence survives" true
+    (r.Echo.Pipeline.p_impl.Echo.Implementation_proof.ip_total > 0)
+
 let suites =
   [ ( "echo:implementation_proof",
       [ Alcotest.test_case "clean program proves" `Quick test_impl_proof_clean;
@@ -132,4 +208,12 @@ let suites =
       [ Alcotest.test_case "exhaustive lemma passes" `Quick test_lemma_exhaustive_pass;
         Alcotest.test_case "exhaustive lemma refutes" `Quick test_lemma_exhaustive_fail;
         Alcotest.test_case "sampling is deterministic" `Quick
-          test_lemma_sampled_deterministic ] ) ]
+          test_lemma_sampled_deterministic ] );
+    ( "echo:pipeline-failures",
+      [ Alcotest.test_case "clean case verifies" `Quick test_pipeline_clean_verified;
+        Alcotest.test_case "ill-typed annotation yields Failed" `Quick
+          test_pipeline_ill_typed_annotation_fails;
+        Alcotest.test_case "rejected refactoring yields Failed" `Quick
+          test_pipeline_rejected_refactoring_fails;
+        Alcotest.test_case "late fault degrades with evidence" `Quick
+          test_pipeline_late_fault_degrades ] ) ]

@@ -1,0 +1,253 @@
+(* Tests for the resilient orchestration layer: clean runs, checkpointed
+   resume, prover deadlines, the retry ladder, and the chaos suite's
+   fault-injection probes. *)
+
+open Minispark
+module O = Echo.Orchestrator
+module CK = Echo.Checkpoint
+module P = Logic.Prover
+module F = Logic.Formula
+
+(* A miniature case study: two trivial procedures plus an array-fill loop
+   whose invariant VCs need real proof search (so deadlines can bite). *)
+let tiny_src =
+  {|
+program tiny is
+
+  type byte is mod 256;
+  type vec is array (0 .. 7) of byte;
+
+  procedure swap (a : in out byte; b : in out byte)
+  --# post a = b~ and b = a~;
+  is
+    t : byte;
+  begin
+    t := a;
+    a := b;
+    b := t;
+  end swap;
+
+  procedure fill (v : out vec)
+  --# post (for all k in 0 .. 7 => v (k) = 0);
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => v (k) = 0);
+    loop
+      v (i) := 0;
+    end loop;
+  end fill;
+
+end tiny;
+|}
+
+let tiny_case () : Echo.Pipeline.case_study =
+  let env, prog = Typecheck.check (Parser.of_string tiny_src) in
+  let spec = Extract.extract_program env prog in
+  {
+    Echo.Pipeline.cs_name = "tiny";
+    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_annotate = (fun p -> p);
+    cs_original_spec = spec;
+    cs_synonyms = [];
+    cs_lemmas =
+      (fun ~extracted:_ ->
+        [
+          Echo.Implication.structural ~name:"tiny_struct" ~original:"tiny"
+            ~extracted:"tiny" ~premises:[] ~check:(fun () -> true) ();
+        ]);
+  }
+
+let temp_run_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "echo-ckpt-%s-%d" tag (Unix.getpid ()))
+
+(* ---------------- clean runs ---------------- *)
+
+let test_clean_run_verified () =
+  let r = O.run (tiny_case ()) in
+  (match r.O.o_verdict with
+  | O.Verified -> ()
+  | v -> Alcotest.failf "expected Verified, got %a" O.pp_verdict v);
+  Alcotest.(check int) "five stages" 5 (List.length r.O.o_stages);
+  List.iter
+    (fun (s, status) ->
+      match status with
+      | O.St_ok { st_from_checkpoint = false; _ } -> ()
+      | _ -> Alcotest.failf "stage %s not freshly ok" (CK.stage_name s))
+    r.O.o_stages;
+  (match r.O.o_impl with
+  | Some impl ->
+      Alcotest.(check bool) "has VCs" true (impl.Echo.Implementation_proof.ip_total > 0);
+      Alcotest.(check bool) "attempts >= VCs" true
+        (r.O.o_attempts >= impl.Echo.Implementation_proof.ip_total)
+  | None -> Alcotest.fail "no implementation-proof report");
+  Alcotest.(check bool) "lemma recorded" true
+    (List.exists (fun (n, holds, _) -> n = "tiny_struct" && holds) r.O.o_lemmas)
+
+let test_global_deadline () =
+  (* an already-expired global budget: the run must come back immediately
+     with a Deadline fault, not hang or raise *)
+  let config = { O.default_config with O.oc_global_deadline_s = Some 0.0 } in
+  let r = O.run ~config (tiny_case ()) in
+  (match r.O.o_verdict with
+  | O.Failed (Echo.Fault.Deadline _) -> ()
+  | v -> Alcotest.failf "expected Failed (Deadline), got %a" O.pp_verdict v);
+  Alcotest.(check bool) "returned promptly" true (r.O.o_time < 5.0)
+
+(* ---------------- checkpoint + resume ---------------- *)
+
+let test_checkpoint_resume_bitforbit () =
+  let dir = temp_run_dir "resume" in
+  let config = { O.default_config with O.oc_run_dir = Some dir } in
+  let fresh = O.run ~config (tiny_case ()) in
+  let resumed = O.resume ~config (tiny_case ()) in
+  Fun.protect
+    ~finally:(fun () -> CK.clear ~dir)
+    (fun () ->
+      Alcotest.(check bool) "verdicts identical" true
+        (fresh.O.o_verdict = resumed.O.o_verdict);
+      (match (fresh.O.o_impl, resumed.O.o_impl) with
+      | Some a, Some b ->
+          let stats (r : Echo.Implementation_proof.report) =
+            Echo.Implementation_proof.
+              (r.ip_total, r.ip_auto, r.ip_hinted, r.ip_residual, r.ip_timed_out,
+               r.ip_attempts)
+          in
+          Alcotest.(check bool) "proof stats identical" true (stats a = stats b)
+      | _ -> Alcotest.fail "missing implementation-proof report");
+      Alcotest.(check bool) "lemma outcomes identical" true
+        (fresh.O.o_lemmas = resumed.O.o_lemmas);
+      (* every stage of the resumed run must come from its checkpoint *)
+      List.iter
+        (fun (s, status) ->
+          match status with
+          | O.St_ok { st_from_checkpoint = true; _ } -> ()
+          | _ -> Alcotest.failf "stage %s not loaded from checkpoint" (CK.stage_name s))
+        resumed.O.o_stages)
+
+let test_fresh_run_clears_stale_checkpoints () =
+  let dir = temp_run_dir "clear" in
+  let config = { O.default_config with O.oc_run_dir = Some dir } in
+  let _ = O.run ~config (tiny_case ()) in
+  (* a non-resume run must not pick up the files the first one wrote *)
+  let again = O.run ~config (tiny_case ()) in
+  Fun.protect
+    ~finally:(fun () -> CK.clear ~dir)
+    (fun () ->
+      List.iter
+        (fun (s, status) ->
+          match status with
+          | O.St_ok { st_from_checkpoint = false; _ } -> ()
+          | _ -> Alcotest.failf "stage %s reused a stale checkpoint" (CK.stage_name s))
+        again.O.o_stages)
+
+(* ---------------- prover deadline regression ---------------- *)
+
+(* A quantified goal over a five-million-point range: without a deadline
+   the case-split enumeration grinds for seconds; with one it must come
+   back as [Timeout] within 2x of the budget. *)
+let pathological_vc =
+  let body =
+    F.App
+      ( F.Eq,
+        [
+          F.App
+            ( F.Mod_op,
+              [
+                F.App (F.Add, [ F.App (F.Mul, [ F.Var "i"; F.Var "i" ]); F.Var "i" ]);
+                F.Int 2;
+              ] );
+          F.Int 0;
+        ] )
+  in
+  {
+    F.vc_name = "pathological.1";
+    vc_sub = "pathological";
+    vc_kind = F.Vc_assert;
+    vc_hyps = [];
+    vc_goal = F.Forall ("i", F.Int 0, F.Int 5_000_000, body);
+  }
+
+let grind_cfg deadline =
+  { P.default_config with P.max_split = 6_000_000; max_steps = 100_000_000;
+    deadline_s = deadline }
+
+let test_prover_deadline_respected () =
+  let deadline = 0.05 in
+  let r = P.prove_vc ~cfg:(grind_cfg (Some deadline)) pathological_vc in
+  (match r.P.pr_outcome with
+  | P.Timeout _ -> ()
+  | o -> Alcotest.failf "expected Timeout, got %a" P.pp_outcome o);
+  Alcotest.(check bool)
+    (Printf.sprintf "pr_time %.3fs within 2x of %.3fs deadline" r.P.pr_time deadline)
+    true
+    (r.P.pr_time <= 2.0 *. deadline)
+
+let test_retry_ladder_full_climb () =
+  (* every rung times out, so the ladder must be climbed end to end and
+     every attempt recorded *)
+  let policy =
+    Echo.Retry.with_deadline (Some 0.02)
+      (Echo.Retry.default_policy Echo.Implementation_proof.standard_hints)
+  in
+  let rt = Echo.Retry.prove ~policy ~cfg:(grind_cfg None) pathological_vc in
+  Alcotest.(check int) "three rungs attempted" 3 (Echo.Retry.attempts rt);
+  Alcotest.(check bool) "final attempt timed out" true (Echo.Retry.timed_out rt)
+
+(* ---------------- chaos: fault injection ---------------- *)
+
+let test_chaos_suite_absorbed () =
+  let outcomes = Defects.Chaos.run_suite (tiny_case ()) in
+  Alcotest.(check int) "five probes" 5 (List.length outcomes);
+  List.iter
+    (fun (o : Defects.Chaos.outcome) ->
+      match o.Defects.Chaos.co_check with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.failf "probe %s: %s"
+            (Defects.Chaos.probe_name o.Defects.Chaos.co_probe)
+            msg)
+    outcomes;
+  Alcotest.(check bool) "all_ok" true (Defects.Chaos.all_ok outcomes)
+
+let test_chaos_timeout_probe_keeps_evidence () =
+  let o = Defects.Chaos.run_probe Defects.Chaos.P_prover_timeout (tiny_case ()) in
+  match o.Defects.Chaos.co_report.O.o_impl with
+  | Some impl ->
+      Alcotest.(check bool) "timed-out VCs recorded" true
+        (impl.Echo.Implementation_proof.ip_timed_out > 0);
+      List.iter
+        (fun (vr : Echo.Implementation_proof.vc_result) ->
+          match vr.Echo.Implementation_proof.vr_status with
+          | Echo.Implementation_proof.Timed_out _ ->
+              Alcotest.(check bool) "full ladder on timeout" true
+                (vr.Echo.Implementation_proof.vr_attempts >= 2)
+          | _ -> ())
+        impl.Echo.Implementation_proof.ip_results
+  | None -> Alcotest.fail "degraded run lost the proof evidence"
+
+let suites =
+  [
+    ( "orchestrator",
+      [
+        Alcotest.test_case "clean run verified" `Quick test_clean_run_verified;
+        Alcotest.test_case "global deadline" `Quick test_global_deadline;
+        Alcotest.test_case "checkpoint resume bit-for-bit" `Quick
+          test_checkpoint_resume_bitforbit;
+        Alcotest.test_case "fresh run clears checkpoints" `Quick
+          test_fresh_run_clears_stale_checkpoints;
+      ] );
+    ( "prover-deadline",
+      [
+        Alcotest.test_case "deadline respected within 2x" `Quick
+          test_prover_deadline_respected;
+        Alcotest.test_case "retry ladder full climb" `Quick test_retry_ladder_full_climb;
+      ] );
+    ( "chaos",
+      [
+        Alcotest.test_case "all probes absorbed" `Quick test_chaos_suite_absorbed;
+        Alcotest.test_case "timeout probe keeps evidence" `Quick
+          test_chaos_timeout_probe_keeps_evidence;
+      ] );
+  ]

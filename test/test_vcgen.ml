@@ -50,7 +50,7 @@ let test_clamp_all_proved () =
     (fun r ->
       if not (P.is_proved r) then
         Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
-          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved | P.Timeout _ -> ""))
     results;
   (* three paths, one postcondition VC each, plus range checks *)
   Alcotest.(check bool) "has postcondition VCs" true
@@ -106,7 +106,7 @@ let test_loop_invariant_vcs () =
       if not (P.is_proved r) then
         Alcotest.failf "unproved VC %s [%s]: %s" r.P.pr_vc.F.vc_name
           (F.vc_kind_name r.P.pr_vc.F.vc_kind)
-          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved | P.Timeout _ -> ""))
     results
 
 let test_index_check_catches_overrun () =
@@ -154,7 +154,7 @@ end call_demo;
     (fun r ->
       if not (P.is_proved r) then
         Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
-          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved | P.Timeout _ -> ""))
     results
 
 let test_procedure_call_havoc () =
@@ -186,7 +186,7 @@ end proc_call_demo;
     (fun r ->
       if not (P.is_proved r) then
         Alcotest.failf "unproved VC %s: %s" r.P.pr_vc.F.vc_name
-          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved -> ""))
+          (match r.P.pr_outcome with P.Unknown m -> m | P.Proved | P.Timeout _ -> ""))
     results
 
 let test_div_check () =
