@@ -16,6 +16,11 @@
 open Minispark
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* --smoke: CI mode — run only the instrumented orchestrated pipeline so
+   the BENCH_*.json artifacts exist, skipping the long table/figure
+   regenerations *)
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let only = ref None
 
 let () =
@@ -296,6 +301,8 @@ let json_escape s =
 
 let pipeline_json () =
   section "Orchestrated pipeline timing (BENCH_pipeline.json)";
+  Telemetry.reset ();
+  Telemetry.enable ();
   let r = Echo.Orchestrator.run Aes.Aes_echo.case_study in
   let stage_obj (s, status) =
     let name = Echo.Checkpoint.stage_name s in
@@ -359,6 +366,14 @@ let pipeline_json () =
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
+  (* the run's telemetry: metrics snapshot + Chrome trace *)
+  (match Telemetry.write_metrics ~path:"BENCH_telemetry.json" (Telemetry.snapshot ()) with
+  | Ok () -> Fmt.pr "wrote BENCH_telemetry.json@."
+  | Error e -> Fmt.epr "warning: BENCH_telemetry.json: %s@." e);
+  (match Telemetry.write_chrome_trace ~path:"BENCH_trace.json" (Telemetry.events ()) with
+  | Ok () -> Fmt.pr "wrote BENCH_trace.json@."
+  | Error e -> Fmt.epr "warning: BENCH_trace.json: %s@." e);
+  Telemetry.disable ();
   Fmt.pr "%a@." Echo.Orchestrator.pp_report r;
   Fmt.pr "wrote BENCH_pipeline.json@."
 
@@ -419,17 +434,21 @@ let micro_benchmarks () =
 let () =
   Fmt.pr "Echo verification-refactoring benchmark harness@.";
   if quick then Fmt.pr "(--quick: skipping the defect experiment)@.";
+  if smoke then Fmt.pr "(--smoke: orchestrated pipeline + telemetry artifacts only)@.";
   let t0 = Unix.gettimeofday () in
-  if want "fig2ab" || !only = None then fig2_metrics ();
-  if want "fig2cde" || !only = None then fig2_vcs ();
-  if want "fig2f" || !only = None then fig2f ();
-  if want "table1" || !only = None then table1 ();
-  if want "impl_proof" || !only = None then impl_proof ();
-  if want "implication" || !only = None then implication_proof ();
-  if (want "tables23" || !only = None) && not quick then tables23 ();
-  if want "ablation_simplify" || !only = None then ablation_simplifier ();
-  if want "ablation_mapping" || !only = None then ablation_mapping ();
-  if want "ablation_order" || !only = None then ablation_order ();
-  if want "pipeline" || !only = None then pipeline_json ();
-  if want "micro" || !only = None then micro_benchmarks ();
+  if smoke then pipeline_json ()
+  else begin
+    if want "fig2ab" || !only = None then fig2_metrics ();
+    if want "fig2cde" || !only = None then fig2_vcs ();
+    if want "fig2f" || !only = None then fig2f ();
+    if want "table1" || !only = None then table1 ();
+    if want "impl_proof" || !only = None then impl_proof ();
+    if want "implication" || !only = None then implication_proof ();
+    if (want "tables23" || !only = None) && not quick then tables23 ();
+    if want "ablation_simplify" || !only = None then ablation_simplifier ();
+    if want "ablation_mapping" || !only = None then ablation_mapping ();
+    if want "ablation_order" || !only = None then ablation_order ();
+    if want "pipeline" || !only = None then pipeline_json ();
+    if want "micro" || !only = None then micro_benchmarks ()
+  end;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

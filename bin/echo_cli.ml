@@ -112,12 +112,19 @@ let cmd_aes_refactor upto dump () =
           close_out oc;
           Fmt.pr "wrote %s@." path)
 
-let cmd_aes_verify run_dir resume global_deadline vc_deadline () =
+(* telemetry exporters share one error convention: warn, don't fail the
+   verification verdict over an unwritable trace file *)
+let write_or_warn what = function
+  | Ok () -> ()
+  | Error e -> Fmt.epr "warning: could not write %s: %s@." what e
+
+let cmd_aes_verify run_dir resume global_deadline vc_deadline trace metrics () =
   with_errors (fun () ->
       if resume && run_dir = None then begin
         Fmt.epr "--resume requires --run-dir@.";
         exit 1
       end;
+      if trace <> None || metrics <> None then Telemetry.enable ();
       let config =
         {
           Echo.Orchestrator.default_config with
@@ -128,11 +135,58 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline () =
       in
       let report = Echo.Orchestrator.run ~resume ~config Aes.Aes_echo.case_study in
       Fmt.pr "%a@." Echo.Orchestrator.pp_report report;
+      (match trace with
+      | Some path ->
+          write_or_warn path (Telemetry.write_chrome_trace ~path (Telemetry.events ()));
+          Fmt.pr "trace: %s (load in chrome://tracing or ui.perfetto.dev)@." path
+      | None -> ());
+      (match metrics with
+      | Some path ->
+          write_or_warn path (Telemetry.write_metrics ~path (Telemetry.snapshot ()));
+          Fmt.pr "metrics: %s@." path
+      | None -> ());
       match report.Echo.Orchestrator.o_verdict with
       | Echo.Orchestrator.Verified | Echo.Orchestrator.Conditionally_verified _ -> ()
       | Echo.Orchestrator.Degraded d ->
           exit (Echo.Fault.exit_code d.Echo.Orchestrator.dg_fault)
       | Echo.Orchestrator.Failed f -> exit (Echo.Fault.exit_code f))
+
+(* `report DIR`: render the telemetry persisted by `aes verify --run-dir
+   DIR --metrics/--trace ...` (or by any orchestrated run with telemetry
+   enabled) as a plain-text dashboard. *)
+let cmd_report dir top trace_out () =
+  with_errors (fun () ->
+      let events_path = Filename.concat dir "telemetry.events.jsonl" in
+      let metrics_path = Filename.concat dir "telemetry.metrics.json" in
+      if not (Sys.file_exists events_path) then begin
+        Fmt.epr
+          "%s: no telemetry found (expected %s).@.Produce it with: echo-verify aes \
+           verify --run-dir %s --trace trace.json@."
+          dir events_path dir;
+        exit 1
+      end;
+      let events =
+        match Telemetry.read_jsonl ~path:events_path with
+        | Ok evs -> evs
+        | Error e ->
+            Fmt.epr "%s: %s@." events_path e;
+            exit 1
+      in
+      let metrics =
+        if not (Sys.file_exists metrics_path) then None
+        else
+          match Telemetry.read_metrics ~path:metrics_path with
+          | Ok m -> Some m
+          | Error e ->
+              Fmt.epr "warning: ignoring unreadable %s: %s@." metrics_path e;
+              None
+      in
+      print_string (Telemetry.Summary.render ~top ~events ~metrics ());
+      match trace_out with
+      | Some path ->
+          write_or_warn path (Telemetry.write_chrome_trace ~path events);
+          Fmt.pr "trace: %s (load in chrome://tracing or ui.perfetto.dev)@." path
+      | None -> ())
 
 let cmd_chaos probe () =
   with_errors (fun () ->
@@ -255,11 +309,24 @@ let aes_verify_cmd =
     Arg.(value & opt (some float) None
          & info [ "vc-deadline" ] ~docv:"SECONDS" ~doc:"Per-VC-attempt wall-clock budget")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write a Chrome trace_event file \
+                   (chrome://tracing, ui.perfetto.dev)")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write the metrics snapshot as JSON")
+  in
   Cmd.v
     (Cmd.info "verify" ~exits
        ~doc:"Full Echo pipeline on AES under the resilient orchestrator: refactor, \
-             both proofs, with optional budgets and checkpoint/resume")
-    Term.(const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ const ())
+             both proofs, with optional budgets, checkpoint/resume and telemetry")
+    Term.(
+      const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ trace $ metrics
+      $ const ())
 
 let aes_defects_cmd =
   let setup =
@@ -294,10 +361,30 @@ let chaos_cmd =
              absorbs it (never raises, degrades gracefully)")
     Term.(const cmd_chaos $ probe $ const ())
 
+let report_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR" ~doc:"Run directory with persisted telemetry")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Rows in the top-N tables")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Also export the stored events as a Chrome trace_event file")
+  in
+  Cmd.v
+    (Cmd.info "report" ~exits
+       ~doc:"Render the telemetry of a previous run: per-stage timings, slowest VCs, \
+             retry hot spots, match-ratio evolution, metrics")
+    Term.(const cmd_report $ dir $ top $ trace_out $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
-    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd; chaos_cmd ]
+    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd; chaos_cmd;
+      report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -86,12 +86,37 @@ let load ~dir ~case stage =
              else Ok (Marshal.from_channel ic : payload))
        with e -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string e)))
 
+(* Telemetry travels next to the stage checkpoints, in open formats
+   (JSONL events, JSON metrics) rather than Marshal: the trace is meant
+   to be read by external tools, not just by a resuming binary. *)
+
+let telemetry_events_file ~dir = Filename.concat dir "telemetry.events.jsonl"
+let telemetry_metrics_file ~dir = Filename.concat dir "telemetry.metrics.json"
+
+let save_telemetry ~dir =
+  if not (Telemetry.enabled ()) then Ok ()
+  else begin
+    (* a failed mkdir surfaces as the write's error just below *)
+    (try mkdir_p dir with _ -> ());
+    match Telemetry.write_jsonl ~path:(telemetry_events_file ~dir) (Telemetry.events ()) with
+    | Error _ as e -> e
+    | Ok () ->
+        Telemetry.write_metrics ~path:(telemetry_metrics_file ~dir) (Telemetry.snapshot ())
+  end
+
+let load_telemetry ~dir =
+  let path = telemetry_events_file ~dir in
+  if not (Sys.file_exists path) then None
+  else Some (Telemetry.read_jsonl ~path)
+
 let clear ~dir =
   if Sys.file_exists dir && Sys.is_directory dir then
     Array.iter
       (fun f ->
-        if Filename.check_suffix f ".ckpt" || Filename.check_suffix f ".ckpt.tmp" then
-          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        if
+          Filename.check_suffix f ".ckpt" || Filename.check_suffix f ".ckpt.tmp"
+          || String.length f >= 10 && String.sub f 0 10 = "telemetry."
+        then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
       (Sys.readdir dir)
 
 let pp_stage ppf s = Fmt.string ppf (stage_name s)

@@ -42,7 +42,18 @@ val load : dir:string -> case:string -> stage -> (payload, string) result option
     present but has the wrong version/case or does not unmarshal; the
     caller decides whether that is fatal. *)
 
+val save_telemetry : dir:string -> (unit, string) result
+(** Persist the collector's current events (as [telemetry.events.jsonl])
+    and metrics snapshot (as [telemetry.metrics.json]) into the run
+    directory.  A no-op returning [Ok ()] when telemetry is disabled. *)
+
+val load_telemetry : dir:string -> (Telemetry.event list, string) result option
+(** Events persisted by a previous run of this directory, if any.
+    Feed them to {!Telemetry.ingest} before resuming so the final trace
+    covers the whole logical run, not just the resumed tail. *)
+
 val clear : dir:string -> unit
-(** Remove all checkpoint files in [dir] (ignores other files). *)
+(** Remove all checkpoint and telemetry files in [dir] (ignores other
+    files). *)
 
 val pp_stage : stage Fmt.t

@@ -125,13 +125,46 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
               { vr_vc = vc; vr_status = Timed_out 0.0; vr_attempts = 0; vr_time = 0.0 }
             else
               let t1 = Logic.Clock.now () in
+              let span =
+                Telemetry.start_span ~cat:Telemetry.cat_vc
+                  ~attrs:
+                    [
+                      ("sub", Telemetry.S vc.F.vc_sub);
+                      ("kind", Telemetry.S (F.vc_kind_name vc.F.vc_kind));
+                    ]
+                  vc.F.vc_name
+              in
               let rt = Retry.prove ~policy ~cfg vc in
-              {
-                vr_vc = vc;
-                vr_status = status_of rt;
-                vr_attempts = Retry.attempts rt;
-                vr_time = Logic.Clock.elapsed t1;
-              })
+              let vr =
+                {
+                  vr_vc = vc;
+                  vr_status = status_of rt;
+                  vr_attempts = Retry.attempts rt;
+                  vr_time = Logic.Clock.elapsed t1;
+                }
+              in
+              if Telemetry.enabled () then begin
+                Telemetry.count "vcs_attempted";
+                (match vr.vr_status with
+                | Auto -> Telemetry.count "vcs_auto"
+                | Hinted _ -> Telemetry.count "vcs_hinted"
+                | Residual _ -> Telemetry.count "vcs_residual"
+                | Timed_out _ -> Telemetry.count "vcs_timed_out");
+                Telemetry.observe "vc_wall_s" vr.vr_time
+              end;
+              Telemetry.finish_span span
+                ~attrs:
+                  [
+                    ( "status",
+                      Telemetry.S
+                        (match vr.vr_status with
+                        | Auto -> "auto"
+                        | Hinted n -> Printf.sprintf "hinted:%d" n
+                        | Residual _ -> "residual"
+                        | Timed_out _ -> "timeout") );
+                    ("attempts", Telemetry.I vr.vr_attempts);
+                  ];
+              vr)
           (filter_vcs sr.Vcgen.sr_vcs))
       gen.Vcgen.r_subs
   in

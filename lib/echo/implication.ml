@@ -136,8 +136,25 @@ let run_lemma l =
   | exception e -> Fails ("lemma raised: " ^ Printexc.to_string e)
 
 let run (lemmas : lemma list) : result =
-  let t0 = Unix.gettimeofday () in
-  let outcomes = List.map (fun l -> (l, run_lemma l)) lemmas in
+  let t0 = Logic.Clock.now () in
+  let outcomes =
+    List.map
+      (fun l ->
+        let span = Telemetry.start_span ~cat:Telemetry.cat_lemma l.lm_name in
+        let o = run_lemma l in
+        (if Telemetry.enabled () then
+           match o with
+           | Holds _ -> Telemetry.count "lemmas_proved"
+           | Fails _ -> Telemetry.count "lemmas_failed");
+        Telemetry.finish_span span
+          ~attrs:
+            [
+              ( "outcome",
+                Telemetry.S (match o with Holds _ -> "holds" | Fails _ -> "fails") );
+            ];
+        (l, o))
+      lemmas
+  in
   let proved =
     List.length (List.filter (fun (_, o) -> match o with Holds _ -> true | _ -> false) outcomes)
   in
@@ -145,7 +162,7 @@ let run (lemmas : lemma list) : result =
     im_lemmas = outcomes;
     im_total = List.length lemmas;
     im_proved = proved;
-    im_time = Unix.gettimeofday () -. t0;
+    im_time = Logic.Clock.elapsed t0;
   }
 
 let pp_method ppf = function

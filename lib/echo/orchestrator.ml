@@ -123,10 +123,14 @@ let load_checkpoint st stage =
             None)
 
 (* Run one stage: global-deadline check, stage-entry hook, checkpoint
-   shortcut, then the body; any exception becomes the stage's fault. *)
+   shortcut, then the body; any exception becomes the stage's fault.
+   Each call emits exactly one [stage] span whose [outcome] attribute
+   mirrors the recorded status. *)
 let stage st (stage_id : CK.stage) ~(from_ckpt : unit -> 'a option) ~(body : unit -> 'a)
     : ('a, Fault.t) result =
   let record status = st.statuses <- (stage_id, status) :: st.statuses in
+  let span = Telemetry.start_span ~cat:Telemetry.cat_stage (CK.stage_name stage_id) in
+  let finish outcome = Telemetry.finish_span span ~attrs:[ ("outcome", Telemetry.S outcome) ] in
   if global_expired st then begin
     let f =
       Fault.Deadline
@@ -136,26 +140,31 @@ let stage st (stage_id : CK.stage) ~(from_ckpt : unit -> 'a option) ~(body : uni
         }
     in
     record (St_failed f);
+    finish "deadline";
     Error f
   end
   else
     match Fault.guard (fun () -> st.cfg.oc_hooks.h_stage stage_id) with
     | Error f ->
         record (St_failed f);
+        finish "failed";
         Error f
     | Ok () -> (
         match from_ckpt () with
         | Some v ->
             record (St_ok { st_time = 0.0; st_from_checkpoint = true });
+            finish "from-checkpoint";
             Ok v
         | None -> (
             let t0 = Logic.Clock.now () in
             match Fault.guard body with
             | Ok v ->
                 record (St_ok { st_time = Logic.Clock.elapsed t0; st_from_checkpoint = false });
+                finish "ok";
                 Ok v
             | Error f ->
                 record (St_failed f);
+                finish "failed";
                 Error f))
 
 let reparse_program src =
@@ -286,6 +295,15 @@ let stage_extract st env annotated =
         Specl.Match_ratio.compare ~synonyms:st.cs.Pipeline.cs_synonyms
           ~original:st.cs.Pipeline.cs_original_spec ~extracted ()
       in
+      if Telemetry.enabled () then begin
+        Telemetry.gauge "match_ratio" match_result.Specl.Match_ratio.mr_ratio;
+        Telemetry.instant "match_ratio"
+          ~attrs:
+            [
+              ("block", Telemetry.S st.cs.Pipeline.cs_name);
+              ("ratio", Telemetry.F match_result.Specl.Match_ratio.mr_ratio);
+            ]
+      end;
       save_checkpoint st CK.S_extract
         (CK.P_extract { px_theory = extracted; px_match = match_result });
       (extracted, match_result))
@@ -321,6 +339,20 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
   (match (resume, config.oc_run_dir) with
   | false, Some dir -> CK.clear ~dir
   | _ -> ());
+  (* a resumed run replays the interrupted run's trace first, so the
+     persisted trace covers the whole logical run *)
+  (match (resume, config.oc_run_dir) with
+  | true, Some dir when Telemetry.enabled () -> (
+      match CK.load_telemetry ~dir with
+      | Some (Ok events) -> Telemetry.ingest events
+      | Some (Error _) | None -> ())
+  | _ -> ());
+  let root_span =
+    Telemetry.start_span ~cat:Telemetry.cat_pipeline
+      ~attrs:
+        [ ("case", Telemetry.S cs.Pipeline.cs_name); ("resume", Telemetry.B resume) ]
+      "orchestrated-run"
+  in
   let st =
     {
       cfg = config;
@@ -380,6 +412,20 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
       CK.all_stages
   in
   let verdict = synthesize st !impl_ref !lemmas_ref in
+  let verdict_name =
+    match verdict with
+    | Verified -> "verified"
+    | Conditionally_verified _ -> "conditionally-verified"
+    | Degraded _ -> "degraded"
+    | Failed _ -> "failed"
+  in
+  Telemetry.finish_span root_span ~attrs:[ ("verdict", Telemetry.S verdict_name) ];
+  (match config.oc_run_dir with
+  | Some dir when Telemetry.enabled () -> (
+      match CK.save_telemetry ~dir with
+      | Ok () -> ()
+      | Error e -> note st "telemetry write failed: %s" e)
+  | _ -> ());
   {
     o_case = cs.Pipeline.cs_name;
     o_stages = statuses;

@@ -71,11 +71,28 @@ let empty_history () = Refactor.History.create empty_env empty_program
 (** Run the full Echo process for a case study.  Never raises: stage
     faults are folded into the verdict. *)
 let run (cs : case_study) : report =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Logic.Clock.now () in
+  let root_span =
+    Telemetry.start_span ~cat:Telemetry.cat_pipeline
+      ~attrs:[ ("case", Telemetry.S cs.cs_name) ]
+      "pipeline-run"
+  in
+  (* each guarded stage gets one [stage] span, faulted or not *)
+  let guarded name body =
+    Telemetry.with_span ~cat:Telemetry.cat_stage name (fun () -> Fault.guard body)
+  in
   let finish ?(history = empty_history ()) ?(final = empty_program)
       ?(annotated = empty_program) ?(impl = Implementation_proof.empty)
       ?(extracted = empty_theory) ?(match_ = Specl.Match_ratio.empty)
       ?(implication = Implication.empty) verdict =
+    let verdict_name =
+      match verdict with
+      | Verified -> "verified"
+      | Conditionally_verified _ -> "conditionally-verified"
+      | Degraded _ -> "degraded"
+      | Failed _ -> "failed"
+    in
+    Telemetry.finish_span root_span ~attrs:[ ("verdict", Telemetry.S verdict_name) ];
     {
       p_history = history;
       p_final = final;
@@ -85,11 +102,11 @@ let run (cs : case_study) : report =
       p_match = match_;
       p_implication = implication;
       p_verdict = verdict;
-      p_time = Unix.gettimeofday () -. t0;
+      p_time = Logic.Clock.elapsed t0;
     }
   in
   match
-    Fault.guard (fun () ->
+    guarded "refactor" (fun () ->
         let stages, history = cs.cs_refactor () in
         match List.rev stages with
         | (_, final) :: _ -> (final, history)
@@ -97,30 +114,43 @@ let run (cs : case_study) : report =
   with
   | Error f -> finish (Failed (Fault.describe f))
   | Ok (final, history) -> (
-      match Fault.guard (fun () -> Typecheck.check (cs.cs_annotate final)) with
+      match guarded "annotate" (fun () -> Typecheck.check (cs.cs_annotate final)) with
       | Error f -> finish ~history ~final (Failed (Fault.describe f))
       | Ok (env, annotated) -> (
-          match Fault.guard (fun () -> Implementation_proof.run env annotated) with
+          match
+            guarded "implementation-proof" (fun () ->
+                Implementation_proof.run env annotated)
+          with
           | Error f -> finish ~history ~final ~annotated (Failed (Fault.describe f))
           | Ok impl -> (
               match
-                Fault.guard (fun () ->
+                guarded "extract" (fun () ->
                     let extracted = Extract.extract_program env annotated in
                     let match_result =
                       Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
                         ~original:cs.cs_original_spec ~extracted ()
                     in
-                    let implication = Implication.run (cs.cs_lemmas ~extracted) in
-                    (extracted, match_result, implication))
+                    if Telemetry.enabled () then
+                      Telemetry.gauge "match_ratio"
+                        match_result.Specl.Match_ratio.mr_ratio;
+                    (extracted, match_result))
               with
               | Error f ->
                   (* the implementation proof survived: degrade, don't discard *)
                   finish ~history ~final ~annotated ~impl
                     (Degraded (Fault.describe f))
-              | Ok (extracted, match_result, implication) ->
-                  finish ~history ~final ~annotated ~impl ~extracted
-                    ~match_:match_result ~implication
-                    (verdict_of impl implication))))
+              | Ok (extracted, match_result) -> (
+                  match
+                    guarded "implication-proof" (fun () ->
+                        Implication.run (cs.cs_lemmas ~extracted))
+                  with
+                  | Error f ->
+                      finish ~history ~final ~annotated ~impl ~extracted
+                        ~match_:match_result (Degraded (Fault.describe f))
+                  | Ok implication ->
+                      finish ~history ~final ~annotated ~impl ~extracted
+                        ~match_:match_result ~implication
+                        (verdict_of impl implication)))))
 
 let pp_verdict ppf = function
   | Verified -> Fmt.string ppf "VERIFIED"

@@ -34,7 +34,8 @@ val with_deadline : float option -> policy -> policy
 type attempt = {
   at_rung : string;
   at_outcome : P.outcome;
-  at_time : float;
+  at_time : float;       (** seconds spent inside the prover proper *)
+  at_elapsed : float;    (** wall-clock for the whole rung, incl. pre-simplify *)
 }
 
 type result = {
@@ -46,6 +47,9 @@ type result = {
 val attempts : result -> int
 val timed_out : result -> bool
 (** True when the final attempt hit its deadline. *)
+
+val ladder_elapsed : result -> float
+(** Total wall-clock across every attempt on the ladder. *)
 
 val prove : ?policy:policy -> cfg:P.config -> Logic.Formula.vc -> result
 (** Climb the ladder until a rung proves the VC or rungs run out.  Never

@@ -1,13 +1,37 @@
-(* Monotonic clamp over the wall clock: the OCaml stdlib exposes no
-   monotonic clock and we add no dependencies, so we make gettimeofday
-   monotone by never letting it go backwards within the process. *)
+(* Monotonic clamp over an injectable time source: the OCaml stdlib
+   exposes no monotonic clock and we add no dependencies, so we make the
+   source (gettimeofday by default) monotone by never letting it go
+   backwards within the process.  Tests install a scripted source with
+   [set_source]/[with_source] so deadline and telemetry behaviour is
+   deterministic instead of sleeping on the wall clock. *)
+
+let wall_clock = Unix.gettimeofday
+
+let source = ref wall_clock
 
 let last = ref neg_infinity
 
 let now () =
-  let t = Unix.gettimeofday () in
+  let t = !source () in
   if t > !last then last := t;
   !last
+
+let set_source f =
+  source := f;
+  (* a fresh source restarts the monotone clamp: a test clock starting at
+     0.0 must not be pinned below the wall-clock time already observed *)
+  last := neg_infinity
+
+let reset_source () = set_source wall_clock
+
+let with_source f body =
+  let saved_source = !source and saved_last = !last in
+  set_source f;
+  Fun.protect
+    ~finally:(fun () ->
+      source := saved_source;
+      last := saved_last)
+    body
 
 let elapsed t0 = Float.max 0.0 (now () -. t0)
 

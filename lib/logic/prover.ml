@@ -729,6 +729,7 @@ type proof_result = {
   pr_outcome : outcome;
   pr_hints_used : int;
   pr_time : float;
+  pr_steps : int;
 }
 
 let max_depth = 18
@@ -769,11 +770,22 @@ let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
   let with_unfold_step = unfolds <> [] in
   let hyps0 = List.map apply_unfolds vc.vc_hyps in
   let goal0 = apply_unfolds vc.vc_goal in
+  (* [steps] is reset per capability level; accumulate the total search
+     effort across the whole ladder for profiling *)
+  let total_steps = ref 0 in
   let rec try_ladder used = function
     | [] -> (Unknown "all capability levels exhausted", used)
     | caps :: rest -> (
         steps := 0;
-        match prove_goal cfg caps max_depth hyps0 goal0 with
+        let result =
+          match prove_goal cfg caps max_depth hyps0 goal0 with
+          | r -> r
+          | exception e ->
+              total_steps := !total_steps + !steps;
+              raise e
+        in
+        total_steps := !total_steps + !steps;
+        match result with
         | Proved -> (Proved, used + if with_unfold_step then 1 else 0)
         | Timeout _ -> assert false (* prove_goal signals via Deadline_hit *)
         | Unknown r -> (
@@ -785,7 +797,13 @@ let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
     try try_ladder 0 ladder
     with Deadline_hit -> (Timeout (Clock.elapsed t0), 0)
   in
-  { pr_vc = vc; pr_outcome = outcome; pr_hints_used = used; pr_time = Clock.elapsed t0 }
+  {
+    pr_vc = vc;
+    pr_outcome = outcome;
+    pr_hints_used = used;
+    pr_time = Clock.elapsed t0;
+    pr_steps = !total_steps;
+  }
 
 let is_proved r = match r.pr_outcome with Proved -> true | Unknown _ | Timeout _ -> false
 

@@ -41,6 +41,7 @@ type proof_result = {
   pr_outcome : outcome;
   pr_hints_used : int;   (** 0 = fully automatic *)
   pr_time : float;       (** seconds on the monotonic clock, never negative *)
+  pr_steps : int;        (** search steps spent across all capability levels *)
 }
 
 val prove_vc : ?cfg:config -> ?hints:hint list -> Formula.vc -> proof_result

@@ -256,12 +256,22 @@ let step t =
 
 let max_passes = 12
 
+(* cumulative count of productive rewrite passes, for profiling: telemetry
+   reads deltas around proof attempts to attribute simplifier effort *)
+let passes = ref 0
+
+let rewrite_passes () = !passes
+
 let simplify t =
   let rec fixpoint n t =
     if n >= max_passes then t
     else
       let t' = Formula.map step t in
-      if t' = t then t else fixpoint (n + 1) t'
+      if t' = t then t
+      else begin
+        incr passes;
+        fixpoint (n + 1) t'
+      end
   in
   fixpoint 0 t
 

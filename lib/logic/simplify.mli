@@ -37,6 +37,11 @@ val expand_limit : int
 val simplify : Formula.t -> Formula.t
 (** Bottom-up rewriting to a bounded fixpoint. *)
 
+val rewrite_passes : unit -> int
+(** Cumulative count of productive rewrite passes since process start
+    (monotone).  Profilers read deltas around an operation to attribute
+    simplifier effort to it. *)
+
 val simplify_vc : Formula.vc -> Formula.vc
 (** Simplify hypotheses (flattening conjunctions, dropping trivial ones)
     and goal; a contradictory hypothesis set yields a [true] goal. *)

@@ -41,15 +41,40 @@ let steps h = List.rev h.steps
     [Transform.Not_applicable] (state unchanged) on rejection. *)
 let apply ?(entries = []) ?(trials = 24) h (tr : Transform.t) =
   let env, program = h.current in
-  let env', program' = Transform.apply tr env program in
+  let span =
+    Telemetry.start_span ~cat:Telemetry.cat_transform
+      ~attrs:[ ("category", Telemetry.S (Transform.category_name tr.Transform.tr_category)) ]
+      tr.Transform.tr_name
+  in
+  let finish_rejected e =
+    Telemetry.finish_span span ~attrs:[ ("outcome", Telemetry.S "rejected") ];
+    raise e
+  in
+  let env', program' =
+    try Transform.apply tr env program with e -> finish_rejected e
+  in
   let evidence = ref [ Ev_typecheck ] in
   (match entries with
   | [] -> ()
   | entries -> (
       match Equivalence.check_program ~trials ~entries env program env' program' with
       | Equivalence.Equivalent n -> evidence := Ev_differential n :: !evidence
-      | Equivalence.Counterexample msg ->
-          Transform.reject "%s is not semantics-preserving: %s" tr.Transform.tr_name msg));
+      | Equivalence.Counterexample msg -> (
+          try
+            Transform.reject "%s is not semantics-preserving: %s" tr.Transform.tr_name msg
+          with e -> finish_rejected e)));
+  (if not (Telemetry.enabled ()) then Telemetry.finish_span span
+   else
+     let m = Metrics.analyze program' in
+     Telemetry.count "transforms_applied";
+     Telemetry.finish_span span
+       ~attrs:
+         [
+           ("outcome", Telemetry.S "applied");
+           ("lines_after", Telemetry.I m.Metrics.element.Metrics.em_lines);
+           ( "avg_cyclomatic_after",
+             Telemetry.F m.Metrics.complexity.Metrics.cm_avg_cyclomatic );
+         ]);
   let step =
     {
       st_index = List.length h.steps;
