@@ -6,6 +6,7 @@
    §6.2.3: implementation-proof statistics.
    §6.2.4: implication-proof statistics.
    Tables 2/3: the seeded-defect experiment.
+   Static analysis: VC pre-discharge economics (BENCH_analysis.json).
    Ablations (DESIGN.md §5): simplifier off, architectural mapping off.
    Plus Bechamel micro-benchmarks of the underlying machinery.
 
@@ -378,6 +379,59 @@ let pipeline_json () =
   Fmt.pr "wrote BENCH_pipeline.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis: VC pre-discharge economics as JSON                 *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_json () =
+  section "Static analysis pre-discharge (BENCH_analysis.json)";
+  let env, annotated = Lazy.force final_annotated in
+  let an = Analysis.Examiner.analyze ~vcs:true env annotated in
+  let discharged_names = List.map snd an.Analysis.Examiner.ex_discharged in
+  (* one baseline proof run (no discharge) prices the discharged set in
+     prover seconds: what the ladder would have spent on those VCs *)
+  let r = Echo.Implementation_proof.run env annotated in
+  let saved, total_time =
+    List.fold_left
+      (fun (saved, total) (vr : Echo.Implementation_proof.vc_result) ->
+        let t = vr.Echo.Implementation_proof.vr_time in
+        let name = vr.Echo.Implementation_proof.vr_vc.Logic.Formula.vc_name in
+        ((if List.mem name discharged_names then saved +. t else saved), total +. t))
+      (0.0, 0.0) r.Echo.Implementation_proof.ip_results
+  in
+  let d = Analysis.Examiner.diags an in
+  let total = an.Analysis.Examiner.ex_vcs_total in
+  let discharged = an.Analysis.Examiner.ex_vcs_discharged in
+  let pct =
+    if total = 0 then 0.0 else 100.0 *. float_of_int discharged /. float_of_int total
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "aes-final-annotated",
+  "exception_freedom_vcs": %d,
+  "discharged": %d,
+  "discharged_pct": %.1f,
+  "sent_to_prover": %d,
+  "prover_time_saved_s": %.3f,
+  "total_prover_time_s": %.3f,
+  "diagnostics": {"errors": %d, "warnings": %d, "infos": %d},
+  "amenability_findings": %d
+}
+|}
+      total discharged pct (total - discharged) saved total_time
+      (Analysis.Diag.count Analysis.Diag.Error d)
+      (Analysis.Diag.count Analysis.Diag.Warning d)
+      (Analysis.Diag.count Analysis.Diag.Info d)
+      (List.length an.Analysis.Examiner.ex_amen)
+  in
+  let oc = open_out "BENCH_analysis.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "%d/%d exception-freedom VCs discharged (%.1f%%), %.3fs of prover time saved@."
+    discharged total pct saved;
+  Fmt.pr "wrote BENCH_analysis.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,7 +490,10 @@ let () =
   if quick then Fmt.pr "(--quick: skipping the defect experiment)@.";
   if smoke then Fmt.pr "(--smoke: orchestrated pipeline + telemetry artifacts only)@.";
   let t0 = Unix.gettimeofday () in
-  if smoke then pipeline_json ()
+  if smoke then begin
+    pipeline_json ();
+    analysis_json ()
+  end
   else begin
     if want "fig2ab" || !only = None then fig2_metrics ();
     if want "fig2cde" || !only = None then fig2_vcs ();
@@ -449,6 +506,7 @@ let () =
     if want "ablation_mapping" || !only = None then ablation_mapping ();
     if want "ablation_order" || !only = None then ablation_order ();
     if want "pipeline" || !only = None then pipeline_json ();
+    if want "analysis" || !only = None then analysis_json ();
     if want "micro" || !only = None then micro_benchmarks ()
   end;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

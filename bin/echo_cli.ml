@@ -3,6 +3,8 @@
    Subcommands operate on MiniSpark source files or on the built-in AES
    case study:
      check      parse and type-check a program
+     analyze    Examiner-style flow analysis, amenability lint and
+                interval discharge of exception-freedom VCs
      metrics    print the §5.2 metric hybrid
      suggest    propose loop-rerolling sites (§5.2 "suggested automatically")
      vcs        generate and summarise verification conditions
@@ -12,7 +14,7 @@
 
    Exit codes follow the fault taxonomy (Echo.Fault.exit_code): 2 parse,
    3 type, 4 refactoring-not-applicable, 5 proof failure (residual VCs,
-   timeouts, failed lemmas), 1 everything else. *)
+   timeouts, failed lemmas), 6 flow-analysis errors, 1 everything else. *)
 
 open Minispark
 
@@ -40,6 +42,26 @@ let cmd_check path () =
       Fmt.pr "%s: %d declarations, %d subprograms — OK@." prog.Ast.prog_name
         (List.length prog.Ast.prog_decls)
         (List.length (Ast.subprograms prog)))
+
+let cmd_analyze path json no_vcs () =
+  with_errors (fun () ->
+      let env, prog = read_program path in
+      let an = Analysis.Examiner.analyze ~vcs:(not no_vcs) env prog in
+      if json then
+        print_endline (Telemetry.Json.to_string (Analysis.Examiner.to_json an))
+      else Fmt.pr "%a" Analysis.Examiner.pp an;
+      let errs = Analysis.Examiner.errors an in
+      if errs > 0 then
+        let first =
+          match
+            List.filter
+              (fun d -> d.Analysis.Diag.d_severity = Analysis.Diag.Error)
+              (Analysis.Examiner.diags an)
+          with
+          | d :: _ -> Fmt.str "%a" Analysis.Diag.pp d
+          | [] -> ""
+        in
+        raise (Echo.Fault.Fault (Echo.Fault.Analysis { errors = errs; first })))
 
 let cmd_metrics path () =
   with_errors (fun () ->
@@ -118,7 +140,7 @@ let write_or_warn what = function
   | Ok () -> ()
   | Error e -> Fmt.epr "warning: could not write %s: %s@." what e
 
-let cmd_aes_verify run_dir resume global_deadline vc_deadline trace metrics () =
+let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze trace metrics () =
   with_errors (fun () ->
       if resume && run_dir = None then begin
         Fmt.epr "--resume requires --run-dir@.";
@@ -131,6 +153,7 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline trace metrics () =
           Echo.Orchestrator.oc_run_dir = run_dir;
           oc_global_deadline_s = global_deadline;
           oc_vc_deadline_s = vc_deadline;
+          oc_analyze = analyze;
         }
       in
       let report = Echo.Orchestrator.run ~resume ~config Aes.Aes_echo.case_study in
@@ -256,6 +279,7 @@ let exits =
   :: Cmd.Exit.info ~doc:"on proof failure: residual VCs, prover timeouts, infeasible \
                          VC generation or failed implication lemmas."
        5
+  :: Cmd.Exit.info ~doc:"when flow analysis reports error-severity diagnostics." 6
   :: Cmd.Exit.defaults
 
 let path_arg =
@@ -264,6 +288,23 @@ let path_arg =
 let check_cmd =
   Cmd.v (Cmd.info "check" ~exits ~doc:"Parse and type-check a MiniSpark program")
     Term.(const cmd_check $ path_arg $ const ())
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output")
+  in
+  let no_vcs =
+    Arg.(value & flag
+         & info [ "no-vcs" ]
+             ~doc:"Skip VC generation and interval discharge (flow and \
+                   amenability checks only)")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~exits
+       ~doc:"Examiner-style static analysis: definite-initialisation and \
+             information-flow checks, refactoring-amenability lint, and \
+             interval discharge of exception-freedom VCs")
+    Term.(const cmd_analyze $ path_arg $ json $ no_vcs $ const ())
 
 let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~exits ~doc:"Print the verification-guidance metrics (§5.2)")
@@ -309,6 +350,13 @@ let aes_verify_cmd =
     Arg.(value & opt (some float) None
          & info [ "vc-deadline" ] ~docv:"SECONDS" ~doc:"Per-VC-attempt wall-clock budget")
   in
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Run the flow-analysis pre-pass; interval analysis \
+                   statically discharges exception-freedom VCs so the \
+                   prover never sees them")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -325,8 +373,8 @@ let aes_verify_cmd =
        ~doc:"Full Echo pipeline on AES under the resilient orchestrator: refactor, \
              both proofs, with optional budgets, checkpoint/resume and telemetry")
     Term.(
-      const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ trace $ metrics
-      $ const ())
+      const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ analyze
+      $ trace $ metrics $ const ())
 
 let aes_defects_cmd =
   let setup =
@@ -384,7 +432,7 @@ let main =
   Cmd.group
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
-    [ check_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd; chaos_cmd;
-      report_cmd ]
+    [ check_cmd; analyze_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd;
+      chaos_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

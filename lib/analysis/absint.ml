@@ -1,0 +1,238 @@
+open Minispark
+module SMap = Map.Make (String)
+
+type state = Itv.t SMap.t
+
+let lookup st x = match SMap.find_opt x st with Some v -> v | None -> Itv.top
+
+module D = struct
+  type t = state
+
+  (* A missing binding reads as top, so joins drop one-sided keys. *)
+  let merge_with f a b =
+    SMap.merge
+      (fun _ l r ->
+        match (l, r) with Some x, Some y -> Some (f x y) | _ -> None)
+      a b
+
+  let join = merge_with Itv.join
+  let widen = merge_with Itv.widen
+  let equal = SMap.equal Itv.equal
+end
+
+module DF = Dataflow.Make (D)
+
+(* Innermost scalar type of a possibly-nested array type. *)
+let rec scalar_elem env ty =
+  match Typecheck.resolve env ty with
+  | Ast.Tarray (_, _, elt) -> scalar_elem env elt
+  | t -> t
+
+(* Interval of a runtime value: scalars exactly, arrays as element hull. *)
+let rec val_itv (v : Value.t) =
+  match v with
+  | Value.Vint n | Value.Vmod (n, _) -> Itv.const n
+  | Value.Vbool _ -> Itv.top
+  | Value.Varray (_, els) ->
+      Array.fold_left (fun acc e -> Itv.join acc (val_itv e)) Itv.bot els
+
+(* Declared types of every object visible in [sub]. *)
+let typing program (sub : Ast.subprogram option) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Ast.const_decl) -> Hashtbl.replace tbl c.Ast.k_name c.Ast.k_typ)
+    (Ast.constants program);
+  List.iter
+    (fun (v : Ast.var_decl) -> Hashtbl.replace tbl v.Ast.v_name v.Ast.v_typ)
+    (Ast.global_vars program);
+  (match sub with
+  | None -> ()
+  | Some sub ->
+      List.iter
+        (fun (p : Ast.param) -> Hashtbl.replace tbl p.Ast.par_name p.Ast.par_typ)
+        sub.Ast.sub_params;
+      List.iter
+        (fun (v : Ast.var_decl) -> Hashtbl.replace tbl v.Ast.v_name v.Ast.v_typ)
+        sub.Ast.sub_locals);
+  tbl
+
+let rec eval env program sub st (e : Ast.expr) =
+  let width e =
+    (* modulus payload for bitwise transfer functions *)
+    try
+      match Typecheck.resolve env (Typecheck.expr_type env sub e) with
+      | Ast.Tmod m -> m
+      | _ -> 0
+    with _ -> 0
+  in
+  match e with
+  | Ast.Int_lit n -> Itv.const n
+  | Ast.Bool_lit _ -> Itv.top
+  | Ast.Var x -> lookup st x
+  | Ast.Index (a, _) ->
+      let rec base (e : Ast.expr) =
+        match e with
+        | Ast.Var x -> Some x
+        | Ast.Index (a, _) -> base a
+        | _ -> None
+      in
+      (match base a with Some x -> lookup st x | None -> Itv.top)
+  | Ast.Unop (Ast.Neg, e) -> Itv.neg (eval env program sub st e)
+  | Ast.Unop (Ast.Not, _) -> Itv.top
+  | Ast.Binop (op, a, b) -> (
+      let va = eval env program sub st a in
+      let vb = eval env program sub st b in
+      match op with
+      | Ast.Add -> Itv.add va vb
+      | Ast.Sub -> Itv.sub va vb
+      | Ast.Mul -> Itv.mul va vb
+      | Ast.Div -> Itv.div va vb
+      | Ast.Mod -> Itv.md va vb
+      | Ast.Band -> Itv.band (width e) va vb
+      | Ast.Bor -> Itv.bor (width e) va vb
+      | Ast.Bxor -> Itv.bxor (width e) va vb
+      | Ast.Shl -> Itv.shl (width e) va vb
+      | Ast.Shr -> Itv.shr (width e) va vb
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or
+      | Ast.And_then | Ast.Or_else ->
+          Itv.top)
+  | Ast.Call (f, _) -> (
+      match Ast.find_sub program f with
+      | Some callee -> (
+          match callee.Ast.sub_return with
+          | Some rt -> Itv.of_typ env (scalar_elem env rt)
+          | None -> Itv.top)
+      | None -> Itv.top)
+  | Ast.Aggregate es ->
+      (* the abstract value of an array expression is its element hull *)
+      List.fold_left
+        (fun acc e -> Itv.join acc (eval env program sub st e))
+        Itv.bot es
+  | Ast.Old _ | Ast.Result | Ast.Quantified _ -> Itv.top
+
+(* Wrap a value being stored into an object of declared type [ty]:
+   modular assignment wraps; range subtypes are not clamped. *)
+let store_coerce env ty v =
+  match scalar_elem env ty with Ast.Tmod m -> Itv.wrap m v | _ -> v
+
+let entry_state env program (sub : Ast.subprogram) =
+  let st = ref SMap.empty in
+  let bind x v = st := SMap.add x v !st in
+  (* constants first (they may appear in later initialisers) *)
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      bind c.Ast.k_name
+        (store_coerce env c.Ast.k_typ (eval env program None !st c.Ast.k_value)))
+    (Ast.constants program);
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      let value =
+        match v.Ast.v_init with
+        | Some e -> store_coerce env v.Ast.v_typ (eval env program None !st e)
+        | None -> val_itv (Interp.default_value env v.Ast.v_typ)
+      in
+      bind v.Ast.v_name value)
+    (Ast.global_vars program);
+  List.iter
+    (fun (p : Ast.param) ->
+      bind p.Ast.par_name (Itv.of_typ env (scalar_elem env p.Ast.par_typ)))
+    sub.Ast.sub_params;
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      let value =
+        match v.Ast.v_init with
+        | Some e ->
+            store_coerce env v.Ast.v_typ (eval env program (Some sub) !st e)
+        | None -> val_itv (Interp.default_value env v.Ast.v_typ)
+      in
+      bind v.Ast.v_name value)
+    sub.Ast.sub_locals;
+  !st
+
+let hooks env program (sub : Ast.subprogram) =
+  let types = typing program (Some sub) in
+  let decl_typ x = Hashtbl.find_opt types x in
+  let ev st e = eval env program (Some sub) st e in
+  let atomic st (stmt : Ast.stmt) =
+    match stmt with
+    | Ast.Null | Ast.Assert _ | Ast.Return _ -> st
+    | Ast.Assign (Ast.Lvar x, e) ->
+        let v = ev st e in
+        let v =
+          match decl_typ x with Some t -> store_coerce env t v | None -> v
+        in
+        SMap.add x v st
+    | Ast.Assign (lv, e) ->
+        (* element write: join into the base's element hull *)
+        let base = Ast.lvalue_base lv in
+        let v = ev st e in
+        let v =
+          match decl_typ base with
+          | Some t -> store_coerce env t v
+          | None -> v
+        in
+        SMap.add base (Itv.join (lookup st base) v) st
+    | Ast.Call_stmt (f, args) -> (
+        match Ast.find_sub program f with
+        | None -> st
+        | Some callee ->
+            let rec havoc st (params : Ast.param list) args =
+              match (params, args) with
+              | [], _ | _, [] -> st
+              | p :: ps, a :: rest ->
+                  let st =
+                    match p.Ast.par_mode with
+                    | Ast.Mode_in -> st
+                    | Ast.Mode_out | Ast.Mode_in_out -> (
+                        let rec base (e : Ast.expr) =
+                          match e with
+                          | Ast.Var x -> Some (x, false)
+                          | Ast.Index (a, _) -> (
+                              match base a with
+                              | Some (x, _) -> Some (x, true)
+                              | None -> None)
+                          | _ -> None
+                        in
+                        match base a with
+                        | None -> st
+                        | Some (x, partial) ->
+                            let range =
+                              match decl_typ x with
+                              | Some t -> Itv.of_typ env (scalar_elem env t)
+                              | None -> Itv.top
+                            in
+                            let v =
+                              if partial then Itv.join (lookup st x) range
+                              else range
+                            in
+                            SMap.add x v st)
+                  in
+                  havoc st ps rest
+            in
+            havoc st callee.Ast.sub_params args)
+    | Ast.If _ | Ast.For _ | Ast.While _ -> st
+  in
+  let enter_for st (fl : Ast.for_loop) =
+    let lo = ev st fl.Ast.for_lo and hi = ev st fl.Ast.for_hi in
+    let bound =
+      match (lo, hi) with
+      | Itv.Itv { lo = l; _ }, Itv.Itv { hi = h; _ } -> Itv.make l h
+      | _ -> Itv.top
+    in
+    SMap.add fl.Ast.for_var bound st
+  in
+  let exit_for st (fl : Ast.for_loop) = SMap.remove fl.Ast.for_var st in
+  {
+    DF.default_hooks with
+    DF.atomic = atomic;
+    DF.enter_for = enter_for;
+    DF.exit_for = exit_for;
+  }
+
+let analyze_sub env program sub =
+  DF.exec (hooks env program sub) (entry_state env program sub) sub.Ast.sub_body
+
+let exit_intervals env program sub =
+  match analyze_sub env program sub with
+  | None -> []
+  | Some st -> SMap.bindings st

@@ -1,0 +1,49 @@
+(** Interval abstract interpretation of MiniSpark subprograms.
+
+    The abstract state maps each scalar variable to an {!Itv.t}; an
+    array-typed variable maps to the {e hull} of its elements (one
+    interval covering every element any execution could store).  Missing
+    bindings read as top.  Assignments to a [Tmod] variable wrap; [Tint]
+    range subtypes are {e not} clamped on assignment — staying inside the
+    range is a proof obligation, not a dynamic truncation, exactly as in
+    {!Minispark.Interp}.  Uninitialised locals start at the singleton of
+    {!Minispark.Interp.default_value}, matching the interpreter. *)
+
+type state = Itv.t Map.Make(String).t
+
+val lookup : state -> string -> Itv.t
+
+(** Abstract value of an expression in a state.  [sub] scopes
+    {!Minispark.Typecheck.expr_type} lookups for bitwise operand widths. *)
+val eval :
+  Minispark.Typecheck.env ->
+  Minispark.Ast.program ->
+  Minispark.Ast.subprogram option ->
+  state ->
+  Minispark.Ast.expr ->
+  Itv.t
+
+(** Entry state of a subprogram: parameters at their type ranges, locals
+    at their initialiser values (or interpreter defaults), globals and
+    constants at their declared / computed values. *)
+val entry_state :
+  Minispark.Typecheck.env ->
+  Minispark.Ast.program ->
+  Minispark.Ast.subprogram ->
+  state
+
+(** Run the body from the entry state; [None] when every path returns.
+    The result maps each variable to an interval containing every value
+    it can hold at subprogram exit. *)
+val analyze_sub :
+  Minispark.Typecheck.env ->
+  Minispark.Ast.program ->
+  Minispark.Ast.subprogram ->
+  state option
+
+(** [(var, interval)] view of {!analyze_sub} for tests and reports. *)
+val exit_intervals :
+  Minispark.Typecheck.env ->
+  Minispark.Ast.program ->
+  Minispark.Ast.subprogram ->
+  (string * Itv.t) list

@@ -1,0 +1,130 @@
+open Minispark
+
+let reroll_findings program =
+  List.map
+    (fun (sub, start, group_len, count) ->
+      Diag.make ~sub Diag.AMEN_REROLL
+        (Printf.sprintf
+           "%d unrolled iterations of %d statement(s) starting at statement \
+            %d: Refactor.Reroll.reroll applies"
+           count group_len start))
+    (Refactor.Reroll.suggest program)
+
+let clone_findings program =
+  (* rerolling subsumes single-subprogram repetition; surface clones that
+     span subprograms or are long enough to be worth extracting *)
+  List.filter_map
+    (fun (c : Refactor.Inline_reverse.clone) ->
+      let subs =
+        List.sort_uniq compare (List.map fst c.Refactor.Inline_reverse.cl_occurrences)
+      in
+      if List.length c.Refactor.Inline_reverse.cl_occurrences < 2 then None
+      else
+        let sub = match subs with s :: _ -> s | [] -> "" in
+        Some
+          (Diag.make ~sub Diag.AMEN_CLONE
+             (Printf.sprintf
+                "%d occurrences of a %d-statement clone in %s: \
+                 Refactor.Inline_reverse.extract_procedure applies"
+                (List.length c.Refactor.Inline_reverse.cl_occurrences)
+                c.Refactor.Inline_reverse.cl_len
+                (String.concat ", " subs)))
+        )
+    (Refactor.Inline_reverse.suggest_clones program)
+
+let table_findings program =
+  let const_arrays =
+    List.filter_map
+      (fun (c : Ast.const_decl) ->
+        match c.Ast.k_value with
+        | Ast.Aggregate _ -> Some c.Ast.k_name
+        | _ -> None)
+      (Ast.constants program)
+  in
+  if const_arrays = [] then []
+  else
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun (sub : Ast.subprogram) ->
+        Ast.iter_stmts
+          (fun stmt ->
+            Ast.iter_own_exprs
+              (fun e ->
+                Ast.iter_expr
+                  (fun e ->
+                    match e with
+                    | Ast.Index (Ast.Var t, _) when List.mem t const_arrays ->
+                        let k = (t, sub.Ast.sub_name) in
+                        Hashtbl.replace counts k
+                          (1 + try Hashtbl.find counts k with Not_found -> 0)
+                    | _ -> ())
+                  e)
+              stmt)
+          sub.Ast.sub_body)
+      (Ast.subprograms program);
+    let per_table = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (t, sub) n ->
+        let sites, subs =
+          try Hashtbl.find per_table t with Not_found -> (0, [])
+        in
+        Hashtbl.replace per_table t (sites + n, sub :: subs))
+      counts;
+    Hashtbl.fold
+      (fun t (sites, subs) acc ->
+        if sites >= 2 then
+          Diag.make
+            ~sub:(match List.sort compare subs with s :: _ -> s | [] -> "")
+            Diag.AMEN_TABLE
+            (Printf.sprintf
+               "constant table '%s' looked up at %d sites (%s): \
+                Refactor.Table_reverse.reverse applies"
+               t sites
+               (String.concat ", " (List.sort_uniq compare subs)))
+          :: acc
+        else acc)
+      per_table []
+
+(* Count shifted operands in the or/xor combining tree of [e]. *)
+let rec shifted_operands (e : Ast.expr) =
+  match e with
+  | Ast.Binop ((Ast.Bor | Ast.Bxor | Ast.Or), a, b) ->
+      shifted_operands a + shifted_operands b
+  | Ast.Binop (Ast.Shl, _, _) | Ast.Binop (Ast.Shr, _, _) -> 1
+  | Ast.Binop (Ast.Band, a, b) -> max (shifted_operands a) (shifted_operands b)
+  | _ -> 0
+
+(* Count maximal packed expressions, not every or/xor node inside one. *)
+let rec count_packed (e : Ast.expr) =
+  match e with
+  | Ast.Binop ((Ast.Bor | Ast.Bxor), _, _) when shifted_operands e >= 2 -> 1
+  | Ast.Binop (_, a, b) -> count_packed a + count_packed b
+  | Ast.Unop (_, a) -> count_packed a
+  | Ast.Index (a, b) -> count_packed a + count_packed b
+  | Ast.Call (_, args) | Ast.Aggregate args ->
+      List.fold_left (fun n a -> n + count_packed a) 0 args
+  | Ast.Quantified (_, _, lo, hi, body) ->
+      count_packed lo + count_packed hi + count_packed body
+  | _ -> 0
+
+let packed_findings program =
+  List.filter_map
+    (fun (sub : Ast.subprogram) ->
+      let hits = ref 0 in
+      Ast.iter_stmts
+        (fun stmt ->
+          Ast.iter_own_exprs (fun e -> hits := !hits + count_packed e) stmt)
+        sub.Ast.sub_body;
+      if !hits > 0 then
+        Some
+          (Diag.make ~sub:sub.Ast.sub_name Diag.AMEN_PACKED
+             (Printf.sprintf
+                "%d packed-word pack/unpack expression(s) (or/xor of shifted \
+                 fields): Refactor.Data_structures.word_to_bytes applies"
+                !hits))
+      else None)
+    (Ast.subprograms program)
+
+let check program =
+  reroll_findings program @ clone_findings program @ table_findings program
+  @ packed_findings program

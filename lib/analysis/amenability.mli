@@ -1,0 +1,20 @@
+(** Amenability lint: is this program shaped for the paper's
+    fix-by-refactoring workflow, and which {!Refactor} transformation
+    applies where?
+
+    Four informational findings, extending the {!Metrics} §5.2 guidance
+    hybrid with structural pattern detection:
+
+    - [AMEN_REROLL]: a run of unrolled loop iterations
+      ({!Refactor.Reroll.suggest} fires) — [Reroll.reroll] applies;
+    - [AMEN_CLONE]: a repeated statement window across or within
+      subprograms ({!Refactor.Inline_reverse.suggest_clones}) —
+      [Inline_reverse.extract_procedure] applies;
+    - [AMEN_TABLE]: a constant array indexed in two or more places —
+      [Table_reverse.reverse] can replace the table by its defining
+      computation;
+    - [AMEN_PACKED]: an or/xor tree combining two or more shifted
+      operands (packed-word idiom) — [Data_structures.word_to_bytes]
+      applies. *)
+
+val check : Minispark.Ast.program -> Diag.t list

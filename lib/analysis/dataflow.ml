@@ -1,0 +1,124 @@
+open Minispark
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (D : DOMAIN) = struct
+  type hooks = {
+    atomic : D.t -> Ast.stmt -> D.t;
+    guard : D.t -> Ast.expr -> D.t;
+    enter_for : D.t -> Ast.for_loop -> D.t;
+    exit_for : D.t -> Ast.for_loop -> D.t;
+    observe : D.t option -> Ast.stmt -> unit;
+  }
+
+  let default_hooks =
+    {
+      atomic = (fun s _ -> s);
+      guard = (fun s _ -> s);
+      enter_for = (fun s _ -> s);
+      exit_for = (fun s _ -> s);
+      observe = (fun _ _ -> ());
+    }
+
+  let join_opt a b =
+    match (a, b) with
+    | None, v | v, None -> v
+    | Some x, Some y -> Some (D.join x y)
+
+  (* How many plain-join rounds a loop fixpoint gets before switching to
+     widening.  Interval bodies typically stabilise in 2; the slack keeps
+     short counted loops precise. *)
+  let widen_after = 3
+
+  (* Hard cap: with widening every sensible domain stabilises long before
+     this, so hitting it indicates a broken [widen] — fail loudly rather
+     than loop forever. *)
+  let max_iters = 64
+
+  let rec exec_list hooks st stmts =
+    List.fold_left (fun st stmt -> exec_stmt hooks st stmt) st stmts
+
+  and exec_stmt hooks st stmt =
+    hooks.observe st stmt;
+    match st with
+    | None -> None
+    | Some s -> (
+        match stmt with
+        | Ast.Null | Ast.Assign _ | Ast.Call_stmt _ | Ast.Assert _ ->
+            Some (hooks.atomic s stmt)
+        | Ast.Return _ ->
+            let (_ : D.t) = hooks.atomic s stmt in
+            None
+        | Ast.If (branches, els) ->
+            (* guards are effect-free but hooks may refine / observe *)
+            let s_guarded =
+              List.fold_left (fun acc (g, _) -> hooks.guard acc g) s branches
+            in
+            let branch_outs =
+              List.map
+                (fun (_, body) -> exec_list hooks (Some s_guarded) body)
+                branches
+            in
+            let else_out = exec_list hooks (Some s_guarded) els in
+            List.fold_left join_opt else_out branch_outs
+        | Ast.For fl ->
+            let s = hooks.guard (hooks.guard s fl.Ast.for_lo) fl.Ast.for_hi in
+            let entry0 = hooks.enter_for s fl in
+            let body_exit = fixpoint hooks entry0 fl.Ast.for_body in
+            let via_body =
+              match body_exit with
+              | None -> None
+              | Some e -> Some (hooks.exit_for e fl)
+            in
+            (* zero-trip path keeps the pre-state *)
+            join_opt (Some s) via_body
+        | Ast.While wl ->
+            let entry0 = hooks.guard s wl.Ast.while_cond in
+            let entry =
+              fixpoint_while hooks entry0 wl.Ast.while_cond wl.Ast.while_body
+            in
+            (* the loop exits after one more (false) guard evaluation; the
+               guard hook already ran on [entry] inside the fixpoint *)
+            Some entry)
+
+  (* Iterate [body] from [entry] until the joined entry state stabilises.
+     Returns the last body exit state (None if the body always returns). *)
+  and fixpoint hooks entry body =
+    let rec go entry iters =
+      if iters > max_iters then
+        failwith "Analysis.Dataflow: loop fixpoint failed to stabilise"
+      else
+        match exec_list hooks (Some entry) body with
+        | None -> None
+        | Some out ->
+            let combine = if iters >= widen_after then D.widen else D.join in
+            let entry' = combine entry out in
+            if D.equal entry entry' then Some out else go entry' (iters + 1)
+    in
+    go entry 0
+
+  (* While fixpoint over the state at the loop head (before the guard);
+     each round re-evaluates the guard then the body. *)
+  and fixpoint_while hooks entry cond body =
+    let rec go entry iters =
+      if iters > max_iters then
+        failwith "Analysis.Dataflow: while fixpoint failed to stabilise"
+      else
+        match exec_list hooks (Some entry) body with
+        | None -> entry
+        | Some out ->
+            let out = hooks.guard out cond in
+            let combine = if iters >= widen_after then D.widen else D.join in
+            let entry' = combine entry out in
+            if D.equal entry entry' then entry else go entry' (iters + 1)
+    in
+    go entry 0
+
+  let exec hooks init stmts = exec_list hooks (Some init) stmts
+end

@@ -1,0 +1,49 @@
+(** Reusable forward dataflow over the MiniSpark statement AST.
+
+    MiniSpark has no CFG: control flow is fully structural (statement
+    lists, [If] branch joins, [For]/[While] fixpoints, early [Return]).
+    The framework threads an abstract state through a statement list,
+    joining at branch merges and iterating loop bodies to a fixpoint
+    (with widening after a few rounds for infinite-height domains).
+
+    States are ['a option]: [None] means the program point is
+    unreachable (everything after a [Return]).  Instantiations supply a
+    record of transfer hooks; hooks may close over mutable state to
+    collect diagnostics as a side effect. *)
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val widen : t -> t -> t
+
+  (** Fixpoint termination test. *)
+  val equal : t -> t -> bool
+end
+
+module Make (D : DOMAIN) : sig
+  type hooks = {
+    atomic : D.t -> Minispark.Ast.stmt -> D.t;
+        (** Transfer for [Null], [Assign], [Call_stmt], [Assert] and the
+            expression of a [Return] (called just before the state dies). *)
+    guard : D.t -> Minispark.Ast.expr -> D.t;
+        (** Evaluation of an [If]/[While] guard or a [For] bound in the
+            given state (invariant annotations are never passed here). *)
+    enter_for : D.t -> Minispark.Ast.for_loop -> D.t;
+        (** Bind the loop variable on entry to a [For] body. *)
+    exit_for : D.t -> Minispark.Ast.for_loop -> D.t;
+        (** Drop the loop variable when the loop exits via its body. *)
+    observe : D.t option -> Minispark.Ast.stmt -> unit;
+        (** Called on every statement with its pre-state ([None] =
+            unreachable) before the transfer runs; nested bodies of an
+            unreachable statement are not entered. *)
+  }
+
+  (** Hooks that leave the state untouched and observe nothing; override
+      the fields an analysis cares about. *)
+  val default_hooks : hooks
+
+  (** [exec hooks init stmts] runs the statement list from state [init]
+      and returns the exit state ([None] when every path returns). *)
+  val exec : hooks -> D.t -> Minispark.Ast.stmt list -> D.t option
+end

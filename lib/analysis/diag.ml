@@ -1,0 +1,110 @@
+open Minispark
+
+type severity = Error | Warning | Info
+
+type code =
+  | FLOW_UNINIT
+  | FLOW_OUT_UNSET
+  | FLOW_INEFFECTIVE
+  | FLOW_UNUSED
+  | FLOW_UNREACHABLE
+  | FLOW_STABLE_COND
+  | AMEN_REROLL
+  | AMEN_CLONE
+  | AMEN_TABLE
+  | AMEN_PACKED
+
+type t = {
+  d_code : code;
+  d_severity : severity;
+  d_sub : string;
+  d_line : int;
+  d_message : string;
+}
+
+let code_name = function
+  | FLOW_UNINIT -> "FLOW_UNINIT"
+  | FLOW_OUT_UNSET -> "FLOW_OUT_UNSET"
+  | FLOW_INEFFECTIVE -> "FLOW_INEFFECTIVE"
+  | FLOW_UNUSED -> "FLOW_UNUSED"
+  | FLOW_UNREACHABLE -> "FLOW_UNREACHABLE"
+  | FLOW_STABLE_COND -> "FLOW_STABLE_COND"
+  | AMEN_REROLL -> "AMEN_REROLL"
+  | AMEN_CLONE -> "AMEN_CLONE"
+  | AMEN_TABLE -> "AMEN_TABLE"
+  | AMEN_PACKED -> "AMEN_PACKED"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let natural_severity = function
+  | FLOW_UNINIT | FLOW_OUT_UNSET -> Error
+  | FLOW_INEFFECTIVE | FLOW_UNUSED | FLOW_UNREACHABLE | FLOW_STABLE_COND ->
+      Warning
+  | AMEN_REROLL | AMEN_CLONE | AMEN_TABLE | AMEN_PACKED -> Info
+
+let make ?severity ?(sub = "") ?(line = 0) code message =
+  let d_severity =
+    match severity with Some s -> s | None -> natural_severity code
+  in
+  { d_code = code; d_severity; d_sub = sub; d_line = line; d_message = message }
+
+let count sev ds = List.length (List.filter (fun d -> d.d_severity = sev) ds)
+
+(* Locate [stmt]'s first pretty-printed line inside [sub]'s section of the
+   canonical program text.  Statements carry no locations, so we match the
+   first non-blank trimmed line of the statement's own rendering against
+   the program rendering, starting from the subprogram header. *)
+let anchor program ~sub stmt =
+  let text = Pretty.program_to_string program in
+  let lines = String.split_on_char '\n' text in
+  let trim = String.trim in
+  let needle =
+    match
+      List.find_opt
+        (fun l -> trim l <> "")
+        (String.split_on_char '\n' (Pretty.stmts_to_string [ stmt ]))
+    with
+    | Some l -> trim l
+    | None -> ""
+  in
+  if needle = "" then 0
+  else
+    let header_matches l =
+      let l = trim l in
+      let starts p = String.length l >= String.length p
+                     && String.sub l 0 (String.length p) = p in
+      starts ("procedure " ^ sub) || starts ("function " ^ sub)
+    in
+    let rec scan ln in_sub = function
+      | [] -> 0
+      | l :: rest ->
+          let in_sub = in_sub || sub = "" || header_matches l in
+          if in_sub && trim l = needle then ln
+          else scan (ln + 1) in_sub rest
+    in
+    scan 1 false lines
+
+let to_json d =
+  Telemetry.Json.Obj
+    [
+      ("code", Telemetry.Json.String (code_name d.d_code));
+      ("severity", Telemetry.Json.String (severity_name d.d_severity));
+      ("sub", Telemetry.Json.String d.d_sub);
+      ("line", Telemetry.Json.Int d.d_line);
+      ("message", Telemetry.Json.String d.d_message);
+    ]
+
+let pp fmt d =
+  let where =
+    match (d.d_sub, d.d_line) with
+    | "", 0 -> ""
+    | s, 0 -> Printf.sprintf " [%s]" s
+    | "", n -> Printf.sprintf " [line %d]" n
+    | s, n -> Printf.sprintf " [%s:%d]" s n
+  in
+  Format.fprintf fmt "%s %s%s: %s"
+    (severity_name d.d_severity)
+    (code_name d.d_code) where d.d_message

@@ -1,0 +1,248 @@
+module F = Logic.Formula
+
+let attempted_kind = function
+  | F.Vc_index_check | F.Vc_range_check | F.Vc_div_check | F.Vc_overflow_check
+    ->
+      true
+  | _ -> false
+
+(* Environment mined from the hypotheses: scalar variables map to an
+   interval; array symbols map to element-hull facts, each valid for
+   select indices inside its per-dimension coverage intervals. *)
+type env = {
+  scalars : (string, Itv.t) Hashtbl.t;
+  arrays : (string, (Itv.t list * Itv.t) list) Hashtbl.t;
+}
+
+let lookup env x =
+  match Hashtbl.find_opt env.scalars x with Some v -> v | None -> Itv.top
+
+let refine env x v =
+  let cur = lookup env x in
+  let v' = Itv.meet cur v in
+  (* contradictory hypotheses mean the path is infeasible: Bot is sound *)
+  Hashtbl.replace env.scalars x v'
+
+let add_array_fact env a coverage hull =
+  let cur = try Hashtbl.find env.arrays a with Not_found -> [] in
+  Hashtbl.replace env.arrays a ((coverage, hull) :: cur)
+
+(* ------------------------------------------------------------------ *)
+(* Term evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval env (t : F.t) =
+  match t with
+  | F.Int n -> Itv.const n
+  | F.Bool _ -> Itv.top
+  | F.Var x -> lookup env x
+  | F.Ite (_, a, b) -> Itv.join (eval env a) (eval env b)
+  | F.Forall _ | F.Exists _ -> Itv.top
+  | F.App (op, args) -> (
+      match (op, args) with
+      | F.Add, [ a; b ] -> Itv.add (eval env a) (eval env b)
+      | F.Sub, [ a; b ] -> Itv.sub (eval env a) (eval env b)
+      | F.Mul, [ a; b ] -> Itv.mul (eval env a) (eval env b)
+      | F.Div, [ a; b ] -> Itv.div (eval env a) (eval env b)
+      | F.Mod_op, [ a; b ] -> Itv.md (eval env a) (eval env b)
+      | F.Neg, [ a ] -> Itv.neg (eval env a)
+      | F.Wrap m, [ a ] -> Itv.wrap m (eval env a)
+      | F.Band m, [ a; b ] -> Itv.band m (eval env a) (eval env b)
+      | F.Bor m, [ a; b ] -> Itv.bor m (eval env a) (eval env b)
+      | F.Bxor m, [ a; b ] -> Itv.bxor m (eval env a) (eval env b)
+      | F.Bnot m, [ a ] -> Itv.bnot m (eval env a)
+      | F.Shl m, [ a; b ] -> Itv.shl m (eval env a) (eval env b)
+      | F.Shr m, [ a; b ] -> Itv.shr m (eval env a) (eval env b)
+      | F.Select, [ a; i ] -> eval_select env a [ eval env i ]
+      | F.Arrlit _, elems ->
+          List.fold_left
+            (fun acc e -> Itv.join acc (eval env e))
+            Itv.bot elems
+      | _ -> Itv.top)
+
+(* [idxs] are the intervals of the select indices collected inner-to-
+   outer so far; peeling [Select (a, i)] pushes [i] in front, giving the
+   outermost-first order the coverage lists use. *)
+and eval_select env arr idxs =
+  match arr with
+  | F.Var a -> hull_for env a idxs
+  | F.App (F.Store, [ a0; _; v ]) ->
+      (* either the stored value or some other element *)
+      Itv.join (eval env v) (eval_select env a0 idxs)
+  | F.App (F.Arrlit _, elems) ->
+      List.fold_left (fun acc e -> Itv.join acc (eval env e)) Itv.bot elems
+  | F.App (F.Select, [ a; i ]) -> eval_select env a (eval env i :: idxs)
+  | F.Ite (_, a, b) ->
+      Itv.join (eval_select env a idxs) (eval_select env b idxs)
+  | _ -> Itv.top
+
+and hull_for env a idxs =
+  match Hashtbl.find_opt env.arrays a with
+  | None -> Itv.top
+  | Some facts ->
+      (* every fact whose coverage contains the index intervals bounds
+         the selected element; intersect them all *)
+      List.fold_left
+        (fun acc (coverage, hull) ->
+          let applies =
+            List.length coverage = List.length idxs
+            && List.for_all2 Itv.subset idxs coverage
+          in
+          if applies then
+            let m = Itv.meet acc hull in
+            if Itv.is_bot m then acc else m
+          else acc)
+        Itv.top facts
+
+(* ------------------------------------------------------------------ *)
+(* Hypothesis mining                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec flatten_conj (t : F.t) acc =
+  match t with
+  | F.App (F.And, args) -> List.fold_right flatten_conj args acc
+  | _ -> t :: acc
+
+let itv_at_most v =
+  match v with
+  | Itv.Bot -> Itv.bot
+  | Itv.Itv { hi; _ } -> Itv.make Itv.Ninf hi
+
+let itv_at_least v =
+  match v with
+  | Itv.Bot -> Itv.bot
+  | Itv.Itv { lo; _ } -> Itv.make lo Itv.Pinf
+
+let pred n =
+  match n with
+  | Itv.Bot -> Itv.bot
+  | Itv.Itv { hi = Itv.Fin h; _ } -> Itv.make Itv.Ninf (Itv.Fin (h - 1))
+  | _ -> Itv.top
+
+let succ n =
+  match n with
+  | Itv.Bot -> Itv.bot
+  | Itv.Itv { lo = Itv.Fin l; _ } -> Itv.make (Itv.Fin (l + 1)) Itv.Pinf
+  | _ -> Itv.top
+
+(* The root array variable of a select chain, with the index terms
+   outermost first; [None] when the chain is not rooted at a variable. *)
+let rec select_root (t : F.t) idxs =
+  match t with
+  | F.App (F.Select, [ a; i ]) -> select_root a (i :: idxs)
+  | F.Var a when idxs <> [] -> Some (a, idxs)
+  | _ -> None
+
+(* Mine one atomic fact into the environment.  [quant] maps quantified
+   variable names (innermost scope last) to their binding intervals:
+   inside [forall k in lo..hi], facts about [select (a, k)] become
+   element-hull facts covering [lo, hi]. *)
+let rec mine_fact env quant (t : F.t) =
+  let constrain_cmp mk_left mk_right a b =
+    (* a CMP b: refine whichever side is a plain variable *)
+    (match a with
+    | F.Var x when not (List.mem_assoc x quant) ->
+        refine env x (mk_left (eval env b))
+    | _ -> ());
+    match b with
+    | F.Var x when not (List.mem_assoc x quant) ->
+        refine env x (mk_right (eval env a))
+    | _ -> ()
+  in
+  let elem_bound sel_side mk other =
+    match select_root sel_side [] with
+    | Some (a, idx_terms) ->
+        let covers =
+          List.map
+            (fun idx ->
+              match idx with
+              | F.Var k when List.mem_assoc k quant -> Some (List.assoc k quant)
+              | _ -> None)
+            idx_terms
+        in
+        if quant <> [] && List.for_all Option.is_some covers then
+          add_array_fact env a
+            (List.map Option.get covers)
+            (mk (eval env other))
+    | None -> ()
+  in
+  match t with
+  | F.App (F.And, _) -> List.iter (mine_fact env quant) (flatten_conj t [])
+  | F.App (F.Le, [ a; b ]) ->
+      constrain_cmp itv_at_most itv_at_least a b;
+      elem_bound a itv_at_most b;
+      elem_bound b itv_at_least a
+  | F.App (F.Ge, [ a; b ]) ->
+      constrain_cmp itv_at_least itv_at_most a b;
+      elem_bound a itv_at_least b;
+      elem_bound b itv_at_most a
+  | F.App (F.Lt, [ a; b ]) ->
+      constrain_cmp pred succ a b;
+      elem_bound a pred b;
+      elem_bound b succ a
+  | F.App (F.Gt, [ a; b ]) ->
+      constrain_cmp succ pred a b;
+      elem_bound a succ b;
+      elem_bound b pred a
+  | F.App (F.Eq, [ a; b ]) -> (
+      (match (a, b) with
+      | F.Var x, _ when not (List.mem_assoc x quant) ->
+          refine env x (eval env b)
+      | _, F.Var x when not (List.mem_assoc x quant) ->
+          refine env x (eval env a)
+      | _ -> ());
+      elem_bound a (fun v -> v) b;
+      elem_bound b (fun v -> v) a;
+      (* constant-table defining equation: c = arrlit (...) *)
+      match (a, b) with
+      | F.Var c, F.App (F.Arrlit first, elems)
+      | F.App (F.Arrlit first, elems), F.Var c ->
+          let hull =
+            List.fold_left
+              (fun acc e -> Itv.join acc (eval env e))
+              Itv.bot elems
+          in
+          add_array_fact env c
+            [ Itv.range first (first + List.length elems - 1) ]
+            hull
+      | _ -> ())
+  | F.Forall (k, lo, hi, body) ->
+      let kv =
+        match (eval env lo, eval env hi) with
+        | Itv.Itv { lo = l; _ }, Itv.Itv { hi = h; _ } -> Itv.make l h
+        | _ -> Itv.top
+      in
+      List.iter (mine_fact env ((k, kv) :: quant)) (flatten_conj body [])
+  | _ -> ()
+
+let mine_hyps hyps =
+  let env = { scalars = Hashtbl.create 32; arrays = Hashtbl.create 8 } in
+  let facts = List.fold_right flatten_conj hyps [] in
+  (* a few rounds let bounds that mention other bounded variables
+     tighten transitively (refinement is a meet, hence monotone) *)
+  for _ = 1 to 3 do
+    List.iter (mine_fact env []) facts
+  done;
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Goal checking (definite only)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec definite env (t : F.t) =
+  match t with
+  | F.Bool true -> true
+  | F.App (F.And, args) -> List.for_all (definite env) args
+  | F.App (F.Le, [ a; b ]) -> Itv.definitely_le (eval env a) (eval env b)
+  | F.App (F.Lt, [ a; b ]) -> Itv.definitely_lt (eval env a) (eval env b)
+  | F.App (F.Ge, [ a; b ]) -> Itv.definitely_le (eval env b) (eval env a)
+  | F.App (F.Gt, [ a; b ]) -> Itv.definitely_lt (eval env b) (eval env a)
+  | F.App (F.Ne, [ a; b ]) -> Itv.definitely_ne (eval env a) (eval env b)
+  | F.App (F.Eq, [ a; b ]) -> Itv.definitely_eq (eval env a) (eval env b)
+  | _ -> false
+
+let vc_discharged (vc : F.vc) =
+  attempted_kind vc.F.vc_kind
+  &&
+  let env = mine_hyps vc.F.vc_hyps in
+  definite env vc.F.vc_goal

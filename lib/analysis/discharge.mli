@@ -1,0 +1,37 @@
+(** Static discharge of exception-freedom VCs by interval reasoning.
+
+    Works directly on {!Logic.Formula} verification conditions, mining
+    the hypotheses for interval facts and checking whether the goal is a
+    consequence — no prover involved.  Only exception-freedom kinds
+    ([Vc_index_check], [Vc_range_check], [Vc_div_check],
+    [Vc_overflow_check]) are attempted: their goals are conjunctions of
+    bound and disequality constraints, exactly the shape an interval
+    domain decides.  Everything here is a {e definite} check: [true]
+    means the goal provably holds under the hypotheses, so dropping the
+    VC from the prover queue is sound.
+
+    Mined hypothesis shapes:
+    - comparison facts [x <= e] / [x >= e] / [x < e] / [x > e] /
+      [x = e] with a variable on either side and the other side
+      evaluable to an interval (this covers [Vcgen]'s subtype range
+      facts, loop [in_range] hypotheses, and derived bounds with
+      non-literal endpoints such as [(nr - 1) / 2]);
+    - conjunctions, recursively (range facts arrive as
+      [lo <= x and x <= hi]);
+    - array literal equations [c = arrlit(...)], yielding an element
+      hull for constant tables;
+    - bounded-quantifier element bounds
+      [forall k in lo..hi, P(select(a, k))], yielding an element hull
+      for [a].
+
+    Facts are iterated to a small fixpoint so that bounds depending on
+    other bounded variables (e.g. [j <= 4 * nr] with [nr <= 14])
+    tighten transitively. *)
+
+(** [vc_discharged vc] — can the goal be proved by interval evaluation
+    of the hypotheses alone? *)
+val vc_discharged : Logic.Formula.vc -> bool
+
+(** The exception-freedom kinds {!vc_discharged} attempts; it returns
+    [false] immediately for every other kind. *)
+val attempted_kind : Logic.Formula.vc_kind -> bool

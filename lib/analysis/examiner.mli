@@ -1,0 +1,37 @@
+(** The analyzer front door — the reproduction's stand-in for running the
+    SPARK Examiner's flow analysis before any proof is attempted.
+
+    Bundles the three instantiations of the dataflow framework: flow
+    checks ({!Flow}), amenability lint ({!Amenability}), and — when
+    [vcs] is set — interval discharge of exception-freedom VCs
+    ({!Discharge}) over a fresh {!Vcgen} run.  When VC generation blows
+    its budget the analysis degrades gracefully: flow and amenability
+    results are kept, the discharge counts read 0, and a note records
+    the §6.2.2 "VCs too complicated" situation. *)
+
+type t = {
+  ex_flow : Diag.t list;
+  ex_amen : Diag.t list;
+  ex_vcs_total : int;  (** exception-freedom VCs considered *)
+  ex_vcs_discharged : int;
+  ex_discharged : (string * string) list;
+      (** (subprogram, VC name) of each statically discharged VC *)
+  ex_notes : string list;
+}
+
+val analyze :
+  ?vcs:bool ->
+  ?budget:Vcgen.budget ->
+  Minispark.Typecheck.env ->
+  Minispark.Ast.program ->
+  t
+(** [vcs] defaults to [false] (flow + amenability only). *)
+
+(** Number of error-severity diagnostics. *)
+val errors : t -> int
+
+(** All diagnostics, flow first. *)
+val diags : t -> Diag.t list
+
+val to_json : t -> Telemetry.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,383 @@
+type bound = Ninf | Fin of int | Pinf
+
+type t =
+  | Bot
+  | Itv of { lo : bound; hi : bound; m : int; r : int }
+
+let top = Itv { lo = Ninf; hi = Pinf; m = 1; r = 0 }
+let bot = Bot
+let is_bot v = v = Bot
+
+(* ------------------------------------------------------------------ *)
+(* Bound arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ble a b =
+  match (a, b) with
+  | Ninf, _ | _, Pinf -> true
+  | Pinf, _ | _, Ninf -> false
+  | Fin x, Fin y -> x <= y
+
+let bmin a b = if ble a b then a else b
+let bmax a b = if ble a b then b else a
+
+let badd a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> invalid_arg "Itv.badd"
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (x + y)
+
+let bneg = function Ninf -> Pinf | Pinf -> Ninf | Fin x -> Fin (-x)
+
+let bmul a b =
+  match (a, b) with
+  | Fin 0, _ | _, Fin 0 -> Fin 0
+  | Fin x, Fin y -> Fin (x * y)
+  | (Pinf | Fin _), (Pinf | Fin _) ->
+      if (match a with Fin x -> x > 0 | _ -> true)
+         = (match b with Fin y -> y > 0 | _ -> true)
+      then Pinf
+      else Ninf
+  | Ninf, _ | _, Ninf -> (
+      (* sign of the other operand decides *)
+      let other = if a = Ninf then b else a in
+      match other with
+      | Fin y when y > 0 -> Ninf
+      | Fin y when y < 0 -> Pinf
+      | Fin _ -> Fin 0
+      | Pinf -> Ninf
+      | Ninf -> Pinf)
+
+(* ------------------------------------------------------------------ *)
+(* Normalisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pos_mod x m =
+  let r = x mod m in
+  if r < 0 then r + m else r
+
+(* Tighten finite bounds to the congruence class, promote singleton
+   intervals to the exact congruence [m = 0, r = value], and detect
+   emptiness.  The invariant after [norm]: [m = 0] iff [lo = hi = Fin r]. *)
+let norm lo hi m r =
+  let m, r = if m < 2 then (1, 0) else (m, pos_mod r m) in
+  let lo =
+    match lo with
+    | Fin x when m > 1 ->
+        let d = pos_mod (r - x) m in
+        Fin (x + d)
+    | b -> b
+  in
+  let hi =
+    match hi with
+    | Fin x when m > 1 ->
+        let d = pos_mod (x - r) m in
+        Fin (x - d)
+    | b -> b
+  in
+  if not (ble lo hi) then Bot
+  else
+    match (lo, hi) with
+    | Fin a, Fin b when a = b -> Itv { lo; hi; m = 0; r = a }
+    | _ -> Itv { lo; hi; m; r }
+
+let make lo hi = norm lo hi 1 0
+let const n = norm (Fin n) (Fin n) 1 0
+let range lo hi = norm (Fin lo) (Fin hi) 1 0
+
+let of_typ env ty =
+  match Minispark.Typecheck.resolve env ty with
+  | Minispark.Ast.Tint (Some (lo, hi)) -> range lo hi
+  | Minispark.Ast.Tmod m when m > 0 -> range 0 (m - 1)
+  | _ -> top
+
+(* ------------------------------------------------------------------ *)
+(* Lattice                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Congruence join: [m = 0] (exact constant) is the strongest class, so it
+   participates via gcd's absorption of 0 — joining the constants 0 and 4
+   yields stride 4, not stride "whatever they shared".  [m = 1] is top. *)
+let cong_join am ar bm br =
+  if am = 1 || bm = 1 then (1, 0)
+  else
+    let m = gcd (gcd am bm) (abs (ar - br)) in
+    if m > 1 then (m, pos_mod ar m) else (1, 0)
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Itv a, Itv b ->
+      let m, r = cong_join a.m a.r b.m b.r in
+      norm (bmin a.lo b.lo) (bmax a.hi b.hi) m r
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b ->
+      let lo = bmax a.lo b.lo and hi = bmin a.hi b.hi in
+      if a.m = 0 then
+        if b.m > 1 && pos_mod a.r b.m <> b.r then Bot else norm lo hi 1 0
+      else if b.m = 0 then
+        if a.m > 1 && pos_mod b.r a.m <> a.r then Bot else norm lo hi 1 0
+      else if a.m > 1 && b.m > 1 then
+        (* keep the congruence with more information when compatible;
+           a full CRT combine is unnecessary for our use cases *)
+        let bm, br, sm, sr =
+          if a.m >= b.m then (a.m, a.r, b.m, b.r) else (b.m, b.r, a.m, a.r)
+        in
+        if bm mod sm = 0 && pos_mod br sm <> sr then Bot
+        else norm lo hi bm br
+      else
+        let m, r = if a.m > 1 then (a.m, a.r) else (b.m, b.r) in
+        norm lo hi m r
+
+let widen a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Itv a, Itv b ->
+      let lo = if ble a.lo b.lo then a.lo else Ninf in
+      let hi = if ble b.hi a.hi then a.hi else Pinf in
+      let m, r = cong_join a.m a.r b.m b.r in
+      norm lo hi m r
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Itv a, Itv b -> a.lo = b.lo && a.hi = b.hi && a.m = b.m && a.r = b.r
+  | _ -> false
+
+let subset a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv a, Itv b ->
+      ble b.lo a.lo && ble a.hi b.hi
+      && (b.m < 2
+         ||
+         match a.m with
+         | 0 -> pos_mod a.r b.m = b.r
+         | am -> am > 1 && am mod b.m = 0 && pos_mod a.r b.m = b.r)
+
+let contains v n =
+  match v with
+  | Bot -> false
+  | Itv { lo; hi; m; r } ->
+      ble lo (Fin n) && ble (Fin n) hi && (m < 2 || pos_mod n m = r)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b ->
+      (* gcd absorbs the exact class [m = 0]: constant + stride keeps the
+         stride, constant + constant is rebuilt exact by [norm] *)
+      let m = if a.m = 1 || b.m = 1 then 1 else gcd a.m b.m in
+      let r = if m < 2 then 0 else pos_mod (a.r + b.r) m in
+      norm (badd a.lo b.lo) (badd a.hi b.hi) m r
+
+let neg = function
+  | Bot -> Bot
+  | Itv { lo; hi; m; r } ->
+      norm (bneg hi) (bneg lo) m (if m < 2 then 0 else pos_mod (-r) m)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b ->
+      let cands =
+        [ bmul a.lo b.lo; bmul a.lo b.hi; bmul a.hi b.lo; bmul a.hi b.hi ]
+      in
+      let lo = List.fold_left bmin Pinf cands in
+      let hi = List.fold_left bmax Ninf cands in
+      (* c * (m·k + r) = m·(ck) + cr when one side is the constant c *)
+      let m, r =
+        match (a.lo, a.hi, b.lo, b.hi) with
+        | Fin c, Fin c', _, _ when c = c' && b.m > 1 && c <> 0 ->
+            let m = abs c * b.m in
+            (m, pos_mod (c * b.r) m)
+        | _, _, Fin c, Fin c' when c = c' && a.m > 1 && c <> 0 ->
+            let m = abs c * a.m in
+            (m, pos_mod (c * a.r) m)
+        | Fin c, Fin c', _, _ when c = c' && c <> 0 -> (abs c, 0)
+        | _, _, Fin c, Fin c' when c = c' && c <> 0 -> (abs c, 0)
+        | _ -> (1, 0)
+      in
+      norm lo hi m r
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv _, Itv b -> (
+      match (b.lo, b.hi) with
+      | Fin l, Fin h when l >= 1 -> (
+          (* positive divisor: magnitude shrinks (truncated division) *)
+          match a with
+          | Bot -> Bot
+          | Itv a ->
+              let q x d = x / d in
+              let lo =
+                match a.lo with
+                | Ninf -> Ninf
+                | Pinf -> Pinf
+                | Fin x -> Fin (if x >= 0 then q x h else q x l)
+              in
+              let hi =
+                match a.hi with
+                | Ninf -> Ninf
+                | Pinf -> Pinf
+                | Fin x -> Fin (if x >= 0 then q x l else q x h)
+              in
+              norm lo hi 1 0)
+      | _ -> top)
+
+let md a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a', Itv b -> (
+      (* MiniSpark [mod] is Euclidean: the result is always in
+         [0, divisor - 1] whatever the dividend's sign *)
+      match (b.lo, b.hi) with
+      | Fin l, Fin h when l >= 1 -> (
+          match (a'.lo, a'.hi) with
+          | Fin alo, Fin ahi when alo >= 0 && ahi < l -> Itv a'
+          | _ when l = h && (a'.m = 0 || (a'.m > 1 && a'.m mod l = 0)) ->
+              (* the congruence class survives a divisor dividing its modulus *)
+              const (pos_mod a'.r l)
+          | _ -> range 0 (h - 1))
+      | _ -> top)
+
+let wrap m v =
+  if m <= 0 then v
+  else
+    match v with
+    | Bot -> Bot
+    | Itv { lo = Fin l; hi = Fin h; _ } when l >= 0 && h < m -> v
+    | Itv { m = 0; r; _ } -> norm (Fin (pos_mod r m)) (Fin (pos_mod r m)) 1 0
+    | Itv i ->
+        (* wrapping preserves congruence only when m' divides m *)
+        let full = range 0 (m - 1) in
+        if i.m > 1 && m mod i.m = 0 then meet full (norm Ninf Pinf i.m i.r)
+        else full
+
+let fin_pair v =
+  match v with Itv { lo = Fin l; hi = Fin h; _ } -> Some (l, h) | _ -> None
+
+let const_of v =
+  match v with
+  | Itv { lo = Fin l; hi = Fin h; _ } when l = h -> Some l
+  | _ -> None
+
+let width_range m = if m > 0 then range 0 (m - 1) else top
+
+let band m a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ ->
+      let base = width_range m in
+      (* x land c <= c for nonneg c; and result >= 0 when either side nonneg *)
+      let mask =
+        match (const_of a, const_of b) with
+        | Some c, _ when c >= 0 -> range 0 c
+        | _, Some c when c >= 0 -> range 0 c
+        | _ -> (
+            (* a possibly-negative side is a full bit mask in two's
+               complement, so only a side known nonnegative bounds the
+               result: x land y <= x when x >= 0, whatever y's sign *)
+            match (fin_pair a, fin_pair b) with
+            | Some (la, ha), Some (lb, hb) when la >= 0 && lb >= 0 ->
+                range 0 (min ha hb)
+            | Some (la, ha), _ when la >= 0 -> range 0 ha
+            | _, Some (lb, hb) when lb >= 0 -> range 0 hb
+            | _ -> top)
+      in
+      let r = meet base mask in
+      if is_bot r then base else r
+
+let bor m a b =
+  match (a, b) with Bot, _ | _, Bot -> Bot | _ -> width_range m
+
+let bxor m a b =
+  match (a, b) with Bot, _ | _, Bot -> Bot | _ -> width_range m
+
+let bnot m v = match v with Bot -> Bot | _ -> width_range m
+
+let shl m a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      match (const_of a, const_of b) with
+      | Some x, Some s when m = 0 && s >= 0 && s < 62 -> const (x lsl s)
+      | _ -> width_range m)
+
+let shr m a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      let base = width_range m in
+      match (fin_pair a, fin_pair b) with
+      | Some (la, ha), Some (sl, _) when la >= 0 && sl >= 0 && sl < 62 ->
+          let r = range 0 (ha asr sl) in
+          let r = meet base r in
+          if is_bot r then base else r
+      | _ -> base)
+
+(* ------------------------------------------------------------------ *)
+(* Comparisons                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let definitely_lt a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> true
+  | Itv a, Itv b -> (
+      match (a.hi, b.lo) with Fin h, Fin l -> h < l | _ -> false)
+
+let definitely_le a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> true
+  | Itv a, Itv b -> (
+      match (a.hi, b.lo) with Fin h, Fin l -> h <= l | _ -> false)
+
+let definitely_eq a b =
+  match (const_of a, const_of b) with
+  | Some x, Some y -> x = y
+  | _ -> is_bot a || is_bot b
+
+let definitely_ne a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> true
+  | Itv ia, Itv ib ->
+      definitely_lt a b || definitely_lt b a
+      || (match (ia.m, ib.m) with
+         | 0, 0 -> ia.r <> ib.r
+         | 0, m when m > 1 -> pos_mod ia.r m <> ib.r
+         | m, 0 when m > 1 -> pos_mod ib.r m <> ia.r
+         | ma, mb when ma > 1 && mb > 1 ->
+             let g = gcd ma mb in
+             g > 1 && pos_mod ia.r g <> pos_mod ib.r g
+         | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_bound fmt = function
+  | Ninf -> Format.pp_print_string fmt "-oo"
+  | Pinf -> Format.pp_print_string fmt "+oo"
+  | Fin x -> Format.pp_print_int fmt x
+
+let pp fmt = function
+  | Bot -> Format.pp_print_string fmt "_|_"
+  | Itv { lo; hi; m; r } ->
+      Format.fprintf fmt "[%a,%a]" pp_bound lo pp_bound hi;
+      if m > 1 then Format.fprintf fmt "(=%d mod %d)" r m
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,92 @@
+(** Interval-plus-congruence abstract domain.
+
+    An abstract value is either [Bot] (unreachable / no concrete value) or
+    an interval [lo, hi] over possibly-infinite bounds, refined by a
+    congruence component [(m, r)]: when [m >= 2] every concrete value [x]
+    satisfies [x mod m = r] (with [0 <= r < m]); [m = 1] carries no
+    congruence information; [m = 0] marks an exact singleton ([lo = hi =
+    Fin r]), the strongest class â joining the constants 0 and 4 yields
+    the stride-4 class, and semantically equal singletons are structurally
+    equal.  The domain respects MiniSpark [Tint] range subtypes and [Tmod]
+    wrap-around semantics. *)
+
+type bound = Ninf | Fin of int | Pinf
+
+type t =
+  | Bot
+  | Itv of { lo : bound; hi : bound; m : int; r : int }
+
+val top : t
+val bot : t
+val is_bot : t -> bool
+
+(** [make lo hi] builds the plain interval [lo, hi] (no congruence). *)
+val make : bound -> bound -> t
+
+(** Singleton [n, n] with exact congruence. *)
+val const : int -> t
+
+(** Finite range [lo, hi]; [Bot] if [lo > hi]. *)
+val range : int -> int -> t
+
+(** Abstract value of every member of a MiniSpark type, if bounded.
+    [Tint (Some (lo,hi))] and [Tmod m] yield finite ranges; [Tbool],
+    unconstrained [Tint None] and arrays yield [top] (callers handle array
+    element hulls separately). *)
+val of_typ : Minispark.Typecheck.env -> Minispark.Ast.typ -> t
+
+(* Lattice operations *)
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+val equal : t -> t -> bool
+
+(** [subset a b] holds when every concrete value of [a] is a value of [b]. *)
+val subset : t -> t -> bool
+
+(** [contains v n] holds when concrete [n] is a member of [v]. *)
+val contains : t -> int -> bool
+
+(* Arithmetic transfer functions (sound over-approximations) *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** MiniSpark division: truncated, only precise when the divisor interval
+    excludes zero; otherwise [top]. *)
+val div : t -> t -> t
+
+(** MiniSpark [mod] with a strictly-positive divisor interval gives
+    [0, max_divisor - 1]; otherwise [top]. *)
+val md : t -> t -> t
+
+val neg : t -> t
+
+(** [wrap m v] reduces [v] modulo [m] (the [Tmod m] assignment wrap).
+    Values already inside [0, m-1] pass through unchanged. *)
+val wrap : int -> t -> t
+
+(** Bitwise operators; the [int] is the modulus payload from [Logic] /
+    the typechecked width ([0] = unbounded).  [band] additionally meets
+    with a literal mask when one side is a known nonneg constant. *)
+val band : int -> t -> t -> t
+val bor : int -> t -> t -> t
+val bxor : int -> t -> t -> t
+val bnot : int -> t -> t
+val shl : int -> t -> t -> t
+val shr : int -> t -> t -> t
+
+(* Comparison refinement: definite truth of [a op b], if decidable. *)
+
+val definitely_lt : t -> t -> bool
+val definitely_le : t -> t -> bool
+val definitely_eq : t -> t -> bool
+
+(** Definite disequality: disjoint intervals, or congruence classes that
+    can never coincide. *)
+val definitely_ne : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

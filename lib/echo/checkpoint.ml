@@ -6,15 +6,18 @@
 type stage =
   | S_refactor
   | S_annotate
+  | S_analyze
   | S_impl
   | S_extract
   | S_implication
 
-let all_stages = [ S_refactor; S_annotate; S_impl; S_extract; S_implication ]
+let all_stages =
+  [ S_refactor; S_annotate; S_analyze; S_impl; S_extract; S_implication ]
 
 let stage_name = function
   | S_refactor -> "refactor"
   | S_annotate -> "annotate"
+  | S_analyze -> "analyze"
   | S_impl -> "implementation-proof"
   | S_extract -> "extract"
   | S_implication -> "implication-proof"
@@ -22,18 +25,20 @@ let stage_name = function
 let stage_index = function
   | S_refactor -> 1
   | S_annotate -> 2
-  | S_impl -> 3
-  | S_extract -> 4
-  | S_implication -> 5
+  | S_analyze -> 3
+  | S_impl -> 4
+  | S_extract -> 5
+  | S_implication -> 6
 
 type payload =
   | P_refactor of { pr_final_src : string; pr_steps : int; pr_summary : string }
   | P_annotate of { pa_src : string }
+  | P_analyze of Analysis.Examiner.t
   | P_impl of Implementation_proof.report
   | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
   | P_implication of { pi_lemmas : (string * bool * string) list }
 
-let format_version = "ECHO-CKPT v1"
+let format_version = "ECHO-CKPT v2"
 
 (* case names can contain spaces and parens; keep filenames tame *)
 let slug s =

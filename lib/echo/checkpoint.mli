@@ -13,6 +13,7 @@
 type stage =
   | S_refactor
   | S_annotate
+  | S_analyze
   | S_impl
   | S_extract
   | S_implication
@@ -28,6 +29,7 @@ val stage_index : stage -> int
 type payload =
   | P_refactor of { pr_final_src : string; pr_steps : int; pr_summary : string }
   | P_annotate of { pa_src : string }
+  | P_analyze of Analysis.Examiner.t
   | P_impl of Implementation_proof.report
   | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
   | P_implication of { pi_lemmas : (string * bool * string) list }

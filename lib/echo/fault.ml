@@ -17,6 +17,7 @@ type t =
   | Checkpoint of string
   | Injected of string
   | Crash of string
+  | Analysis of { errors : int; first : string }
 
 exception Fault of t
 
@@ -49,6 +50,7 @@ let class_name = function
   | Checkpoint _ -> "checkpoint"
   | Injected _ -> "injected"
   | Crash _ -> "crash"
+  | Analysis _ -> "analysis"
 
 let describe = function
   | Parse { msg; line; col } -> Printf.sprintf "parse error at %d:%d: %s" line col msg
@@ -64,6 +66,8 @@ let describe = function
   | Checkpoint msg -> "checkpoint error: " ^ msg
   | Injected msg -> "injected fault: " ^ msg
   | Crash msg -> "crash: " ^ msg
+  | Analysis { errors; first } ->
+      Printf.sprintf "flow analysis found %d error(s), first: %s" errors first
 
 (* Exit codes are part of the CLI contract (echo_cli --help documents
    them): 2..5 for the four user-meaningful classes, 1 for everything the
@@ -73,11 +77,12 @@ let exit_code = function
   | Type _ -> 3
   | Refactor _ -> 4
   | Vc_infeasible _ | Prover_timeout _ | Prover_stuck _ | Lemma _ | Deadline _ -> 5
+  | Analysis _ -> 6
   | Checkpoint _ | Injected _ | Crash _ -> 1
 
 let is_transient = function
   | Prover_timeout _ | Prover_stuck _ | Deadline _ -> true
   | Parse _ | Type _ | Refactor _ | Vc_infeasible _ | Lemma _ | Checkpoint _
-  | Injected _ | Crash _ -> false
+  | Injected _ | Crash _ | Analysis _ -> false
 
 let pp ppf f = Fmt.pf ppf "[%s] %s" (class_name f) (describe f)

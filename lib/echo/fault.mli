@@ -4,7 +4,7 @@
     travel as [result] values instead of raw exceptions and the
     orchestrator can decide per fault class whether to retry, degrade, or
     abort.  The classes also fix the CLI exit codes (parse=2, type=3,
-    not-applicable=4, proof-failure=5). *)
+    not-applicable=4, proof-failure=5, flow-analysis=6). *)
 
 type t =
   | Parse of { msg : string; line : int; col : int }
@@ -29,6 +29,9 @@ type t =
       (** a chaos-harness probe (see {!Defects.Chaos}) *)
   | Crash of string
       (** any other exception, captured with its backtrace summary *)
+  | Analysis of { errors : int; first : string }
+      (** flow analysis reported error-severity diagnostics (the Examiner
+          refuses the program before any proof is attempted) *)
 
 exception Fault of t
 (** Carrier for typed faults across code that still raises (the chaos
@@ -52,7 +55,8 @@ val describe : t -> string
 val exit_code : t -> int
 (** CLI exit code for the fault class: parse=2, type=3, not-applicable=4,
     everything proof-related (infeasible VCs, timeouts, stuck searches,
-    failed lemmas, blown deadlines)=5, checkpoint/crash/injected=1. *)
+    failed lemmas, blown deadlines)=5, flow-analysis errors=6,
+    checkpoint/crash/injected=1. *)
 
 val is_transient : t -> bool
 (** Faults worth retrying with a bigger budget (timeouts, stuck searches,

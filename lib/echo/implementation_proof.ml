@@ -24,6 +24,7 @@ type vc_status =
   | Hinted of int        (** discharged after n interactive steps *)
   | Residual of string   (** not discharged mechanically *)
   | Timed_out of float   (** every ladder rung hit its deadline *)
+  | Discharged           (** proved by static analysis; never scheduled *)
 
 type vc_result = {
   vr_vc : F.vc;
@@ -39,6 +40,7 @@ type sub_stats = {
   ss_hinted : int;
   ss_residual : int;
   ss_timed_out : int;
+  ss_discharged : int;   (** statically discharged, never sent to prover *)
 }
 
 type report = {
@@ -49,6 +51,7 @@ type report = {
   ip_hinted : int;
   ip_residual : int;
   ip_timed_out : int;
+  ip_discharged : int;   (** statically discharged, never sent to prover *)
   ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_generated_nodes : int;
   ip_time : float;
@@ -64,6 +67,7 @@ let empty =
     ip_hinted = 0;
     ip_residual = 0;
     ip_timed_out = 0;
+    ip_discharged = 0;
     ip_attempts = 0;
     ip_generated_nodes = 0;
     ip_time = 0.0;
@@ -71,10 +75,12 @@ let empty =
   }
 
 let auto_fraction r =
-  if r.ip_total = 0 then 1.0 else float_of_int r.ip_auto /. float_of_int r.ip_total
+  if r.ip_total = 0 then 1.0
+  else float_of_int (r.ip_auto + r.ip_discharged) /. float_of_int r.ip_total
 
 let fully_auto_subs r =
-  List.filter (fun s -> s.ss_auto = s.ss_total) r.ip_subs |> List.length
+  List.filter (fun s -> s.ss_auto + s.ss_discharged = s.ss_total) r.ip_subs
+  |> List.length
 
 (* ground-evaluation interpretation of program functions for the prover *)
 let interp_of env program =
@@ -108,9 +114,15 @@ let status_of (rt : Retry.result) : vc_status =
    [filter_vcs] and [tune_cfg] are the orchestrator/chaos hook points. *)
 let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ?(tune_cfg = fun (c : P.config) -> c) ?(give_up = fun () -> false)
-    ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program : report =
+    ?discharge ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program
+    : report =
   let t0 = Logic.Clock.now () in
   let gen = Vcgen.generate ~budget env program in
+  let gen =
+    match discharge with
+    | None -> gen
+    | Some oracle -> Vcgen.tag_discharged ~oracle gen
+  in
   let cfg =
     tune_cfg { P.default_config with P.interp = Some (interp_of env program); max_steps }
   in
@@ -119,9 +131,14 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
       (fun (sr : Vcgen.sub_report) ->
         List.map
           (fun vc ->
+            (* statically discharged: the retry ladder never schedules it *)
+            if List.mem vc.F.vc_name sr.Vcgen.sr_discharged then begin
+              if Telemetry.enabled () then Telemetry.count "an_vcs_discharged";
+              { vr_vc = vc; vr_status = Discharged; vr_attempts = 0; vr_time = 0.0 }
+            end
             (* the global budget ran out: charge the remaining VCs as
                timed out without starting their searches *)
-            if give_up () then
+            else if give_up () then
               { vr_vc = vc; vr_status = Timed_out 0.0; vr_attempts = 0; vr_time = 0.0 }
             else
               let t1 = Logic.Clock.now () in
@@ -149,7 +166,8 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
                 | Auto -> Telemetry.count "vcs_auto"
                 | Hinted _ -> Telemetry.count "vcs_hinted"
                 | Residual _ -> Telemetry.count "vcs_residual"
-                | Timed_out _ -> Telemetry.count "vcs_timed_out");
+                | Timed_out _ -> Telemetry.count "vcs_timed_out"
+                | Discharged -> ());
                 Telemetry.observe "vc_wall_s" vr.vr_time
               end;
               Telemetry.finish_span span
@@ -161,7 +179,8 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
                         | Auto -> "auto"
                         | Hinted n -> Printf.sprintf "hinted:%d" n
                         | Residual _ -> "residual"
-                        | Timed_out _ -> "timeout") );
+                        | Timed_out _ -> "timeout"
+                        | Discharged -> "discharged") );
                     ("attempts", Telemetry.I vr.vr_attempts);
                   ];
               vr)
@@ -182,6 +201,7 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
           ss_hinted = count (fun r -> match r.vr_status with Hinted _ -> true | _ -> false);
           ss_residual = count (fun r -> match r.vr_status with Residual _ -> true | _ -> false);
           ss_timed_out = count (fun r -> match r.vr_status with Timed_out _ -> true | _ -> false);
+          ss_discharged = count (fun r -> r.vr_status = Discharged);
         })
       gen.Vcgen.r_subs
   in
@@ -194,6 +214,7 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ip_hinted = count (fun r -> match r.vr_status with Hinted _ -> true | _ -> false);
     ip_residual = count (fun r -> match r.vr_status with Residual _ -> true | _ -> false);
     ip_timed_out = count (fun r -> match r.vr_status with Timed_out _ -> true | _ -> false);
+    ip_discharged = count (fun r -> r.vr_status = Discharged);
     ip_attempts = List.fold_left (fun acc r -> acc + r.vr_attempts) 0 results;
     ip_generated_nodes = Vcgen.total_nodes gen;
     ip_time = Logic.Clock.elapsed t0;
@@ -201,28 +222,34 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
   }
 
 (** Run the implementation proof over an annotated, checked program. *)
-let run ?budget ?max_steps env program : report =
-  run_with ~policy:(Retry.legacy_policy standard_hints) ?budget ?max_steps env program
+let run ?discharge ?budget ?max_steps env program : report =
+  run_with ~policy:(Retry.legacy_policy standard_hints) ?discharge ?budget
+    ?max_steps env program
 
 let run_resilient ?(policy = Retry.default_policy standard_hints) ?filter_vcs ?tune_cfg
-    ?give_up ?budget ?max_steps env program : report =
-  run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?budget ?max_steps env program
+    ?give_up ?discharge ?budget ?max_steps env program : report =
+  run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?discharge ?budget ?max_steps
+    env program
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>implementation proof: %d VCs, %d auto (%.1f%%), %d interactive, %d residual%a@,\
+    "@[<v>implementation proof: %d VCs, %d auto (%.1f%%), %d interactive, %d residual%a%a@,\
      %d/%d subprograms fully automatic; %d prover attempts; %.1fs@]"
     r.ip_total r.ip_auto (100.0 *. auto_fraction r) r.ip_hinted r.ip_residual
     (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d timed out" n)
-    r.ip_timed_out (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time
+    r.ip_timed_out
+    (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d discharged by analysis" n)
+    r.ip_discharged (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time
 
 let pp_details ppf r =
   pp_report ppf r;
   Fmt.pf ppf "@,";
   List.iter
     (fun s ->
-      Fmt.pf ppf "@,  %-24s %3d VCs  %3d auto %3d hinted %3d residual %3d timeout"
-        s.ss_name s.ss_total s.ss_auto s.ss_hinted s.ss_residual s.ss_timed_out)
+      Fmt.pf ppf
+        "@,  %-24s %3d VCs  %3d auto %3d hinted %3d residual %3d timeout %3d discharged"
+        s.ss_name s.ss_total s.ss_auto s.ss_hinted s.ss_residual s.ss_timed_out
+        s.ss_discharged)
     r.ip_subs;
   List.iter
     (fun v ->

@@ -13,6 +13,8 @@ type vc_status =
   | Hinted of int        (** discharged after n interactive steps *)
   | Residual of string   (** not discharged mechanically *)
   | Timed_out of float   (** every ladder rung hit its deadline *)
+  | Discharged           (** proved by static interval analysis; the
+                             retry ladder never scheduled it *)
 
 type vc_result = {
   vr_vc : Logic.Formula.vc;
@@ -28,6 +30,7 @@ type sub_stats = {
   ss_hinted : int;
   ss_residual : int;
   ss_timed_out : int;
+  ss_discharged : int;   (** statically discharged, never sent to prover *)
 }
 
 type report = {
@@ -38,6 +41,7 @@ type report = {
   ip_hinted : int;
   ip_residual : int;
   ip_timed_out : int;
+  ip_discharged : int;   (** statically discharged, never sent to prover *)
   ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_generated_nodes : int;
   ip_time : float;
@@ -58,16 +62,22 @@ val standard_hints : Logic.Prover.hint list
 (** The paper's two interactive steps: application of preconditions and
     induction on loop invariants. *)
 
-val run : ?budget:Vcgen.budget -> ?max_steps:int ->
+val run :
+  ?discharge:(Logic.Formula.vc -> bool) ->
+  ?budget:Vcgen.budget -> ?max_steps:int ->
   Typecheck.env -> Ast.program -> report
 (** Legacy ladder (automatic, then hinted) with no deadlines — the §6.2.3
-    accounting baseline. *)
+    accounting baseline.  [discharge] is the static-analysis oracle
+    (e.g. {i Analysis.Discharge.vc_discharged}): VCs it accepts are
+    tagged [Discharged] with zero attempts and never enter the ladder;
+    soundness of the oracle is the analyzer's obligation. *)
 
 val run_resilient :
   ?policy:Retry.policy ->
   ?filter_vcs:(Logic.Formula.vc list -> Logic.Formula.vc list) ->
   ?tune_cfg:(Logic.Prover.config -> Logic.Prover.config) ->
   ?give_up:(unit -> bool) ->
+  ?discharge:(Logic.Formula.vc -> bool) ->
   ?budget:Vcgen.budget -> ?max_steps:int ->
   Typecheck.env -> Ast.program -> report
 (** The orchestrated form: configurable retry ladder, and hook points for

@@ -35,6 +35,7 @@ type config = {
   oc_retry : Retry.policy;
   oc_max_steps : int;
   oc_budget : Vcgen.budget;
+  oc_analyze : bool;
   oc_hooks : hooks;
 }
 
@@ -46,6 +47,7 @@ let default_config =
     oc_retry = Retry.default_policy Implementation_proof.standard_hints;
     oc_max_steps = 60_000;
     oc_budget = Vcgen.default_budget;
+    oc_analyze = false;
     oc_hooks = no_hooks;
   }
 
@@ -72,6 +74,7 @@ type report = {
   o_case : string;
   o_stages : (CK.stage * stage_status) list;
   o_refactor_steps : int;
+  o_analysis : Analysis.Examiner.t option;
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;
@@ -266,7 +269,35 @@ let stage_annotate st final =
         (CK.P_annotate { pa_src = Pretty.program_to_string annotated });
       (env, annotated))
 
-let stage_impl st env annotated =
+let stage_analyze st env annotated =
+  stage st CK.S_analyze
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_analyze with
+      | Some (CK.P_analyze an) -> Some an
+      | _ -> None)
+    ~body:(fun () ->
+      let an = Analysis.Examiner.analyze env annotated in
+      if Telemetry.enabled () then
+        Telemetry.count
+          ~by:(List.length (Analysis.Examiner.diags an))
+          "an_diagnostics";
+      let errs = Analysis.Examiner.errors an in
+      if errs > 0 then begin
+        let first =
+          match
+            List.filter
+              (fun d -> d.Analysis.Diag.d_severity = Analysis.Diag.Error)
+              (Analysis.Examiner.diags an)
+          with
+          | d :: _ -> Fmt.str "%a" Analysis.Diag.pp d
+          | [] -> ""
+        in
+        raise (Fault.Fault (Fault.Analysis { errors = errs; first }))
+      end;
+      save_checkpoint st CK.S_analyze (CK.P_analyze an);
+      an)
+
+let stage_impl st ~discharge env annotated =
   stage st CK.S_impl
     ~from_ckpt:(fun () ->
       match load_checkpoint st CK.S_impl with
@@ -278,7 +309,8 @@ let stage_impl st env annotated =
         Implementation_proof.run_resilient ~policy
           ~filter_vcs:st.cfg.oc_hooks.h_vcs ~tune_cfg:st.cfg.oc_hooks.h_prover
           ~give_up:(fun () -> global_expired st)
-          ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps env annotated
+          ?discharge ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps env
+          annotated
       in
       save_checkpoint st CK.S_impl (CK.P_impl report);
       report)
@@ -365,6 +397,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
     }
   in
   let impl_ref = ref None in
+  let analysis_ref = ref None in
   let match_ref = ref None in
   let steps_ref = ref 0 in
   let lemmas_ref = ref [] in
@@ -372,7 +405,17 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
    let* final, steps = stage_refactor st in
    steps_ref := steps;
    let* env, annotated = stage_annotate st final in
-   let* impl = stage_impl st env annotated in
+   let* analysis =
+     if st.cfg.oc_analyze then
+       Result.map Option.some (stage_analyze st env annotated)
+     else Ok None
+   in
+   analysis_ref := analysis;
+   (* clean analysis pre-discharges exception-freedom VCs for the ladder *)
+   let discharge =
+     if st.cfg.oc_analyze then Some Analysis.Discharge.vc_discharged else None
+   in
+   let* impl = stage_impl st ~discharge env annotated in
    impl_ref := Some impl;
    (match impl.Implementation_proof.ip_infeasible with
    | Some reason -> degrade st CK.S_impl (Fault.Vc_infeasible reason)
@@ -399,8 +442,14 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
    match_ref := Some match_result;
    let* lemmas = stage_implication st extracted in
    lemmas_ref := lemmas);
-  (* mark unreached stages *)
+  (* mark unreached stages; a stage disabled by config is absent from the
+     report rather than skipped (skipped means cut off by an earlier fault) *)
   let reached = List.map fst st.statuses in
+  let expected =
+    List.filter
+      (fun s -> config.oc_analyze || s <> CK.S_analyze)
+      CK.all_stages
+  in
   let statuses =
     List.map
       (fun s ->
@@ -409,7 +458,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
         | None ->
             assert (not (List.mem s reached));
             (s, St_skipped))
-      CK.all_stages
+      expected
   in
   let verdict = synthesize st !impl_ref !lemmas_ref in
   let verdict_name =
@@ -430,6 +479,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
     o_case = cs.Pipeline.cs_name;
     o_stages = statuses;
     o_refactor_steps = !steps_ref;
+    o_analysis = !analysis_ref;
     o_impl = !impl_ref;
     o_match = !match_ref;
     o_lemmas = !lemmas_ref;
@@ -476,6 +526,13 @@ let pp_report ppf r =
     (fun (s, status) ->
       Fmt.pf ppf "  %-22s %a@," (CK.stage_name s) pp_status status)
     r.o_stages;
+  (match r.o_analysis with
+  | Some an ->
+      Fmt.pf ppf "analysis: %d error(s), %d warning(s), %d info(s)@,"
+        (Analysis.Examiner.errors an)
+        (Analysis.Diag.count Analysis.Diag.Warning (Analysis.Examiner.diags an))
+        (Analysis.Diag.count Analysis.Diag.Info (Analysis.Examiner.diags an))
+  | None -> ());
   (match r.o_impl with
   | Some impl -> Fmt.pf ppf "%a@," Implementation_proof.pp_report impl
   | None -> ());

@@ -36,6 +36,11 @@ type config = {
   oc_retry : Retry.policy;           (** ladder for the implementation proof *)
   oc_max_steps : int;                (** prover fuel per attempt (base) *)
   oc_budget : Vcgen.budget;
+  oc_analyze : bool;
+      (** insert the {!Analysis.Examiner} pre-pass between annotation and
+          the implementation proof; error diagnostics fail the run
+          ({!Fault.Analysis}) and interval analysis pre-discharges
+          exception-freedom VCs so the ladder never schedules them *)
   oc_hooks : hooks;
 }
 
@@ -64,6 +69,7 @@ type report = {
   o_case : string;
   o_stages : (Checkpoint.stage * stage_status) list;  (** pipeline order *)
   o_refactor_steps : int;
+  o_analysis : Analysis.Examiner.t option;  (** when [oc_analyze] *)
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;  (** name, holds?, method/reason *)

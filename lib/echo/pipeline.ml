@@ -41,6 +41,7 @@ type report = {
   p_history : Refactor.History.t;
   p_final : Ast.program;
   p_annotated : Ast.program;
+  p_analysis : Analysis.Examiner.t option;
   p_impl : Implementation_proof.report;
   p_extracted : Specl.Sast.theory;
   p_match : Specl.Match_ratio.result;
@@ -70,7 +71,7 @@ let empty_history () = Refactor.History.create empty_env empty_program
 
 (** Run the full Echo process for a case study.  Never raises: stage
     faults are folded into the verdict. *)
-let run (cs : case_study) : report =
+let run ?(analyze = false) (cs : case_study) : report =
   let t0 = Logic.Clock.now () in
   let root_span =
     Telemetry.start_span ~cat:Telemetry.cat_pipeline
@@ -82,7 +83,7 @@ let run (cs : case_study) : report =
     Telemetry.with_span ~cat:Telemetry.cat_stage name (fun () -> Fault.guard body)
   in
   let finish ?(history = empty_history ()) ?(final = empty_program)
-      ?(annotated = empty_program) ?(impl = Implementation_proof.empty)
+      ?(annotated = empty_program) ?analysis ?(impl = Implementation_proof.empty)
       ?(extracted = empty_theory) ?(match_ = Specl.Match_ratio.empty)
       ?(implication = Implication.empty) verdict =
     let verdict_name =
@@ -97,6 +98,7 @@ let run (cs : case_study) : report =
       p_history = history;
       p_final = final;
       p_annotated = annotated;
+      p_analysis = analysis;
       p_impl = impl;
       p_extracted = extracted;
       p_match = match_;
@@ -118,39 +120,79 @@ let run (cs : case_study) : report =
       | Error f -> finish ~history ~final (Failed (Fault.describe f))
       | Ok (env, annotated) -> (
           match
-            guarded "implementation-proof" (fun () ->
-                Implementation_proof.run env annotated)
+            if not analyze then Ok None
+            else
+              guarded "analyze" (fun () ->
+                  let an = Analysis.Examiner.analyze env annotated in
+                  if Telemetry.enabled () then
+                    Telemetry.count
+                      ~by:(List.length (Analysis.Examiner.diags an))
+                      "an_diagnostics";
+                  let errs = Analysis.Examiner.errors an in
+                  if errs > 0 then
+                    raise
+                      (Fault.Fault
+                         (Fault.Analysis
+                            {
+                              errors = errs;
+                              first =
+                                (match
+                                   List.filter
+                                     (fun d ->
+                                       d.Analysis.Diag.d_severity
+                                       = Analysis.Diag.Error)
+                                     (Analysis.Examiner.diags an)
+                                 with
+                                | d :: _ ->
+                                    Fmt.str "%a" Analysis.Diag.pp d
+                                | [] -> "");
+                            }));
+                  Some an)
           with
           | Error f -> finish ~history ~final ~annotated (Failed (Fault.describe f))
-          | Ok impl -> (
+          | Ok analysis -> (
+              (* when analysis ran cleanly its interval results pre-discharge
+                 exception-freedom VCs: the prover never sees them *)
+              let discharge =
+                if analyze then Some Analysis.Discharge.vc_discharged else None
+              in
               match
-                guarded "extract" (fun () ->
-                    let extracted = Extract.extract_program env annotated in
-                    let match_result =
-                      Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
-                        ~original:cs.cs_original_spec ~extracted ()
-                    in
-                    if Telemetry.enabled () then
-                      Telemetry.gauge "match_ratio"
-                        match_result.Specl.Match_ratio.mr_ratio;
-                    (extracted, match_result))
+                guarded "implementation-proof" (fun () ->
+                    Implementation_proof.run ?discharge env annotated)
               with
               | Error f ->
-                  (* the implementation proof survived: degrade, don't discard *)
-                  finish ~history ~final ~annotated ~impl
-                    (Degraded (Fault.describe f))
-              | Ok (extracted, match_result) -> (
+                  finish ~history ~final ~annotated ?analysis
+                    (Failed (Fault.describe f))
+              | Ok impl -> (
                   match
-                    guarded "implication-proof" (fun () ->
-                        Implication.run (cs.cs_lemmas ~extracted))
+                    guarded "extract" (fun () ->
+                        let extracted = Extract.extract_program env annotated in
+                        let match_result =
+                          Specl.Match_ratio.compare ~synonyms:cs.cs_synonyms
+                            ~original:cs.cs_original_spec ~extracted ()
+                        in
+                        if Telemetry.enabled () then
+                          Telemetry.gauge "match_ratio"
+                            match_result.Specl.Match_ratio.mr_ratio;
+                        (extracted, match_result))
                   with
                   | Error f ->
-                      finish ~history ~final ~annotated ~impl ~extracted
-                        ~match_:match_result (Degraded (Fault.describe f))
-                  | Ok implication ->
-                      finish ~history ~final ~annotated ~impl ~extracted
-                        ~match_:match_result ~implication
-                        (verdict_of impl implication)))))
+                      (* the implementation proof survived: degrade, don't discard *)
+                      finish ~history ~final ~annotated ?analysis ~impl
+                        (Degraded (Fault.describe f))
+                  | Ok (extracted, match_result) -> (
+                      match
+                        guarded "implication-proof" (fun () ->
+                            Implication.run (cs.cs_lemmas ~extracted))
+                      with
+                      | Error f ->
+                          finish ~history ~final ~annotated ?analysis ~impl
+                            ~extracted ~match_:match_result
+                            (Degraded (Fault.describe f))
+                      | Ok implication ->
+                          finish ~history ~final ~annotated ?analysis ~impl
+                            ~extracted ~match_:match_result ~implication
+                            (verdict_of impl implication))))))
 
 let pp_verdict ppf = function
   | Verified -> Fmt.string ppf "VERIFIED"
@@ -161,10 +203,20 @@ let pp_verdict ppf = function
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>%a@,refactoring: %d transformations@,%a@,structure match: %a@,\
+    "@[<v>%a@,refactoring: %d transformations@,%a%a@,structure match: %a@,\
      implication: %d/%d lemmas@,verdict: %a (%.1fs)@]"
     Refactor.History.pp_summary r.p_history
     (Refactor.History.step_count r.p_history)
-    Implementation_proof.pp_report r.p_impl Specl.Match_ratio.pp_result r.p_match
+    Implementation_proof.pp_report r.p_impl
+    (fun ppf -> function
+      | None -> ()
+      | Some an ->
+          Fmt.pf ppf "@,analysis: %d error(s), %d warning(s), %d info(s)"
+            (Analysis.Examiner.errors an)
+            (Analysis.Diag.count Analysis.Diag.Warning
+               (Analysis.Examiner.diags an))
+            (Analysis.Diag.count Analysis.Diag.Info
+               (Analysis.Examiner.diags an)))
+    r.p_analysis Specl.Match_ratio.pp_result r.p_match
     r.p_implication.Implication.im_proved r.p_implication.Implication.im_total
     pp_verdict r.p_verdict r.p_time

@@ -37,6 +37,8 @@ type report = {
   p_history : Refactor.History.t;
   p_final : Ast.program;          (** refactored, unannotated *)
   p_annotated : Ast.program;      (** refactored + annotations, checked *)
+  p_analysis : Analysis.Examiner.t option;
+      (** static-analysis results when the opt-in pre-pass ran *)
   p_impl : Implementation_proof.report;
   p_extracted : Specl.Sast.theory;
   p_match : Specl.Match_ratio.result;
@@ -45,7 +47,7 @@ type report = {
   p_time : float;                 (** wall-clock seconds, whole pipeline *)
 }
 
-val run : case_study -> report
+val run : ?analyze:bool -> case_study -> report
 (** Run the full Echo process.  Never raises: every stage body runs under
     {!Fault.guard}.  A refactoring step whose mechanical applicability
     check rejects (the §7 experiments catch seeded defects this way), an
@@ -53,7 +55,13 @@ val run : case_study -> report
     [Failed] verdict; a fault after the implementation proof has produced
     evidence folds into [Degraded].  Stages that never ran are represented
     by empty placeholders in the report.  For budgets, retry ladders,
-    checkpointing and resumption use {!Orchestrator}. *)
+    checkpointing and resumption use {!Orchestrator}.
+
+    [analyze] (default [false]) inserts the {!Analysis.Examiner} pre-pass
+    between annotation and the implementation proof: error-severity flow
+    diagnostics abort with a [Failed] verdict ({!Fault.Analysis}), and
+    interval analysis statically discharges exception-freedom VCs so the
+    retry ladder never schedules them. *)
 
 val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

@@ -691,6 +691,9 @@ type sub_report = {
   sr_sub : string;
   sr_vcs : F.vc list;
   sr_sizes : (string * int) list;  (** per-VC unfolded node counts *)
+  sr_discharged : string list;
+      (** names of VCs discharged by static analysis (empty until
+          {!tag_discharged}) *)
 }
 
 let generate_sub ?(budget = default_budget) env program (sub : Ast.subprogram) : sub_report =
@@ -712,7 +715,8 @@ let generate_sub ?(budget = default_budget) env program (sub : Ast.subprogram) :
   (* procedures: postcondition proved at fall-through exits *)
   if sub.Ast.sub_return = None then
     List.iter (fun st -> finalize_post g st ~result:None) final_paths;
-  { sr_sub = sub.Ast.sub_name; sr_vcs = List.rev g.vcs; sr_sizes = List.rev g.sizes }
+  { sr_sub = sub.Ast.sub_name; sr_vcs = List.rev g.vcs; sr_sizes = List.rev g.sizes;
+    sr_discharged = [] }
 
 type report = {
   r_subs : sub_report list;
@@ -720,6 +724,26 @@ type report = {
 }
 
 let all_vcs r = List.concat_map (fun s -> s.sr_vcs) r.r_subs
+
+(** Tag each VC the [oracle] can prove without the prover — the report's
+    "discharged-by-analysis" column.  The VCs themselves are untouched;
+    consumers that schedule proofs skip the tagged names. *)
+let tag_discharged ~oracle r =
+  {
+    r with
+    r_subs =
+      List.map
+        (fun s ->
+          {
+            s with
+            sr_discharged =
+              List.filter_map
+                (fun (vc : F.vc) ->
+                  if oracle vc then Some vc.F.vc_name else None)
+                s.sr_vcs;
+          })
+        r.r_subs;
+  }
 
 let total_nodes r =
   List.fold_left

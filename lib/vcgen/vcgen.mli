@@ -25,6 +25,9 @@ type sub_report = {
   sr_sub : string;
   sr_vcs : Logic.Formula.vc list;
   sr_sizes : (string * int) list;  (** per-VC unfolded node counts *)
+  sr_discharged : string list;
+      (** names of VCs statically discharged by analysis; empty until
+          {!tag_discharged} is applied *)
 }
 
 val generate_sub :
@@ -43,6 +46,12 @@ val generate : ?budget:budget -> Typecheck.env -> Ast.program -> report
     subprograms analysed so far are kept and the failure recorded. *)
 
 val all_vcs : report -> Logic.Formula.vc list
+
+(** Mark every VC the oracle proves statically in its subprogram's
+    [sr_discharged] list — the per-VC "discharged-by-analysis" tag.
+    Formulas are untouched; proof schedulers skip the tagged names. *)
+val tag_discharged :
+  oracle:(Logic.Formula.vc -> bool) -> report -> report
 val total_nodes : report -> int
 
 val bytes_of_nodes : int -> int

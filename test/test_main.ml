@@ -4,4 +4,5 @@ let () =
    @ Test_refactor.suites @ Test_refactor_more.suites @ Test_metrics.suites @ Test_specl.suites
    @ Test_extract.suites @ Test_echo.suites @ Test_orchestrator.suites @ Test_aes_impl.suites
    @ Test_aes_spec.suites @ Test_aes_spec_props.suites @ Test_aes_pipeline.suites @ Test_defects.suites
-   @ Test_properties.suites @ Test_aes_tables.suites @ Test_telemetry.suites)
+   @ Test_properties.suites @ Test_aes_tables.suites @ Test_telemetry.suites
+   @ Test_analysis.suites @ Test_analysis_props.suites)
