@@ -432,6 +432,109 @@ let analysis_json () =
   Fmt.pr "wrote BENCH_analysis.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Proof farm: domain-scaling curve + cold/warm cache as JSON          *)
+(* ------------------------------------------------------------------ *)
+
+(* a machine-independent key for one VC's outcome: the timed-out payload
+   is wall-clock and must not enter the comparison *)
+let status_key (vr : Echo.Implementation_proof.vc_result) =
+  let s =
+    match vr.Echo.Implementation_proof.vr_status with
+    | Echo.Implementation_proof.Auto -> "auto"
+    | Echo.Implementation_proof.Hinted n -> Printf.sprintf "hinted:%d" n
+    | Echo.Implementation_proof.Residual r -> "residual:" ^ r
+    | Echo.Implementation_proof.Timed_out _ -> "timed-out"
+    | Echo.Implementation_proof.Discharged -> "discharged"
+  in
+  (vr.Echo.Implementation_proof.vr_vc.Logic.Formula.vc_name, s)
+
+let verdict_keys (r : Echo.Implementation_proof.report) =
+  List.map status_key r.Echo.Implementation_proof.ip_results
+
+let farm_json () =
+  section "Proof farm scaling + proof cache (BENCH_farm.json)";
+  let env, annotated = Lazy.force final_annotated in
+  (* scaling curve: same VC set on 1, 2 and 4 domains *)
+  let curve =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let r = Echo.Implementation_proof.run ~jobs env annotated in
+        let dt = Unix.gettimeofday () -. t0 in
+        Fmt.pr "  jobs=%d: %.2fs  (%d VCs, %d auto, %d hinted)@." jobs dt
+          r.Echo.Implementation_proof.ip_total r.Echo.Implementation_proof.ip_auto
+          r.Echo.Implementation_proof.ip_hinted;
+        (jobs, dt, r))
+      [ 1; 2; 4 ]
+  in
+  let baseline =
+    match curve with (_, _, r) :: _ -> verdict_keys r | [] -> assert false
+  in
+  let verdicts_identical =
+    List.for_all (fun (_, _, r) -> verdict_keys r = baseline) curve
+  in
+  (* cold vs warm cache: a fresh directory, then a second run over it *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "echo-bench-cache-%d" (Unix.getpid ()))
+  in
+  let timed_run () =
+    let cache = Farm.Cache.open_ ~dir:cache_dir in
+    let t0 = Unix.gettimeofday () in
+    let r = Echo.Implementation_proof.run ~cache env annotated in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r_cold, t_cold = timed_run () in
+  let r_warm, t_warm = timed_run () in
+  let hit_rate =
+    let h = r_warm.Echo.Implementation_proof.ip_cache_hits in
+    let m = r_warm.Echo.Implementation_proof.ip_cache_misses in
+    if h + m = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int (h + m)
+  in
+  let warm_identical = verdict_keys r_warm = verdict_keys r_cold in
+  Fmt.pr "  cache: cold %.2fs, warm %.2fs (%d hit(s), %d miss(es), %.1f%% hit rate)@."
+    t_cold t_warm r_warm.Echo.Implementation_proof.ip_cache_hits
+    r_warm.Echo.Implementation_proof.ip_cache_misses hit_rate;
+  let scaling_obj (jobs, dt, (r : Echo.Implementation_proof.report)) =
+    Printf.sprintf
+      {|    {"jobs": %d, "seconds": %.3f, "vcs": %d, "auto": %d, "hinted": %d, "residual": %d, "timed_out": %d}|}
+      jobs dt r.Echo.Implementation_proof.ip_total r.Echo.Implementation_proof.ip_auto
+      r.Echo.Implementation_proof.ip_hinted r.Echo.Implementation_proof.ip_residual
+      r.Echo.Implementation_proof.ip_timed_out
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "aes-final-annotated",
+  "scaling": [
+%s
+  ],
+  "verdicts_identical": %b,
+  "cache": {
+    "cold_seconds": %.3f,
+    "warm_seconds": %.3f,
+    "cold_hits": %d,
+    "cold_misses": %d,
+    "warm_hits": %d,
+    "warm_misses": %d,
+    "warm_hit_rate_pct": %.1f,
+    "warm_verdicts_identical": %b
+  }
+}
+|}
+      (String.concat ",\n" (List.map scaling_obj curve))
+      verdicts_identical t_cold t_warm
+      r_cold.Echo.Implementation_proof.ip_cache_hits
+      r_cold.Echo.Implementation_proof.ip_cache_misses
+      r_warm.Echo.Implementation_proof.ip_cache_hits
+      r_warm.Echo.Implementation_proof.ip_cache_misses hit_rate warm_identical
+  in
+  let oc = open_out "BENCH_farm.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_farm.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -492,7 +595,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   if smoke then begin
     pipeline_json ();
-    analysis_json ()
+    analysis_json ();
+    farm_json ()
   end
   else begin
     if want "fig2ab" || !only = None then fig2_metrics ();
@@ -507,6 +611,7 @@ let () =
     if want "ablation_order" || !only = None then ablation_order ();
     if want "pipeline" || !only = None then pipeline_json ();
     if want "analysis" || !only = None then analysis_json ();
+    if want "farm" || !only = None then farm_json ();
     if want "micro" || !only = None then micro_benchmarks ()
   end;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -102,10 +102,10 @@ let cmd_vcs path () =
         (List.length (Vcgen.all_vcs report))
         (Vcgen.bytes_of_nodes (Vcgen.total_nodes report) / 1024))
 
-let cmd_prove path verbose () =
+let cmd_prove path verbose jobs () =
   with_errors (fun () ->
       let env, prog = read_program path in
-      let r = Echo.Implementation_proof.run env prog in
+      let r = Echo.Implementation_proof.run ~jobs env prog in
       if verbose then Fmt.pr "%a@." Echo.Implementation_proof.pp_details r
       else Fmt.pr "%a@." Echo.Implementation_proof.pp_report r;
       if r.Echo.Implementation_proof.ip_residual > 0
@@ -140,13 +140,25 @@ let write_or_warn what = function
   | Ok () -> ()
   | Error e -> Fmt.epr "warning: could not write %s: %s@." what e
 
-let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze trace metrics () =
+let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze jobs
+    cache_dir no_cache trace metrics () =
   with_errors (fun () ->
       if resume && run_dir = None then begin
         Fmt.epr "--resume requires --run-dir@.";
         exit 1
       end;
+      if no_cache && cache_dir <> None then begin
+        Fmt.epr "--no-cache and --cache-dir are mutually exclusive@.";
+        exit 1
+      end;
       if trace <> None || metrics <> None then Telemetry.enable ();
+      let cache =
+        if no_cache then Echo.Orchestrator.Cache_off
+        else
+          match cache_dir with
+          | Some d -> Echo.Orchestrator.Cache_dir d
+          | None -> Echo.Orchestrator.Cache_default
+      in
       let config =
         {
           Echo.Orchestrator.default_config with
@@ -154,6 +166,8 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze trace metr
           oc_global_deadline_s = global_deadline;
           oc_vc_deadline_s = vc_deadline;
           oc_analyze = analyze;
+          oc_jobs = jobs;
+          oc_cache = cache;
         }
       in
       let report = Echo.Orchestrator.run ~resume ~config Aes.Aes_echo.case_study in
@@ -318,10 +332,16 @@ let vcs_cmd =
   Cmd.v (Cmd.info "vcs" ~exits ~doc:"Generate verification conditions and report sizes")
     Term.(const cmd_vcs $ path_arg $ const ())
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Prove VCs on N domains with work stealing (default 1 = \
+                 inline).  Verdicts are identical for any value")
+
 let prove_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-VC details") in
   Cmd.v (Cmd.info "prove" ~exits ~doc:"Run the implementation proof on an annotated program")
-    Term.(const cmd_prove $ path_arg $ verbose $ const ())
+    Term.(const cmd_prove $ path_arg $ verbose $ jobs_arg $ const ())
 
 let aes_refactor_cmd =
   let upto =
@@ -357,6 +377,17 @@ let aes_verify_cmd =
                    statically discharges exception-freedom VCs so the \
                    prover never sees them")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persistent proof-cache directory shared across runs \
+                   (default: proof-cache/ under --run-dir when set)")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Never consult or write the persistent proof cache")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -374,7 +405,7 @@ let aes_verify_cmd =
              both proofs, with optional budgets, checkpoint/resume and telemetry")
     Term.(
       const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ analyze
-      $ trace $ metrics $ const ())
+      $ jobs_arg $ cache_dir $ no_cache $ trace $ metrics $ const ())
 
 let aes_defects_cmd =
   let setup =

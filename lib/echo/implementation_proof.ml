@@ -13,7 +13,18 @@
    two-rung ladder (automatic, hinted) so historical accounting is
    unchanged, while [run_resilient] adds the simplify-then-retry rung,
    per-VC deadlines and hook points for the orchestrator and the chaos
-   harness. *)
+   harness.
+
+   Proof farm: with [?jobs] > 1 the VCs are dispatched cost-descending
+   over a work-stealing domain pool ({!Farm.Pool}); with [?cache] a
+   persistent content-addressed store ({!Farm.Cache}) is consulted
+   before any prover work, keyed by the VC's canonical formula digest
+   plus a signature of everything else that can change provability —
+   the retry policy's rungs and hints, the prover knobs, and the
+   definitions of the program functions the prover ground-evaluates.
+   Cache lookups and recording happen on the coordinator domain only,
+   and results are reassembled in generation order, so verdicts are
+   bit-identical whatever the job count or cache temperature. *)
 
 open Minispark
 module F = Logic.Formula
@@ -31,6 +42,7 @@ type vc_result = {
   vr_status : vc_status;
   vr_attempts : int;     (** ladder attempts spent on this VC *)
   vr_time : float;
+  vr_cached : bool;      (** replayed from the proof cache, prover skipped *)
 }
 
 type sub_stats = {
@@ -53,6 +65,8 @@ type report = {
   ip_timed_out : int;
   ip_discharged : int;   (** statically discharged, never sent to prover *)
   ip_attempts : int;     (** ladder attempts across all VCs *)
+  ip_cache_hits : int;   (** VCs replayed from the proof cache *)
+  ip_cache_misses : int; (** VCs sent to the prover despite an open cache *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
@@ -69,6 +83,8 @@ let empty =
     ip_timed_out = 0;
     ip_discharged = 0;
     ip_attempts = 0;
+    ip_cache_hits = 0;
+    ip_cache_misses = 0;
     ip_generated_nodes = 0;
     ip_time = 0.0;
     ip_infeasible = None;
@@ -100,6 +116,67 @@ let interp_of env program =
 
 let standard_hints = [ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ]
 
+(* ------------------------------------------------------------------ *)
+(* Proof-cache keys                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hint_sig = function
+  | P.Hint_apply_hyp -> "apply_hyp"
+  | P.Hint_induction -> "induction"
+  | P.Hint_unfold (n, formals, body) ->
+      Printf.sprintf "unfold:%s(%s)=%s" n (String.concat "," formals)
+        (F.digest body)
+
+(* Signature of everything besides the VC formula that can change its
+   proof outcome: the retry ladder (rungs, hints, fuel), the prover's
+   search knobs, and — because [cfg.interp] ground-evaluates program
+   functions — the definitions of those functions.  A refactoring that
+   rewrites procedure bodies but leaves the spec-level functions alone
+   keeps this signature stable, so unchanged VCs still hit.  The per-VC
+   deadline is deliberately excluded: a recorded proof stays a proof
+   under any deadline, and timeouts are never cached. *)
+let config_signature ~(policy : Retry.policy) ~(cfg : P.config) program =
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf) "split=%d;steps=%d;" cfg.P.max_split
+    cfg.P.max_steps;
+  List.iter
+    (fun (rg : Retry.rung) ->
+      Printf.ksprintf (Buffer.add_string buf) "rung=%s,%b,%d[%s];"
+        rg.Retry.rg_name rg.Retry.rg_presimplify rg.Retry.rg_fuel_factor
+        (String.concat "," (List.map hint_sig rg.Retry.rg_hints)))
+    policy.Retry.pol_rungs;
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dsub sub when sub.Ast.sub_return <> None ->
+          Printf.ksprintf (Buffer.add_string buf) "fn=%s:%s;" sub.Ast.sub_name
+            (Digest.to_hex
+               (Digest.string (Fmt.str "%a" (Pretty.pp_subprogram 0) sub)))
+      | _ -> ())
+    program.Ast.prog_decls;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let status_of_entry (e : Farm.Cache.entry) : vc_status =
+  match e.Farm.Cache.en_status with
+  | Farm.Cache.E_auto -> Auto
+  | Farm.Cache.E_hinted n -> Hinted n
+  | Farm.Cache.E_residual r -> Residual r
+
+let entry_of_result vr : Farm.Cache.entry option =
+  let status =
+    match vr.vr_status with
+    | Auto -> Some Farm.Cache.E_auto
+    | Hinted n -> Some (Farm.Cache.E_hinted n)
+    | Residual r -> Some (Farm.Cache.E_residual r)
+    (* timeouts are wall-clock accidents, discharged VCs never ran *)
+    | Timed_out _ | Discharged -> None
+  in
+  Option.map
+    (fun st ->
+      { Farm.Cache.en_status = st; en_attempts = vr.vr_attempts;
+        en_time = vr.vr_time })
+    status
+
 let status_of (rt : Retry.result) : vc_status =
   match rt.Retry.rt_rung with
   | Some rung when rung.Retry.rg_hints = [] -> Auto
@@ -110,12 +187,21 @@ let status_of (rt : Retry.result) : vc_status =
       | P.Unknown reason -> Residual reason
       | P.Proved -> assert false)
 
-(* Shared core: VC generation, then the retry ladder over every VC.
-   [filter_vcs] and [tune_cfg] are the orchestrator/chaos hook points. *)
+let count_status = function
+  | Auto -> Telemetry.count "vcs_auto"
+  | Hinted _ -> Telemetry.count "vcs_hinted"
+  | Residual _ -> Telemetry.count "vcs_residual"
+  | Timed_out _ -> Telemetry.count "vcs_timed_out"
+  | Discharged -> ()
+
+(* Shared core: VC generation, then the retry ladder over every VC —
+   consulted against the proof cache and dispatched over the domain pool
+   when [?cache] / [?jobs] ask for it.  [filter_vcs] and [tune_cfg] are
+   the orchestrator/chaos hook points. *)
 let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ?(tune_cfg = fun (c : P.config) -> c) ?(give_up = fun () -> false)
-    ?discharge ?(budget = Vcgen.default_budget) ?(max_steps = 60_000) env program
-    : report =
+    ?discharge ?(budget = Vcgen.default_budget) ?(max_steps = 60_000)
+    ?(jobs = 1) ?cache env program : report =
   let t0 = Logic.Clock.now () in
   let gen = Vcgen.generate ~budget env program in
   let gen =
@@ -126,66 +212,136 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
   let cfg =
     tune_cfg { P.default_config with P.interp = Some (interp_of env program); max_steps }
   in
-  let results =
+  (* one prover ladder over one VC — runs on a worker domain under the
+     farm, inline otherwise; everything it touches is per-call state *)
+  let prove_one vc =
+    (* the global budget ran out: charge the remaining VCs as timed out
+       without starting their searches *)
+    if give_up () then
+      { vr_vc = vc; vr_status = Timed_out 0.0; vr_attempts = 0; vr_time = 0.0;
+        vr_cached = false }
+    else
+      let t1 = Logic.Clock.now () in
+      let span =
+        Telemetry.start_span ~cat:Telemetry.cat_vc
+          ~attrs:
+            [
+              ("sub", Telemetry.S vc.F.vc_sub);
+              ("kind", Telemetry.S (F.vc_kind_name vc.F.vc_kind));
+            ]
+          vc.F.vc_name
+      in
+      let rt = Retry.prove ~policy ~cfg vc in
+      let vr =
+        {
+          vr_vc = vc;
+          vr_status = status_of rt;
+          vr_attempts = Retry.attempts rt;
+          vr_time = Logic.Clock.elapsed t1;
+          vr_cached = false;
+        }
+      in
+      if Telemetry.enabled () then begin
+        Telemetry.count "vcs_attempted";
+        count_status vr.vr_status;
+        Telemetry.observe "vc_wall_s" vr.vr_time
+      end;
+      Telemetry.finish_span span
+        ~attrs:
+          [
+            ( "status",
+              Telemetry.S
+                (match vr.vr_status with
+                | Auto -> "auto"
+                | Hinted n -> Printf.sprintf "hinted:%d" n
+                | Residual _ -> "residual"
+                | Timed_out _ -> "timeout"
+                | Discharged -> "discharged") );
+            ("attempts", Telemetry.I vr.vr_attempts);
+          ];
+      vr
+  in
+  let all =
     List.concat_map
       (fun (sr : Vcgen.sub_report) ->
-        List.map
-          (fun vc ->
-            (* statically discharged: the retry ladder never schedules it *)
-            if List.mem vc.F.vc_name sr.Vcgen.sr_discharged then begin
-              if Telemetry.enabled () then Telemetry.count "an_vcs_discharged";
-              { vr_vc = vc; vr_status = Discharged; vr_attempts = 0; vr_time = 0.0 }
-            end
-            (* the global budget ran out: charge the remaining VCs as
-               timed out without starting their searches *)
-            else if give_up () then
-              { vr_vc = vc; vr_status = Timed_out 0.0; vr_attempts = 0; vr_time = 0.0 }
-            else
-              let t1 = Logic.Clock.now () in
-              let span =
-                Telemetry.start_span ~cat:Telemetry.cat_vc
-                  ~attrs:
-                    [
-                      ("sub", Telemetry.S vc.F.vc_sub);
-                      ("kind", Telemetry.S (F.vc_kind_name vc.F.vc_kind));
-                    ]
-                  vc.F.vc_name
-              in
-              let rt = Retry.prove ~policy ~cfg vc in
-              let vr =
-                {
-                  vr_vc = vc;
-                  vr_status = status_of rt;
-                  vr_attempts = Retry.attempts rt;
-                  vr_time = Logic.Clock.elapsed t1;
-                }
-              in
-              if Telemetry.enabled () then begin
-                Telemetry.count "vcs_attempted";
-                (match vr.vr_status with
-                | Auto -> Telemetry.count "vcs_auto"
-                | Hinted _ -> Telemetry.count "vcs_hinted"
-                | Residual _ -> Telemetry.count "vcs_residual"
-                | Timed_out _ -> Telemetry.count "vcs_timed_out"
-                | Discharged -> ());
-                Telemetry.observe "vc_wall_s" vr.vr_time
-              end;
-              Telemetry.finish_span span
-                ~attrs:
-                  [
-                    ( "status",
-                      Telemetry.S
-                        (match vr.vr_status with
-                        | Auto -> "auto"
-                        | Hinted n -> Printf.sprintf "hinted:%d" n
-                        | Residual _ -> "residual"
-                        | Timed_out _ -> "timeout"
-                        | Discharged -> "discharged") );
-                    ("attempts", Telemetry.I vr.vr_attempts);
-                  ];
-              vr)
-          (filter_vcs sr.Vcgen.sr_vcs))
+        List.map (fun vc -> (sr, vc)) (filter_vcs sr.Vcgen.sr_vcs))
       gen.Vcgen.r_subs
+  in
+  let cfg_sig = lazy (config_signature ~policy ~cfg program) in
+  let slots = Array.make (List.length all) None in
+  let hits = ref 0 and misses = ref 0 in
+  (* coordinator-side pass: statically discharged VCs and cache hits are
+     settled here; everything else becomes a farm job *)
+  let pending = ref [] in
+  List.iteri
+    (fun i ((sr : Vcgen.sub_report), vc) ->
+      if List.mem vc.F.vc_name sr.Vcgen.sr_discharged then begin
+        if Telemetry.enabled () then Telemetry.count "an_vcs_discharged";
+        slots.(i) <-
+          Some
+            { vr_vc = vc; vr_status = Discharged; vr_attempts = 0;
+              vr_time = 0.0; vr_cached = false }
+      end
+      else
+        match cache with
+        | None -> pending := (i, sr, vc, None) :: !pending
+        | Some c -> (
+            let key = F.vc_digest vc ^ ":" ^ Lazy.force cfg_sig in
+            match Farm.Cache.lookup c key with
+            | Some e ->
+                incr hits;
+                let status = status_of_entry e in
+                if Telemetry.enabled () then begin
+                  Telemetry.count "cache_hits";
+                  count_status status
+                end;
+                slots.(i) <-
+                  Some
+                    { vr_vc = vc; vr_status = status;
+                      vr_attempts = e.Farm.Cache.en_attempts; vr_time = 0.0;
+                      vr_cached = true }
+            | None ->
+                incr misses;
+                if Telemetry.enabled () then Telemetry.count "cache_misses";
+                pending := (i, sr, vc, Some key) :: !pending))
+    all;
+  let pending = Array.of_list (List.rev !pending) in
+  (* dispatch cost-descending: the VC generator's unfolded node count is
+     the best available effort predictor *)
+  let priority (_, (sr : Vcgen.sub_report), vc, _) =
+    match List.assoc_opt vc.F.vc_name sr.Vcgen.sr_sizes with
+    | Some n -> n
+    | None ->
+        List.fold_left
+          (fun acc h -> acc + F.node_count h)
+          (F.node_count vc.F.vc_goal) vc.F.vc_hyps
+  in
+  let proved, _stats =
+    Farm.Pool.run ~jobs ~priority ~f:(fun (_, _, vc, _) -> prove_one vc) pending
+  in
+  (* reassemble in generation order and record fresh proofs — cache
+     writes stay on the coordinator, so the store needs no locking *)
+  Array.iteri
+    (fun k vr ->
+      let i, _, _, key = pending.(k) in
+      (match (cache, key, entry_of_result vr) with
+      | Some c, Some key, Some entry -> Farm.Cache.add c key entry
+      | _ -> ());
+      slots.(i) <- Some vr)
+    proved;
+  (match cache with
+  | Some c when !misses > 0 || Farm.Cache.size c > 0 -> (
+      match Farm.Cache.save c with
+      | Ok () -> ()
+      | Error msg ->
+          Telemetry.instant "cache_save_failed"
+            ~attrs:[ ("error", Telemetry.S msg) ])
+  | _ -> ());
+  let results =
+    Array.to_list slots
+    |> List.map (function
+         | Some vr -> vr
+         | None -> invalid_arg "Implementation_proof: unfilled VC slot")
   in
   let subs =
     List.map
@@ -216,20 +372,22 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ip_timed_out = count (fun r -> match r.vr_status with Timed_out _ -> true | _ -> false);
     ip_discharged = count (fun r -> r.vr_status = Discharged);
     ip_attempts = List.fold_left (fun acc r -> acc + r.vr_attempts) 0 results;
+    ip_cache_hits = !hits;
+    ip_cache_misses = !misses;
     ip_generated_nodes = Vcgen.total_nodes gen;
     ip_time = Logic.Clock.elapsed t0;
     ip_infeasible = gen.Vcgen.r_infeasible;
   }
 
 (** Run the implementation proof over an annotated, checked program. *)
-let run ?discharge ?budget ?max_steps env program : report =
+let run ?discharge ?budget ?max_steps ?jobs ?cache env program : report =
   run_with ~policy:(Retry.legacy_policy standard_hints) ?discharge ?budget
-    ?max_steps env program
+    ?max_steps ?jobs ?cache env program
 
 let run_resilient ?(policy = Retry.default_policy standard_hints) ?filter_vcs ?tune_cfg
-    ?give_up ?discharge ?budget ?max_steps env program : report =
+    ?give_up ?discharge ?budget ?max_steps ?jobs ?cache env program : report =
   run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?discharge ?budget ?max_steps
-    env program
+    ?jobs ?cache env program
 
 let pp_report ppf r =
   Fmt.pf ppf
@@ -239,7 +397,10 @@ let pp_report ppf r =
     (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d timed out" n)
     r.ip_timed_out
     (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d discharged by analysis" n)
-    r.ip_discharged (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time
+    r.ip_discharged (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time;
+  if r.ip_cache_hits > 0 then
+    Fmt.pf ppf "@,proof cache: %d hit(s), %d miss(es)" r.ip_cache_hits
+      r.ip_cache_misses
 
 let pp_details ppf r =
   pp_report ppf r;

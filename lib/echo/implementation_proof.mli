@@ -4,7 +4,18 @@
 
     Every VC climbs a {!Retry} ladder; [run] keeps the historical two-rung
     behaviour, [run_resilient] adds simplify-then-retry, per-VC deadlines
-    and the orchestrator/chaos hook points. *)
+    and the orchestrator/chaos hook points.
+
+    Both entry points take the proof-farm knobs: [?jobs] dispatches the
+    VCs cost-descending over a work-stealing domain pool, and [?cache]
+    consults (and extends) a persistent content-addressed proof cache
+    keyed by {!Logic.Formula.vc_digest} plus a prover-config/hint/
+    program-function signature.  Results are reassembled in generation
+    order and cache traffic stays on the coordinator domain, so verdicts
+    are bit-identical whatever the job count or cache temperature;
+    cache-replayed VCs are flagged [vr_cached] and counted in
+    [ip_cache_hits] rather than given a new status, so verdict totals
+    match cold runs exactly. *)
 
 open Minispark
 
@@ -21,6 +32,7 @@ type vc_result = {
   vr_status : vc_status;
   vr_attempts : int;     (** ladder attempts spent on this VC *)
   vr_time : float;
+  vr_cached : bool;      (** replayed from the proof cache, prover skipped *)
 }
 
 type sub_stats = {
@@ -43,6 +55,8 @@ type report = {
   ip_timed_out : int;
   ip_discharged : int;   (** statically discharged, never sent to prover *)
   ip_attempts : int;     (** ladder attempts across all VCs *)
+  ip_cache_hits : int;   (** VCs replayed from the proof cache *)
+  ip_cache_misses : int; (** VCs sent to the prover despite an open cache *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
@@ -65,6 +79,7 @@ val standard_hints : Logic.Prover.hint list
 val run :
   ?discharge:(Logic.Formula.vc -> bool) ->
   ?budget:Vcgen.budget -> ?max_steps:int ->
+  ?jobs:int -> ?cache:Farm.Cache.t ->
   Typecheck.env -> Ast.program -> report
 (** Legacy ladder (automatic, then hinted) with no deadlines — the §6.2.3
     accounting baseline.  [discharge] is the static-analysis oracle
@@ -79,6 +94,7 @@ val run_resilient :
   ?give_up:(unit -> bool) ->
   ?discharge:(Logic.Formula.vc -> bool) ->
   ?budget:Vcgen.budget -> ?max_steps:int ->
+  ?jobs:int -> ?cache:Farm.Cache.t ->
   Typecheck.env -> Ast.program -> report
 (** The orchestrated form: configurable retry ladder, and hook points for
     VC-list filtering and prover-config tuning (used by the chaos

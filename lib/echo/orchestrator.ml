@@ -28,6 +28,11 @@ let no_hooks =
     h_lemmas = (fun ls -> ls);
   }
 
+type cache_mode =
+  | Cache_default
+  | Cache_dir of string
+  | Cache_off
+
 type config = {
   oc_run_dir : string option;
   oc_global_deadline_s : float option;
@@ -36,6 +41,8 @@ type config = {
   oc_max_steps : int;
   oc_budget : Vcgen.budget;
   oc_analyze : bool;
+  oc_jobs : int;
+  oc_cache : cache_mode;
   oc_hooks : hooks;
 }
 
@@ -48,8 +55,20 @@ let default_config =
     oc_max_steps = 60_000;
     oc_budget = Vcgen.default_budget;
     oc_analyze = false;
+    oc_jobs = 1;
+    oc_cache = Cache_default;
     oc_hooks = no_hooks;
   }
+
+(* effective cache directory: an explicit [--cache-dir] wins; otherwise
+   the cache lives beside the checkpoints so [--resume] inherits it; no
+   run dir and no explicit dir means no persistence to offer *)
+let cache_dir_of cfg =
+  match cfg.oc_cache with
+  | Cache_off -> None
+  | Cache_dir d -> Some d
+  | Cache_default ->
+      Option.map (fun d -> Filename.concat d "proof-cache") cfg.oc_run_dir
 
 type stage_status =
   | St_ok of { st_time : float; st_from_checkpoint : bool }
@@ -305,13 +324,19 @@ let stage_impl st ~discharge env annotated =
       | _ -> None)
     ~body:(fun () ->
       let policy = Retry.with_deadline st.cfg.oc_vc_deadline_s st.cfg.oc_retry in
+      let cache = Option.map (fun dir -> Farm.Cache.open_ ~dir) (cache_dir_of st.cfg) in
       let report =
         Implementation_proof.run_resilient ~policy
           ~filter_vcs:st.cfg.oc_hooks.h_vcs ~tune_cfg:st.cfg.oc_hooks.h_prover
           ~give_up:(fun () -> global_expired st)
-          ?discharge ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps env
-          annotated
+          ?discharge ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps
+          ~jobs:st.cfg.oc_jobs ?cache env annotated
       in
+      (match report.Implementation_proof.ip_cache_hits with
+      | 0 -> ()
+      | hits ->
+          note st "proof cache: %d of %d VC(s) replayed" hits
+            report.Implementation_proof.ip_total);
       save_checkpoint st CK.S_impl (CK.P_impl report);
       report)
 

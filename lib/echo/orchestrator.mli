@@ -29,6 +29,16 @@ type hooks = {
 
 val no_hooks : hooks
 
+(** Where the persistent proof cache lives.  [Cache_default] puts it in
+    [<run-dir>/proof-cache] when a run directory is configured (so a
+    [--resume] run inherits the interrupted run's proofs) and disables it
+    otherwise; [Cache_dir] pins an explicit directory shared across runs;
+    [Cache_off] never consults or writes a cache. *)
+type cache_mode =
+  | Cache_default
+  | Cache_dir of string
+  | Cache_off
+
 type config = {
   oc_run_dir : string option;        (** checkpoint directory; [None] = no checkpoints *)
   oc_global_deadline_s : float option;  (** whole-pipeline wall-clock budget *)
@@ -41,6 +51,12 @@ type config = {
           the implementation proof; error diagnostics fail the run
           ({!Fault.Analysis}) and interval analysis pre-discharges
           exception-freedom VCs so the ladder never schedules them *)
+  oc_jobs : int;
+      (** proof-farm width for the implementation proof: number of
+          domains dispatching VCs cost-descending with work stealing;
+          [1] (the default) runs inline.  Verdicts are identical for any
+          value *)
+  oc_cache : cache_mode;  (** persistent proof-cache placement *)
   oc_hooks : hooks;
 }
 

@@ -70,8 +70,9 @@ let empty_theory = { Specl.Sast.th_name = "<not-reached>"; th_types = []; th_def
 let empty_history () = Refactor.History.create empty_env empty_program
 
 (** Run the full Echo process for a case study.  Never raises: stage
-    faults are folded into the verdict. *)
-let run ?(analyze = false) (cs : case_study) : report =
+    faults are folded into the verdict.  [jobs]/[cache_dir] are the
+    proof-farm knobs, passed through to the implementation proof. *)
+let run ?(analyze = false) ?jobs ?cache_dir (cs : case_study) : report =
   let t0 = Logic.Clock.now () in
   let root_span =
     Telemetry.start_span ~cat:Telemetry.cat_pipeline
@@ -158,7 +159,11 @@ let run ?(analyze = false) (cs : case_study) : report =
               in
               match
                 guarded "implementation-proof" (fun () ->
-                    Implementation_proof.run ?discharge env annotated)
+                    let cache =
+                      Option.map (fun dir -> Farm.Cache.open_ ~dir) cache_dir
+                    in
+                    Implementation_proof.run ?discharge ?jobs ?cache env
+                      annotated)
               with
               | Error f ->
                   finish ~history ~final ~annotated ?analysis

@@ -47,7 +47,7 @@ type report = {
   p_time : float;                 (** wall-clock seconds, whole pipeline *)
 }
 
-val run : ?analyze:bool -> case_study -> report
+val run : ?analyze:bool -> ?jobs:int -> ?cache_dir:string -> case_study -> report
 (** Run the full Echo process.  Never raises: every stage body runs under
     {!Fault.guard}.  A refactoring step whose mechanical applicability
     check rejects (the §7 experiments catch seeded defects this way), an
@@ -61,7 +61,12 @@ val run : ?analyze:bool -> case_study -> report
     between annotation and the implementation proof: error-severity flow
     diagnostics abort with a [Failed] verdict ({!Fault.Analysis}), and
     interval analysis statically discharges exception-freedom VCs so the
-    retry ladder never schedules them. *)
+    retry ladder never schedules them.
+
+    [jobs] (default 1) dispatches the implementation-proof VCs over a
+    work-stealing domain pool; [cache_dir] opens the persistent proof
+    cache there, so a re-run after a refactoring block only re-proves
+    VCs whose formulas changed.  Neither affects the verdict. *)
 
 val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

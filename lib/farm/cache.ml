@@ -1,0 +1,147 @@
+(* Persistent content-addressed proof cache — see cache.mli.
+
+   The index is JSONL: a header line {"format":"echo-proof-cache v1"},
+   then {"key":..,"status":..,"attempts":..,"time":..[,"arg":..]} lines.
+   Loading is tolerant (bad lines are skipped, a wrong header empties the
+   cache) because a cache can only ever be an accelerator: losing entries
+   costs re-proving, never soundness. *)
+
+module Json = Telemetry.Json
+
+type entry_status =
+  | E_auto
+  | E_hinted of int
+  | E_residual of string
+
+type entry = {
+  en_status : entry_status;
+  en_attempts : int;
+  en_time : float;
+}
+
+type t = {
+  c_dir : string;
+  c_entries : (string, entry) Hashtbl.t;
+}
+
+let format_version = "echo-proof-cache v1"
+
+let index_file dir = Filename.concat dir "index.jsonl"
+
+let dir t = t.c_dir
+let size t = Hashtbl.length t.c_entries
+let lookup t key = Hashtbl.find_opt t.c_entries key
+let add t key entry = Hashtbl.replace t.c_entries key entry
+
+let entry_to_json key e =
+  let status, arg =
+    match e.en_status with
+    | E_auto -> ("auto", [])
+    | E_hinted n -> ("hinted", [ ("arg", Json.Int n) ])
+    | E_residual r -> ("residual", [ ("arg", Json.String r) ])
+  in
+  Json.Obj
+    ([ ("key", Json.String key);
+       ("status", Json.String status);
+       ("attempts", Json.Int e.en_attempts);
+       ("time", Json.Float e.en_time) ]
+    @ arg)
+
+let entry_of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None in
+  let num k =
+    match Json.member k j with
+    | Some (Json.Float v) -> Some v
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ -> None
+  in
+  match (str "key", str "status", int "attempts", num "time") with
+  | Some key, Some status, Some attempts, Some time -> (
+      let mk st = Some (key, { en_status = st; en_attempts = attempts; en_time = time }) in
+      match status with
+      | "auto" -> mk E_auto
+      | "hinted" -> ( match int "arg" with Some n -> mk (E_hinted n) | None -> None)
+      | "residual" -> ( match str "arg" with Some r -> mk (E_residual r) | None -> None)
+      | _ -> None)
+  | _ -> None
+
+let load_into entries path =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (* header line must name a format we understand *)
+          let header_ok =
+            match input_line ic with
+            | line -> (
+                match Json.of_string line with
+                | Ok j -> (
+                    match Json.member "format" j with
+                    | Some (Json.String v) -> v = format_version
+                    | _ -> false)
+                | Error _ -> false)
+            | exception End_of_file -> false
+          in
+          if header_ok then
+            let rec go () =
+              match input_line ic with
+              | line ->
+                  (if String.trim line <> "" then
+                     match Json.of_string line with
+                     | Ok j -> (
+                         match entry_of_json j with
+                         | Some (key, e) -> Hashtbl.replace entries key e
+                         | None -> ())
+                     | Error _ -> ());
+                  go ()
+              | exception End_of_file -> ()
+            in
+            go ())
+
+let open_ ~dir =
+  let entries = Hashtbl.create 256 in
+  load_into entries (index_file dir);
+  { c_dir = dir; c_entries = entries }
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let save t =
+  try
+    mkdir_p t.c_dir;
+    (* merge what another (e.g. interrupted) run wrote since we opened:
+       on-disk entries we don't have locally are kept *)
+    let disk = Hashtbl.create 16 in
+    load_into disk (index_file t.c_dir);
+    Hashtbl.iter
+      (fun k e ->
+        if not (Hashtbl.mem t.c_entries k) then Hashtbl.replace t.c_entries k e)
+      disk;
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.c_entries []
+      |> List.sort String.compare
+    in
+    let tmp = index_file t.c_dir ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Json.to_string (Json.Obj [ ("format", Json.String format_version) ]));
+        output_char oc '\n';
+        List.iter
+          (fun k ->
+            output_string oc
+              (Json.to_string (entry_to_json k (Hashtbl.find t.c_entries k)));
+            output_char oc '\n')
+          keys);
+    Sys.rename tmp (index_file t.c_dir);
+    Ok ()
+  with Sys_error msg -> Error msg

@@ -1,0 +1,51 @@
+(** Persistent content-addressed proof cache.
+
+    Maps a {e key} — the canonical digest of a VC's formula content plus
+    a signature of everything else that can change its provability
+    (prover config, retry-ladder rungs, hints, program function bodies;
+    the caller composes the key, see {!Echo.Implementation_proof}) — to
+    the recorded proof outcome.  A re-verify after a refactoring block
+    then only re-proves VCs whose formulas actually changed.
+
+    Storage is one JSONL index file ([index.jsonl]) under the cache
+    directory: a header line naming the format version, then one entry
+    per line.  {!save} writes to a temp file and renames, so a crashed
+    run leaves the previous index intact; {!open_} merges what is already
+    on disk (how a [--resume] run inherits the interrupted run's proofs)
+    and tolerates unreadable or foreign lines by skipping them — a
+    corrupt cache can cost hits, never correctness.
+
+    Timed-out outcomes are deliberately {e not} representable: a timeout
+    depends on the wall clock, not the VC, so replaying it from a cache
+    would make verdicts machine-dependent. *)
+
+type entry_status =
+  | E_auto                 (** discharged on the automatic rung *)
+  | E_hinted of int        (** discharged after this many hints *)
+  | E_residual of string   (** not dischargeable; residual goal *)
+
+type entry = {
+  en_status : entry_status;
+  en_attempts : int;  (** ladder attempts consumed when first proved *)
+  en_time : float;    (** prover seconds spent when first proved *)
+}
+
+type t
+
+val open_ : dir:string -> t
+(** Load (or start) the cache rooted at [dir].  The directory is created
+    on {!save}, not here; a missing or unreadable index yields an empty
+    cache. *)
+
+val dir : t -> string
+val size : t -> int
+val lookup : t -> string -> entry option
+
+val add : t -> string -> entry -> unit
+(** Record an outcome under a key (replacing any previous entry).  Not
+    thread-safe: the farm coordinator is the only writer. *)
+
+val save : t -> (unit, string) result
+(** Atomically persist the index (temp file + rename). *)
+
+val format_version : string

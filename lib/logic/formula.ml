@@ -142,6 +142,70 @@ let to_string t = Fmt.str "%a" pp t
 let byte_size t = String.length (to_string t)
 
 (* ------------------------------------------------------------------ *)
+(* Canonical serialization and content digests                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The printed form is ambiguous — [Var "f()"] and [App (Uf "f", [])]
+   render identically — so the proof cache keys on an injective encoding
+   instead: every constructor gets a distinct tag, integers are
+   ';'-terminated, strings are length-prefixed, and argument lists carry
+   their arity.  Two terms serialize equally iff they are structurally
+   equal. *)
+
+let add_int buf n =
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_op buf op =
+  let c t = Buffer.add_char buf t in
+  let ci t m = Buffer.add_char buf t; add_int buf m in
+  match op with
+  | Add -> c 'a' | Sub -> c 'b' | Mul -> c 'c' | Div -> c 'd' | Mod_op -> c 'e'
+  | Neg -> c 'f'
+  | Eq -> c 'g' | Ne -> c 'h' | Lt -> c 'i' | Le -> c 'j' | Gt -> c 'k' | Ge -> c 'l'
+  | And -> c 'm' | Or -> c 'n' | Not -> c 'o' | Implies -> c 'p'
+  | Band m -> ci 'q' m | Bor m -> ci 'r' m | Bxor m -> ci 's' m | Bnot m -> ci 't' m
+  | Shl m -> ci 'u' m | Shr m -> ci 'v' m
+  | Wrap m -> ci 'w' m
+  | Select -> c 'x' | Store -> c 'y'
+  | Arrlit lo -> ci 'z' lo
+  | Uf name -> c 'U'; add_str buf name
+
+let rec add_term buf t =
+  match t with
+  | Int n -> Buffer.add_char buf 'I'; add_int buf n
+  | Bool true -> Buffer.add_char buf 'T'
+  | Bool false -> Buffer.add_char buf 'F'
+  | Var x -> Buffer.add_char buf 'V'; add_str buf x
+  | App (op, args) ->
+      Buffer.add_char buf 'A';
+      add_op buf op;
+      add_int buf (List.length args);
+      List.iter (add_term buf) args
+  | Ite (c, a, b) ->
+      Buffer.add_char buf '?';
+      add_term buf c; add_term buf a; add_term buf b
+  | Forall (x, lo, hi, body) ->
+      Buffer.add_char buf '!';
+      add_str buf x;
+      add_term buf lo; add_term buf hi; add_term buf body
+  | Exists (x, lo, hi, body) ->
+      Buffer.add_char buf 'E';
+      add_str buf x;
+      add_term buf lo; add_term buf hi; add_term buf body
+
+let serialize t =
+  let buf = Buffer.create 1024 in
+  add_term buf t;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (serialize t))
+
+(* ------------------------------------------------------------------ *)
 (* Verification conditions                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -189,6 +253,18 @@ let vc_line_count vc =
     (fun acc h -> acc + 1 + (byte_size h / line_width))
     (1 + (byte_size vc.vc_goal / line_width))
     vc.vc_hyps
+
+(* Hypotheses are serialized as an explicit list (order and grouping both
+   matter to the proof search, so [vc_formula]'s conjunction — which
+   conflates [H: a and b] with [H: a, H: b] — is not used here).  The
+   name, subprogram and kind are labels, not proof inputs: renaming a VC
+   must still hit the cache. *)
+let vc_digest vc =
+  let buf = Buffer.create 4096 in
+  add_int buf (List.length vc.vc_hyps);
+  List.iter (add_term buf) vc.vc_hyps;
+  add_term buf vc.vc_goal;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let pp_vc ppf vc =
   Fmt.pf ppf "@[<v>%s [%s]@,%a@,|- %a@]" vc.vc_name (vc_kind_name vc.vc_kind)

@@ -73,6 +73,19 @@ val to_string : t -> string
 val byte_size : t -> int
 (** Byte size of the printed form. *)
 
+(** {1 Canonical serialization and content digests}
+
+    The printed form is ambiguous ([Var "f()"] and [App (Uf "f", [])]
+    render identically), so content addressing uses an injective binary
+    encoding: [serialize a = serialize b] iff [a] and [b] are
+    structurally equal. *)
+
+val serialize : t -> string
+(** Deterministic, injective encoding of the term. *)
+
+val digest : t -> string
+(** Hex digest of {!serialize} — the content address of a formula. *)
+
 (** {1 Verification conditions} *)
 
 type vc_kind =
@@ -100,6 +113,12 @@ val vc_formula : vc -> t
 (** The VC as one closed formula: hypotheses imply goal. *)
 
 val vc_byte_size : vc -> int
+
+val vc_digest : vc -> string
+(** Content address of a VC's proof inputs: the hypothesis list (order
+    preserved — it matters to the search) and the goal.  The name,
+    subprogram and kind are labels and excluded, so a renamed but
+    otherwise unchanged VC keeps its digest. *)
 
 val vc_line_count : vc -> int
 (** Printed lines of one VC — the paper's "maximum length of verification

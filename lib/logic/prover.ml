@@ -52,7 +52,16 @@ let default_config =
    [Timeout]. *)
 exception Deadline_hit
 
-let deadline_abs = ref infinity
+(* Per-[prove_vc] search state, threaded through the recursive search so
+   concurrent provers on separate domains never share a counter or a
+   deadline — the proof farm runs one [prove_vc] per worker.  [sx_steps]
+   resets per capability rung; [sx_consts] resets per VC so skolem names
+   (and hence outcomes) are deterministic whatever ran before. *)
+type session = {
+  sx_deadline : float;     (* absolute Clock deadline, [infinity] = none *)
+  mutable sx_steps : int;
+  mutable sx_consts : int;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Ground evaluation                                                   *)
@@ -415,12 +424,9 @@ let bounds_of hyps x =
     hyps;
   match (!lo, !hi) with Some l, Some h -> Some (l, h) | _ -> None
 
-let steps = ref 0
-let const_counter = ref 0
-
-let fresh_const base =
-  incr const_counter;
-  Printf.sprintf "%s!%d" base !const_counter
+let fresh_const sx base =
+  sx.sx_consts <- sx.sx_consts + 1;
+  Printf.sprintf "%s!%d" base sx.sx_consts
 
 (* Capabilities enabled by interactive hints.  Automatic proof runs with
    both disabled; each hint in the list passed to [prove_vc] switches one
@@ -483,10 +489,10 @@ let find_store_conflict goal =
     goal;
   !found
 
-let rec prove_goal cfg caps depth hyps goal : outcome =
-  incr steps;
-  if !steps land 15 = 0 && Clock.now () > !deadline_abs then raise Deadline_hit;
-  if !steps > cfg.max_steps then Unknown "step budget exhausted"
+let rec prove_goal sx cfg caps depth hyps goal : outcome =
+  sx.sx_steps <- sx.sx_steps + 1;
+  if sx.sx_steps land 15 = 0 && Clock.now () > sx.sx_deadline then raise Deadline_hit;
+  if sx.sx_steps > cfg.max_steps then Unknown "step budget exhausted"
   else if depth <= 0 then Unknown "depth budget exhausted"
   else
     let goal = Simplify.simplify goal in
@@ -494,13 +500,13 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
     | Bool true -> Proved
     | Bool false -> Unknown "goal is false"
     | App (Implies, [ a; b ]) ->
-        prove_goal cfg caps depth (Simplify.flatten_chain And (Simplify.simplify a) @ hyps) b
+        prove_goal sx cfg caps depth (Simplify.flatten_chain And (Simplify.simplify a) @ hyps) b
     | App (Or, [ a; b ]) -> (
-        match prove_goal cfg caps (depth - 1) hyps a with
+        match prove_goal sx cfg caps (depth - 1) hyps a with
         | Proved -> Proved
         | _ -> (
             let not_a = Simplify.simplify (App (Not, [ a ])) in
-            match prove_goal cfg caps (depth - 1) (not_a :: hyps) b with
+            match prove_goal sx cfg caps (depth - 1) (not_a :: hyps) b with
             | Proved -> Proved
             | other -> other))
     | Forall (x, lo, hi, body) -> (
@@ -511,7 +517,7 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
           let split =
             if caps.c_induction then
               match split_last_index reduced with
-              | Some g -> prove_goal cfg caps (depth - 1) hyps g
+              | Some g -> prove_goal sx cfg caps (depth - 1) hyps g
               | None -> Unknown "no split"
             else Unknown "induction not enabled"
           in
@@ -519,23 +525,23 @@ let rec prove_goal cfg caps depth hyps goal : outcome =
           | Proved -> Proved
           | _ ->
               (* intro a fresh constant for the bound variable *)
-              let c = fresh_const x in
+              let c = fresh_const sx x in
               let hyps' = App (Ge, [ Var c; lo ]) :: App (Le, [ Var c; hi ]) :: hyps in
-              prove_goal cfg caps (depth - 1) hyps' (Formula.subst x (Var c) body))
+              prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (Var c) body))
     | _ -> (
         match split_conjuncts goal with
-        | [ _ ] -> prove_atomic cfg caps depth hyps goal
+        | [ _ ] -> prove_atomic sx cfg caps depth hyps goal
         | parts ->
             let rec all = function
               | [] -> Proved
               | p :: rest -> (
-                  match prove_goal cfg caps depth hyps p with
+                  match prove_goal sx cfg caps depth hyps p with
                   | Proved -> all rest
                   | other -> other)
             in
             all parts)
 
-and prove_atomic cfg caps depth hyps goal : outcome =
+and prove_atomic sx cfg caps depth hyps goal : outcome =
   (* 1. syntactic entailment *)
   if List.mem goal hyps then Proved
   else
@@ -580,9 +586,9 @@ and prove_atomic cfg caps depth hyps goal : outcome =
                 let after_inst =
                   if caps.c_instantiate && List.exists (function Forall _ -> true | _ -> false) hyps
                   then
-                    let hyps' = discharge_guards cfg caps depth (instantiate_hyps hyps goal') in
+                    let hyps' = discharge_guards sx cfg caps depth (instantiate_hyps hyps goal') in
                     if hyps' <> hyps then
-                      prove_with_hyps cfg caps (depth - 1) hyps' goal'
+                      prove_with_hyps sx cfg caps (depth - 1) hyps' goal'
                     else Unknown "nothing to instantiate"
                   else Unknown "instantiation not enabled"
                 in
@@ -593,15 +599,15 @@ and prove_atomic cfg caps depth hyps goal : outcome =
                     let after_store =
                       if caps.c_induction then
                         match find_store_conflict goal' with
-                        | Some (i, j) -> store_case_split cfg caps depth hyps goal' i j
+                        | Some (i, j) -> store_case_split sx cfg caps depth hyps goal' i j
                         | None -> Unknown "no store conflict"
                       else Unknown "store split not enabled"
                     in
                     match after_store with
                     | Proved -> Proved
-                    | _ -> case_split cfg caps depth hyps goal'))
+                    | _ -> case_split sx cfg caps depth hyps goal'))
 
-and prove_with_hyps cfg caps depth hyps goal =
+and prove_with_hyps sx cfg caps depth hyps goal =
   (* retry the cheap stages with enriched hypotheses *)
   if List.mem goal hyps then Proved
   else
@@ -617,9 +623,9 @@ and prove_with_hyps cfg caps depth hyps goal =
             fm_unsat (List.length (vars_of_constrs cs) + 8) cs
         | None -> ( match goal' with App (Eq, _) -> fm_implies hyps goal' | _ -> false)
       in
-      if lin_ok then Proved else case_split cfg caps depth hyps goal'
+      if lin_ok then Proved else case_split sx cfg caps depth hyps goal'
 
-and store_case_split cfg caps depth hyps goal i j =
+and store_case_split sx cfg caps depth hyps goal i j =
   let branches =
     [ App (Eq, [ i; j ]); App (Lt, [ i; j ]); App (Gt, [ i; j ]) ]
   in
@@ -634,19 +640,19 @@ and store_case_split cfg caps depth hyps goal i j =
         in
         if infeasible then all rest
         else
-          match prove_goal cfg caps (depth - 1) hyps' goal with
+          match prove_goal sx cfg caps (depth - 1) hyps' goal with
           | Proved -> all rest
           | other -> other)
   in
   all branches
 
-and discharge_guards cfg _caps depth hyps =
+and discharge_guards sx cfg _caps depth hyps =
   List.map
     (fun h ->
       match h with
       | App (Implies, [ guard; body ]) -> (
           match
-            prove_goal cfg no_caps (depth - 1)
+            prove_goal sx cfg no_caps (depth - 1)
               (List.filter (fun x -> x <> h) hyps)
               guard
           with
@@ -655,7 +661,7 @@ and discharge_guards cfg _caps depth hyps =
       | h -> h)
     hyps
 
-and case_split cfg caps depth hyps goal : outcome =
+and case_split sx cfg caps depth hyps goal : outcome =
   (* bounded enumeration of a range-constrained free variable: variables of
      the goal first, then variables its hypotheses depend on (a bound like
      [r <= (nr - 10) / 2] only becomes usable once nr is concrete) *)
@@ -701,7 +707,7 @@ and case_split cfg caps depth hyps goal : outcome =
           let hyps' = List.map inst hyps in
           if List.mem (Bool false) hyps' then all (i + 1) (* infeasible case *)
           else
-            match prove_goal cfg caps (depth - 1) hyps' (Formula.subst x (Int i) goal) with
+            match prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (Int i) goal) with
             | Proved -> all (i + 1)
             | other -> other
       in
@@ -735,9 +741,10 @@ type proof_result = {
 let max_depth = 18
 
 let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
-  steps := 0;
   let t0 = Clock.now () in
-  deadline_abs := Clock.deadline cfg.deadline_s;
+  let sx =
+    { sx_deadline = Clock.deadline cfg.deadline_s; sx_steps = 0; sx_consts = 0 }
+  in
   let vc = Simplify.simplify_vc vc in
   (* unfold hints are structural rewrites, applied before proof *)
   let unfolds =
@@ -770,21 +777,21 @@ let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
   let with_unfold_step = unfolds <> [] in
   let hyps0 = List.map apply_unfolds vc.vc_hyps in
   let goal0 = apply_unfolds vc.vc_goal in
-  (* [steps] is reset per capability level; accumulate the total search
+  (* [sx_steps] is reset per capability level; accumulate the total search
      effort across the whole ladder for profiling *)
   let total_steps = ref 0 in
   let rec try_ladder used = function
     | [] -> (Unknown "all capability levels exhausted", used)
     | caps :: rest -> (
-        steps := 0;
+        sx.sx_steps <- 0;
         let result =
-          match prove_goal cfg caps max_depth hyps0 goal0 with
+          match prove_goal sx cfg caps max_depth hyps0 goal0 with
           | r -> r
           | exception e ->
-              total_steps := !total_steps + !steps;
+              total_steps := !total_steps + sx.sx_steps;
               raise e
         in
-        total_steps := !total_steps + !steps;
+        total_steps := !total_steps + sx.sx_steps;
         match result with
         | Proved -> (Proved, used + if with_unfold_step then 1 else 0)
         | Timeout _ -> assert false (* prove_goal signals via Deadline_hit *)

@@ -257,10 +257,13 @@ let step t =
 let max_passes = 12
 
 (* cumulative count of productive rewrite passes, for profiling: telemetry
-   reads deltas around proof attempts to attribute simplifier effort *)
-let passes = ref 0
+   reads deltas around proof attempts to attribute simplifier effort.
+   Atomic, because the proof farm simplifies on several domains at once;
+   per-attempt deltas are then only approximate under concurrency, but
+   the process total stays exact. *)
+let passes = Atomic.make 0
 
-let rewrite_passes () = !passes
+let rewrite_passes () = Atomic.get passes
 
 let simplify t =
   let rec fixpoint n t =
@@ -269,7 +272,7 @@ let simplify t =
       let t' = Formula.map step t in
       if t' = t then t
       else begin
-        incr passes;
+        Atomic.incr passes;
         fixpoint (n + 1) t'
       end
   in

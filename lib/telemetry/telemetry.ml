@@ -4,7 +4,15 @@
    reads a single bool ref before doing anything, so instrumentation left
    in place costs nothing on uninstrumented runs.  Timestamps come from
    Logic.Clock, so scripted test clocks make traces deterministic and a
-   stepping wall clock cannot produce negative durations. *)
+   stepping wall clock cannot produce negative durations.
+
+   The proof farm records from several domains at once, so the collector
+   is domain-safe: the finished-event list and the metrics tables sit
+   behind one mutex, span ids come from an atomic counter, and the
+   open-span stack is domain-local (Domain.DLS) — a worker's spans nest
+   under that worker's own stack, and closing a span can never unwind
+   another domain's.  Cross-domain nesting is explicit: a spawning site
+   passes its span id as [?parent] for the worker's root span. *)
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -259,6 +267,7 @@ let cat_transform = "transform"
 let cat_vc = "vc"
 let cat_rung = "rung"
 let cat_lemma = "lemma"
+let cat_worker = "worker"
 
 (* ------------------------------------------------------------------ *)
 (* Collector state                                                     *)
@@ -284,8 +293,6 @@ type open_span = {
 
 type state = {
   mutable on : bool;
-  mutable next_id : int;
-  mutable stack : open_span list;  (* innermost first *)
   mutable finished : event list;   (* completion order, newest first *)
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
@@ -295,23 +302,40 @@ type state = {
 let st =
   {
     on = false;
-    next_id = 1;
-    stack = [];
     finished = [];
     counters = Hashtbl.create 17;
     gauges = Hashtbl.create 17;
     histograms = Hashtbl.create 17;
   }
 
+(* guards [st.finished] and the metrics tables; span ids are atomic so the
+   hot "allocate an id" path never queues behind an exporter *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let next_id = Atomic.make 1
+
+(* Innermost-first stack of open spans, one per domain: a worker's spans
+   nest under its own ancestry and [finish_span]'s unwind can only close
+   spans this domain opened. *)
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
 let enabled () = st.on
 
 let reset () =
-  st.next_id <- 1;
-  st.stack <- [];
-  st.finished <- [];
-  Hashtbl.reset st.counters;
-  Hashtbl.reset st.gauges;
-  Hashtbl.reset st.histograms
+  Atomic.set next_id 1;
+  (stack ()) := [];
+  locked (fun () ->
+      st.finished <- [];
+      Hashtbl.reset st.counters;
+      Hashtbl.reset st.gauges;
+      Hashtbl.reset st.histograms)
 
 let enable () =
   reset ();
@@ -323,22 +347,26 @@ let disable () = st.on <- false
 let merge_attrs old extra =
   List.filter (fun (k, _) -> not (List.mem_assoc k extra)) old @ extra
 
-let start_span ?(cat = "") ?(attrs = []) name =
+let start_span ?(cat = "") ?(attrs = []) ?parent name =
   if not st.on then 0
   else begin
-    let id = st.next_id in
-    st.next_id <- id + 1;
-    let parent = match st.stack with [] -> 0 | os :: _ -> os.os_id in
-    st.stack <-
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stk = stack () in
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> ( match !stk with [] -> 0 | os :: _ -> os.os_id)
+    in
+    stk :=
       { os_id = id; os_parent = parent; os_name = name; os_cat = cat;
         os_start = Logic.Clock.now (); os_attrs = attrs }
-      :: st.stack;
+      :: !stk;
     id
   end
 
 let close_open ?(attrs = []) os =
   let t = Logic.Clock.now () in
-  st.finished <-
+  let span =
     Span
       {
         sp_id = os.os_id;
@@ -349,10 +377,12 @@ let close_open ?(attrs = []) os =
         sp_dur = Float.max 0.0 (t -. os.os_start);
         sp_attrs = merge_attrs os.os_attrs attrs;
       }
-    :: st.finished
+  in
+  locked (fun () -> st.finished <- span :: st.finished)
 
 let finish_span ?(attrs = []) id =
-  if st.on && id <> 0 && List.exists (fun os -> os.os_id = id) st.stack then begin
+  let stk = stack () in
+  if st.on && id <> 0 && List.exists (fun os -> os.os_id = id) !stk then begin
     (* close abandoned inner spans too: an exception that escaped a nested
        instrumentation site must not corrupt the tree *)
     let rec unwind = function
@@ -367,19 +397,21 @@ let finish_span ?(attrs = []) id =
             unwind rest
           end
     in
-    st.stack <- unwind st.stack
+    stk := unwind !stk
   end
+
+let current_span () = match !(stack ()) with [] -> 0 | os :: _ -> os.os_id
 
 let annotate attrs =
   if st.on then
-    match st.stack with
+    match !(stack ()) with
     | [] -> ()
     | os :: _ -> os.os_attrs <- merge_attrs os.os_attrs attrs
 
-let with_span ?cat ?attrs name f =
+let with_span ?cat ?attrs ?parent name f =
   if not st.on then f ()
   else
-    let id = start_span ?cat ?attrs name in
+    let id = start_span ?cat ?attrs ?parent name in
     match f () with
     | v ->
         finish_span id;
@@ -390,19 +422,21 @@ let with_span ?cat ?attrs name f =
 
 let instant ?(cat = "") ?(attrs = []) name =
   if st.on then
-    st.finished <-
+    let ev =
       Instant
         { ev_name = name; ev_cat = cat; ev_time = Logic.Clock.now (); ev_attrs = attrs }
-      :: st.finished
+    in
+    locked (fun () -> st.finished <- ev :: st.finished)
 
 let event_time = function
   | Span { sp_start; _ } -> sp_start
   | Instant { ev_time; _ } -> ev_time
 
 let events () =
+  let evs = locked (fun () -> st.finished) in
   List.stable_sort
     (fun a b -> Float.compare (event_time a) (event_time b))
-    (List.rev st.finished)
+    (List.rev evs)
 
 let ingest evs =
   let max_id =
@@ -410,8 +444,10 @@ let ingest evs =
       (fun acc e -> match e with Span { sp_id; _ } -> max acc sp_id | Instant _ -> acc)
       0 evs
   in
-  if max_id >= st.next_id then st.next_id <- max_id + 1;
-  st.finished <- List.rev_append evs st.finished
+  (* racy CAS-free bump is fine: ingest happens on the coordinator before
+     workers exist *)
+  if max_id >= Atomic.get next_id then Atomic.set next_id (max_id + 1);
+  locked (fun () -> st.finished <- List.rev_append evs st.finished)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
@@ -419,51 +455,53 @@ let ingest evs =
 
 let count ?(by = 1) name =
   if st.on then
-    match Hashtbl.find_opt st.counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add st.counters name (ref by)
+    locked (fun () ->
+        match Hashtbl.find_opt st.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add st.counters name (ref by))
 
 let gauge name v =
   if st.on then
-    match Hashtbl.find_opt st.gauges name with
-    | Some r -> r := v
-    | None -> Hashtbl.add st.gauges name (ref v)
+    locked (fun () ->
+        match Hashtbl.find_opt st.gauges name with
+        | Some r -> r := v
+        | None -> Hashtbl.add st.gauges name (ref v))
 
 let default_buckets =
   [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
 
 let observe ?(buckets = default_buckets) name v =
-  if st.on then begin
-    let h =
-      match Hashtbl.find_opt st.histograms name with
-      | Some h -> h
-      | None ->
-          let h =
-            {
-              hg_buckets = Array.copy buckets;
-              hg_counts = Array.make (Array.length buckets + 1) 0;
-              hg_sum = 0.0;
-              hg_count = 0;
-              hg_min = nan;
-              hg_max = nan;
-            }
-          in
-          Hashtbl.add st.histograms name h;
-          h
-    in
-    (* first bucket whose inclusive upper bound admits v; overflow last *)
-    let rec slot i =
-      if i >= Array.length h.hg_buckets then i
-      else if v <= h.hg_buckets.(i) then i
-      else slot (i + 1)
-    in
-    let i = slot 0 in
-    h.hg_counts.(i) <- h.hg_counts.(i) + 1;
-    h.hg_sum <- h.hg_sum +. v;
-    h.hg_count <- h.hg_count + 1;
-    h.hg_min <- (if h.hg_count = 1 then v else Float.min h.hg_min v);
-    h.hg_max <- (if h.hg_count = 1 then v else Float.max h.hg_max v)
-  end
+  if st.on then
+    locked (fun () ->
+        let h =
+          match Hashtbl.find_opt st.histograms name with
+          | Some h -> h
+          | None ->
+              let h =
+                {
+                  hg_buckets = Array.copy buckets;
+                  hg_counts = Array.make (Array.length buckets + 1) 0;
+                  hg_sum = 0.0;
+                  hg_count = 0;
+                  hg_min = nan;
+                  hg_max = nan;
+                }
+              in
+              Hashtbl.add st.histograms name h;
+              h
+        in
+        (* first bucket whose inclusive upper bound admits v; overflow last *)
+        let rec slot i =
+          if i >= Array.length h.hg_buckets then i
+          else if v <= h.hg_buckets.(i) then i
+          else slot (i + 1)
+        in
+        let i = slot 0 in
+        h.hg_counts.(i) <- h.hg_counts.(i) + 1;
+        h.hg_sum <- h.hg_sum +. v;
+        h.hg_count <- h.hg_count + 1;
+        h.hg_min <- (if h.hg_count = 1 then v else Float.min h.hg_min v);
+        h.hg_max <- (if h.hg_count = 1 then v else Float.max h.hg_max v))
 
 type histogram = {
   hs_buckets : float array;
@@ -485,20 +523,21 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
-  {
-    sn_counters = sorted_bindings st.counters (fun r -> !r);
-    sn_gauges = sorted_bindings st.gauges (fun r -> !r);
-    sn_histograms =
-      sorted_bindings st.histograms (fun h ->
-          {
-            hs_buckets = Array.copy h.hg_buckets;
-            hs_counts = Array.copy h.hg_counts;
-            hs_count = h.hg_count;
-            hs_sum = h.hg_sum;
-            hs_min = h.hg_min;
-            hs_max = h.hg_max;
-          });
-  }
+  locked (fun () ->
+      {
+        sn_counters = sorted_bindings st.counters (fun r -> !r);
+        sn_gauges = sorted_bindings st.gauges (fun r -> !r);
+        sn_histograms =
+          sorted_bindings st.histograms (fun h ->
+              {
+                hs_buckets = Array.copy h.hg_buckets;
+                hs_counts = Array.copy h.hg_counts;
+                hs_count = h.hg_count;
+                hs_sum = h.hg_sum;
+                hs_min = h.hg_min;
+                hs_max = h.hg_max;
+              });
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Event <-> JSON                                                      *)
@@ -883,6 +922,33 @@ module Summary = struct
         |> List.sort (fun (_, (_, a)) (_, (_, b)) -> Float.compare b a)
         |> List.iter (fun (rung, (n, time)) ->
                pr "    %-16s %6d attempts %10.3fs\n" rung n time));
+
+    (* proof farm: worker spans + cache counters *)
+    let workers = spans_of cat_worker evs in
+    let counter name =
+      match metrics with
+      | None -> None
+      | Some s -> List.assoc_opt name s.sn_counters
+    in
+    let hits = Option.value ~default:0 (counter "cache_hits") in
+    let misses = Option.value ~default:0 (counter "cache_misses") in
+    (match (workers, hits + misses) with
+    | [], 0 -> ()
+    | _ ->
+        section "proof farm";
+        List.iter
+          (fun (name, _, dur, attrs) ->
+            pr "  %-28s %8.3fs  %s job(s), %s stolen\n" name dur
+              (Option.value ~default:"?" (attr_string attrs "jobs"))
+              (Option.value ~default:"0" (attr_string attrs "steals")))
+          workers;
+        (match counter "farm_steals" with
+        | Some n -> pr "  steals total: %d\n" n
+        | None -> ());
+        if hits + misses > 0 then
+          pr "  proof cache: %d hit(s) / %d miss(es)  (%.1f%% hit rate)\n" hits
+            misses
+            (100.0 *. float_of_int hits /. float_of_int (hits + misses)));
 
     (* refactoring transformations *)
     let transforms = spans_of cat_transform evs in

@@ -14,8 +14,13 @@
 
     Collection is {b disabled by default}: every instrumentation entry
     point first reads one [bool ref], so uninstrumented runs pay no
-    measurable cost.  The collector is process-global and
-    single-threaded, like the pipeline it observes. *)
+    measurable cost.  The collector is process-global and {b domain-safe}:
+    the finished-event list and metrics tables are mutex-protected, span
+    ids come from an atomic counter, and each domain keeps its own
+    open-span stack — a proof-farm worker's spans nest under that
+    worker's own ancestry, and {!finish_span} can never unwind another
+    domain's spans.  Cross-domain nesting is explicit: a spawning site
+    passes {!current_span} as [?parent] for the worker's root span. *)
 
 (** Minimal JSON tree, printer and parser — enough for the exporters and
     for reading event logs back in [echo_cli report], without adding a
@@ -84,6 +89,9 @@ val cat_rung : string
 (** one implication lemma *)
 val cat_lemma : string
 
+(** one proof-farm worker domain *)
+val cat_worker : string
+
 (** {1 Collection control} *)
 
 val enabled : unit -> bool
@@ -101,17 +109,24 @@ val reset : unit -> unit
 
     All no-ops when collection is disabled. *)
 
-val start_span : ?cat:string -> ?attrs:attrs -> string -> int
-(** Open a span nested under the innermost open span; returns its id
-    (0 when disabled). *)
+val start_span : ?cat:string -> ?attrs:attrs -> ?parent:int -> string -> int
+(** Open a span nested under the innermost open span of the calling
+    domain — or under [?parent] when given (how a worker's root span
+    nests under the coordinator's dispatch span); returns its id (0 when
+    disabled). *)
 
 val finish_span : ?attrs:attrs -> int -> unit
 (** Close the span with the given id, merging [attrs] into it.  Any
-    still-open spans nested inside it are closed too (defensive: an
-    escaping exception must not corrupt the tree).  Unknown or 0 ids are
-    ignored. *)
+    still-open spans nested inside it {e on the calling domain} are
+    closed too (defensive: an escaping exception must not corrupt the
+    tree).  Unknown, other-domain or 0 ids are ignored. *)
 
-val with_span : ?cat:string -> ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+val current_span : unit -> int
+(** Id of the calling domain's innermost open span (0 when none) — pass
+    it as [?parent] when spawning work onto another domain. *)
+
+val with_span :
+  ?cat:string -> ?attrs:attrs -> ?parent:int -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span; the span is finished even when the thunk
     raises (the exception is re-raised, and the span gains an
     ["error"] attribute). *)
@@ -191,7 +206,8 @@ module Summary : sig
     ?top:int -> events:event list -> metrics:snapshot option -> unit -> string
   (** Plain-text run report: per-stage time breakdown, top-N slowest VCs,
       retry hot spots (VCs that climbed the ladder, time per rung),
-      refactoring-transformation totals, spec-match-ratio evolution, and
-      the metrics snapshot.  [top] bounds the "slowest" lists
-      (default 5). *)
+      proof-farm worker/steal/cache-hit summary (when farm counters or
+      worker spans are present), refactoring-transformation totals,
+      spec-match-ratio evolution, and the metrics snapshot.  [top] bounds
+      the "slowest" lists (default 5). *)
 end

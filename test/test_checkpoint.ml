@@ -1,0 +1,166 @@
+(* Checkpoint format-versioning tests: a stage file from an older format
+   (v1 header), a foreign case, or plain garbage must surface as
+   [Some (Error _)] from [Checkpoint.load] — a clean rejection the
+   orchestrator converts into a note and a recompute — never as an
+   exception or a misread payload. *)
+
+open Minispark
+module CK = Echo.Checkpoint
+module O = Echo.Orchestrator
+
+let temp_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "echo-ckpt-fmt-%s-%d" tag (Unix.getpid ()))
+
+let case = "tiny"
+
+(* the refactor-stage checkpoint file for [case], as the orchestrator
+   would name it *)
+let stage_file dir =
+  Filename.concat dir
+    (Printf.sprintf "%d-%s.%s.ckpt" (CK.stage_index CK.S_refactor)
+       (CK.stage_name CK.S_refactor) case)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let check_rejected what dir =
+  match CK.load ~dir ~case CK.S_refactor with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.failf "%s was accepted" what
+  | None -> Alcotest.failf "%s was not even seen" what
+  | exception e ->
+      Alcotest.failf "%s raised %s instead of returning Error" what
+        (Printexc.to_string e)
+
+let test_v1_header_rejected () =
+  let dir = temp_dir "v1" in
+  mkdir_p dir;
+  (* a plausible older-format file: right shape, stale version *)
+  write_file (stage_file dir)
+    ("ECHO-CKPT v1\n" ^ case ^ "\n" ^ Marshal.to_string (42, "old payload") []);
+  Fun.protect ~finally:(fun () -> CK.clear ~dir)
+    (fun () -> check_rejected "v1-format checkpoint" dir)
+
+let test_garbage_rejected () =
+  let dir = temp_dir "junk" in
+  mkdir_p dir;
+  List.iteri
+    (fun i contents ->
+      write_file (stage_file dir) contents;
+      check_rejected (Printf.sprintf "garbage checkpoint #%d" i) dir)
+    [ "";                                    (* empty file *)
+      "\x00\x01\x02binary junk";             (* no header line at all *)
+      "ECHO-CKPT v2\n";                      (* header but no case/payload *)
+      "ECHO-CKPT v2\nother-case\nx";         (* foreign case *)
+      "ECHO-CKPT v2\n" ^ case ^ "\nnot-marshal-data" ];
+  CK.clear ~dir
+
+let test_missing_is_none () =
+  let dir = temp_dir "none" in
+  mkdir_p dir;
+  (match CK.load ~dir ~case CK.S_refactor with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom checkpoint");
+  CK.clear ~dir
+
+let test_good_roundtrip_still_works () =
+  let dir = temp_dir "good" in
+  let payload =
+    CK.P_refactor { pr_final_src = "program p is end p;"; pr_steps = 3; pr_summary = "s" }
+  in
+  (match CK.save ~dir ~case CK.S_refactor payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  Fun.protect ~finally:(fun () -> CK.clear ~dir)
+    (fun () ->
+      match CK.load ~dir ~case CK.S_refactor with
+      | Some (Ok (CK.P_refactor r)) ->
+          Alcotest.(check int) "steps survive" 3 r.pr_steps
+      | _ -> Alcotest.fail "good checkpoint did not load")
+
+(* ---------------- orchestrator-level recovery ---------------- *)
+
+let tiny_src =
+  {|
+program tiny is
+  type byte is mod 256;
+  procedure swap (a : in out byte; b : in out byte)
+  --# post a = b~ and b = a~;
+  is
+    t : byte;
+  begin
+    t := a;
+    a := b;
+    b := t;
+  end swap;
+end tiny;
+|}
+
+let tiny_case () : Echo.Pipeline.case_study =
+  let env, prog = Typecheck.check (Parser.of_string tiny_src) in
+  let spec = Extract.extract_program env prog in
+  {
+    Echo.Pipeline.cs_name = case;
+    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_annotate = (fun p -> p);
+    cs_original_spec = spec;
+    cs_synonyms = [];
+    cs_lemmas =
+      (fun ~extracted:_ ->
+        [ Echo.Implication.structural ~name:"tiny_struct" ~original:"tiny"
+            ~extracted:"tiny" ~premises:[] ~check:(fun () -> true) () ]);
+  }
+
+let test_resume_over_corrupt_run_dir () =
+  (* every stage file is garbage: resume must note each rejection,
+     recompute everything, and still verify — no exception, no misread *)
+  let dir = temp_dir "resume-corrupt" in
+  mkdir_p dir;
+  List.iter
+    (fun stage ->
+      write_file
+        (Filename.concat dir
+           (Printf.sprintf "%d-%s.%s.ckpt" (CK.stage_index stage)
+              (CK.stage_name stage) case))
+        "ECHO-CKPT v1\ncorrupt\n")
+    CK.all_stages;
+  let config = { O.default_config with O.oc_run_dir = Some dir } in
+  let r = O.resume ~config (tiny_case ()) in
+  Fun.protect ~finally:(fun () -> CK.clear ~dir)
+    (fun () ->
+      (match r.O.o_verdict with
+      | O.Verified -> ()
+      | v -> Alcotest.failf "expected Verified after recompute, got %a" O.pp_verdict v);
+      List.iter
+        (fun (s, status) ->
+          match status with
+          | O.St_ok { st_from_checkpoint = false; _ } -> ()
+          | O.St_ok { st_from_checkpoint = true; _ } ->
+              Alcotest.failf "stage %s resumed from a corrupt checkpoint"
+                (CK.stage_name s)
+          | _ -> Alcotest.failf "stage %s did not recover" (CK.stage_name s))
+        r.O.o_stages;
+      Alcotest.(check bool) "rejections were noted" true
+        (List.exists
+           (fun n ->
+             Astring.String.is_infix ~affix:"unreadable checkpoint" n)
+           r.O.o_notes))
+
+let suites =
+  [ ( "checkpoint:format",
+      [ Alcotest.test_case "v1 header rejected" `Quick test_v1_header_rejected;
+        Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        Alcotest.test_case "missing is None" `Quick test_missing_is_none;
+        Alcotest.test_case "good roundtrip still works" `Quick
+          test_good_roundtrip_still_works;
+        Alcotest.test_case "resume over corrupt run dir" `Quick
+          test_resume_over_corrupt_run_dir ] ) ]

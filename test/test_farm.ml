@@ -1,0 +1,284 @@
+(* Tests for the proof farm: the work-stealing domain pool, the
+   persistent content-addressed proof cache, and their integration with
+   the implementation proof.
+
+   The determinism contract is the load-bearing invariant: for the same
+   VC set, verdicts (and their order) are identical whatever [--jobs] is
+   and whether the cache is cold or warm.  The CI matrix exercises this
+   with ECHO_JOBS=1 and ECHO_JOBS=4; locally we default to 4. *)
+
+open Minispark
+module F = Logic.Formula
+module IP = Echo.Implementation_proof
+
+(* CI matrix knob: ECHO_JOBS selects the parallel width under test *)
+let test_jobs =
+  match Sys.getenv_opt "ECHO_JOBS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
+let temp_dir tag =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "echo-farm-%s-%d" tag (Unix.getpid ()))
+  in
+  (* stale state from a previous run of the same pid namespace *)
+  if Sys.file_exists d then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+  d
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_matches_sequential () =
+  let items = Array.init 97 (fun i -> i) in
+  let f x = x * x + 1 in
+  let seq = Array.map f items in
+  let par, stats =
+    Farm.Pool.run ~jobs:4 ~priority:(fun x -> x) ~f items
+  in
+  Alcotest.(check (array int)) "results in generation order" seq par;
+  Alcotest.(check int) "all jobs ran" 97 stats.Farm.Pool.ps_jobs;
+  Alcotest.(check bool) "worker count clamped sanely" true
+    (stats.Farm.Pool.ps_workers >= 1 && stats.Farm.Pool.ps_workers <= 4)
+
+let test_pool_inline_path () =
+  let items = Array.init 10 (fun i -> i) in
+  let r, stats = Farm.Pool.run ~jobs:1 ~priority:(fun x -> x) ~f:succ items in
+  Alcotest.(check (array int)) "inline results" (Array.map succ items) r;
+  Alcotest.(check int) "one worker" 1 stats.Farm.Pool.ps_workers;
+  Alcotest.(check int) "no steals inline" 0 stats.Farm.Pool.ps_steals
+
+let test_pool_empty_and_single () =
+  let r, _ = Farm.Pool.run ~jobs:4 ~priority:(fun _ -> 0) ~f:succ [||] in
+  Alcotest.(check (array int)) "empty input" [||] r;
+  let r1, _ = Farm.Pool.run ~jobs:4 ~priority:(fun _ -> 0) ~f:succ [| 41 |] in
+  Alcotest.(check (array int)) "single job" [| 42 |] r1
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  let items = Array.init 40 (fun i -> i) in
+  match
+    Farm.Pool.run ~jobs:4 ~priority:(fun x -> x)
+      ~f:(fun x -> if x = 17 then raise (Boom x) else x)
+      items
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Boom 17 -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+let test_pool_heavy_jobs_balance () =
+  (* skewed costs: with stealing, 4 domains must still return every
+     result, in order, whatever the interleaving *)
+  let items = Array.init 64 (fun i -> i) in
+  let cost x = if x mod 16 = 0 then 1_000_000 else 100 in
+  let f x =
+    let n = cost x in
+    let acc = ref 0 in
+    for i = 1 to n do acc := (!acc + (i * x)) mod 7919 done;
+    (x, !acc)
+  in
+  let seq = Array.map f items in
+  let par, _ = Farm.Pool.run ~jobs:4 ~priority:cost ~f items in
+  Alcotest.(check bool) "skewed workload results identical" true (seq = par)
+
+(* ---------------- cache ---------------- *)
+
+let entry_testable : Farm.Cache.entry Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (e : Farm.Cache.entry) ->
+      Fmt.pf ppf "{attempts=%d; time=%.3f}" e.Farm.Cache.en_attempts e.Farm.Cache.en_time)
+    ( = )
+
+let test_cache_roundtrip () =
+  let dir = temp_dir "roundtrip" in
+  let c = Farm.Cache.open_ ~dir in
+  Alcotest.(check int) "fresh cache empty" 0 (Farm.Cache.size c);
+  let e1 = { Farm.Cache.en_status = Farm.Cache.E_auto; en_attempts = 1; en_time = 0.25 } in
+  let e2 = { Farm.Cache.en_status = Farm.Cache.E_hinted 2; en_attempts = 3; en_time = 1.5 } in
+  let e3 =
+    { Farm.Cache.en_status = Farm.Cache.E_residual "store \"chain\"\nleft";
+      en_attempts = 4; en_time = 0.0 }
+  in
+  Farm.Cache.add c "k1" e1;
+  Farm.Cache.add c "k2" e2;
+  Farm.Cache.add c "k3" e3;
+  (match Farm.Cache.save c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  let c' = Farm.Cache.open_ ~dir in
+  Alcotest.(check int) "reloaded size" 3 (Farm.Cache.size c');
+  Alcotest.(check (option entry_testable)) "auto entry" (Some e1) (Farm.Cache.lookup c' "k1");
+  Alcotest.(check (option entry_testable)) "hinted entry" (Some e2) (Farm.Cache.lookup c' "k2");
+  Alcotest.(check (option entry_testable)) "residual entry (escaped)" (Some e3)
+    (Farm.Cache.lookup c' "k3");
+  Alcotest.(check (option entry_testable)) "missing key" None (Farm.Cache.lookup c' "k9")
+
+let test_cache_tolerates_garbage () =
+  let dir = temp_dir "garbage" in
+  let c = Farm.Cache.open_ ~dir in
+  Farm.Cache.add c "good"
+    { Farm.Cache.en_status = Farm.Cache.E_auto; en_attempts = 1; en_time = 0.1 };
+  (match Farm.Cache.save c with Ok () -> () | Error e -> Alcotest.failf "save: %s" e);
+  (* corrupt the index with trailing garbage: the good entry must survive,
+     the bad lines must be skipped, nothing may raise *)
+  let index = Filename.concat dir "index.jsonl" in
+  let oc = open_out_gen [ Open_append ] 0o644 index in
+  output_string oc "not json at all\n{\"half\": \n";
+  close_out oc;
+  let c' = Farm.Cache.open_ ~dir in
+  Alcotest.(check int) "good entry survives garbage" 1 (Farm.Cache.size c');
+  (* a wrong format header empties the cache rather than misreading it *)
+  let oc = open_out index in
+  output_string oc "proof-cache v0-ancient\n{\"key\": \"good\"}\n";
+  close_out oc;
+  let c'' = Farm.Cache.open_ ~dir in
+  Alcotest.(check int) "foreign version ignored wholesale" 0 (Farm.Cache.size c'')
+
+let test_cache_merges_on_save () =
+  (* two handles on one directory: saving the second must not clobber the
+     first's entries (resume-style merge) *)
+  let dir = temp_dir "merge" in
+  let a = Farm.Cache.open_ ~dir in
+  Farm.Cache.add a "ka"
+    { Farm.Cache.en_status = Farm.Cache.E_auto; en_attempts = 1; en_time = 0.1 };
+  (match Farm.Cache.save a with Ok () -> () | Error e -> Alcotest.failf "save a: %s" e);
+  let b = Farm.Cache.open_ ~dir in
+  Farm.Cache.add b "kb"
+    { Farm.Cache.en_status = Farm.Cache.E_hinted 1; en_attempts = 2; en_time = 0.2 };
+  (match Farm.Cache.save b with Ok () -> () | Error e -> Alcotest.failf "save b: %s" e);
+  let c = Farm.Cache.open_ ~dir in
+  Alcotest.(check int) "both entries present" 2 (Farm.Cache.size c)
+
+(* ---------------- integration with the implementation proof ---------------- *)
+
+(* a program whose VCs exercise auto and hinted rungs *)
+let farm_src =
+  {|
+program farmtest is
+
+  type byte is mod 256;
+  type vec is array (0 .. 7) of byte;
+
+  procedure swap (a : in out byte; b : in out byte)
+  --# post a = b~ and b = a~;
+  is
+    t : byte;
+  begin
+    t := a;
+    a := b;
+    b := t;
+  end swap;
+
+  procedure fill (v : out vec)
+  --# post (for all k in 0 .. 7 => v (k) = 0);
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => v (k) = 0);
+    loop
+      v (i) := 0;
+    end loop;
+  end fill;
+
+  procedure mask (src : in vec; dst : out vec; m : in byte)
+  --# post (for all k in 0 .. 7 => dst (k) = (src (k) xor m));
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => dst (k) = (src (k) xor m));
+    loop
+      dst (i) := src (i) xor m;
+    end loop;
+  end mask;
+
+end farmtest;
+|}
+
+let farm_program = lazy (Typecheck.check (Parser.of_string farm_src))
+
+let result_key (vr : IP.vc_result) =
+  let status =
+    match vr.IP.vr_status with
+    | IP.Auto -> "auto"
+    | IP.Hinted n -> Printf.sprintf "hinted:%d" n
+    | IP.Residual r -> "residual:" ^ r
+    | IP.Timed_out _ -> "timed-out"
+    | IP.Discharged -> "discharged"
+  in
+  (vr.IP.vr_vc.F.vc_name, status, vr.IP.vr_attempts)
+
+let test_farm_matches_sequential_proof () =
+  let env, prog = Lazy.force farm_program in
+  let seq = IP.run env prog in
+  let par = IP.run ~jobs:test_jobs env prog in
+  Alcotest.(check bool) "has VCs" true (seq.IP.ip_total > 0);
+  Alcotest.(check (list (triple string string int))) "per-VC verdicts identical"
+    (List.map result_key seq.IP.ip_results)
+    (List.map result_key par.IP.ip_results);
+  Alcotest.(check int) "attempt totals identical" seq.IP.ip_attempts par.IP.ip_attempts
+
+let test_cold_then_warm_cache () =
+  let env, prog = Lazy.force farm_program in
+  let dir = temp_dir "proofcache" in
+  let cold = IP.run ~cache:(Farm.Cache.open_ ~dir) env prog in
+  Alcotest.(check int) "cold run has no hits" 0 cold.IP.ip_cache_hits;
+  Alcotest.(check bool) "cold run has misses" true (cold.IP.ip_cache_misses > 0);
+  let warm = IP.run ~jobs:test_jobs ~cache:(Farm.Cache.open_ ~dir) env prog in
+  (* every provable/residual VC replays; only timed-out ones (none here)
+     and discharged ones bypass the cache *)
+  Alcotest.(check int) "warm run all hits" cold.IP.ip_cache_misses warm.IP.ip_cache_hits;
+  Alcotest.(check int) "warm run no misses" 0 warm.IP.ip_cache_misses;
+  Alcotest.(check (list (triple string string int))) "warm verdicts identical"
+    (List.map result_key cold.IP.ip_results)
+    (List.map result_key warm.IP.ip_results);
+  List.iter
+    (fun (vr : IP.vc_result) ->
+      if vr.IP.vr_cached then
+        Alcotest.(check (float 0.0)) "cached results bill zero time" 0.0 vr.IP.vr_time)
+    warm.IP.ip_results;
+  Alcotest.(check bool) "warm run flags cached results" true
+    (List.exists (fun (vr : IP.vc_result) -> vr.IP.vr_cached) warm.IP.ip_results)
+
+let test_cache_keying_isolates_programs () =
+  (* a different program over the same cache directory must miss, not
+     replay foreign proofs *)
+  let env, prog = Lazy.force farm_program in
+  let dir = temp_dir "keying" in
+  let _ = IP.run ~cache:(Farm.Cache.open_ ~dir) env prog in
+  let other_src =
+    {|
+program other is
+  type byte is mod 256;
+  procedure id (a : in out byte)
+  --# post a = a~;
+  is
+  begin
+    a := a;
+  end id;
+end other;
+|}
+  in
+  let env2, prog2 = Typecheck.check (Parser.of_string other_src) in
+  let r = IP.run ~cache:(Farm.Cache.open_ ~dir) env2 prog2 in
+  Alcotest.(check int) "foreign program misses" 0 r.IP.ip_cache_hits
+
+let suites =
+  [ ( "farm:pool",
+      [ Alcotest.test_case "matches sequential map" `Quick test_pool_matches_sequential;
+        Alcotest.test_case "inline path (jobs=1)" `Quick test_pool_inline_path;
+        Alcotest.test_case "empty and single inputs" `Quick test_pool_empty_and_single;
+        Alcotest.test_case "propagates worker exception" `Quick test_pool_propagates_exception;
+        Alcotest.test_case "skewed workload balances" `Quick test_pool_heavy_jobs_balance ] );
+    ( "farm:cache",
+      [ Alcotest.test_case "roundtrip via disk" `Quick test_cache_roundtrip;
+        Alcotest.test_case "tolerates garbage index" `Quick test_cache_tolerates_garbage;
+        Alcotest.test_case "merges on save" `Quick test_cache_merges_on_save ] );
+    ( "farm:proof",
+      [ Alcotest.test_case "parallel verdicts = sequential" `Quick
+          test_farm_matches_sequential_proof;
+        Alcotest.test_case "cold then warm cache" `Quick test_cold_then_warm_cache;
+        Alcotest.test_case "cache keying isolates programs" `Quick
+          test_cache_keying_isolates_programs ] ) ]

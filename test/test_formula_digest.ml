@@ -1,0 +1,166 @@
+(* Property tests for the canonical Formula serialization and the content
+   digests the proof cache is keyed on:
+
+   - serialization is deterministic: structurally equal terms digest
+     equally (a rebuilt deep copy has the same digest);
+   - it is sensitive: mutating any single node changes the digest;
+   - it is injective where printing is not ([Var "f()"] prints like
+     [App (Uf "f", [])] but must not digest like it);
+   - VC digests ignore the labels (name, subprogram, kind) and track the
+     proof inputs (hypotheses, goal). *)
+
+module F = Logic.Formula
+
+(* ------------------------------------------------------------------ *)
+(* generator: random formulas over a small vocabulary                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_formula : F.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> F.Int n) (int_range (-8) 300);
+        map (fun b -> F.Bool b) bool;
+        map (fun k -> F.Var (Printf.sprintf "v%d" k)) (int_range 0 4) ]
+  in
+  let bin_op =
+    oneofl
+      F.[ Add; Sub; Mul; Eq; Ne; Lt; Le; And; Or; Implies;
+          Band 256; Bxor 256; Wrap 256; Select ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (4,
+             map2 (fun op (a, b) -> F.App (op, [ a; b ]))
+               bin_op
+               (pair (self (depth - 1)) (self (depth - 1))));
+            (1, map (fun a -> F.App (F.Not, [ a ])) (self (depth - 1)));
+            (1,
+             map2 (fun (a, b) c -> F.Ite (a, b, c))
+               (pair (self (depth - 1)) (self (depth - 1)))
+               (self (depth - 1)));
+            (1,
+             map2
+               (fun k body -> F.Forall (Printf.sprintf "q%d" k, F.Int 0, F.Int 7, body))
+               (int_range 0 2) (self (depth - 1)));
+            (1,
+             map2 (fun k args -> F.App (F.Uf (Printf.sprintf "f%d" k), args))
+               (int_range 0 2)
+               (list_size (int_range 0 2) (self (depth - 1)))) ])
+    4
+
+let arb_formula = QCheck.make ~print:F.to_string gen_formula
+
+(* a structural deep copy through fresh constructors *)
+let rec copy (t : F.t) : F.t =
+  match t with
+  | F.Int n -> F.Int n
+  | F.Bool b -> F.Bool b
+  | F.Var v -> F.Var (String.init (String.length v) (String.get v))
+  | F.App (op, args) -> F.App (op, List.map copy args)
+  | F.Ite (a, b, c) -> F.Ite (copy a, copy b, copy c)
+  | F.Forall (v, lo, hi, b) -> F.Forall (v, copy lo, copy hi, copy b)
+  | F.Exists (v, lo, hi, b) -> F.Exists (v, copy lo, copy hi, copy b)
+
+(* mutate the [k]-th node (preorder) into something structurally
+   different; returns the mutated term *)
+let mutate_at k (t : F.t) : F.t =
+  let n = ref (-1) in
+  let bump t' =
+    match t' with F.Int i -> F.Int (i + 1) | _ -> F.App (F.Not, [ t' ])
+  in
+  let rec go t =
+    incr n;
+    if !n = k then bump t
+    else
+      match t with
+      | F.Int _ | F.Bool _ | F.Var _ -> t
+      | F.App (op, args) -> F.App (op, List.map go args)
+      | F.Ite (a, b, c) -> F.Ite (go a, go b, go c)
+      | F.Forall (v, lo, hi, b) -> F.Forall (v, go lo, go hi, go b)
+      | F.Exists (v, lo, hi, b) -> F.Exists (v, go lo, go hi, go b)
+  in
+  go t
+
+(* ------------------------------------------------------------------ *)
+(* properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_copy_digests_equal =
+  QCheck.Test.make ~name:"structural copy digests equal" ~count:300 arb_formula
+    (fun t -> String.equal (F.digest t) (F.digest (copy t)))
+
+let prop_mutation_changes_digest =
+  QCheck.Test.make ~name:"single-node mutation changes digest" ~count:300
+    (QCheck.pair arb_formula QCheck.small_nat) (fun (t, k) ->
+      let k = k mod F.node_count t in
+      let t' = mutate_at k t in
+      (* the bump guarantees structural difference at node [k] *)
+      not (String.equal (F.digest t) (F.digest t')))
+
+let prop_serialize_roundtrip_stable =
+  QCheck.Test.make ~name:"serialize deterministic across calls" ~count:200
+    arb_formula (fun t -> String.equal (F.serialize t) (F.serialize t))
+
+let prop_vc_digest_ignores_labels =
+  QCheck.Test.make ~name:"vc_digest ignores name/sub/kind" ~count:200
+    (QCheck.pair arb_formula (QCheck.list_of_size (QCheck.Gen.int_range 0 3) arb_formula))
+    (fun (goal, hyps) ->
+      let vc name sub kind =
+        { F.vc_name = name; vc_sub = sub; vc_kind = kind; vc_hyps = hyps; vc_goal = goal }
+      in
+      String.equal
+        (F.vc_digest (vc "encrypt.3" "encrypt" F.Vc_postcondition))
+        (F.vc_digest (vc "renamed.99" "other" F.Vc_assert)))
+
+let prop_vc_digest_tracks_goal =
+  QCheck.Test.make ~name:"vc_digest tracks the goal" ~count:200 arb_formula
+    (fun goal ->
+      let vc g = { F.vc_name = "n"; vc_sub = "s"; vc_kind = F.Vc_assert;
+                   vc_hyps = []; vc_goal = g } in
+      not (String.equal (F.vc_digest (vc goal)) (F.vc_digest (vc (F.App (F.Not, [ goal ]))))))
+
+(* ------------------------------------------------------------------ *)
+(* injectivity spot checks where printing is ambiguous                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_print_ambiguity_resolved () =
+  let pairs =
+    [ (F.Var "f()", F.App (F.Uf "f", []));
+      (F.Var "1", F.Int 1);
+      (F.Var "true", F.Bool true);
+      (F.App (F.Add, [ F.Var "a"; F.Var "b" ]), F.Var "a + b");
+      (F.App (F.Band 256, [ F.Var "a"; F.Var "b" ]),
+       F.App (F.Band 65536, [ F.Var "a"; F.Var "b" ]));
+      (F.Forall ("k", F.Int 0, F.Int 7, F.Bool true),
+       F.Exists ("k", F.Int 0, F.Int 7, F.Bool true)) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distinct digests for %s / %s" (F.to_string a) (F.to_string b))
+        false
+        (String.equal (F.digest a) (F.digest b)))
+    pairs
+
+let test_hyp_order_matters () =
+  (* hypothesis order steers the proof search, so it is part of the key *)
+  let h1 = F.eq (F.Var "a") (F.Int 1) and h2 = F.eq (F.Var "b") (F.Int 2) in
+  let vc hyps = { F.vc_name = "n"; vc_sub = "s"; vc_kind = F.Vc_assert;
+                  vc_hyps = hyps; vc_goal = F.Bool true } in
+  Alcotest.(check bool) "swapped hypotheses re-key" false
+    (String.equal (F.vc_digest (vc [ h1; h2 ])) (F.vc_digest (vc [ h2; h1 ])))
+
+let suites =
+  [ ( "formula-digest",
+      [ QCheck_alcotest.to_alcotest prop_copy_digests_equal;
+        QCheck_alcotest.to_alcotest prop_mutation_changes_digest;
+        QCheck_alcotest.to_alcotest prop_serialize_roundtrip_stable;
+        QCheck_alcotest.to_alcotest prop_vc_digest_ignores_labels;
+        QCheck_alcotest.to_alcotest prop_vc_digest_tracks_goal;
+        Alcotest.test_case "print ambiguity resolved" `Quick test_print_ambiguity_resolved;
+        Alcotest.test_case "hypothesis order matters" `Quick test_hyp_order_matters ] ) ]

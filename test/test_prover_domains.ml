@@ -1,0 +1,106 @@
+(* Domain-safety stress test for the prover: [Prover.prove_vc] holds no
+   hidden shared mutable state, so concurrent calls from several domains
+   must produce exactly the results of a sequential pass — same outcomes,
+   same hint counts, same step counts (the skolem-constant counter is
+   per-session, so names cannot leak across calls). *)
+
+open Minispark
+module F = Logic.Formula
+module P = Logic.Prover
+
+let src =
+  {|
+program stress is
+
+  type byte is mod 256;
+  type vec is array (0 .. 7) of byte;
+
+  procedure clamp (a : in out byte)
+  --# post a <= 128;
+  is
+  begin
+    if a > 128 then
+      a := 128;
+    end if;
+  end clamp;
+
+  procedure fill (v : out vec)
+  --# post (for all k in 0 .. 7 => v (k) = 0);
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => v (k) = 0);
+    loop
+      v (i) := 0;
+    end loop;
+  end fill;
+
+  procedure xorall (src : in vec; dst : out vec; m : in byte)
+  --# post (for all k in 0 .. 7 => dst (k) = (src (k) xor m));
+  is
+  begin
+    for i in 0 .. 7
+    --# invariant (for all k in 0 .. i - 1 => dst (k) = (src (k) xor m));
+    loop
+      dst (i) := src (i) xor m;
+    end loop;
+  end xorall;
+
+end stress;
+|}
+
+let vcs =
+  lazy
+    (let env, prog = Typecheck.check (Parser.of_string src) in
+     ignore env;
+     Vcgen.all_vcs (Vcgen.generate env prog))
+
+let hints = [ P.Hint_induction; P.Hint_apply_hyp ]
+
+(* everything machine-independent about a result (pr_time is wall-clock) *)
+let key (r : P.proof_result) =
+  let outcome =
+    match r.P.pr_outcome with
+    | P.Proved -> "proved"
+    | P.Unknown reason -> "unknown:" ^ reason
+    | P.Timeout _ -> "timeout"
+  in
+  Printf.sprintf "%s=%s hints:%d steps:%d" r.P.pr_vc.F.vc_name outcome
+    r.P.pr_hints_used r.P.pr_steps
+
+let prove_all () = List.map (fun vc -> key (P.prove_vc ~hints vc)) (Lazy.force vcs)
+
+let test_four_domains_agree () =
+  let baseline = prove_all () in
+  Alcotest.(check bool) "stress program yields VCs" true (List.length baseline > 3);
+  (* 4 domains all proving the full VC set at once, twice over to give
+     interleavings a chance to bite *)
+  for _round = 1 to 2 do
+    let workers = Array.init 4 (fun _ -> Domain.spawn prove_all) in
+    Array.iter
+      (fun d ->
+        let got = Domain.join d in
+        Alcotest.(check (list string))
+          "concurrent results = sequential" baseline got)
+      workers
+  done
+
+let test_interleaved_sessions_stay_independent () =
+  (* two domains ping-pong over disjoint VC subsets: per-session skolem
+     counters mean neither's constants depend on the other's progress *)
+  let all = Lazy.force vcs in
+  let even, odd =
+    List.partition (fun vc -> Hashtbl.hash vc.F.vc_name mod 2 = 0) all
+  in
+  let run subset () = List.map (fun vc -> key (P.prove_vc ~hints vc)) subset in
+  let base_even = run even () and base_odd = run odd () in
+  let d1 = Domain.spawn (run even) and d2 = Domain.spawn (run odd) in
+  Alcotest.(check (list string)) "even half stable" base_even (Domain.join d1);
+  Alcotest.(check (list string)) "odd half stable" base_odd (Domain.join d2)
+
+let suites =
+  [ ( "prover:domains",
+      [ Alcotest.test_case "4 domains agree with sequential" `Quick
+          test_four_domains_agree;
+        Alcotest.test_case "interleaved sessions independent" `Quick
+          test_interleaved_sessions_stay_independent ] ) ]
