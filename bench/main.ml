@@ -432,6 +432,94 @@ let analysis_json () =
   Fmt.pr "wrote BENCH_analysis.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Hash-consed prover core: sequential throughput + simplify memo      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the sequential implementation proof on this machine at
+   PR 4 (pre hash-consing), the denominator of the reported speedup. *)
+let pr4_baseline_seq_s = 7.6
+
+let prover_json () =
+  section "Hash-consed prover microbenchmark (BENCH_prover.json)";
+  let env, annotated = Lazy.force final_annotated in
+  (* sequential prover phase, with allocation accounting *)
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = Echo.Implementation_proof.run ~jobs:1 env annotated in
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let vcs_total = r.Echo.Implementation_proof.ip_total in
+  let vcs_per_sec = float_of_int vcs_total /. Float.max 1e-9 dt in
+  let major_words = g1.Gc.major_words -. g0.Gc.major_words in
+  let total_words =
+    g1.Gc.minor_words +. g1.Gc.major_words -. g1.Gc.promoted_words
+    -. (g0.Gc.minor_words +. g0.Gc.major_words -. g0.Gc.promoted_words)
+  in
+  let per_vc w = w /. float_of_int (max 1 vcs_total) in
+  (* cold vs memo-warm simplification over the final program's VC set:
+     cold is the raw fixpoint, warm hits the per-domain memo table that
+     the proof run above has already populated *)
+  let vcs = Vcgen.all_vcs (Vcgen.generate env annotated) in
+  let each_term f =
+    List.iter
+      (fun vc ->
+        List.iter (fun h -> ignore (f h)) vc.Logic.Formula.vc_hyps;
+        ignore (f vc.Logic.Formula.vc_goal))
+      vcs
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let t_cold = time (fun () -> each_term Logic.Simplify.simplify_nomemo) in
+  each_term Logic.Simplify.simplify;
+  let t_warm = time (fun () -> each_term Logic.Simplify.simplify) in
+  let speedup = pr4_baseline_seq_s /. Float.max 1e-9 dt in
+  Fmt.pr
+    "  sequential: %.2fs for %d VCs (%.1f VCs/s), %.0f major words/VC, %.1fx vs PR4 baseline %.1fs@."
+    dt vcs_total vcs_per_sec (per_vc major_words) speedup pr4_baseline_seq_s;
+  Fmt.pr "  simplify: cold %.3fs, memo-warm %.3fs (%.1fx)@." t_cold t_warm
+    (t_cold /. Float.max 1e-9 t_warm);
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "aes-final-annotated",
+  "sequential": {
+    "seconds": %.3f,
+    "vcs": %d,
+    "auto": %d,
+    "hinted": %d,
+    "residual": %d,
+    "timed_out": %d,
+    "attempts": %d,
+    "vcs_per_sec": %.2f,
+    "major_words_per_vc": %.1f,
+    "allocated_words_per_vc": %.1f
+  },
+  "simplify": {
+    "cold_seconds": %.4f,
+    "memo_warm_seconds": %.4f,
+    "warm_speedup": %.2f
+  },
+  "pr4_baseline_seconds": %.3f,
+  "speedup_vs_pr4": %.2f
+}
+|}
+      dt vcs_total r.Echo.Implementation_proof.ip_auto
+      r.Echo.Implementation_proof.ip_hinted r.Echo.Implementation_proof.ip_residual
+      r.Echo.Implementation_proof.ip_timed_out r.Echo.Implementation_proof.ip_attempts
+      vcs_per_sec (per_vc major_words) (per_vc total_words)
+      t_cold t_warm
+      (t_cold /. Float.max 1e-9 t_warm)
+      pr4_baseline_seq_s speedup
+  in
+  let oc = open_out "BENCH_prover.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_prover.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Proof farm: domain-scaling curve + cold/warm cache as JSON          *)
 (* ------------------------------------------------------------------ *)
 
@@ -453,6 +541,10 @@ let verdict_keys (r : Echo.Implementation_proof.report) =
 
 let farm_json () =
   section "Proof farm scaling + proof cache (BENCH_farm.json)";
+  (* visible core count, so consumers (CI) can tell a genuine scaling
+     regression from a single-core container time-sharing its domains *)
+  let visible_cores = Domain.recommended_domain_count () in
+  Fmt.pr "  visible cores: %d@." visible_cores;
   let env, annotated = Lazy.force final_annotated in
   (* scaling curve: same VC set on 1, 2 and 4 domains *)
   let curve =
@@ -506,6 +598,7 @@ let farm_json () =
     Printf.sprintf
       {|{
   "case": "aes-final-annotated",
+  "visible_cores": %d,
   "scaling": [
 %s
   ],
@@ -522,6 +615,7 @@ let farm_json () =
   }
 }
 |}
+      visible_cores
       (String.concat ",\n" (List.map scaling_obj curve))
       verdicts_identical t_cold t_warm
       r_cold.Echo.Implementation_proof.ip_cache_hits
@@ -596,6 +690,7 @@ let () =
   if smoke then begin
     pipeline_json ();
     analysis_json ();
+    prover_json ();
     farm_json ()
   end
   else begin
@@ -611,6 +706,7 @@ let () =
     if want "ablation_order" || !only = None then ablation_order ();
     if want "pipeline" || !only = None then pipeline_json ();
     if want "analysis" || !only = None then analysis_json ();
+    if want "prover" || !only = None then prover_json ();
     if want "farm" || !only = None then farm_json ();
     if want "micro" || !only = None then micro_benchmarks ()
   end;

@@ -32,7 +32,7 @@ let add_array_fact env a coverage hull =
 (* ------------------------------------------------------------------ *)
 
 let rec eval env (t : F.t) =
-  match t with
+  match t.F.node with
   | F.Int n -> Itv.const n
   | F.Bool _ -> Itv.top
   | F.Var x -> lookup env x
@@ -64,7 +64,7 @@ let rec eval env (t : F.t) =
    outer so far; peeling [Select (a, i)] pushes [i] in front, giving the
    outermost-first order the coverage lists use. *)
 and eval_select env arr idxs =
-  match arr with
+  match arr.F.node with
   | F.Var a -> hull_for env a idxs
   | F.App (F.Store, [ a0; _; v ]) ->
       (* either the stored value or some other element *)
@@ -99,7 +99,7 @@ and hull_for env a idxs =
 (* ------------------------------------------------------------------ *)
 
 let rec flatten_conj (t : F.t) acc =
-  match t with
+  match t.F.node with
   | F.App (F.And, args) -> List.fold_right flatten_conj args acc
   | _ -> t :: acc
 
@@ -128,7 +128,7 @@ let succ n =
 (* The root array variable of a select chain, with the index terms
    outermost first; [None] when the chain is not rooted at a variable. *)
 let rec select_root (t : F.t) idxs =
-  match t with
+  match t.F.node with
   | F.App (F.Select, [ a; i ]) -> select_root a (i :: idxs)
   | F.Var a when idxs <> [] -> Some (a, idxs)
   | _ -> None
@@ -140,11 +140,11 @@ let rec select_root (t : F.t) idxs =
 let rec mine_fact env quant (t : F.t) =
   let constrain_cmp mk_left mk_right a b =
     (* a CMP b: refine whichever side is a plain variable *)
-    (match a with
+    (match a.F.node with
     | F.Var x when not (List.mem_assoc x quant) ->
         refine env x (mk_left (eval env b))
     | _ -> ());
-    match b with
+    match b.F.node with
     | F.Var x when not (List.mem_assoc x quant) ->
         refine env x (mk_right (eval env a))
     | _ -> ()
@@ -155,7 +155,7 @@ let rec mine_fact env quant (t : F.t) =
         let covers =
           List.map
             (fun idx ->
-              match idx with
+              match idx.F.node with
               | F.Var k when List.mem_assoc k quant -> Some (List.assoc k quant)
               | _ -> None)
             idx_terms
@@ -166,7 +166,7 @@ let rec mine_fact env quant (t : F.t) =
             (mk (eval env other))
     | None -> ()
   in
-  match t with
+  match t.F.node with
   | F.App (F.And, _) -> List.iter (mine_fact env quant) (flatten_conj t [])
   | F.App (F.Le, [ a; b ]) ->
       constrain_cmp itv_at_most itv_at_least a b;
@@ -185,7 +185,7 @@ let rec mine_fact env quant (t : F.t) =
       elem_bound a succ b;
       elem_bound b pred a
   | F.App (F.Eq, [ a; b ]) -> (
-      (match (a, b) with
+      (match (a.F.node, b.F.node) with
       | F.Var x, _ when not (List.mem_assoc x quant) ->
           refine env x (eval env b)
       | _, F.Var x when not (List.mem_assoc x quant) ->
@@ -194,7 +194,7 @@ let rec mine_fact env quant (t : F.t) =
       elem_bound a (fun v -> v) b;
       elem_bound b (fun v -> v) a;
       (* constant-table defining equation: c = arrlit (...) *)
-      match (a, b) with
+      match (a.F.node, b.F.node) with
       | F.Var c, F.App (F.Arrlit first, elems)
       | F.App (F.Arrlit first, elems), F.Var c ->
           let hull =
@@ -230,7 +230,7 @@ let mine_hyps hyps =
 (* ------------------------------------------------------------------ *)
 
 let rec definite env (t : F.t) =
-  match t with
+  match t.F.node with
   | F.Bool true -> true
   | F.App (F.And, args) -> List.for_all (definite env) args
   | F.App (F.Le, [ a; b ]) -> Itv.definitely_le (eval env a) (eval env b)

@@ -187,12 +187,14 @@ let status_of (rt : Retry.result) : vc_status =
       | P.Unknown reason -> Residual reason
       | P.Proved -> assert false)
 
-let count_status = function
-  | Auto -> Telemetry.count "vcs_auto"
-  | Hinted _ -> Telemetry.count "vcs_hinted"
-  | Residual _ -> Telemetry.count "vcs_residual"
-  | Timed_out _ -> Telemetry.count "vcs_timed_out"
+let count_status_with cnt = function
+  | Auto -> cnt "vcs_auto"
+  | Hinted _ -> cnt "vcs_hinted"
+  | Residual _ -> cnt "vcs_residual"
+  | Timed_out _ -> cnt "vcs_timed_out"
   | Discharged -> ()
+
+let count_status = count_status_with (fun n -> Telemetry.count n)
 
 (* Shared core: VC generation, then the retry ladder over every VC —
    consulted against the proof cache and dispatched over the domain pool
@@ -241,10 +243,14 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
           vr_cached = false;
         }
       in
+      (* batched: prove_one runs on worker domains, and per-VC mutex
+         traffic on the shared collector serializes them — the pool
+         flushes each worker's batch at span close, the coordinator's
+         after the run *)
       if Telemetry.enabled () then begin
-        Telemetry.count "vcs_attempted";
-        count_status vr.vr_status;
-        Telemetry.observe "vc_wall_s" vr.vr_time
+        Telemetry.Batch.count "vcs_attempted";
+        count_status_with (fun n -> Telemetry.Batch.count n) vr.vr_status;
+        Telemetry.Batch.observe "vc_wall_s" vr.vr_time
       end;
       Telemetry.finish_span span
         ~attrs:
@@ -319,6 +325,9 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
   let proved, _stats =
     Farm.Pool.run ~jobs ~priority ~f:(fun (_, _, vc, _) -> prove_one vc) pending
   in
+  (* the inline (jobs = 1) path proves on this domain without worker
+     spans, so its batch drains here *)
+  Telemetry.Batch.flush ();
   (* reassemble in generation order and record fresh proofs — cache
      writes stay on the coordinator, so the store needs no locking *)
   Array.iteri

@@ -1,10 +1,14 @@
 (* Persistent content-addressed proof cache — see cache.mli.
 
-   The index is JSONL: a header line {"format":"echo-proof-cache v1"},
+   The index is JSONL: a header line {"format":"echo-proof-cache v2"},
    then {"key":..,"status":..,"attempts":..,"time":..[,"arg":..]} lines.
    Loading is tolerant (bad lines are skipped, a wrong header empties the
    cache) because a cache can only ever be an accelerator: losing entries
-   costs re-proving, never soundness. *)
+   costs re-proving, never soundness.
+
+   v2: VC digests are assembled from per-term cached digests (count prefix
+   + hex digests) instead of one serialization of the whole VC, so v1 keys
+   never match and a version bump forces a clean re-fill. *)
 
 module Json = Telemetry.Json
 
@@ -24,7 +28,7 @@ type t = {
   c_entries : (string, entry) Hashtbl.t;
 }
 
-let format_version = "echo-proof-cache v1"
+let format_version = "echo-proof-cache v2"
 
 let index_file dir = Filename.concat dir "index.jsonl"
 

@@ -115,7 +115,6 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
               match steal deques.(!best) with
               | Some i ->
                   steals.(w) <- steals.(w) + 1;
-                  Telemetry.count "farm_steals";
                   Some i
               | None -> None
       in
@@ -138,6 +137,10 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
               loop ()
       in
       loop ();
+      (* metric updates batch per worker: one locked merge here instead of
+         a mutex acquisition per steal / per job on the prove path *)
+      if steals.(w) > 0 then Telemetry.count ~by:steals.(w) "farm_steals";
+      Telemetry.Batch.flush ();
       Telemetry.finish_span
         ~attrs:
           [ ("jobs", Telemetry.I ran.(w)); ("steals", Telemetry.I steals.(w)) ]

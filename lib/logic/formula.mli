@@ -4,9 +4,26 @@
     MiniSpark needs: linear integer arithmetic, modular (wrapping)
     arithmetic and bit operations carrying their modulus, McCarthy array
     select/store, bounded quantifiers, and uninterpreted occurrences of
-    program functions. *)
+    program functions.
 
-type t =
+    Terms are hash-consed per domain ({!Hc}): every structurally
+    distinct term is interned once, so within a domain physical equality
+    is semantic equality, and each node carries its hash, size and free
+    variables as O(1) cached attributes.  Terms are built exclusively
+    through the smart constructors below and inspected by matching on
+    the [node] field. *)
+
+type t = private {
+  tag : int;            (** per-domain identity, unique for the process *)
+  hash : int;           (** structural hash, stable across domains *)
+  size : int;           (** unfolded tree node count *)
+  node : node;
+  fvs : string list;    (** free variables, sorted and deduplicated *)
+  mutable digest_memo : string;  (** "" until {!digest} first runs *)
+  dom : int;            (** owning domain *)
+}
+
+and node =
   | Int of int
   | Bool of bool
   | Var of string
@@ -28,12 +45,21 @@ and op =
   | Arrlit of int             (** array literal; payload = first index *)
   | Uf of string              (** program function symbol *)
 
-(** {1 Smart constructors} *)
+(** {1 Smart constructors}
+
+    Each returns the interned node for the calling domain; arguments
+    interned by another domain are localized transparently. *)
+
+val num : int -> t
+val bool_ : bool -> t
+val var : string -> t
+val app : op -> t list -> t
+val ite : t -> t -> t -> t
+val forall : string -> t -> t -> t -> t
+val exists : string -> t -> t -> t -> t
 
 val tru : t
 val fls : t
-val var : string -> t
-val num : int -> t
 
 val conj : t list -> t
 (** Right-nested conjunction; [conj [] = tru]. *)
@@ -45,21 +71,48 @@ val eq : t -> t -> t
 val select : t -> t -> t
 val store : t -> t -> t -> t
 
+(** {1 Identity} *)
+
+val equal : t -> t -> bool
+(** Structural equality.  O(1) for two terms interned by the same
+    domain (physical identity); cross-domain terms fall back to a
+    hash-pruned structural walk.  Never use the polymorphic [=] on
+    terms: it would compare interning tags. *)
+
+val hash : t -> int
+
+val compare : t -> t -> int
+(** Deterministic structural order — the order the polymorphic
+    [Stdlib.compare] gave on the pre-hash-consing representation, so
+    every sort in the simplifier and prover keeps its historic result. *)
+
+val localize : t -> t
+(** Re-intern a term (and its subterms) in the calling domain's table.
+    The identity on terms the domain already owns; memoized per source
+    node otherwise. *)
+
 (** {1 Traversal} *)
 
 val map : (t -> t) -> t -> t
-(** Bottom-up rewriting: children first, then the node itself. *)
+(** Bottom-up rewriting: children first, then the node itself.
+    Subtrees the function leaves unchanged are returned as the original
+    node, not reallocated. *)
 
 val iter : (t -> unit) -> t -> unit
+(** Preorder walk of the unfolded tree (shared subterms are visited once
+    per occurrence, as they were before hash-consing). *)
 
 val subst : string -> t -> t -> t
 (** [subst x v t]: capture-naive substitution of a variable by a term
-    (quantified variables shadow as expected). *)
+    (quantified variables shadow as expected).  Returns [t] itself when
+    [x] is not free in [t]; memoized on node identity within a call, so
+    shared subterms are rewritten once. *)
 
 val free_vars : t -> string list
-(** Free variable names, sorted and deduplicated. *)
+(** Free variable names, sorted and deduplicated.  O(1): cached. *)
 
 val node_count : t -> int
+(** Unfolded tree size.  O(1): cached. *)
 
 (** {1 Printing}
 
@@ -81,10 +134,20 @@ val byte_size : t -> int
     structurally equal. *)
 
 val serialize : t -> string
-(** Deterministic, injective encoding of the term. *)
+(** Deterministic, injective encoding of the term (byte-identical to
+    the pre-hash-consing encoding). *)
 
 val digest : t -> string
-(** Hex digest of {!serialize} — the content address of a formula. *)
+(** Hex digest of {!serialize} — the content address of a formula.
+    Computed once per node and cached. *)
+
+(** {1 Interner statistics} *)
+
+val live_nodes : unit -> int
+(** Terms currently interned by the calling domain. *)
+
+val interned_nodes : unit -> int
+(** Total terms the calling domain has interned so far. *)
 
 (** {1 Verification conditions} *)
 
@@ -118,7 +181,12 @@ val vc_digest : vc -> string
 (** Content address of a VC's proof inputs: the hypothesis list (order
     preserved — it matters to the search) and the goal.  The name,
     subprogram and kind are labels and excluded, so a renamed but
-    otherwise unchanged VC keeps its digest. *)
+    otherwise unchanged VC keeps its digest.  Composed from the cached
+    per-term digests, so the encoding differs from the pre-hash-consing
+    one — the proof-cache format version is bumped in step. *)
+
+val localize_vc : vc -> vc
+(** {!localize} applied to every hypothesis and the goal. *)
 
 val vc_line_count : vc -> int
 (** Printed lines of one VC — the paper's "maximum length of verification

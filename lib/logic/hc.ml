@@ -1,0 +1,95 @@
+(* Per-domain hash-consing support (Filliâtre & Conchon, "Type-safe
+   modular hash-consing", ML Workshop 2006), adapted for OCaml 5
+   multicore: every domain owns a private weak interning table reached
+   through [Domain.DLS], so the proof farm's workers intern terms
+   without ever contending on a shared lock.
+
+   The table is weak: interned nodes stay canonical for as long as
+   anything else references them, and the GC reclaims the rest — a
+   strong table would pin every transient term a simplification chain
+   ever produced for the life of the process.
+
+   Tags are per-domain and never reused (a monotonically increasing
+   counter), so a (domain, tag) pair identifies a node for the life of
+   the process and is safe to use as a memoization key even after the
+   node itself has been collected. *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Shallow structural equality: children are compared with [==],
+      which is sound because children are themselves interned (and
+      localized to this domain) before a candidate node is built. *)
+
+  val hash : t -> int
+  (** Precomputed structural hash; must agree with [equal]. *)
+end
+
+module type S = sig
+  type elt
+
+  type interner
+  (** One domain's private interning state. *)
+
+  val interner : unit -> interner
+  (** The calling domain's interner (created on first use). *)
+
+  val domain_id : interner -> int
+  val fresh_tag : interner -> int
+
+  val find_or_add : interner -> probe:elt -> build:(unit -> elt) -> elt
+  (** [find_or_add it ~probe ~build] returns the canonical node equal to
+      [probe] if one is live in this domain's table, otherwise interns
+      [build ()] (which must be equal to [probe] under [H.equal]).  The
+      probe itself never escapes, so it may be a cheap throwaway that
+      carries only the fields [H.equal]/[H.hash] inspect. *)
+
+  val population : interner -> int
+  (** Number of live interned nodes in this domain's table. *)
+
+  val interns : interner -> int
+  (** Total nodes interned by this domain so far (monotonic). *)
+end
+
+module Make (H : HashedType) : S with type elt = H.t = struct
+  type elt = H.t
+
+  module W = Weak.Make (H)
+
+  type interner = {
+    w : W.t;
+    mutable next_tag : int;
+    mutable interned : int;
+    dom : int;
+  }
+
+  let key : interner Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        {
+          w = W.create 20011;
+          next_tag = 0;
+          interned = 0;
+          dom = (Domain.self () :> int);
+        })
+
+  let interner () = Domain.DLS.get key
+  let domain_id it = it.dom
+
+  let fresh_tag it =
+    let t = it.next_tag in
+    it.next_tag <- t + 1;
+    t
+
+  let find_or_add it ~probe ~build =
+    match W.find_opt it.w probe with
+    | Some t -> t
+    | None ->
+        let t = build () in
+        it.interned <- it.interned + 1;
+        W.add it.w t;
+        t
+
+  let population it = W.count it.w
+  let interns it = it.interned
+end

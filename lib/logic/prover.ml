@@ -14,7 +14,15 @@
 
    Anything not dischargeable automatically is [Unknown] and needs a hint —
    the analogue of the paper's "straightforward manual intervention"
-   (application of preconditions, induction on loop invariants). *)
+   (application of preconditions, induction on loop invariants).
+
+   Terms are hash-consed (formula.ml): syntactic entailment and every
+   other term comparison goes through [Formula.equal] (O(1) within a
+   domain), hypothesis facts the search consults repeatedly — linear
+   constraints, variable bounds, rewrite rules — are either memoized on
+   node identity or indexed by head symbol up front, and the VC is
+   localized into the calling domain's interner on entry so a farm
+   worker never chases another domain's nodes. *)
 
 open Formula
 
@@ -63,21 +71,25 @@ type session = {
   mutable sx_consts : int;
 }
 
+(* membership of a term in a hypothesis list — O(1) per element thanks to
+   hash-consing *)
+let mem_term t l = List.exists (Formula.equal t) l
+
+let is_true t = match t.node with Bool true -> true | _ -> false
+let is_false t = match t.node with Bool false -> true | _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* Ground evaluation                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let rec eval_ground cfg t : int option =
   (* integers only; booleans encoded via eval_ground_bool *)
-  match t with
+  match t.node with
   | Int n -> Some n
   | Bool _ | Var _ -> None
   | App (op, args) -> (
       let args' = List.map (eval_ground cfg) args in
-      if List.exists Option.is_none args' then
-        match (op, args) with
-        | Uf _, _ -> None
-        | _ -> None
+      if List.exists Option.is_none args' then None
       else
         let vals = List.map Option.get args' in
         match (op, vals) with
@@ -109,7 +121,7 @@ let rec eval_ground cfg t : int option =
   | Forall _ | Exists _ -> None
 
 and eval_ground_bool cfg t : bool option =
-  match t with
+  match t.node with
   | Bool b -> Some b
   | App ((Eq | Ne | Lt | Le | Gt | Ge) as op, [ a; b ]) -> (
       match (eval_ground cfg a, eval_ground cfg b) with
@@ -147,7 +159,7 @@ and eval_ground_bool cfg t : bool option =
           let rec all i =
             if i > h then Some true
             else
-              match eval_ground_bool cfg (Formula.subst x (Int i) body) with
+              match eval_ground_bool cfg (Formula.subst x (num i) body) with
               | Some true -> all (i + 1)
               | other -> other
           in
@@ -159,14 +171,14 @@ and eval_ground_bool cfg t : bool option =
           let rec some i =
             if i > h then Some false
             else
-              match eval_ground_bool cfg (Formula.subst x (Int i) body) with
+              match eval_ground_bool cfg (Formula.subst x (num i) body) with
               | Some false -> some (i + 1)
               | Some true -> Some true
               | None -> None
           in
           some l
       | _ -> None)
-  | App ((Eq | Ne), _) | _ -> None
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Fourier–Motzkin over the rationals                                  *)
@@ -174,6 +186,24 @@ and eval_ground_bool cfg t : bool option =
 
 (* constraints: sum of coeff*var + const >= 0 (Ge0) or > 0 (Gt0) *)
 type constr = { coeffs : (string * int) list; cst : int; strict : bool }
+
+(* FM keys non-variable atoms by their printed form; elimination order
+   sorts those keys, so the exact string matters.  Printing a large atom
+   repeatedly was a top profile entry — memoize per node. *)
+let atom_key_cap = 1 lsl 16
+
+let atom_key_memo : (int * int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 512)
+
+let atom_key t =
+  let memo = Domain.DLS.get atom_key_memo in
+  let k = (t.dom, t.tag) in
+  match Hashtbl.find_opt memo k with
+  | Some s -> s
+  | None ->
+      let s = "!atom:" ^ Formula.to_string t in
+      if Hashtbl.length memo < atom_key_cap then Hashtbl.add memo k s;
+      s
 
 (* All terms denote integers, so a strict bound tightens to a non-strict
    one: t > 0 becomes t - 1 >= 0.  This buys integer completeness that
@@ -187,42 +217,62 @@ let constr_of_lin ~strict (lin : Simplify.Lin.t) =
     let coeffs =
       List.map
         (fun (t, c) ->
-          match t with
-          | Var x -> (x, c)
-          | t -> ("!atom:" ^ Formula.to_string t, c))
+          match t.node with Var x -> (x, c) | _ -> (atom_key t, c))
         lin.Simplify.Lin.atoms
     in
     let cst = if strict then lin.Simplify.Lin.const - 1 else lin.Simplify.Lin.const in
     Some { coeffs; cst; strict = false }
 
-(* turn a simplified comparison into 1-2 constraints meaning "this holds" *)
+(* turn a simplified comparison into 1-2 constraints meaning "this holds".
+   Pure in the formula (no config involved), so memoized per node: the
+   search re-derives constraints for the same hypothesis list at every
+   FM call site. *)
+let constraints_cap = 1 lsl 16
+
+let constraints_memo : (int * int, constr list option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let constraints_of_formula t : constr list option =
-  let open Simplify in
-  let diff a b = difference a b in
-  match t with
-  | App (Le, [ a; b ]) ->
-      Option.bind (diff b a) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
-  | App (Lt, [ a; b ]) ->
-      Option.bind (diff b a) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
-  | App (Ge, [ a; b ]) ->
-      Option.bind (diff a b) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
-  | App (Gt, [ a; b ]) ->
-      Option.bind (diff a b) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
-  | App (Eq, [ a; b ]) -> (
-      match (Option.bind (diff a b) (constr_of_lin ~strict:false),
-             Option.bind (diff b a) (constr_of_lin ~strict:false))
-      with
-      | Some c1, Some c2 -> Some [ c1; c2 ]
-      | _ -> None)
-  | _ -> None
+  let compute t =
+    let diff a b = Simplify.difference a b in
+    match t.node with
+    | App (Le, [ a; b ]) ->
+        Option.bind (diff b a) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
+    | App (Lt, [ a; b ]) ->
+        Option.bind (diff b a) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
+    | App (Ge, [ a; b ]) ->
+        Option.bind (diff a b) (constr_of_lin ~strict:false) |> Option.map (fun c -> [ c ])
+    | App (Gt, [ a; b ]) ->
+        Option.bind (diff a b) (constr_of_lin ~strict:true) |> Option.map (fun c -> [ c ])
+    | App (Eq, [ a; b ]) -> (
+        match (Option.bind (diff a b) (constr_of_lin ~strict:false),
+               Option.bind (diff b a) (constr_of_lin ~strict:false))
+        with
+        | Some c1, Some c2 -> Some [ c1; c2 ]
+        | _ -> None)
+    | _ -> None
+  in
+  let memo = Domain.DLS.get constraints_memo in
+  let k = (t.dom, t.tag) in
+  match Hashtbl.find_opt memo k with
+  | Some r -> r
+  | None ->
+      let r = compute t in
+      if Hashtbl.length memo < constraints_cap then Hashtbl.add memo k r;
+      r
+
+(* the linear fragment of a hypothesis list — every constituent lookup is
+   memoized above, so this is one table probe per hypothesis *)
+let lin_constraints hyps =
+  List.concat (List.filter_map constraints_of_formula hyps)
 
 let negation_constraints t : constr list option =
   (* constraints meaning "not t" *)
-  match t with
-  | App (Le, [ a; b ]) -> constraints_of_formula (App (Gt, [ a; b ]))
-  | App (Lt, [ a; b ]) -> constraints_of_formula (App (Ge, [ a; b ]))
-  | App (Ge, [ a; b ]) -> constraints_of_formula (App (Lt, [ a; b ]))
-  | App (Gt, [ a; b ]) -> constraints_of_formula (App (Le, [ a; b ]))
+  match t.node with
+  | App (Le, [ a; b ]) -> constraints_of_formula (app Gt [ a; b ])
+  | App (Lt, [ a; b ]) -> constraints_of_formula (app Ge [ a; b ])
+  | App (Ge, [ a; b ]) -> constraints_of_formula (app Lt [ a; b ])
+  | App (Gt, [ a; b ]) -> constraints_of_formula (app Le [ a; b ])
   | _ -> None (* Eq negation is a disjunction: not handled here *)
 
 let coeff x c = match List.assoc_opt x c.coeffs with Some k -> k | None -> 0
@@ -285,7 +335,7 @@ let rec fm_unsat budget cs =
 
 (* Does the linear fragment of [hyps] entail [f]?  Refutes hyps /\ not f. *)
 let rec fm_implies hyps f =
-  let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+  let lin_hyps = lin_constraints hyps in
   match negation_constraints f with
   | Some neg ->
       let cs = cone_of_influence ~seed:neg lin_hyps in
@@ -293,9 +343,9 @@ let rec fm_implies hyps f =
   | None -> (
       (* equalities negate to a disjunction; prove via both strict sides
          being refuted is wrong, so only handle the conjunction forms *)
-      match f with
+      match f.node with
       | App (Eq, [ a; b ]) ->
-          fm_implies hyps (App (Le, [ a; b ])) && fm_implies hyps (App (Ge, [ a; b ]))
+          fm_implies hyps (app Le [ a; b ]) && fm_implies hyps (app Ge [ a; b ])
       | _ -> false)
 
 (* Resolve select-over-store nodes whose indices are separated (or equated)
@@ -304,31 +354,31 @@ let rec fm_implies hyps f =
 let reduce_selects hyps t =
   let rec reduce hyps t =
     let distinct i j =
-      fm_implies hyps (App (Lt, [ i; j ])) || fm_implies hyps (App (Gt, [ i; j ]))
+      fm_implies hyps (app Lt [ i; j ]) || fm_implies hyps (app Gt [ i; j ])
     in
-    let equal_idx i j = fm_implies hyps (App (Eq, [ i; j ])) in
-    match t with
+    let equal_idx i j = fm_implies hyps (app Eq [ i; j ]) in
+    match t.node with
     | App (Select, [ arr; j ]) -> (
         let j = reduce hyps j in
         let rec through arr =
-          match arr with
+          match arr.node with
           | App (Store, [ arr'; i; v ]) ->
-              if i = j || equal_idx i j then reduce hyps v
+              if Formula.equal i j || equal_idx i j then reduce hyps v
               else if distinct i j then through arr'
-              else App (Select, [ reduce hyps arr; j ])
-          | _ -> App (Select, [ reduce hyps arr; j ])
+              else select (reduce hyps arr) j
+          | _ -> select (reduce hyps arr) j
         in
         through arr)
     | Int _ | Bool _ | Var _ -> t
-    | App (op, args) -> App (op, List.map (reduce hyps) args)
-    | Ite (c, a, b) -> Ite (reduce hyps c, reduce hyps a, reduce hyps b)
+    | App (op, args) -> app op (List.map (reduce hyps) args)
+    | Ite (c, a, b) -> ite (reduce hyps c) (reduce hyps a) (reduce hyps b)
     | Forall (x, lo, hi, body) ->
         (* inside the binder, the bound variable's range is known *)
-        let extra = [ App (Ge, [ Var x; lo ]); App (Le, [ Var x; hi ]) ] in
-        Forall (x, reduce hyps lo, reduce hyps hi, reduce (extra @ hyps) body)
+        let extra = [ app Ge [ var x; lo ]; app Le [ var x; hi ] ] in
+        forall x (reduce hyps lo) (reduce hyps hi) (reduce (extra @ hyps) body)
     | Exists (x, lo, hi, body) ->
-        let extra = [ App (Ge, [ Var x; lo ]); App (Le, [ Var x; hi ]) ] in
-        Exists (x, reduce hyps lo, reduce hyps hi, reduce (extra @ hyps) body)
+        let extra = [ app Ge [ var x; lo ]; app Le [ var x; hi ] ] in
+        exists x (reduce hyps lo) (reduce hyps hi) (reduce (extra @ hyps) body)
   in
   reduce hyps t
 
@@ -342,9 +392,9 @@ let rewrite_with_equalities hyps goal =
   let substitutions =
     List.filter_map
       (fun h ->
-        match h with
-        | App (Eq, [ Var x; t ]) when not (List.mem x (free_vars t)) -> Some (x, t)
-        | App (Eq, [ t; Var x ]) when not (List.mem x (free_vars t)) -> Some (x, t)
+        match h.node with
+        | App (Eq, [ { node = Var x; _ }; t ]) when not (List.mem x (free_vars t)) -> Some (x, t)
+        | App (Eq, [ t; { node = Var x; _ } ]) when not (List.mem x (free_vars t)) -> Some (x, t)
         | _ -> None)
       hyps
   in
@@ -357,32 +407,54 @@ let rewrite_with_uf_equations hyps goal =
   let rules =
     List.filter_map
       (fun h ->
-        match h with
-        | App (Eq, [ (App (Uf _, _) as lhs); rhs ]) when lhs <> rhs -> Some (lhs, rhs)
+        match h.node with
+        | App (Eq, [ ({ node = App (Uf _, _); _ } as lhs); rhs ])
+          when not (Formula.equal lhs rhs) ->
+            Some (lhs, rhs)
         (* definitional equations on array cells (select chains over havoc
            symbols) rewrite the same way: how callee postconditions about
            out-parameter elements propagate *)
-        | App (Eq, [ (App (Select, _) as lhs); rhs ]) when lhs <> rhs ->
+        | App (Eq, [ ({ node = App (Select, _); _ } as lhs); rhs ])
+          when not (Formula.equal lhs rhs) ->
             let contains_lhs = ref false in
-            Formula.iter (fun t -> if t = lhs then contains_lhs := true) rhs;
+            Formula.iter (fun t -> if Formula.equal t lhs then contains_lhs := true) rhs;
             if !contains_lhs then None else Some (lhs, rhs)
         | _ -> None)
       hyps
     (* larger left sides first, so outer applications rewrite before the
        inner applications they contain *)
-    |> List.sort (fun (a, _) (b, _) -> compare (node_count b) (node_count a))
+    |> List.sort (fun (a, _) (b, _) -> Int.compare (node_count b) (node_count a))
   in
-  let apply_rules rules t =
-    Formula.map
-      (fun t ->
-        match List.assoc_opt t rules with Some rhs -> rhs | None -> t)
-      t
+  (* head-indexed rule lookup: the rewriter visits every node of the goal,
+     so the per-node cost must be a hash probe, not a scan of the rule
+     list.  Inserted in reverse so [find_all] yields original order and
+     the first matching rule wins, as the assoc scan did. *)
+  let index_rules rules =
+    let idx = Hashtbl.create (max 16 (2 * List.length rules)) in
+    List.iter (fun ((l, _) as rule) -> Hashtbl.add idx l.hash rule) (List.rev rules);
+    idx
   in
-  let rec fixpoint rules n t =
-    if n = 0 then t
-    else
-      let t' = apply_rules rules t in
-      if t' = t then t else fixpoint rules (n - 1) t'
+  let lookup idx t =
+    let rec first = function
+      | [] -> None
+      | (l, r) :: rest -> if Formula.equal t l then Some r else first rest
+    in
+    first (Hashtbl.find_all idx t.hash)
+  in
+  let fixpoint rules n t =
+    let idx = index_rules rules in
+    let apply_rules t =
+      Formula.map
+        (fun t -> match lookup idx t with Some rhs -> rhs | None -> t)
+        t
+    in
+    let rec go n t =
+      if n = 0 then t
+      else
+        let t' = apply_rules t in
+        if Formula.equal t' t then t else go (n - 1) t'
+    in
+    go n t
   in
   (* saturate: rewrite each rule with the others, so that rules over
      intermediate program variables compose (inner applications may have
@@ -393,7 +465,7 @@ let rewrite_with_uf_equations hyps goal =
         let others = List.filteri (fun j _ -> j <> i) rules in
         (fixpoint others 4 lhs, fixpoint others 4 rhs))
       rules
-    |> List.filter (fun (l, r) -> l <> r)
+    |> List.filter (fun (l, r) -> not (Formula.equal l r))
   in
   fixpoint (rules @ saturated) 8 goal
 
@@ -403,26 +475,49 @@ let rewrite_with_uf_equations hyps goal =
 
 let split_conjuncts goal = Simplify.flatten_chain And goal
 
-(* find hypothesis-derived bounds for a variable *)
-let bounds_of hyps x =
-  let lo = ref None and hi = ref None in
+(* Hypothesis-derived bounds, indexed by variable in one pass: replays
+   the facts in hypothesis order per variable ([Eq] overwrites, [Ge]/[Le]
+   tighten), exactly as the old per-variable scan did, but case splitting
+   then probes candidates in O(1) instead of rescanning the full list. *)
+let bounds_index hyps =
+  let tbl : (string, int option ref * int option ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let get x =
+    match Hashtbl.find_opt tbl x with
+    | Some p -> p
+    | None ->
+        let p = (ref None, ref None) in
+        Hashtbl.add tbl x p;
+        p
+  in
   List.iter
     (fun h ->
-      match h with
-      | App (Ge, [ Var y; Int n ]) when y = x ->
+      match h.node with
+      | App (Ge, [ { node = Var y; _ }; { node = Int n; _ } ]) ->
+          let lo, _ = get y in
           lo := Some (max n (Option.value ~default:n !lo))
-      | App (Le, [ Var y; Int n ]) when y = x ->
+      | App (Le, [ { node = Var y; _ }; { node = Int n; _ } ]) ->
+          let _, hi = get y in
           hi := Some (min n (Option.value ~default:n !hi))
-      | App (Gt, [ Var y; Int n ]) when y = x ->
+      | App (Gt, [ { node = Var y; _ }; { node = Int n; _ } ]) ->
+          let lo, _ = get y in
           lo := Some (max (n + 1) (Option.value ~default:(n + 1) !lo))
-      | App (Lt, [ Var y; Int n ]) when y = x ->
+      | App (Lt, [ { node = Var y; _ }; { node = Int n; _ } ]) ->
+          let _, hi = get y in
           hi := Some (min (n - 1) (Option.value ~default:(n - 1) !hi))
-      | App (Eq, [ Var y; Int n ]) when y = x ->
+      | App (Eq, [ { node = Var y; _ }; { node = Int n; _ } ]) ->
+          let lo, hi = get y in
           lo := Some n;
           hi := Some n
       | _ -> ())
     hyps;
-  match (!lo, !hi) with Some l, Some h -> Some (l, h) | _ -> None
+  tbl
+
+let bounds_lookup tbl x =
+  match Hashtbl.find_opt tbl x with
+  | Some ({ contents = Some l }, { contents = Some h }) -> Some (l, h)
+  | _ -> None
 
 let fresh_const sx base =
   sx.sx_consts <- sx.sx_consts + 1;
@@ -445,24 +540,23 @@ let instantiate_hyps hyps goal =
   let index_terms = ref [] in
   Formula.iter
     (fun t ->
-      match t with
+      match t.node with
       | App (Select, [ _; i ]) -> index_terms := i :: !index_terms
       | Var _ -> index_terms := t :: !index_terms
       | _ -> ())
     goal;
-  let index_terms = List.sort_uniq compare !index_terms in
+  let index_terms = List.sort_uniq Formula.compare !index_terms in
   List.concat_map
     (fun h ->
-      match h with
+      match h.node with
       | Forall (x, lo, hi, body) ->
           h
           :: List.map
                (fun i ->
                  Simplify.simplify
-                   (App
-                      ( Implies,
-                        [ App (And, [ App (Le, [ lo; i ]); App (Le, [ i; hi ]) ]);
-                          Formula.subst x i body ] )))
+                   (app Implies
+                      [ app And [ app Le [ lo; i ]; app Le [ i; hi ] ];
+                        Formula.subst x i body ]))
                index_terms
       | _ -> [ h ])
     hyps
@@ -470,11 +564,11 @@ let instantiate_hyps hyps goal =
 (* range-split: forall x in lo .. hi => P  into
    hi < lo \/ ((forall x in lo .. hi-1 => P) /\ P[hi]) *)
 let split_last_index goal =
-  match goal with
+  match goal.node with
   | Forall (x, lo, hi, body) ->
-      let prefix = Forall (x, lo, App (Sub, [ hi; Int 1 ]), body) in
+      let prefix = forall x lo (app Sub [ hi; num 1 ]) body in
       let last = Formula.subst x hi body in
-      Some (App (Or, [ App (Lt, [ hi; lo ]); App (And, [ prefix; last ]) ]))
+      Some (app Or [ app Lt [ hi; lo ]; app And [ prefix; last ] ])
   | _ -> None
 
 (* first unresolved select-over-store node, for case splitting *)
@@ -482,8 +576,9 @@ let find_store_conflict goal =
   let found = ref None in
   Formula.iter
     (fun t ->
-      match t with
-      | App (Select, [ App (Store, [ _; i; _ ]); j ]) when !found = None && i <> j ->
+      match t.node with
+      | App (Select, [ { node = App (Store, [ _; i; _ ]); _ }; j ])
+        when Option.is_none !found && not (Formula.equal i j) ->
           found := Some (i, j)
       | _ -> ())
     goal;
@@ -496,7 +591,7 @@ let rec prove_goal sx cfg caps depth hyps goal : outcome =
   else if depth <= 0 then Unknown "depth budget exhausted"
   else
     let goal = Simplify.simplify goal in
-    match goal with
+    match goal.node with
     | Bool true -> Proved
     | Bool false -> Unknown "goal is false"
     | App (Implies, [ a; b ]) ->
@@ -505,14 +600,14 @@ let rec prove_goal sx cfg caps depth hyps goal : outcome =
         match prove_goal sx cfg caps (depth - 1) hyps a with
         | Proved -> Proved
         | _ -> (
-            let not_a = Simplify.simplify (App (Not, [ a ])) in
+            let not_a = Simplify.simplify (app Not [ a ]) in
             match prove_goal sx cfg caps (depth - 1) (not_a :: hyps) b with
             | Proved -> Proved
             | other -> other))
     | Forall (x, lo, hi, body) -> (
         (* resolved-under-binder form may match a hypothesis directly *)
         let reduced = Simplify.simplify (reduce_selects hyps goal) in
-        if List.mem reduced hyps || reduced = Bool true then Proved
+        if mem_term reduced hyps || is_true reduced then Proved
         else
           let split =
             if caps.c_induction then
@@ -526,8 +621,8 @@ let rec prove_goal sx cfg caps depth hyps goal : outcome =
           | _ ->
               (* intro a fresh constant for the bound variable *)
               let c = fresh_const sx x in
-              let hyps' = App (Ge, [ Var c; lo ]) :: App (Le, [ Var c; hi ]) :: hyps in
-              prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (Var c) body))
+              let hyps' = app Ge [ var c; lo ] :: app Le [ var c; hi ] :: hyps in
+              prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (var c) body))
     | _ -> (
         match split_conjuncts goal with
         | [ _ ] -> prove_atomic sx cfg caps depth hyps goal
@@ -543,25 +638,25 @@ let rec prove_goal sx cfg caps depth hyps goal : outcome =
 
 and prove_atomic sx cfg caps depth hyps goal : outcome =
   (* 1. syntactic entailment *)
-  if List.mem goal hyps then Proved
+  if mem_term goal hyps then Proved
   else
     (* 2. equational rewriting: variable equations, then function-contract
        equations, then arithmetic-aware select/store resolution *)
     let goal' = Simplify.simplify (rewrite_with_equalities hyps goal) in
-    if goal' = Bool true || List.mem goal' hyps then Proved
+    if is_true goal' || mem_term goal' hyps then Proved
     else
       let hyps =
-        if goal' <> goal then
+        if not (Formula.equal goal' goal) then
           List.map (fun h -> Simplify.simplify (rewrite_with_equalities hyps h)) hyps
         else hyps
       in
       let goal' = Simplify.simplify (rewrite_with_uf_equations hyps goal') in
-      if goal' = Bool true || List.mem goal' hyps then Proved
+      if is_true goal' || mem_term goal' hyps then Proved
       else
         let goal' = Simplify.simplify (reduce_selects hyps goal') in
         let hyps = List.map (fun h -> Simplify.simplify (reduce_selects hyps h)) hyps in
-        if goal' = Bool true || List.mem goal' hyps then Proved
-        else if goal' = Bool false then Unknown "goal is false"
+        if is_true goal' || mem_term goal' hyps then Proved
+        else if is_false goal' then Unknown "goal is false"
         else
           (* 3. ground evaluation *)
           match eval_ground_bool cfg goal' with
@@ -572,11 +667,11 @@ and prove_atomic sx cfg caps depth hyps goal : outcome =
               let decided =
                 match negation_constraints goal' with
                 | Some neg ->
-                    let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+                    let lin_hyps = lin_constraints hyps in
                     let cs = cone_of_influence ~seed:neg lin_hyps in
                     fm_unsat (List.length (vars_of_constrs cs) + 8) cs
                 | None -> (
-                    match goal' with
+                    match goal'.node with
                     | App (Eq, _) -> fm_implies hyps goal'
                     | _ -> false)
               in
@@ -584,10 +679,11 @@ and prove_atomic sx cfg caps depth hyps goal : outcome =
               else
                 (* 5. capability: instantiate quantified hypotheses *)
                 let after_inst =
-                  if caps.c_instantiate && List.exists (function Forall _ -> true | _ -> false) hyps
+                  if caps.c_instantiate
+                     && List.exists (fun h -> match h.node with Forall _ -> true | _ -> false) hyps
                   then
                     let hyps' = discharge_guards sx cfg caps depth (instantiate_hyps hyps goal') in
-                    if hyps' <> hyps then
+                    if not (List.equal Formula.equal hyps' hyps) then
                       prove_with_hyps sx cfg caps (depth - 1) hyps' goal'
                     else Unknown "nothing to instantiate"
                   else Unknown "instantiation not enabled"
@@ -609,33 +705,32 @@ and prove_atomic sx cfg caps depth hyps goal : outcome =
 
 and prove_with_hyps sx cfg caps depth hyps goal =
   (* retry the cheap stages with enriched hypotheses *)
-  if List.mem goal hyps then Proved
+  if mem_term goal hyps then Proved
   else
     let goal' = Simplify.simplify (rewrite_with_equalities hyps goal) in
     let goal' = Simplify.simplify (reduce_selects hyps goal') in
-    if goal' = Bool true || List.mem goal' hyps then Proved
+    if is_true goal' || mem_term goal' hyps then Proved
     else
       let lin_ok =
         match negation_constraints goal' with
         | Some neg ->
-            let lin_hyps = List.concat (List.filter_map constraints_of_formula hyps) in
+            let lin_hyps = lin_constraints hyps in
             let cs = cone_of_influence ~seed:neg lin_hyps in
             fm_unsat (List.length (vars_of_constrs cs) + 8) cs
-        | None -> ( match goal' with App (Eq, _) -> fm_implies hyps goal' | _ -> false)
+        | None -> (
+            match goal'.node with App (Eq, _) -> fm_implies hyps goal' | _ -> false)
       in
       if lin_ok then Proved else case_split sx cfg caps depth hyps goal'
 
 and store_case_split sx cfg caps depth hyps goal i j =
-  let branches =
-    [ App (Eq, [ i; j ]); App (Lt, [ i; j ]); App (Gt, [ i; j ]) ]
-  in
+  let branches = [ app Eq [ i; j ]; app Lt [ i; j ]; app Gt [ i; j ] ] in
   let rec all = function
     | [] -> Proved
     | br :: rest -> (
         let hyps' = br :: hyps in
         (* skip infeasible branches *)
         let infeasible =
-          let lin = List.concat (List.filter_map constraints_of_formula hyps') in
+          let lin = lin_constraints hyps' in
           lin <> [] && fm_unsat 24 lin
         in
         if infeasible then all rest
@@ -649,16 +744,16 @@ and store_case_split sx cfg caps depth hyps goal i j =
 and discharge_guards sx cfg _caps depth hyps =
   List.map
     (fun h ->
-      match h with
+      match h.node with
       | App (Implies, [ guard; body ]) -> (
           match
             prove_goal sx cfg no_caps (depth - 1)
-              (List.filter (fun x -> x <> h) hyps)
+              (List.filter (fun x -> not (Formula.equal x h)) hyps)
               guard
           with
           | Proved -> body
           | _ -> h)
-      | h -> h)
+      | _ -> h)
     hyps
 
 and case_split sx cfg caps depth hyps goal : outcome =
@@ -677,11 +772,12 @@ and case_split sx cfg caps depth hyps goal : outcome =
   (* hypothesis-only variables get a tighter width cap: they are a fallback
      (e.g. nk making a division concrete), not a primary search dimension *)
   let width_cap x = if List.mem x goal_vars then cfg.max_split else 16 in
+  let bounds = bounds_index hyps in
   let contradictory = ref false in
   let pick =
     List.find_map
       (fun x ->
-        match bounds_of hyps x with
+        match bounds_lookup bounds x with
         | Some (lo, hi) when hi < lo ->
             (* empty range: the hypotheses are contradictory *)
             contradictory := true;
@@ -696,18 +792,18 @@ and case_split sx cfg caps depth hyps goal : outcome =
   | None ->
       (* last resort: contradictory linear hypotheses prove anything
          (infeasible symbolic path, e.g. the empty-loop fork) *)
-      let lin = List.concat (List.filter_map constraints_of_formula hyps) in
+      let lin = lin_constraints hyps in
       if lin <> [] && fm_unsat 24 lin then Proved
       else Unknown (Printf.sprintf "residual goal: %s" (to_string goal))
   | Some (x, lo, hi) ->
       let rec all i =
         if i > hi then Proved
         else
-          let inst h = Simplify.simplify (Formula.subst x (Int i) h) in
+          let inst h = Simplify.simplify (Formula.subst x (num i) h) in
           let hyps' = List.map inst hyps in
-          if List.mem (Bool false) hyps' then all (i + 1) (* infeasible case *)
+          if List.exists is_false hyps' then all (i + 1) (* infeasible case *)
           else
-            match prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (Int i) goal) with
+            match prove_goal sx cfg caps (depth - 1) hyps' (Formula.subst x (num i) goal) with
             | Proved -> all (i + 1)
             | other -> other
       in
@@ -720,10 +816,10 @@ and case_split sx cfg caps depth hyps goal : outcome =
 let apply_unfold name formals body t =
   Formula.map
     (fun t ->
-      match t with
+      match t.node with
       | App (Uf n, args) when String.equal n name && List.length args = List.length formals ->
           List.fold_left2 (fun acc x v -> Formula.subst x v acc) body formals args
-      | t -> t)
+      | _ -> t)
     t
 
 (* ------------------------------------------------------------------ *)
@@ -745,6 +841,10 @@ let prove_vc ?(cfg = default_config) ?(hints = []) vc : proof_result =
   let sx =
     { sx_deadline = Clock.deadline cfg.deadline_s; sx_steps = 0; sx_consts = 0 }
   in
+  (* intern the VC's terms into this domain's table first: the search then
+     runs entirely on local nodes (O(1) equality, warm memo tables) even
+     when the VC was generated by the coordinator domain *)
+  let vc = Formula.localize_vc vc in
   let vc = Simplify.simplify_vc vc in
   (* unfold hints are structural rewrites, applied before proof *)
   let unfolds =

@@ -4,7 +4,14 @@
    (Fig. 2(d)/(e)); this module defines "simplified".  It performs constant
    folding, boolean and comparison reduction, linear-arithmetic
    normalisation, McCarthy select/store reduction, xor-chain cancellation,
-   and bounded quantifier expansion. *)
+   and bounded quantifier expansion.
+
+   Terms are hash-consed (see formula.ml): inspection matches on [.node],
+   construction goes through the smart constructors, and term comparisons
+   use [Formula.equal]/[Formula.compare] — never the polymorphic ones,
+   which would look at interning tags.  [simplify] is memoized per domain
+   on node identity; [simplify_nomemo] is the raw fixpoint, kept for
+   differential testing. *)
 
 open Formula
 
@@ -19,12 +26,19 @@ module Lin = struct
   let of_const n = { const = n; atoms = [] }
   let of_atom a = { const = 0; atoms = [ (a, 1) ] }
 
+  let rec assoc_opt t = function
+    | [] -> None
+    | (t', c) :: rest -> if Formula.equal t t' then Some c else assoc_opt t rest
+
+  let remove_assoc t l =
+    List.filter (fun (t', _) -> not (Formula.equal t t')) l
+
   let add a b =
     let atoms =
       List.fold_left
         (fun acc (t, c) ->
-          match List.assoc_opt t acc with
-          | Some c' -> (t, c + c') :: List.remove_assoc t acc
+          match assoc_opt t acc with
+          | Some c' -> (t, c + c') :: remove_assoc t acc
           | None -> (t, c) :: acc)
         a.atoms b.atoms
     in
@@ -40,33 +54,39 @@ module Lin = struct
 
   (* canonical term rebuild: atoms sorted for deterministic output *)
   let to_term a =
-    let atoms = List.sort compare a.atoms in
+    let atoms =
+      List.sort
+        (fun (t1, c1) (t2, c2) ->
+          let c = Formula.compare t1 t2 in
+          if c <> 0 then c else Stdlib.compare c1 c2)
+        a.atoms
+    in
     let term_of (t, c) =
       if c = 1 then t
-      else if c = -1 then App (Neg, [ t ])
-      else App (Mul, [ Int c; t ])
+      else if c = -1 then app Neg [ t ]
+      else app Mul [ num c; t ]
     in
     match (atoms, a.const) with
-    | [], n -> Int n
+    | [], n -> num n
     | first :: rest, n ->
-        let base = List.fold_left (fun acc at -> App (Add, [ acc; term_of at ])) (term_of first) rest in
+        let base = List.fold_left (fun acc at -> app Add [ acc; term_of at ]) (term_of first) rest in
         if n = 0 then base
-        else if n > 0 then App (Add, [ base; Int n ])
-        else App (Sub, [ base; Int (-n) ])
+        else if n > 0 then app Add [ base; num n ]
+        else app Sub [ base; num (-n) ]
 end
 
 (* Attempt to view a term as a linear form.  Non-arithmetic heads become
    atoms; [None] is returned for terms that are clearly non-numeric
    (booleans, stores), so comparisons over them are left alone. *)
 let rec linearize t : Lin.t option =
-  match t with
+  match t.node with
   | Int n -> Some (Lin.of_const n)
   | Bool _ -> None
   | App (Add, [ a; b ]) -> lin2 a b Lin.add
   | App (Sub, [ a; b ]) -> lin2 a b Lin.sub
   | App (Neg, [ a ]) -> Option.map Lin.neg (linearize a)
-  | App (Mul, [ Int k; b ]) -> Option.map (Lin.scale k) (linearize b)
-  | App (Mul, [ a; Int k ]) -> Option.map (Lin.scale k) (linearize a)
+  | App (Mul, [ { node = Int k; _ }; b ]) -> Option.map (Lin.scale k) (linearize b)
+  | App (Mul, [ a; { node = Int k; _ } ]) -> Option.map (Lin.scale k) (linearize a)
   | App (Mul, _) | App (Div, _) | App (Mod_op, _) -> Some (Lin.of_atom t)
   | App ((Eq | Ne | Lt | Le | Gt | Ge | And | Or | Not | Implies), _) -> None
   | App (Store, _) -> None
@@ -90,23 +110,26 @@ let difference a b =
 (* ---------------- xor / and / or chains ---------------- *)
 
 let rec flatten_chain op t =
-  match t with
+  match t.node with
   | App (o, [ a; b ]) when o = op -> flatten_chain op a @ flatten_chain op b
   | _ -> [ t ]
 
 (* xor chains: sort operands, cancel equal pairs, drop zeros *)
 let rebuild_xor m operands =
-  let sorted = List.sort compare operands in
+  let sorted = List.sort Formula.compare operands in
   let rec cancel = function
-    | a :: b :: rest when a = b -> cancel rest
+    | a :: b :: rest when Formula.equal a b -> cancel rest
     | a :: rest -> a :: cancel rest
     | [] -> []
   in
-  let remaining = cancel sorted |> List.filter (fun t -> t <> Int 0) in
+  let remaining =
+    cancel sorted
+    |> List.filter (fun t -> match t.node with Int 0 -> false | _ -> true)
+  in
   match remaining with
-  | [] -> Int 0
+  | [] -> num 0
   | first :: rest ->
-      List.fold_left (fun acc t -> App (Bxor m, [ acc; t ])) first rest
+      List.fold_left (fun acc t -> app (Bxor m) [ acc; t ]) first rest
 
 (* ---------------- one bottom-up simplification pass ---------------- *)
 
@@ -117,7 +140,7 @@ let wrap_int m n = if m <= 0 then n else ((n mod m) + m) mod m
 (* Is this term certainly within [0, m)?  Conservative syntactic check used
    to drop redundant Wrap nodes. *)
 let rec in_range m t =
-  match t with
+  match t.node with
   | Int n -> n >= 0 && n < m
   | App (Wrap m', [ _ ]) -> m' = m
   | App ((Band m' | Bor m' | Bxor m' | Bnot m' | Shl m' | Shr m'), _) -> m' = m && m' > 0
@@ -125,93 +148,100 @@ let rec in_range m t =
   | _ -> false
 
 let step t =
-  match t with
+  match t.node with
   (* ---- constant folding: arithmetic ---- *)
-  | App (Add, [ Int a; Int b ]) -> Int (a + b)
-  | App (Sub, [ Int a; Int b ]) -> Int (a - b)
-  | App (Mul, [ Int a; Int b ]) -> Int (a * b)
-  | App (Div, [ Int a; Int b ]) when b <> 0 -> Int (a / b)
-  | App (Mod_op, [ Int a; Int b ]) when b <> 0 -> Int (wrap_int (abs b) a)
-  | App (Neg, [ Int a ]) -> Int (-a)
-  | App (Add, [ a; Int 0 ]) | App (Add, [ Int 0; a ]) -> a
-  | App (Sub, [ a; Int 0 ]) -> a
-  | App (Mul, [ a; Int 1 ]) | App (Mul, [ Int 1; a ]) -> a
-  | App (Mul, [ _; Int 0 ]) | App (Mul, [ Int 0; _ ]) -> Int 0
+  | App (Add, [ { node = Int a; _ }; { node = Int b; _ } ]) -> num (a + b)
+  | App (Sub, [ { node = Int a; _ }; { node = Int b; _ } ]) -> num (a - b)
+  | App (Mul, [ { node = Int a; _ }; { node = Int b; _ } ]) -> num (a * b)
+  | App (Div, [ { node = Int a; _ }; { node = Int b; _ } ]) when b <> 0 -> num (a / b)
+  | App (Mod_op, [ { node = Int a; _ }; { node = Int b; _ } ]) when b <> 0 ->
+      num (wrap_int (abs b) a)
+  | App (Neg, [ { node = Int a; _ } ]) -> num (-a)
+  | App (Add, [ a; { node = Int 0; _ } ]) | App (Add, [ { node = Int 0; _ }; a ]) -> a
+  | App (Sub, [ a; { node = Int 0; _ } ]) -> a
+  | App (Mul, [ a; { node = Int 1; _ } ]) | App (Mul, [ { node = Int 1; _ }; a ]) -> a
+  | App (Mul, [ _; { node = Int 0; _ } ]) | App (Mul, [ { node = Int 0; _ }; _ ]) -> num 0
   (* canonical linear form for remaining additive terms, e.g. (i+1)-1 = i *)
-  | App ((Add | Sub | Neg), _) as t -> (
+  | App ((Add | Sub | Neg), _) -> (
       match linearize t with
       | Some l ->
           let t' = Lin.to_term l in
-          if t' = t then t else t'
+          if Formula.equal t' t then t else t'
       | None -> t)
   (* ---- wrap ---- *)
-  | App (Wrap m, [ Int n ]) -> Int (wrap_int m n)
+  | App (Wrap m, [ { node = Int n; _ } ]) -> num (wrap_int m n)
   | App (Wrap m, [ a ]) when in_range m a -> a
   (* ---- bit operations (operands normalised into the modulus first, so
      folding agrees with ground evaluation on negative literals) ---- *)
-  | App (Band m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a land wrap_int m b))
-  | App (Bor m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a lor wrap_int m b))
-  | App (Bxor m, [ Int a; Int b ]) -> Int (wrap_int m (wrap_int m a lxor wrap_int m b))
-  | App (Bnot m, [ Int a ]) when m > 0 -> Int (m - 1 - wrap_int m a)
-  | App (Shl m, [ Int a; Int k ]) when k >= 0 && k < 62 -> Int (wrap_int m (wrap_int m a lsl k))
-  | App (Shr m, [ Int a; Int k ]) when k >= 0 && k < 62 -> Int (wrap_int m (wrap_int m a lsr k))
-  | App (Bxor m, [ _; _ ]) as t -> rebuild_xor m (flatten_chain (Bxor m) t)
-  | App (Band _, [ a; b ]) when a = b -> a
-  | App (Bor _, [ a; b ]) when a = b -> a
-  | App (Bor _, [ a; Int 0 ]) | App (Bor _, [ Int 0; a ]) -> a
+  | App (Band m, [ { node = Int a; _ }; { node = Int b; _ } ]) ->
+      num (wrap_int m (wrap_int m a land wrap_int m b))
+  | App (Bor m, [ { node = Int a; _ }; { node = Int b; _ } ]) ->
+      num (wrap_int m (wrap_int m a lor wrap_int m b))
+  | App (Bxor m, [ { node = Int a; _ }; { node = Int b; _ } ]) ->
+      num (wrap_int m (wrap_int m a lxor wrap_int m b))
+  | App (Bnot m, [ { node = Int a; _ } ]) when m > 0 -> num (m - 1 - wrap_int m a)
+  | App (Shl m, [ { node = Int a; _ }; { node = Int k; _ } ]) when k >= 0 && k < 62 ->
+      num (wrap_int m (wrap_int m a lsl k))
+  | App (Shr m, [ { node = Int a; _ }; { node = Int k; _ } ]) when k >= 0 && k < 62 ->
+      num (wrap_int m (wrap_int m a lsr k))
+  | App (Bxor m, [ _; _ ]) -> rebuild_xor m (flatten_chain (Bxor m) t)
+  | App (Band _, [ a; b ]) when Formula.equal a b -> a
+  | App (Bor _, [ a; b ]) when Formula.equal a b -> a
+  | App (Bor _, [ a; { node = Int 0; _ } ]) | App (Bor _, [ { node = Int 0; _ }; a ]) -> a
   (* ---- booleans ---- *)
-  | App (And, [ Bool true; a ]) | App (And, [ a; Bool true ]) -> a
-  | App (And, [ Bool false; _ ]) | App (And, [ _; Bool false ]) -> fls
-  | App (And, [ a; b ]) when a = b -> a
-  | App (Or, [ Bool false; a ]) | App (Or, [ a; Bool false ]) -> a
-  | App (Or, [ Bool true; _ ]) | App (Or, [ _; Bool true ]) -> tru
-  | App (Or, [ a; b ]) when a = b -> a
-  | App (Not, [ Bool b ]) -> Bool (not b)
-  | App (Not, [ App (Not, [ a ]) ]) -> a
-  | App (Not, [ App (Eq, [ a; b ]) ]) -> App (Ne, [ a; b ])
-  | App (Not, [ App (Ne, [ a; b ]) ]) -> App (Eq, [ a; b ])
-  | App (Not, [ App (Lt, [ a; b ]) ]) -> App (Ge, [ a; b ])
-  | App (Not, [ App (Le, [ a; b ]) ]) -> App (Gt, [ a; b ])
-  | App (Not, [ App (Gt, [ a; b ]) ]) -> App (Le, [ a; b ])
-  | App (Not, [ App (Ge, [ a; b ]) ]) -> App (Lt, [ a; b ])
-  | App (Implies, [ Bool true; a ]) -> a
-  | App (Implies, [ Bool false; _ ]) -> tru
-  | App (Implies, [ _; Bool true ]) -> tru
-  | App (Implies, [ a; Bool false ]) -> App (Not, [ a ])
-  | App (Implies, [ a; b ]) when a = b -> tru
+  | App (And, [ { node = Bool true; _ }; a ]) | App (And, [ a; { node = Bool true; _ } ]) -> a
+  | App (And, [ { node = Bool false; _ }; _ ]) | App (And, [ _; { node = Bool false; _ } ]) -> fls
+  | App (And, [ a; b ]) when Formula.equal a b -> a
+  | App (Or, [ { node = Bool false; _ }; a ]) | App (Or, [ a; { node = Bool false; _ } ]) -> a
+  | App (Or, [ { node = Bool true; _ }; _ ]) | App (Or, [ _; { node = Bool true; _ } ]) -> tru
+  | App (Or, [ a; b ]) when Formula.equal a b -> a
+  | App (Not, [ { node = Bool b; _ } ]) -> bool_ (not b)
+  | App (Not, [ { node = App (Not, [ a ]); _ } ]) -> a
+  | App (Not, [ { node = App (Eq, [ a; b ]); _ } ]) -> app Ne [ a; b ]
+  | App (Not, [ { node = App (Ne, [ a; b ]); _ } ]) -> app Eq [ a; b ]
+  | App (Not, [ { node = App (Lt, [ a; b ]); _ } ]) -> app Ge [ a; b ]
+  | App (Not, [ { node = App (Le, [ a; b ]); _ } ]) -> app Gt [ a; b ]
+  | App (Not, [ { node = App (Gt, [ a; b ]); _ } ]) -> app Le [ a; b ]
+  | App (Not, [ { node = App (Ge, [ a; b ]); _ } ]) -> app Lt [ a; b ]
+  | App (Implies, [ { node = Bool true; _ }; a ]) -> a
+  | App (Implies, [ { node = Bool false; _ }; _ ]) -> tru
+  | App (Implies, [ _; { node = Bool true; _ } ]) -> tru
+  | App (Implies, [ a; { node = Bool false; _ } ]) -> app Not [ a ]
+  | App (Implies, [ a; b ]) when Formula.equal a b -> tru
   (* ---- ite ---- *)
-  | Ite (Bool true, a, _) -> a
-  | Ite (Bool false, _, b) -> b
-  | Ite (_, a, b) when a = b -> a
+  | Ite ({ node = Bool true; _ }, a, _) -> a
+  | Ite ({ node = Bool false; _ }, _, b) -> b
+  | Ite (_, a, b) when Formula.equal a b -> a
   (* ---- select / store ---- *)
-  | App (Select, [ App (Arrlit lo, elems); Int i ])
+  | App (Select, [ { node = App (Arrlit lo, elems); _ }; { node = Int i; _ } ])
     when i >= lo && i - lo < List.length elems ->
       List.nth elems (i - lo)
-  | App (Select, [ App (Store, [ arr; i; v ]); j ]) -> (
-      if i = j then v
+  | App (Select, [ { node = App (Store, [ arr; i; v ]); _ }; j ]) -> (
+      if Formula.equal i j then v
       else
         match difference i j with
         | Some d when Lin.is_const d ->
-            if d.Lin.const = 0 then v else App (Select, [ arr; j ])
+            if d.Lin.const = 0 then v else select arr j
         | _ -> t)
-  | App (Store, [ App (Store, [ arr; i; _ ]); j; w ]) when i = j ->
-      App (Store, [ arr; j; w ])
+  | App (Store, [ { node = App (Store, [ arr; i; _ ]); _ }; j; w ])
+    when Formula.equal i j ->
+      store arr j w
   (* ---- wrapped values are within [0, m) by construction ---- *)
-  | App (Ge, [ App (Wrap _, _); Int n ]) when n <= 0 -> tru
-  | App (Lt, [ App (Wrap m, _); Int n ]) when n >= m -> tru
-  | App (Le, [ App (Wrap m, _); Int n ]) when n >= m - 1 -> tru
+  | App (Ge, [ { node = App (Wrap _, _); _ }; { node = Int n; _ } ]) when n <= 0 -> tru
+  | App (Lt, [ { node = App (Wrap m, _); _ }; { node = Int n; _ } ]) when n >= m -> tru
+  | App (Le, [ { node = App (Wrap m, _); _ }; { node = Int n; _ } ]) when n >= m - 1 -> tru
   (* ---- comparisons ---- *)
-  | App (Eq, [ a; b ]) when a = b -> tru
-  | App (Ne, [ a; b ]) when a = b -> fls
-  | App (Le, [ a; b ]) when a = b -> tru
-  | App (Ge, [ a; b ]) when a = b -> tru
-  | App (Lt, [ a; b ]) when a = b -> fls
-  | App (Gt, [ a; b ]) when a = b -> fls
+  | App (Eq, [ a; b ]) when Formula.equal a b -> tru
+  | App (Ne, [ a; b ]) when Formula.equal a b -> fls
+  | App (Le, [ a; b ]) when Formula.equal a b -> tru
+  | App (Ge, [ a; b ]) when Formula.equal a b -> tru
+  | App (Lt, [ a; b ]) when Formula.equal a b -> fls
+  | App (Gt, [ a; b ]) when Formula.equal a b -> fls
   | App ((Eq | Ne | Lt | Le | Gt | Ge) as op, [ a; b ]) -> (
       match difference a b with
       | Some d when Lin.is_const d ->
           let c = d.Lin.const in
-          Bool
+          bool_
             (match op with
             | Eq -> c = 0
             | Ne -> c <> 0
@@ -224,8 +254,8 @@ let step t =
           (* single atom with unit coefficient: present as "atom op const" *)
           match d.Lin.atoms with
           | [ (atom, 1) ] ->
-              let rhs = Int (-d.Lin.const) in
-              if App (op, [ atom; rhs ]) = t then t else App (op, [ atom; rhs ])
+              let t' = app op [ atom; num (-d.Lin.const) ] in
+              if Formula.equal t' t then t else t'
           | [ (atom, -1) ] ->
               let flipped =
                 match op with
@@ -233,26 +263,25 @@ let step t =
                 | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le
                 | _ -> assert false
               in
-              let rhs = Int d.Lin.const in
-              if App (flipped, [ atom; rhs ]) = t then t
-              else App (flipped, [ atom; rhs ])
+              let t' = app flipped [ atom; num d.Lin.const ] in
+              if Formula.equal t' t then t else t'
           | _ -> t)
       | None -> t)
   (* ---- quantifiers ---- *)
-  | Forall (x, Int lo, Int hi, body) ->
+  | Forall (x, { node = Int lo; _ }, { node = Int hi; _ }, body) ->
       if hi < lo then tru
       else if hi - lo + 1 <= expand_limit then
-        conj (List.init (hi - lo + 1) (fun k -> Formula.subst x (Int (lo + k)) body))
+        conj (List.init (hi - lo + 1) (fun k -> Formula.subst x (num (lo + k)) body))
       else t
-  | Exists (x, Int lo, Int hi, body) ->
+  | Exists (x, { node = Int lo; _ }, { node = Int hi; _ }, body) ->
       if hi < lo then fls
       else if hi - lo + 1 <= expand_limit then
-        let cases = List.init (hi - lo + 1) (fun k -> Formula.subst x (Int (lo + k)) body) in
-        List.fold_left (fun acc c -> App (Or, [ acc; c ])) fls cases
+        let cases = List.init (hi - lo + 1) (fun k -> Formula.subst x (num (lo + k)) body) in
+        List.fold_left (fun acc c -> app Or [ acc; c ]) fls cases
       else t
-  | Forall (_, _, _, Bool true) -> tru
-  | Exists (_, _, _, Bool false) -> fls
-  | t -> t
+  | Forall (_, _, _, { node = Bool true; _ }) -> tru
+  | Exists (_, _, _, { node = Bool false; _ }) -> fls
+  | _ -> t
 
 let max_passes = 12
 
@@ -260,23 +289,55 @@ let max_passes = 12
    reads deltas around proof attempts to attribute simplifier effort.
    Atomic, because the proof farm simplifies on several domains at once;
    per-attempt deltas are then only approximate under concurrency, but
-   the process total stays exact. *)
+   the process total stays exact.  Memo hits replay a cached result and
+   so add no passes. *)
 let passes = Atomic.make 0
 
 let rewrite_passes () = Atomic.get passes
 
-let simplify t =
-  let rec fixpoint n t =
-    if n >= max_passes then t
+(* The fixpoint, also reporting whether it converged (as opposed to being
+   cut off by [max_passes]) and the intermediate terms it went through. *)
+let fixpoint t0 =
+  let rec go n acc t =
+    if n >= max_passes then (t, acc, false)
     else
       let t' = Formula.map step t in
-      if t' = t then t
+      if Formula.equal t' t then (t, acc, true)
       else begin
         Atomic.incr passes;
-        fixpoint (n + 1) t'
+        go (n + 1) (t' :: acc) t'
       end
   in
-  fixpoint 0 t
+  go 0 [] t0
+
+let simplify_nomemo t =
+  let r, _, _ = fixpoint t in
+  r
+
+(* Per-domain memo on node identity.  The input-to-result entry is always
+   sound (simplify is deterministic).  Intermediate terms map to the same
+   result only when the fixpoint converged: a run cut off at [max_passes]
+   may leave an intermediate that a fresh budget would simplify further,
+   and caching that would change results between warm and cold runs. *)
+let memo_cap = 1 lsl 17
+
+let memo_key : (int * int, Formula.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let memo_add memo k r =
+  if Hashtbl.length memo < memo_cap then Hashtbl.replace memo k r
+
+let simplify t =
+  let memo = Domain.DLS.get memo_key in
+  let k = (t.dom, t.tag) in
+  match Hashtbl.find_opt memo k with
+  | Some r -> r
+  | None ->
+      let r, intermediates, converged = fixpoint t in
+      memo_add memo k r;
+      if converged then
+        List.iter (fun t' -> memo_add memo (t'.dom, t'.tag) r) intermediates;
+      r
 
 (** Simplify a VC: hypotheses and goal; drops trivially-true hypotheses and
     detects trivially-true goals early. *)
@@ -284,8 +345,9 @@ let simplify_vc (vc : vc) =
   let hyps =
     vc.vc_hyps |> List.map simplify
     |> List.concat_map (fun h -> flatten_chain And h)
-    |> List.filter (fun h -> h <> Bool true)
+    |> List.filter (fun h -> match h.node with Bool true -> false | _ -> true)
   in
   let goal = simplify vc.vc_goal in
-  if List.exists (fun h -> h = Bool false) hyps then { vc with vc_hyps = []; vc_goal = tru }
+  if List.exists (fun h -> match h.node with Bool false -> true | _ -> false) hyps
+  then { vc with vc_hyps = []; vc_goal = tru }
   else { vc with vc_hyps = hyps; vc_goal = goal }

@@ -35,7 +35,13 @@ val expand_limit : int
 (** Widest constant quantifier range expanded into a conjunction. *)
 
 val simplify : Formula.t -> Formula.t
-(** Bottom-up rewriting to a bounded fixpoint. *)
+(** Bottom-up rewriting to a bounded fixpoint.  Memoized per domain on
+    node identity (terms are hash-consed), so re-simplifying a term the
+    domain has already processed is O(1). *)
+
+val simplify_nomemo : Formula.t -> Formula.t
+(** The raw fixpoint without the memo table — what {!simplify} computes
+    on a cold entry.  Kept for differential testing. *)
 
 val rewrite_passes : unit -> int
 (** Cumulative count of productive rewrite passes since process start

@@ -470,38 +470,95 @@ let gauge name v =
 let default_buckets =
   [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
 
-let observe ?(buckets = default_buckets) name v =
-  if st.on then
-    locked (fun () ->
+(* assumes [mu] is held *)
+let observe_locked ~buckets name v =
+  let h =
+    match Hashtbl.find_opt st.histograms name with
+    | Some h -> h
+    | None ->
         let h =
-          match Hashtbl.find_opt st.histograms name with
-          | Some h -> h
-          | None ->
-              let h =
-                {
-                  hg_buckets = Array.copy buckets;
-                  hg_counts = Array.make (Array.length buckets + 1) 0;
-                  hg_sum = 0.0;
-                  hg_count = 0;
-                  hg_min = nan;
-                  hg_max = nan;
-                }
-              in
-              Hashtbl.add st.histograms name h;
-              h
+          {
+            hg_buckets = Array.copy buckets;
+            hg_counts = Array.make (Array.length buckets + 1) 0;
+            hg_sum = 0.0;
+            hg_count = 0;
+            hg_min = nan;
+            hg_max = nan;
+          }
         in
-        (* first bucket whose inclusive upper bound admits v; overflow last *)
-        let rec slot i =
-          if i >= Array.length h.hg_buckets then i
-          else if v <= h.hg_buckets.(i) then i
-          else slot (i + 1)
-        in
-        let i = slot 0 in
-        h.hg_counts.(i) <- h.hg_counts.(i) + 1;
-        h.hg_sum <- h.hg_sum +. v;
-        h.hg_count <- h.hg_count + 1;
-        h.hg_min <- (if h.hg_count = 1 then v else Float.min h.hg_min v);
-        h.hg_max <- (if h.hg_count = 1 then v else Float.max h.hg_max v))
+        Hashtbl.add st.histograms name h;
+        h
+  in
+  (* first bucket whose inclusive upper bound admits v; overflow last *)
+  let rec slot i =
+    if i >= Array.length h.hg_buckets then i
+    else if v <= h.hg_buckets.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.hg_counts.(i) <- h.hg_counts.(i) + 1;
+  h.hg_sum <- h.hg_sum +. v;
+  h.hg_count <- h.hg_count + 1;
+  h.hg_min <- (if h.hg_count = 1 then v else Float.min h.hg_min v);
+  h.hg_max <- (if h.hg_count = 1 then v else Float.max h.hg_max v)
+
+let observe ?(buckets = default_buckets) name v =
+  if st.on then locked (fun () -> observe_locked ~buckets name v)
+
+(* Per-domain batched updates for hot paths.  A farm worker recording a
+   counter bump and a wall-clock observation per VC would otherwise take
+   the collector mutex twice per VC from every domain at once; batching
+   accumulates domain-locally and merges everything in one locked section
+   when the worker's span closes.  Flushing replays observations in
+   recording order, so merged histograms are identical to unbatched
+   ones. *)
+module Batch = struct
+  type acc = {
+    b_counts : (string, int ref) Hashtbl.t;
+    b_obs : (string, float array * float list ref) Hashtbl.t;
+  }
+
+  let key : acc Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { b_counts = Hashtbl.create 17; b_obs = Hashtbl.create 17 })
+
+  let acc () = Domain.DLS.get key
+
+  let count ?(by = 1) name =
+    if st.on then
+      let a = acc () in
+      match Hashtbl.find_opt a.b_counts name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add a.b_counts name (ref by)
+
+  let observe ?(buckets = default_buckets) name v =
+    if st.on then
+      let a = acc () in
+      match Hashtbl.find_opt a.b_obs name with
+      | Some (_, vs) -> vs := v :: !vs
+      | None -> Hashtbl.add a.b_obs name (buckets, ref [ v ])
+
+  let flush () =
+    let a = acc () in
+    if Hashtbl.length a.b_counts > 0 || Hashtbl.length a.b_obs > 0 then begin
+      if st.on then
+        locked (fun () ->
+            Hashtbl.iter
+              (fun name r ->
+                match Hashtbl.find_opt st.counters name with
+                | Some c -> c := !c + !r
+                | None -> Hashtbl.add st.counters name (ref !r))
+              a.b_counts;
+            Hashtbl.iter
+              (fun name (buckets, vs) ->
+                List.iter (observe_locked ~buckets name) (List.rev !vs))
+              a.b_obs);
+      (* dropped rather than merged when telemetry went off mid-batch:
+         a disabled collector must stay empty *)
+      Hashtbl.reset a.b_counts;
+      Hashtbl.reset a.b_obs
+    end
+end
 
 type histogram = {
   hs_buckets : float array;

@@ -159,6 +159,18 @@ val observe : ?buckets:float array -> string -> float -> unit
     implicit).  Later [buckets] arguments for the same name are
     ignored. *)
 
+(** Domain-local batched metric updates for hot paths.  [count] and
+    [observe] accumulate without touching the collector mutex; [flush]
+    merges everything recorded on this domain in one locked section.
+    Merged results are identical to the unbatched calls.  Call [flush]
+    before the domain's work ends (e.g. at worker-span close) — unflushed
+    batches are simply never merged. *)
+module Batch : sig
+  val count : ?by:int -> string -> unit
+  val observe : ?buckets:float array -> string -> float -> unit
+  val flush : unit -> unit
+end
+
 type histogram = {
   hs_buckets : float array;  (** inclusive upper bounds, increasing *)
   hs_counts : int array;     (** length = buckets + 1 (overflow last) *)

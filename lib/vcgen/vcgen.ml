@@ -37,9 +37,9 @@ let default_budget =
 type sized = { t : F.t; n : int }
 
 let leaf t = { t; n = 1 }
-let app1 op a = { t = F.App (op, [ a.t ]); n = a.n + 1 }
-let app2 op a b = { t = F.App (op, [ a.t; b.t ]); n = a.n + b.n + 1 }
-let app3 op a b c = { t = F.App (op, [ a.t; b.t; c.t ]); n = a.n + b.n + c.n + 1 }
+let app1 op a = { t = F.app op [ a.t ]; n = a.n + 1 }
+let app2 op a b = { t = F.app op [ a.t; b.t ]; n = a.n + b.n + 1 }
+let app3 op a b c = { t = F.app op [ a.t; b.t; c.t ]; n = a.n + b.n + c.n + 1 }
 
 type sym_state = {
   bindings : (string * sized) list;  (** program variable -> current term *)
@@ -113,18 +113,18 @@ let modulus_of g e = match type_of g e with Ast.Tmod m -> m | _ -> 0
 let lookup_binding st x =
   match List.assoc_opt x st.bindings with
   | Some s -> s
-  | None -> leaf (F.Var x)
+  | None -> leaf (F.var x)
 
 (* [old_prefix]: how to translate [Old x] — entry-value symbol. *)
 let old_sym x = x ^ "~"
 
 let rec tr g st (e : Ast.expr) : sized =
   match e with
-  | Ast.Bool_lit b -> leaf (F.Bool b)
-  | Ast.Int_lit n -> leaf (F.Int n)
+  | Ast.Bool_lit b -> leaf (F.bool_ b)
+  | Ast.Int_lit n -> leaf (F.num n)
   | Ast.Var x -> lookup_binding st x
-  | Ast.Old x -> leaf (F.Var (old_sym x))
-  | Ast.Result -> leaf (F.Var "result!")
+  | Ast.Old x -> leaf (F.var (old_sym x))
+  | Ast.Result -> leaf (F.var "result!")
   | Ast.Index (a, i) -> app2 F.Select (tr g st a) (tr g st i)
   | Ast.Unop (Ast.Neg, a) ->
       let m = modulus_of g a in
@@ -137,12 +137,12 @@ let rec tr g st (e : Ast.expr) : sized =
   | Ast.Binop (op, a, b) -> tr_binop g st op a b
   | Ast.Call (name, args) -> (
       let args' = List.map (tr g st) args in
-      let t = F.App (F.Uf name, List.map (fun s -> s.t) args') in
+      let t = F.app (F.Uf name) (List.map (fun s -> s.t) args') in
       let n = List.fold_left (fun acc s -> acc + s.n) 1 args' in
       match () with () -> { t; n })
   | Ast.Aggregate es ->
       let es' = List.map (tr g st) es in
-      { t = F.App (F.Arrlit 0, List.map (fun s -> s.t) es');
+      { t = F.app (F.Arrlit 0) (List.map (fun s -> s.t) es');
         n = List.fold_left (fun acc s -> acc + s.n) 1 es' }
   | Ast.Quantified (q, x, lo, hi, body) ->
       let lo' = tr g st lo and hi' = tr g st hi in
@@ -151,8 +151,8 @@ let rec tr g st (e : Ast.expr) : sized =
       let body' = tr g st' body in
       let mk =
         match q with
-        | Ast.Forall -> fun l h b -> F.Forall (x, l, h, b)
-        | Ast.Exists -> fun l h b -> F.Exists (x, l, h, b)
+        | Ast.Forall -> fun l h b -> F.forall x l h b
+        | Ast.Exists -> fun l h b -> F.exists x l h b
       in
       { t = mk lo'.t hi'.t body'.t; n = lo'.n + hi'.n + body'.n + 1 }
 
@@ -230,15 +230,15 @@ let set_var st x s = { st with bindings = (x, s) :: List.remove_assoc x st.bindi
 let rec range_fact ?(depth = 0) g (t : Ast.typ) (sym : F.t) : F.t option =
   match t with
   | Ast.Tint (Some (lo, hi)) ->
-      Some (F.App (F.And, [ F.App (F.Ge, [ sym; F.Int lo ]);
-                            F.App (F.Le, [ sym; F.Int hi ]) ]))
+      Some (F.app F.And [ F.app F.Ge [ sym; F.num lo ];
+                          F.app F.Le [ sym; F.num hi ] ])
   | Ast.Tmod m ->
-      Some (F.App (F.And, [ F.App (F.Ge, [ sym; F.Int 0 ]);
-                            F.App (F.Lt, [ sym; F.Int m ]) ]))
+      Some (F.app F.And [ F.app F.Ge [ sym; F.num 0 ];
+                          F.app F.Lt [ sym; F.num m ] ])
   | Ast.Tarray (lo, hi, elt) -> (
       let k = Printf.sprintf "k!%d" depth in
-      match range_fact ~depth:(depth + 1) g elt (F.select sym (F.Var k)) with
-      | Some body -> Some (F.Forall (k, F.Int lo, F.Int hi, body))
+      match range_fact ~depth:(depth + 1) g elt (F.select sym (F.var k)) with
+      | Some body -> Some (F.forall k (F.num lo) (F.num hi) body)
       | None -> None)
   | Ast.Tbool | Ast.Tint None | Ast.Tnamed _ -> None
 
@@ -247,10 +247,10 @@ let sized_of_formula f = { t = f; n = F.node_count f }
 (* havoc a variable: bind to a fresh symbol, with its type range assumed *)
 let havoc g st x =
   let sym = fresh_name g x in
-  let st = set_var st x (leaf (F.Var sym)) in
+  let st = set_var st x (leaf (F.var sym)) in
   match List.assoc_opt x g.var_types with
   | Some t -> (
-      match range_fact g t (F.Var sym) with
+      match range_fact g t (F.var sym) with
       | Some fact -> add_hyp st (sized_of_formula fact)
       | None -> st)
   | None -> st
@@ -270,8 +270,8 @@ let rec check_expr_safety g st (e : Ast.expr) =
           let ti = tr g st i in
           let goal =
             app2 F.And
-              (app2 F.Ge ti (leaf (F.Int lo)))
-              (app2 F.Le ti (leaf (F.Int hi)))
+              (app2 F.Ge ti (leaf (F.num lo)))
+              (app2 F.Le ti (leaf (F.num hi)))
           in
           emit g st F.Vc_index_check goal
       | _ -> ())
@@ -279,7 +279,7 @@ let rec check_expr_safety g st (e : Ast.expr) =
   | Ast.Binop ((Ast.Div | Ast.Mod), a, b) ->
       check_expr_safety g st a;
       check_expr_safety g st b;
-      emit g st F.Vc_div_check (app2 F.Ne (tr g st b) (leaf (F.Int 0)))
+      emit g st F.Vc_div_check (app2 F.Ne (tr g st b) (leaf (F.num 0)))
   | Ast.Binop (_, a, b) ->
       check_expr_safety g st a;
       check_expr_safety g st b
@@ -356,8 +356,8 @@ let range_check_assign g st (t : Ast.typ) (value : sized) =
   | Ast.Tint (Some (lo, hi)) ->
       let goal =
         app2 F.And
-          (app2 F.Ge value (leaf (F.Int lo)))
-          (app2 F.Le value (leaf (F.Int hi)))
+          (app2 F.Ge value (leaf (F.num lo)))
+          (app2 F.Le value (leaf (F.num hi)))
       in
       emit g st F.Vc_range_check goal
   | _ -> ()
@@ -481,7 +481,7 @@ and exec_call g st name args =
           let tpost = tr g st' post in
           (* patch the Old markers with pre-call terms *)
           let rec patch (t : F.t) : F.t =
-            match t with
+            match t.F.node with
             | F.Var v when String.length v > 6 && String.sub v 0 6 = "__pre_" ->
                 let x = String.sub v 6 (String.length v - 6) in
                 let x = if x.[String.length x - 1] = '~' then String.sub x 0 (String.length x - 1) else x in
@@ -489,10 +489,10 @@ and exec_call g st name args =
                 | Some s -> s.t
                 | None -> t)
             | F.Int _ | F.Bool _ | F.Var _ -> t
-            | F.App (op, args) -> F.App (op, List.map patch args)
-            | F.Ite (c, a, b) -> F.Ite (patch c, patch a, patch b)
-            | F.Forall (x, lo, hi, b) -> F.Forall (x, patch lo, patch hi, patch b)
-            | F.Exists (x, lo, hi, b) -> F.Exists (x, patch lo, patch hi, patch b)
+            | F.App (op, args) -> F.app op (List.map patch args)
+            | F.Ite (c, a, b) -> F.ite (patch c) (patch a) (patch b)
+            | F.Forall (x, lo, hi, b) -> F.forall x (patch lo) (patch hi) (patch b)
+            | F.Exists (x, lo, hi, b) -> F.exists x (patch lo) (patch hi) (patch b)
           in
           add_hyp st' { tpost with t = patch tpost.t })
 
@@ -504,8 +504,8 @@ and exec_for g st (fl : Ast.for_loop) : path list =
   let first = if fl.Ast.for_reverse then hi else lo in
   let last = if fl.Ast.for_reverse then lo else hi in
   let next v =
-    if fl.Ast.for_reverse then app2 F.Sub v (leaf (F.Int 1))
-    else app2 F.Add v (leaf (F.Int 1))
+    if fl.Ast.for_reverse then app2 F.Sub v (leaf (F.num 1))
+    else app2 F.Add v (leaf (F.num 1))
   in
   let written =
     Ast.written_vars
@@ -530,9 +530,9 @@ and exec_for g st (fl : Ast.for_loop) : path list =
      body, prove invariant at next i *)
   let st_h = List.fold_left (fun st x -> havoc g st x) st written in
   let iv = fresh_name g i in
-  let st_h = set_var st_h i (leaf (F.Var iv)) in
+  let st_h = set_var st_h i (leaf (F.var iv)) in
   let in_range =
-    app2 F.And (app2 F.Ge (leaf (F.Var iv)) lo) (app2 F.Le (leaf (F.Var iv)) hi)
+    app2 F.And (app2 F.Ge (leaf (F.var iv)) lo) (app2 F.Le (leaf (F.var iv)) hi)
   in
   let st_h = add_hyp st_h in_range in
   let st_h =
@@ -542,8 +542,8 @@ and exec_for g st (fl : Ast.for_loop) : path list =
   if fl.Ast.for_invariants <> [] then
     List.iter
       (fun st_end ->
-        let st_next = set_var st_end i (next (leaf (F.Var iv))) in
-        let continue = app2 F.Ne (leaf (F.Var iv)) last in
+        let st_next = set_var st_end i (next (leaf (F.var iv))) in
+        let continue = app2 F.Ne (leaf (F.var iv)) last in
         let st_next = add_hyp st_next continue in
         List.iter
           (fun inv -> emit g st_next F.Vc_invariant_preserve (tr g st_next inv))
@@ -560,7 +560,7 @@ and exec_for g st (fl : Ast.for_loop) : path list =
   (* remove the loop variable binding after the loop *)
   let st_exit = { st_exit with bindings = List.remove_assoc i st_exit.bindings } in
   (* constant bounds don't fork: emptiness is statically known *)
-  match (lo.t, hi.t) with
+  match (lo.t.F.node, hi.t.F.node) with
   | F.Int l, F.Int h when l <= h -> [ add_hyp st_exit (app2 F.Le lo hi) ]
   | F.Int _, F.Int _ -> [ st ]
   | _ ->
@@ -615,13 +615,13 @@ and finalize_post g st ~result =
         | None -> tpost
         | Some r ->
             let rec sub (t : F.t) : F.t =
-              match t with
+              match t.F.node with
               | F.Var "result!" -> r.t
               | F.Int _ | F.Bool _ | F.Var _ -> t
-              | F.App (op, args) -> F.App (op, List.map sub args)
-              | F.Ite (c, a, b) -> F.Ite (sub c, sub a, sub b)
-              | F.Forall (x, lo, hi, b) -> F.Forall (x, sub lo, sub hi, sub b)
-              | F.Exists (x, lo, hi, b) -> F.Exists (x, sub lo, sub hi, sub b)
+              | F.App (op, args) -> F.app op (List.map sub args)
+              | F.Ite (c, a, b) -> F.ite (sub c) (sub a) (sub b)
+              | F.Forall (x, lo, hi, b) -> F.forall x (sub lo) (sub hi) (sub b)
+              | F.Exists (x, lo, hi, b) -> F.exists x (sub lo) (sub hi) (sub b)
             in
             { t = sub tpost.t; n = tpost.n + r.n }
       in
@@ -651,12 +651,12 @@ let initial_state g (sub : Ast.subprogram) =
       (fun st (p : Ast.param) ->
         let t = Typecheck.resolve g.env p.Ast.par_typ in
         let st =
-          match range_fact g t (F.Var p.Ast.par_name) with
+          match range_fact g t (F.var p.Ast.par_name) with
           | Some fact -> add_hyp st (sized_of_formula fact)
           | None -> st
         in
         add_hyp st
-          (sized_of_formula (F.eq (F.Var (old_sym p.Ast.par_name)) (F.Var p.Ast.par_name))))
+          (sized_of_formula (F.eq (F.var (old_sym p.Ast.par_name)) (F.var p.Ast.par_name))))
       st sub.Ast.sub_params
   in
   (* locals: initialised ones get equations; others are default symbols *)
@@ -672,7 +672,7 @@ let initial_state g (sub : Ast.subprogram) =
   let st =
     List.fold_left
       (fun st (c : Ast.const_decl) -> add_hyp st (sized_of_formula
-        (F.eq (F.Var c.Ast.k_name) ((tr g st c.Ast.k_value).t))))
+        (F.eq (F.var c.Ast.k_name) ((tr g st c.Ast.k_value).t))))
       st (used_constants g sub)
   in
   (* precondition assumed *)

@@ -2,10 +2,11 @@
    digests the proof cache is keyed on:
 
    - serialization is deterministic: structurally equal terms digest
-     equally (a rebuilt deep copy has the same digest);
+     equally (a rebuilt deep copy is the same interned node, hence the
+     same digest);
    - it is sensitive: mutating any single node changes the digest;
-   - it is injective where printing is not ([Var "f()"] prints like
-     [App (Uf "f", [])] but must not digest like it);
+   - it is injective where printing is not ([var "f()"] prints like
+     [app (Uf "f") []] but must not digest like it);
    - VC digests ignore the labels (name, subprogram, kind) and track the
      proof inputs (hypotheses, goal). *)
 
@@ -19,9 +20,9 @@ let gen_formula : F.t QCheck.Gen.t =
   let open QCheck.Gen in
   let leaf =
     oneof
-      [ map (fun n -> F.Int n) (int_range (-8) 300);
-        map (fun b -> F.Bool b) bool;
-        map (fun k -> F.Var (Printf.sprintf "v%d" k)) (int_range 0 4) ]
+      [ map (fun n -> F.num n) (int_range (-8) 300);
+        map (fun b -> F.bool_ b) bool;
+        map (fun k -> F.var (Printf.sprintf "v%d" k)) (int_range 0 4) ]
   in
   let bin_op =
     oneofl
@@ -35,54 +36,55 @@ let gen_formula : F.t QCheck.Gen.t =
         frequency
           [ (3, leaf);
             (4,
-             map2 (fun op (a, b) -> F.App (op, [ a; b ]))
+             map2 (fun op (a, b) -> F.app op [ a; b ])
                bin_op
                (pair (self (depth - 1)) (self (depth - 1))));
-            (1, map (fun a -> F.App (F.Not, [ a ])) (self (depth - 1)));
+            (1, map (fun a -> F.app F.Not [ a ]) (self (depth - 1)));
             (1,
-             map2 (fun (a, b) c -> F.Ite (a, b, c))
+             map2 (fun (a, b) c -> F.ite a b c)
                (pair (self (depth - 1)) (self (depth - 1)))
                (self (depth - 1)));
             (1,
              map2
-               (fun k body -> F.Forall (Printf.sprintf "q%d" k, F.Int 0, F.Int 7, body))
+               (fun k body -> F.forall (Printf.sprintf "q%d" k) (F.num 0) (F.num 7) body)
                (int_range 0 2) (self (depth - 1)));
             (1,
-             map2 (fun k args -> F.App (F.Uf (Printf.sprintf "f%d" k), args))
+             map2 (fun k args -> F.app (F.Uf (Printf.sprintf "f%d" k)) args)
                (int_range 0 2)
                (list_size (int_range 0 2) (self (depth - 1)))) ])
     4
 
 let arb_formula = QCheck.make ~print:F.to_string gen_formula
 
-(* a structural deep copy through fresh constructors *)
+(* a structural deep copy through fresh constructor calls — under
+   hash-consing it must come back as the very same interned node *)
 let rec copy (t : F.t) : F.t =
-  match t with
-  | F.Int n -> F.Int n
-  | F.Bool b -> F.Bool b
-  | F.Var v -> F.Var (String.init (String.length v) (String.get v))
-  | F.App (op, args) -> F.App (op, List.map copy args)
-  | F.Ite (a, b, c) -> F.Ite (copy a, copy b, copy c)
-  | F.Forall (v, lo, hi, b) -> F.Forall (v, copy lo, copy hi, copy b)
-  | F.Exists (v, lo, hi, b) -> F.Exists (v, copy lo, copy hi, copy b)
+  match t.F.node with
+  | F.Int n -> F.num n
+  | F.Bool b -> F.bool_ b
+  | F.Var v -> F.var (String.init (String.length v) (String.get v))
+  | F.App (op, args) -> F.app op (List.map copy args)
+  | F.Ite (a, b, c) -> F.ite (copy a) (copy b) (copy c)
+  | F.Forall (v, lo, hi, b) -> F.forall v (copy lo) (copy hi) (copy b)
+  | F.Exists (v, lo, hi, b) -> F.exists v (copy lo) (copy hi) (copy b)
 
 (* mutate the [k]-th node (preorder) into something structurally
    different; returns the mutated term *)
 let mutate_at k (t : F.t) : F.t =
   let n = ref (-1) in
   let bump t' =
-    match t' with F.Int i -> F.Int (i + 1) | _ -> F.App (F.Not, [ t' ])
+    match t'.F.node with F.Int i -> F.num (i + 1) | _ -> F.app F.Not [ t' ]
   in
   let rec go t =
     incr n;
     if !n = k then bump t
     else
-      match t with
+      match t.F.node with
       | F.Int _ | F.Bool _ | F.Var _ -> t
-      | F.App (op, args) -> F.App (op, List.map go args)
-      | F.Ite (a, b, c) -> F.Ite (go a, go b, go c)
-      | F.Forall (v, lo, hi, b) -> F.Forall (v, go lo, go hi, go b)
-      | F.Exists (v, lo, hi, b) -> F.Exists (v, go lo, go hi, go b)
+      | F.App (op, args) -> F.app op (List.map go args)
+      | F.Ite (a, b, c) -> F.ite (go a) (go b) (go c)
+      | F.Forall (v, lo, hi, b) -> F.forall v (go lo) (go hi) (go b)
+      | F.Exists (v, lo, hi, b) -> F.exists v (go lo) (go hi) (go b)
   in
   go t
 
@@ -93,6 +95,10 @@ let mutate_at k (t : F.t) : F.t =
 let prop_copy_digests_equal =
   QCheck.Test.make ~name:"structural copy digests equal" ~count:300 arb_formula
     (fun t -> String.equal (F.digest t) (F.digest (copy t)))
+
+let prop_copy_is_interned_node =
+  QCheck.Test.make ~name:"structural copy is the same interned node" ~count:300
+    arb_formula (fun t -> copy t == t)
 
 let prop_mutation_changes_digest =
   QCheck.Test.make ~name:"single-node mutation changes digest" ~count:300
@@ -122,7 +128,7 @@ let prop_vc_digest_tracks_goal =
     (fun goal ->
       let vc g = { F.vc_name = "n"; vc_sub = "s"; vc_kind = F.Vc_assert;
                    vc_hyps = []; vc_goal = g } in
-      not (String.equal (F.vc_digest (vc goal)) (F.vc_digest (vc (F.App (F.Not, [ goal ]))))))
+      not (String.equal (F.vc_digest (vc goal)) (F.vc_digest (vc (F.app F.Not [ goal ])))))
 
 (* ------------------------------------------------------------------ *)
 (* injectivity spot checks where printing is ambiguous                 *)
@@ -130,14 +136,14 @@ let prop_vc_digest_tracks_goal =
 
 let test_print_ambiguity_resolved () =
   let pairs =
-    [ (F.Var "f()", F.App (F.Uf "f", []));
-      (F.Var "1", F.Int 1);
-      (F.Var "true", F.Bool true);
-      (F.App (F.Add, [ F.Var "a"; F.Var "b" ]), F.Var "a + b");
-      (F.App (F.Band 256, [ F.Var "a"; F.Var "b" ]),
-       F.App (F.Band 65536, [ F.Var "a"; F.Var "b" ]));
-      (F.Forall ("k", F.Int 0, F.Int 7, F.Bool true),
-       F.Exists ("k", F.Int 0, F.Int 7, F.Bool true)) ]
+    [ (F.var "f()", F.app (F.Uf "f") []);
+      (F.var "1", F.num 1);
+      (F.var "true", F.bool_ true);
+      (F.app F.Add [ F.var "a"; F.var "b" ], F.var "a + b");
+      (F.app (F.Band 256) [ F.var "a"; F.var "b" ],
+       F.app (F.Band 65536) [ F.var "a"; F.var "b" ]);
+      (F.forall "k" (F.num 0) (F.num 7) (F.bool_ true),
+       F.exists "k" (F.num 0) (F.num 7) (F.bool_ true)) ]
   in
   List.iter
     (fun (a, b) ->
@@ -149,15 +155,16 @@ let test_print_ambiguity_resolved () =
 
 let test_hyp_order_matters () =
   (* hypothesis order steers the proof search, so it is part of the key *)
-  let h1 = F.eq (F.Var "a") (F.Int 1) and h2 = F.eq (F.Var "b") (F.Int 2) in
+  let h1 = F.eq (F.var "a") (F.num 1) and h2 = F.eq (F.var "b") (F.num 2) in
   let vc hyps = { F.vc_name = "n"; vc_sub = "s"; vc_kind = F.Vc_assert;
-                  vc_hyps = hyps; vc_goal = F.Bool true } in
+                  vc_hyps = hyps; vc_goal = F.bool_ true } in
   Alcotest.(check bool) "swapped hypotheses re-key" false
     (String.equal (F.vc_digest (vc [ h1; h2 ])) (F.vc_digest (vc [ h2; h1 ])))
 
 let suites =
   [ ( "formula-digest",
       [ QCheck_alcotest.to_alcotest prop_copy_digests_equal;
+        QCheck_alcotest.to_alcotest prop_copy_is_interned_node;
         QCheck_alcotest.to_alcotest prop_mutation_changes_digest;
         QCheck_alcotest.to_alcotest prop_serialize_roundtrip_stable;
         QCheck_alcotest.to_alcotest prop_vc_digest_ignores_labels;

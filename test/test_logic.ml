@@ -4,59 +4,59 @@ module F = Logic.Formula
 module S = Logic.Simplify
 module P = Logic.Prover
 
-let t_formula = Alcotest.testable (fun ppf f -> F.pp ppf f) ( = )
+let t_formula = Alcotest.testable (fun ppf f -> F.pp ppf f) F.equal
 
 let simp s = S.simplify s
 
 let test_constant_folding () =
-  Alcotest.check t_formula "add" (F.Int 7)
-    (simp (F.App (F.Add, [ F.Int 3; F.Int 4 ])));
-  Alcotest.check t_formula "nested" (F.Int 20)
-    (simp (F.App (F.Mul, [ F.App (F.Add, [ F.Int 1; F.Int 4 ]); F.Int 4 ])));
-  Alcotest.check t_formula "wrap" (F.Int 44)
-    (simp (F.App (F.Wrap 256, [ F.Int 300 ])));
-  Alcotest.check t_formula "xor" (F.Int 6)
-    (simp (F.App (F.Bxor 256, [ F.Int 3; F.Int 5 ])))
+  Alcotest.check t_formula "add" (F.num 7)
+    (simp (F.app F.Add [ F.num 3; F.num 4 ]));
+  Alcotest.check t_formula "nested" (F.num 20)
+    (simp (F.app F.Mul [ F.app F.Add [ F.num 1; F.num 4 ]; F.num 4 ]));
+  Alcotest.check t_formula "wrap" (F.num 44)
+    (simp (F.app (F.Wrap 256) [ F.num 300 ]));
+  Alcotest.check t_formula "xor" (F.num 6)
+    (simp (F.app (F.Bxor 256) [ F.num 3; F.num 5 ]))
 
 let test_linear_normalisation () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   Alcotest.check t_formula "x+1-1 = x" F.tru
-    (simp (F.eq (F.App (F.Sub, [ F.App (F.Add, [ x; F.Int 1 ]); F.Int 1 ])) x));
+    (simp (F.eq (F.app F.Sub [ F.app F.Add [ x; F.num 1 ]; F.num 1 ]) x));
   Alcotest.check t_formula "2x - x = x" F.tru
-    (simp (F.eq (F.App (F.Sub, [ F.App (F.Mul, [ F.Int 2; x ]); x ])) x));
+    (simp (F.eq (F.app F.Sub [ F.app F.Mul [ F.num 2; x ]; x ]) x));
   Alcotest.check t_formula "x < x + 1" F.tru
-    (simp (F.App (F.Lt, [ x; F.App (F.Add, [ x; F.Int 1 ]) ])))
+    (simp (F.app F.Lt [ x; F.app F.Add [ x; F.num 1 ] ]))
 
 let test_select_store () =
-  let a = F.Var "a" and i = F.Var "i" in
-  Alcotest.check t_formula "read own write" (F.Int 5)
-    (simp (F.select (F.store a i (F.Int 5)) i));
-  Alcotest.check t_formula "read other index" (F.select a (F.Int 2))
-    (simp (F.select (F.store a (F.Int 1) (F.Int 5)) (F.Int 2)));
+  let a = F.var "a" and i = F.var "i" in
+  Alcotest.check t_formula "read own write" (F.num 5)
+    (simp (F.select (F.store a i (F.num 5)) i));
+  Alcotest.check t_formula "read other index" (F.select a (F.num 2))
+    (simp (F.select (F.store a (F.num 1) (F.num 5)) (F.num 2)));
   Alcotest.check t_formula "read past i+1 write at i"
     (F.select a i)
-    (simp (F.select (F.store a (F.App (F.Add, [ i; F.Int 1 ])) (F.Int 5)) i))
+    (simp (F.select (F.store a (F.app F.Add [ i; F.num 1 ]) (F.num 5)) i))
 
 let test_xor_cancellation () =
-  let x = F.Var "x" and y = F.Var "y" in
-  Alcotest.check t_formula "x xor x = 0" (F.Int 0)
-    (simp (F.App (F.Bxor 256, [ x; x ])));
+  let x = F.var "x" and y = F.var "y" in
+  Alcotest.check t_formula "x xor x = 0" (F.num 0)
+    (simp (F.app (F.Bxor 256) [ x; x ]));
   Alcotest.check t_formula "commutes" F.tru
-    (simp (F.eq (F.App (F.Bxor 256, [ x; y ])) (F.App (F.Bxor 256, [ y; x ]))));
+    (simp (F.eq (F.app (F.Bxor 256) [ x; y ]) (F.app (F.Bxor 256) [ y; x ])));
   Alcotest.check t_formula "(x xor y) xor y = x" x
-    (simp (F.App (F.Bxor 256, [ F.App (F.Bxor 256, [ x; y ]); y ])))
+    (simp (F.app (F.Bxor 256) [ F.app (F.Bxor 256) [ x; y ]; y ]))
 
 let test_quantifier_expansion () =
-  let body = F.App (F.Le, [ F.Var "k"; F.Int 10 ]) in
+  let body = F.app F.Le [ F.var "k"; F.num 10 ] in
   Alcotest.check t_formula "small forall expands to true" F.tru
-    (simp (F.Forall ("k", F.Int 0, F.Int 3, body)));
+    (simp (F.forall "k" (F.num 0) (F.num 3) body));
   Alcotest.check t_formula "empty range" F.tru
-    (simp (F.Forall ("k", F.Int 5, F.Int 2, F.fls)))
+    (simp (F.forall "k" (F.num 5) (F.num 2) F.fls))
 
 let test_arrlit_select () =
-  let table = F.App (F.Arrlit 0, [ F.Int 10; F.Int 20; F.Int 30 ]) in
-  Alcotest.check t_formula "table lookup folds" (F.Int 20)
-    (simp (F.select table (F.Int 1)))
+  let table = F.app (F.Arrlit 0) [ F.num 10; F.num 20; F.num 30 ] in
+  Alcotest.check t_formula "table lookup folds" (F.num 20)
+    (simp (F.select table (F.num 1)))
 
 (* ---------------- prover ---------------- *)
 
@@ -73,38 +73,38 @@ let check_unproved name ?(hyps = []) ?hints goal =
   Alcotest.(check bool) name false (proved ?hints (vc ~hyps goal))
 
 let test_prover_tautologies () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   check_proved "x = x" (F.eq x x);
-  check_proved "ground" (F.App (F.Lt, [ F.Int 3; F.Int 5 ]));
-  check_unproved "x = y unprovable" (F.eq x (F.Var "y"))
+  check_proved "ground" (F.app F.Lt [ F.num 3; F.num 5 ]);
+  check_unproved "x = y unprovable" (F.eq x (F.var "y"))
 
 let test_prover_linear () =
-  let x = F.Var "x" and y = F.Var "y" in
+  let x = F.var "x" and y = F.var "y" in
   check_proved "transitive"
-    ~hyps:[ F.App (F.Le, [ x; y ]); F.App (F.Le, [ y; F.Int 10 ]) ]
-    (F.App (F.Le, [ x; F.Int 10 ]));
+    ~hyps:[ F.app F.Le [ x; y ]; F.app F.Le [ y; F.num 10 ] ]
+    (F.app F.Le [ x; F.num 10 ]);
   check_proved "strict combination"
-    ~hyps:[ F.App (F.Lt, [ x; y ]); F.App (F.Lt, [ y; F.Int 5 ]) ]
-    (F.App (F.Lt, [ x; F.Int 4 ]));
+    ~hyps:[ F.app F.Lt [ x; y ]; F.app F.Lt [ y; F.num 5 ] ]
+    (F.app F.Lt [ x; F.num 4 ]);
   check_unproved "false bound"
-    ~hyps:[ F.App (F.Le, [ x; F.Int 10 ]) ]
-    (F.App (F.Le, [ x; F.Int 9 ]))
+    ~hyps:[ F.app F.Le [ x; F.num 10 ] ]
+    (F.app F.Le [ x; F.num 9 ])
 
 let test_prover_equalities () =
-  let x = F.Var "x" and y = F.Var "y" in
+  let x = F.var "x" and y = F.var "y" in
   check_proved "substitution"
-    ~hyps:[ F.eq x (F.Int 4) ]
-    (F.App (F.Lt, [ x; F.Int 5 ]));
+    ~hyps:[ F.eq x (F.num 4) ]
+    (F.app F.Lt [ x; F.num 5 ]);
   check_proved "chained"
-    ~hyps:[ F.eq x y; F.eq y (F.Int 2) ]
-    (F.eq x (F.Int 2))
+    ~hyps:[ F.eq x y; F.eq y (F.num 2) ]
+    (F.eq x (F.num 2))
 
 let test_prover_case_split () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   (* x in 0..7 => x*x <= 49: needs enumeration since it is nonlinear *)
   check_proved "nonlinear by enumeration"
-    ~hyps:[ F.App (F.Ge, [ x; F.Int 0 ]); F.App (F.Le, [ x; F.Int 7 ]) ]
-    (F.App (F.Le, [ F.App (F.Mul, [ x; x ]); F.Int 49 ]))
+    ~hyps:[ F.app F.Ge [ x; F.num 0 ]; F.app F.Le [ x; F.num 7 ] ]
+    (F.app F.Le [ F.app F.Mul [ x; x ]; F.num 49 ])
 
 let test_prover_interp () =
   let cfg =
@@ -115,31 +115,31 @@ let test_prover_interp () =
         | _ -> None) }
   in
   check_proved "uf evaluation" ~cfg
-    (F.eq (F.App (F.Uf "double", [ F.Int 21 ])) (F.Int 42))
+    (F.eq (F.app (F.Uf "double") [ F.num 21 ]) (F.num 42))
 
 let test_prover_induction_hint () =
   (* goal: forall k in 0 .. i: select(a,k) = 0, hyps: the prefix invariant
      and the last element; needs the range-split (induction) hint *)
-  let a = F.Var "a" and i = F.Var "i" in
-  let body = F.eq (F.select a (F.Var "k")) (F.Int 0) in
-  let prefix = F.Forall ("k", F.Int 0, F.App (F.Sub, [ i; F.Int 1 ]), body) in
-  let goal = F.Forall ("k", F.Int 0, i, body) in
-  let hyps = [ prefix; F.eq (F.select a i) (F.Int 0); F.App (F.Ge, [ i; F.Int 0 ]) ] in
+  let a = F.var "a" and i = F.var "i" in
+  let body = F.eq (F.select a (F.var "k")) (F.num 0) in
+  let prefix = F.forall "k" (F.num 0) (F.app F.Sub [ i; F.num 1 ]) body in
+  let goal = F.forall "k" (F.num 0) i body in
+  let hyps = [ prefix; F.eq (F.select a i) (F.num 0); F.app F.Ge [ i; F.num 0 ] ] in
   check_unproved "not without hint" ~hyps goal;
   check_proved "with induction hint" ~hyps ~hints:[ P.Hint_induction ] goal
 
 let test_prover_apply_hyp_hint () =
   (* quantified hypothesis instantiated at a goal index *)
-  let a = F.Var "a" in
-  let hyp = F.Forall ("k", F.Int 0, F.Int 100,
-                      F.App (F.Ge, [ F.select a (F.Var "k"); F.Int 0 ])) in
-  let goal = F.App (F.Ge, [ F.select a (F.Int 17); F.Int 0 ]) in
+  let a = F.var "a" in
+  let hyp = F.forall "k" (F.num 0) (F.num 100)
+              (F.app F.Ge [ F.select a (F.var "k"); F.num 0 ]) in
+  let goal = F.app F.Ge [ F.select a (F.num 17); F.num 0 ] in
   check_unproved "not without hint" ~hyps:[ hyp ] goal;
   check_proved "with apply hint" ~hyps:[ hyp ] ~hints:[ P.Hint_apply_hyp ] goal
 
 let test_prover_unfold_hint () =
-  let f_body = F.App (F.Add, [ F.Var "p"; F.Int 1 ]) in
-  let goal = F.eq (F.App (F.Uf "succ", [ F.Int 4 ])) (F.Int 5) in
+  let f_body = F.app F.Add [ F.var "p"; F.num 1 ] in
+  let goal = F.eq (F.app (F.Uf "succ") [ F.num 4 ]) (F.num 5) in
   check_unproved "not without hint" goal;
   check_proved "with unfold hint"
     ~hints:[ P.Hint_unfold ("succ", [ "p" ], f_body) ]
@@ -148,7 +148,7 @@ let test_prover_unfold_hint () =
 (* property: the simplifier preserves ground truth *)
 let gen_ground_formula =
   let open QCheck.Gen in
-  let num = map (fun n -> F.Int n) (int_range (-20) 20) in
+  let num = map (fun n -> F.num n) (int_range (-20) 20) in
   fix
     (fun self depth ->
       if depth = 0 then num
@@ -157,12 +157,12 @@ let gen_ground_formula =
           [ (2, num);
             (2,
              map2
-               (fun op (a, b) -> F.App (op, [ a; b ]))
+               (fun op (a, b) -> F.app op [ a; b ])
                (oneofl [ F.Add; F.Sub; F.Mul ])
                (pair (self (depth - 1)) (self (depth - 1))));
             (1,
              map2
-               (fun op (a, b) -> F.App (op, [ a; b ]))
+               (fun op (a, b) -> F.app op [ a; b ])
                (oneofl [ F.Bxor 256; F.Band 256; F.Bor 256 ])
                (pair (self (depth - 1)) (self (depth - 1)))) ])
     4
@@ -182,7 +182,7 @@ let prop_simplify_idempotent =
     (QCheck.make ~print:F.to_string gen_ground_formula)
     (fun f ->
       let s = S.simplify f in
-      S.simplify s = s)
+      F.equal (S.simplify s) s)
 
 let suites =
   [ ( "logic:simplify",

@@ -6,7 +6,7 @@ module F = Logic.Formula
 module S = Logic.Simplify
 module P = Logic.Prover
 
-let t_formula = Alcotest.testable (fun ppf f -> F.pp ppf f) ( = )
+let t_formula = Alcotest.testable (fun ppf f -> F.pp ppf f) F.equal
 let simp = S.simplify
 
 let vc ?(hyps = []) goal =
@@ -16,103 +16,103 @@ let proved ?hints ?cfg ?(hyps = []) goal =
   P.is_proved (P.prove_vc ?cfg ?hints (vc ~hyps goal))
 
 let test_wrap_range_rules () =
-  let w = F.App (F.Wrap 256, [ F.Var "x" ]) in
-  Alcotest.check t_formula "wrap >= 0" F.tru (simp (F.App (F.Ge, [ w; F.Int 0 ])));
-  Alcotest.check t_formula "wrap < 256" F.tru (simp (F.App (F.Lt, [ w; F.Int 256 ])));
-  Alcotest.check t_formula "wrap <= 255" F.tru (simp (F.App (F.Le, [ w; F.Int 255 ])));
+  let w = F.app (F.Wrap 256) [ F.var "x" ] in
+  Alcotest.check t_formula "wrap >= 0" F.tru (simp (F.app F.Ge [ w; F.num 0 ]));
+  Alcotest.check t_formula "wrap < 256" F.tru (simp (F.app F.Lt [ w; F.num 256 ]));
+  Alcotest.check t_formula "wrap <= 255" F.tru (simp (F.app F.Le [ w; F.num 255 ]));
   (* no unsound generalisation *)
   Alcotest.(check bool) "wrap <= 10 not simplified away" true
-    (simp (F.App (F.Le, [ w; F.Int 10 ])) <> F.tru)
+    (not (F.equal (simp (F.app F.Le [ w; F.num 10 ])) F.tru))
 
 let test_wrap_idempotent () =
-  let w = F.App (F.Wrap 256, [ F.App (F.Wrap 256, [ F.Var "x" ]) ]) in
-  Alcotest.check t_formula "wrap of wrap" (F.App (F.Wrap 256, [ F.Var "x" ])) (simp w)
+  let w = F.app (F.Wrap 256) [ F.app (F.Wrap 256) [ F.var "x" ] ] in
+  Alcotest.check t_formula "wrap of wrap" (F.app (F.Wrap 256) [ F.var "x" ]) (simp w)
 
 let test_ite_rules () =
-  let x = F.Var "x" in
-  Alcotest.check t_formula "ite true" x (simp (F.Ite (F.tru, x, F.Int 0)));
-  Alcotest.check t_formula "ite same branches" x (simp (F.Ite (F.Var "c", x, x)))
+  let x = F.var "x" in
+  Alcotest.check t_formula "ite true" x (simp (F.ite F.tru x (F.num 0)));
+  Alcotest.check t_formula "ite same branches" x (simp (F.ite (F.var "c") x x))
 
 let test_band_idempotent_and_or_zero () =
-  let x = F.Var "x" in
-  Alcotest.check t_formula "x and x" x (simp (F.App (F.Band 256, [ x; x ])));
-  Alcotest.check t_formula "x or 0" x (simp (F.App (F.Bor 256, [ x; F.Int 0 ])))
+  let x = F.var "x" in
+  Alcotest.check t_formula "x and x" x (simp (F.app (F.Band 256) [ x; x ]));
+  Alcotest.check t_formula "x or 0" x (simp (F.app (F.Bor 256) [ x; F.num 0 ]))
 
 let test_not_pushing () =
-  let x = F.Var "x" and y = F.Var "y" in
-  Alcotest.check t_formula "not (x < y)" (F.App (F.Ge, [ x; y ]))
-    (simp (F.App (F.Not, [ F.App (F.Lt, [ x; y ]) ])))
+  let x = F.var "x" and y = F.var "y" in
+  Alcotest.check t_formula "not (x < y)" (F.app F.Ge [ x; y ])
+    (simp (F.app F.Not [ F.app F.Lt [ x; y ] ]))
 
 let test_store_store_absorption () =
-  let a = F.Var "a" and i = F.Var "i" in
+  let a = F.var "a" and i = F.var "i" in
   Alcotest.check t_formula "later store wins"
-    (F.store a i (F.Int 2))
-    (simp (F.store (F.store a i (F.Int 1)) i (F.Int 2)))
+    (F.store a i (F.num 2))
+    (simp (F.store (F.store a i (F.num 1)) i (F.num 2)))
 
 (* ---------------- prover ---------------- *)
 
 let test_implies_goal_intro () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   Alcotest.(check bool) "x > 3 -> x > 1" true
-    (proved (F.App (F.Implies, [ F.App (F.Gt, [ x; F.Int 3 ]); F.App (F.Gt, [ x; F.Int 1 ]) ])))
+    (proved (F.app F.Implies [ F.app F.Gt [ x; F.num 3 ]; F.app F.Gt [ x; F.num 1 ] ]))
 
 let test_or_goal () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   Alcotest.(check bool) "provable right disjunct" true
-    (proved ~hyps:[ F.App (F.Ge, [ x; F.Int 5 ]) ]
-       (F.App (F.Or, [ F.App (F.Lt, [ x; F.Int 0 ]); F.App (F.Gt, [ x; F.Int 4 ]) ])));
+    (proved ~hyps:[ F.app F.Ge [ x; F.num 5 ] ]
+       (F.app F.Or [ F.app F.Lt [ x; F.num 0 ]; F.app F.Gt [ x; F.num 4 ] ]));
   Alcotest.(check bool) "complementary disjuncts" true
-    (proved (F.App (F.Or, [ F.App (F.Lt, [ x; F.Int 0 ]); F.App (F.Ge, [ x; F.Int 0 ]) ])))
+    (proved (F.app F.Or [ F.app F.Lt [ x; F.num 0 ]; F.app F.Ge [ x; F.num 0 ] ]))
 
 let test_infeasible_path_proves_anything () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   Alcotest.(check bool) "contradictory bounds" true
     (proved
-       ~hyps:[ F.App (F.Ge, [ x; F.Int 4 ]); F.App (F.Lt, [ x; F.Int 1 ]) ]
-       (F.eq (F.Var "whatever") (F.Int 42)))
+       ~hyps:[ F.app F.Ge [ x; F.num 4 ]; F.app F.Lt [ x; F.num 1 ] ]
+       (F.eq (F.var "whatever") (F.num 42)))
 
 let test_ne_goal_by_enumeration () =
-  let x = F.Var "x" in
+  let x = F.var "x" in
   Alcotest.(check bool) "x in 4..8 => x <> 0" true
     (proved
-       ~hyps:[ F.App (F.Ge, [ x; F.Int 4 ]); F.App (F.Le, [ x; F.Int 8 ]) ]
-       (F.App (F.Ne, [ x; F.Int 0 ])))
+       ~hyps:[ F.app F.Ge [ x; F.num 4 ]; F.app F.Le [ x; F.num 8 ] ]
+       (F.app F.Ne [ x; F.num 0 ]))
 
 let test_store_case_split_with_hint () =
   (* select(store(a, i, v), j) with j <= i: needs the i=j / i<j / i>j split *)
-  let a = F.Var "a" and i = F.Var "i" and j = F.Var "j" in
+  let a = F.var "a" and i = F.var "i" and j = F.var "j" in
   let hyps =
-    [ F.App (F.Le, [ j; i ]);
-      F.App (F.Ge, [ j; F.Int 0 ]);
+    [ F.app F.Le [ j; i ];
+      F.app F.Ge [ j; F.num 0 ];
       (* all original entries and the stored value are zero *)
-      F.Forall ("k", F.Int 0, F.Int 100, F.eq (F.select a (F.Var "k")) (F.Int 0));
-      F.App (F.Le, [ i; F.Int 100 ]) ]
+      F.forall "k" (F.num 0) (F.num 100) (F.eq (F.select a (F.var "k")) (F.num 0));
+      F.app F.Le [ i; F.num 100 ] ]
   in
-  let goal = F.eq (F.select (F.store a i (F.Int 0)) j) (F.Int 0) in
+  let goal = F.eq (F.select (F.store a i (F.num 0)) j) (F.num 0) in
   Alcotest.(check bool) "needs hints" false (proved ~hyps goal);
   Alcotest.(check bool) "with hints" true
     (proved ~hints:[ P.Hint_apply_hyp; P.Hint_induction ] ~hyps goal)
 
 let test_cone_of_influence_scales () =
   (* many unrelated facts must not defeat the linear decision *)
-  let x = F.Var "x" in
+  let x = F.var "x" in
   let noise =
     List.init 120 (fun k ->
-        F.App (F.Ge, [ F.Var (Printf.sprintf "n%d" k); F.Int k ]))
+        F.app F.Ge [ F.var (Printf.sprintf "n%d" k); F.num k ])
   in
-  let hyps = noise @ [ F.App (F.Ge, [ x; F.Int 7 ]) ] in
+  let hyps = noise @ [ F.app F.Ge [ x; F.num 7 ] ] in
   Alcotest.(check bool) "x >= 7 |- x >= 3 amid noise" true
-    (proved ~hyps (F.App (F.Ge, [ x; F.Int 3 ])))
+    (proved ~hyps (F.app F.Ge [ x; F.num 3 ]))
 
 let test_uf_congruence_rewriting () =
-  let f x = F.App (F.Uf "f", [ x ]) in
+  let f x = F.app (F.Uf "f") [ x ] in
   let hyps =
-    [ F.eq (f (F.Var "a")) (F.Int 10);
-      F.eq (f (f (F.Var "a"))) (F.Var "b") ]
+    [ F.eq (f (F.var "a")) (F.num 10);
+      F.eq (f (f (F.var "a"))) (F.var "b") ]
   in
   (* f(a) = 10 rewrites inner occurrence; saturation closes the chain *)
   Alcotest.(check bool) "b = f(10)" true
-    (proved ~hyps (F.eq (F.Var "b") (f (F.Int 10))))
+    (proved ~hyps (F.eq (F.var "b") (f (F.num 10))))
 
 let test_ground_uf_with_interp () =
   let cfg =
@@ -121,7 +121,7 @@ let test_ground_uf_with_interp () =
         match (name, args) with "inc", [ n ] -> Some (n + 1) | _ -> None) }
   in
   Alcotest.(check bool) "nested ground uf" true
-    (proved ~cfg (F.eq (F.App (F.Uf "inc", [ F.App (F.Uf "inc", [ F.Int 40 ]) ])) (F.Int 42)))
+    (proved ~cfg (F.eq (F.app (F.Uf "inc") [ F.app (F.Uf "inc") [ F.num 40 ] ]) (F.num 42)))
 
 let suites =
   [ ( "logic:simplify-more",

@@ -149,24 +149,22 @@ let test_fresh_run_clears_stale_checkpoints () =
    back as [Timeout] within 2x of the budget. *)
 let pathological_vc =
   let body =
-    F.App
-      ( F.Eq,
-        [
-          F.App
-            ( F.Mod_op,
-              [
-                F.App (F.Add, [ F.App (F.Mul, [ F.Var "i"; F.Var "i" ]); F.Var "i" ]);
-                F.Int 2;
-              ] );
-          F.Int 0;
-        ] )
+    F.app F.Eq
+      [
+        F.app F.Mod_op
+          [
+            F.app F.Add [ F.app F.Mul [ F.var "i"; F.var "i" ]; F.var "i" ];
+            F.num 2;
+          ];
+        F.num 0;
+      ]
   in
   {
     F.vc_name = "pathological.1";
     vc_sub = "pathological";
     vc_kind = F.Vc_assert;
     vc_hyps = [];
-    vc_goal = F.Forall ("i", F.Int 0, F.Int 5_000_000, body);
+    vc_goal = F.forall "i" (F.num 0) (F.num 5_000_000) body;
   }
 
 let grind_cfg deadline =

@@ -25,19 +25,19 @@ let check_not_provable name ?hyps goal =
 let test_false_ground () =
   check_not_provable "1 = 2" (F.eq (F.num 1) (F.num 2));
   check_not_provable "false" F.fls;
-  check_not_provable "3 > 4" (F.App (F.Gt, [ F.num 3; F.num 4 ]))
+  check_not_provable "3 > 4" (F.app F.Gt [ F.num 3; F.num 4 ])
 
 let test_false_linear () =
   (* x <= 10 does not give x <= 9 *)
   check_not_provable "x<=10 |- x<=9"
-    ~hyps:[ F.App (F.Le, [ F.var "x"; F.num 10 ]) ]
-    (F.App (F.Le, [ F.var "x"; F.num 9 ]));
+    ~hyps:[ F.app F.Le [ F.var "x"; F.num 10 ] ]
+    (F.app F.Le [ F.var "x"; F.num 9 ]);
   (* x < y, y < z does not give z < x *)
   check_not_provable "cycle"
     ~hyps:
-      [ F.App (F.Lt, [ F.var "x"; F.var "y" ]);
-        F.App (F.Lt, [ F.var "y"; F.var "z" ]) ]
-    (F.App (F.Lt, [ F.var "z"; F.var "x" ]))
+      [ F.app F.Lt [ F.var "x"; F.var "y" ];
+        F.app F.Lt [ F.var "y"; F.var "z" ] ]
+    (F.app F.Lt [ F.var "z"; F.var "x" ])
 
 let test_false_equational () =
   (* a = b does not give a = c *)
@@ -46,8 +46,8 @@ let test_false_equational () =
     (F.eq (F.var "a") (F.var "c"));
   (* f(x) = 1 does not give f(y) = 1: congruence needs x = y *)
   check_not_provable "uf congruence needs equal args"
-    ~hyps:[ F.eq (F.App (F.Uf "f", [ F.var "x" ])) (F.num 1) ]
-    (F.eq (F.App (F.Uf "f", [ F.var "y" ])) (F.num 1))
+    ~hyps:[ F.eq (F.app (F.Uf "f") [ F.var "x" ]) (F.num 1) ]
+    (F.eq (F.app (F.Uf "f") [ F.var "y" ]) (F.num 1))
 
 let test_false_select_store () =
   (* reading back a *different* index is unconstrained *)
@@ -66,44 +66,41 @@ let test_false_select_store () =
 let test_false_quantified () =
   (* forall k in 0..3: k < 3 is false at k = 3 *)
   check_not_provable "forall with failing edge"
-    (F.Forall ("k", F.num 0, F.num 3, F.App (F.Lt, [ F.var "k"; F.num 3 ])));
+    (F.forall "k" (F.num 0) (F.num 3) (F.app F.Lt [ F.var "k"; F.num 3 ]));
   (* exists k in 0..3: k = 5 *)
   check_not_provable "unsatisfiable exists"
-    (F.Exists ("k", F.num 0, F.num 3, F.eq (F.var "k") (F.num 5)))
+    (F.exists "k" (F.num 0) (F.num 3) (F.eq (F.var "k") (F.num 5)))
 
 let test_false_modular () =
   (* wrap256(x) = x is false for x = 256 even under 0 <= x <= 256 *)
   check_not_provable "wrap not identity on the boundary"
     ~hyps:
-      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
-        F.App (F.Le, [ F.var "x"; F.num 256 ]) ]
-    (F.eq (F.App (F.Wrap 256, [ F.var "x" ])) (F.var "x"));
+      [ F.app F.Le [ F.num 0; F.var "x" ];
+        F.app F.Le [ F.var "x"; F.num 256 ] ]
+    (F.eq (F.app (F.Wrap 256) [ F.var "x" ]) (F.var "x"));
   (* xor is not addition *)
   check_not_provable "xor /= add"
     ~hyps:
-      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
-        F.App (F.Le, [ F.var "x"; F.num 255 ]) ]
+      [ F.app F.Le [ F.num 0; F.var "x" ];
+        F.app F.Le [ F.var "x"; F.num 255 ] ]
     (F.eq
-       (F.App (F.Bxor 256, [ F.var "x"; F.num 1 ]))
-       (F.App (F.Add, [ F.var "x"; F.num 1 ])))
+       (F.app (F.Bxor 256) [ F.var "x"; F.num 1 ])
+       (F.app F.Add [ F.var "x"; F.num 1 ]))
 
 let test_false_with_case_split () =
   (* small range: the splitter enumerates and must hit the counterexample *)
   check_not_provable "split finds the failing case"
     ~hyps:
-      [ F.App (F.Le, [ F.num 0; F.var "x" ]);
-        F.App (F.Le, [ F.var "x"; F.num 7 ]) ]
-    (F.App (F.Lt, [ F.var "x"; F.num 7 ]))
+      [ F.app F.Le [ F.num 0; F.var "x" ];
+        F.app F.Le [ F.var "x"; F.num 7 ] ]
+    (F.app F.Lt [ F.var "x"; F.num 7 ])
 
 let test_false_hint_instantiation () =
   (* a true quantified hypothesis must not discharge a false goal *)
   check_not_provable "hyp instantiation stays sound"
     ~hyps:
-      [ F.Forall
-          ( "k",
-            F.num 0,
-            F.num 3,
-            F.App (F.Ge, [ F.select (F.var "a") (F.var "k"); F.num 0 ]) ) ]
+      [ F.forall "k" (F.num 0) (F.num 3)
+          (F.app F.Ge [ F.select (F.var "a") (F.var "k"); F.num 0 ]) ]
     (F.eq (F.select (F.var "a") (F.num 2)) (F.num 0))
 
 (* Property: on random *ground* goals, Proved agrees with evaluation.
@@ -122,15 +119,15 @@ let gen_ground_formula =
             [ (2, num);
               ( 3,
                 map2
-                  (fun op (a, b) -> F.App (op, [ a; b ]))
+                  (fun op (a, b) -> F.app op [ a; b ])
                   (oneofl [ F.Add; F.Sub; F.Mul ])
                   (pair (self (depth - 1)) (self (depth - 1))) );
               ( 1,
-                map (fun a -> F.App (F.Wrap 256, [ a ])) (self (depth - 1)) ) ])
+                map (fun a -> F.app (F.Wrap 256) [ a ]) (self (depth - 1)) ) ])
       2
   in
   QCheck.Gen.map2
-    (fun op (a, b) -> F.App (op, [ a; b ]))
+    (fun op (a, b) -> F.app op [ a; b ])
     (oneofl [ F.Eq; F.Ne; F.Lt; F.Le; F.Gt; F.Ge ])
     (QCheck.Gen.pair arith arith)
 

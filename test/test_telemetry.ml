@@ -378,7 +378,7 @@ let test_retry_attempt_elapsed () =
       vc_sub = "t";
       vc_kind = Logic.Formula.Vc_assert;
       vc_hyps = [];
-      vc_goal = Logic.Formula.Bool false;
+      vc_goal = Logic.Formula.fls;
     }
   in
   Logic.Clock.with_source (ticker ~step:0.5 ()) (fun () ->

@@ -46,7 +46,7 @@ let test_simplification_shrinks_or_normalises () =
       (* hypotheses never grow in number except by conjunction flattening;
          the flattened set subsumes the original conjuncts *)
       Alcotest.(check bool) "simplified VC well-formed" true
-        (List.for_all (fun h -> h <> F.Bool true) vc'.F.vc_hyps))
+        (List.for_all (fun h -> not (F.equal h F.tru)) vc'.F.vc_hyps))
     (Vcgen.all_vcs r)
 
 let test_bytes_of_nodes_monotone () =
