@@ -629,6 +629,85 @@ let farm_json () =
   Fmt.pr "wrote BENCH_farm.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Certified refactoring: per-step equivalence evidence as JSON         *)
+(* ------------------------------------------------------------------ *)
+
+let certify_json () =
+  section "Certified refactoring (BENCH_certify.json)";
+  (* smoke keeps CI fast with a prefix of the script; the full run
+     certifies all 14 blocks *)
+  let upto = if smoke then Some 3 else None in
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "echo-bench-certify-%d" (Unix.getpid ()))
+  in
+  (* cold then warm against the same cache directory: the warm run's
+     equivalence VCs come back as cache hits, pricing re-certification *)
+  let certified_run () =
+    let cfg =
+      { (Refactor.Certify.default_config ~entries:[ "encrypt_block"; "decrypt_block" ] ()) with
+        Refactor.Certify.cf_cache = Some (Farm.Cache.open_ ~dir:cache_dir) }
+    in
+    let t0 = Unix.gettimeofday () in
+    let _, history = Aes.Aes_refactoring.run ?upto ~certify:cfg () in
+    (history, Unix.gettimeofday () -. t0)
+  in
+  let h_cold, t_cold = certified_run () in
+  let h_warm, t_warm = certified_run () in
+  let certs = Refactor.History.certificates h_cold in
+  let audit = Refactor.Certify.audit certs in
+  let s_cold = Refactor.History.certification_stats h_cold in
+  let s_warm = Refactor.History.certification_stats h_warm in
+  let steps = Refactor.History.step_count h_cold in
+  let per_sec dt = float_of_int steps /. Float.max 1e-9 dt in
+  let hit_rate (s : Refactor.Certify.stats) =
+    let h = s.Refactor.Certify.ct_cache_hits
+    and m = s.Refactor.Certify.ct_cache_misses in
+    if h + m = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int (h + m)
+  in
+  Fmt.pr "  %d step(s): %d certified, %d refuted, %d unknown (%d targets)@." steps
+    audit.Refactor.Certify.au_certified audit.Refactor.Certify.au_refuted
+    audit.Refactor.Certify.au_unknown s_cold.Refactor.Certify.ct_targets;
+  Fmt.pr "  cold: %.2fs (%.2f steps/s), %d VC(s) generated, %d proved, %d oracle trial(s)@."
+    t_cold (per_sec t_cold) s_cold.Refactor.Certify.ct_vcs_generated
+    s_cold.Refactor.Certify.ct_vcs_proved s_cold.Refactor.Certify.ct_oracle_trials;
+  Fmt.pr "  warm: %.2fs (%.2f steps/s), cache %d hit(s) / %d miss(es) (%.1f%% hit rate)@."
+    t_warm (per_sec t_warm) s_warm.Refactor.Certify.ct_cache_hits
+    s_warm.Refactor.Certify.ct_cache_misses (hit_rate s_warm);
+  let run_obj (s : Refactor.Certify.stats) dt =
+    Printf.sprintf
+      {|{"seconds": %.3f, "steps_per_sec": %.3f, "cache_hits": %d, "cache_misses": %d, "hit_rate_pct": %.1f}|}
+      dt (per_sec dt) s.Refactor.Certify.ct_cache_hits
+      s.Refactor.Certify.ct_cache_misses (hit_rate s)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "aes-refactoring-script",
+  "steps": %d,
+  "certified": %d,
+  "refuted": %d,
+  "unknown": %d,
+  "targets": %d,
+  "vcs_generated": %d,
+  "vcs_proved": %d,
+  "oracle_trials": %d,
+  "cold": %s,
+  "warm": %s
+}
+|}
+      steps audit.Refactor.Certify.au_certified audit.Refactor.Certify.au_refuted
+      audit.Refactor.Certify.au_unknown s_cold.Refactor.Certify.ct_targets
+      s_cold.Refactor.Certify.ct_vcs_generated s_cold.Refactor.Certify.ct_vcs_proved
+      s_cold.Refactor.Certify.ct_oracle_trials
+      (run_obj s_cold t_cold) (run_obj s_warm t_warm)
+  in
+  let oc = open_out "BENCH_certify.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_certify.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -691,7 +770,8 @@ let () =
     pipeline_json ();
     analysis_json ();
     prover_json ();
-    farm_json ()
+    farm_json ();
+    certify_json ()
   end
   else begin
     if want "fig2ab" || !only = None then fig2_metrics ();
@@ -708,6 +788,7 @@ let () =
     if want "analysis" || !only = None then analysis_json ();
     if want "prover" || !only = None then prover_json ();
     if want "farm" || !only = None then farm_json ();
+    if want "certify" || !only = None then certify_json ();
     if want "micro" || !only = None then micro_benchmarks ()
   end;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -10,11 +10,14 @@
      vcs        generate and summarise verification conditions
      prove      run the implementation proof (VC generation + prover)
      aes        drive the AES case study (refactor / proofs / defects)
+     certify    certify the AES refactoring step by step (equivalence VCs
+                + differential fuzzing oracle), or the seeded-defect corpus
      chaos      fault-injection suite over the orchestrated pipeline
 
    Exit codes follow the fault taxonomy (Echo.Fault.exit_code): 2 parse,
    3 type, 4 refactoring-not-applicable, 5 proof failure (residual VCs,
-   timeouts, failed lemmas), 6 flow-analysis errors, 1 everything else. *)
+   timeouts, failed lemmas), 6 flow-analysis errors, 7 refuted
+   certification, 1 everything else. *)
 
 open Minispark
 
@@ -140,8 +143,8 @@ let write_or_warn what = function
   | Ok () -> ()
   | Error e -> Fmt.epr "warning: could not write %s: %s@." what e
 
-let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze jobs
-    cache_dir no_cache trace metrics () =
+let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze certify
+    jobs cache_dir no_cache trace metrics () =
   with_errors (fun () ->
       if resume && run_dir = None then begin
         Fmt.epr "--resume requires --run-dir@.";
@@ -166,6 +169,7 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze jobs
           oc_global_deadline_s = global_deadline;
           oc_vc_deadline_s = vc_deadline;
           oc_analyze = analyze;
+          oc_certify = certify;
           oc_jobs = jobs;
           oc_cache = cache;
         }
@@ -224,6 +228,162 @@ let cmd_report dir top trace_out () =
           write_or_warn path (Telemetry.write_chrome_trace ~path events);
           Fmt.pr "trace: %s (load in chrome://tracing or ui.perfetto.dev)@." path
       | None -> ())
+
+(* `certify`: the refactoring certification gate as a standalone command.
+   Default mode runs the whole AES script with per-step certification and
+   prints the certificate table; --defects instead certifies each seeded
+   defect against the original, expecting a refutation with a concrete
+   counterexample for every non-benign defect.  Either way a violated
+   expectation leaves with exit code 7 (Fault.Certification). *)
+
+let certify_entries = [ "encrypt_block"; "decrypt_block" ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Telemetry.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let audit_json (a : Refactor.Certify.audit) =
+  Telemetry.Json.Obj
+    [ ("steps", Telemetry.Json.Int a.Refactor.Certify.au_steps);
+      ("certified", Telemetry.Json.Int a.Refactor.Certify.au_certified);
+      ("refuted", Telemetry.Json.Int a.Refactor.Certify.au_refuted);
+      ("unknown", Telemetry.Json.Int a.Refactor.Certify.au_unknown) ]
+
+let cmd_certify_script trials jobs cache_dir json () =
+  let cache = Option.map (fun dir -> Farm.Cache.open_ ~dir) cache_dir in
+  let cfg =
+    {
+      (Refactor.Certify.default_config ~entries:certify_entries ()) with
+      Refactor.Certify.cf_trials = trials;
+      cf_jobs = jobs;
+      cf_cache = cache;
+    }
+  in
+  let _, h = Aes.Aes_refactoring.run ~certify:cfg () in
+  let certs = Refactor.History.certificates h in
+  List.iter
+    (fun (i, name, c) ->
+      Fmt.pr "step %2d  %-36s %s@." i name (Refactor.Certify.describe c))
+    certs;
+  let audit = Refactor.Certify.audit certs in
+  let stats = Refactor.History.certification_stats h in
+  Fmt.pr "certified %d/%d step(s) (%d refuted, %d unknown)@."
+    audit.Refactor.Certify.au_certified audit.Refactor.Certify.au_steps
+    audit.Refactor.Certify.au_refuted audit.Refactor.Certify.au_unknown;
+  Fmt.pr
+    "targets %d, equivalence VCs %d (%d proved), cache %d hit(s) / %d miss(es), \
+     oracle trials %d@."
+    stats.Refactor.Certify.ct_targets stats.Refactor.Certify.ct_vcs_generated
+    stats.Refactor.Certify.ct_vcs_proved stats.Refactor.Certify.ct_cache_hits
+    stats.Refactor.Certify.ct_cache_misses stats.Refactor.Certify.ct_oracle_trials;
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (Telemetry.Json.Obj
+           [ ("case", Telemetry.Json.String "aes-refactoring-script");
+             ( "steps",
+               Telemetry.Json.List
+                 (List.map
+                    (fun (i, name, c) ->
+                      Telemetry.Json.Obj
+                        [ ("index", Telemetry.Json.Int i);
+                          ("name", Telemetry.Json.String name);
+                          ("certificate", Refactor.Certify.certificate_to_json c) ])
+                    certs) );
+             ("audit", audit_json audit);
+             ("stats", Refactor.Certify.stats_to_json stats) ]));
+  if audit.Refactor.Certify.au_unknown > 0 then
+    raise
+      (Echo.Fault.Fault
+         (Echo.Fault.Certification
+            {
+              cert_step = "<script>";
+              cert_reason =
+                Printf.sprintf "%d step(s) could not be certified"
+                  audit.Refactor.Certify.au_unknown;
+            }))
+
+let cmd_certify_defects trials jobs cache_dir json () =
+  let _, prog = Aes.Aes_impl.checked () in
+  let before = Typecheck.check prog in
+  let cache = Option.map (fun dir -> Farm.Cache.open_ ~dir) cache_dir in
+  let cfg =
+    {
+      (Refactor.Certify.default_config ~entries:certify_entries ()) with
+      Refactor.Certify.cf_trials = trials;
+      cf_jobs = jobs;
+      cf_cache = cache;
+    }
+  in
+  let outcomes =
+    List.map
+      (fun (d : Defects.Seed.defect) ->
+        let after = Typecheck.check (d.Defects.Seed.d_apply prog) in
+        let cert, _ =
+          Refactor.Certify.certify cfg
+            ~step_name:(Printf.sprintf "defect-%d" d.Defects.Seed.d_id)
+            ~before ~after
+        in
+        let expected =
+          match (cert, d.Defects.Seed.d_benign) with
+          | Refactor.Certify.Refuted _, false -> true
+          | Refactor.Certify.Certified _, true -> true
+          | _ -> false
+        in
+        Fmt.pr "defect %2d %-8s %-44s %s%s@." d.Defects.Seed.d_id
+          (if d.Defects.Seed.d_benign then "benign" else "real")
+          d.Defects.Seed.d_describe
+          (Refactor.Certify.describe cert)
+          (if expected then "" else "  <-- UNEXPECTED");
+        (d, cert, expected))
+      (Defects.Seed.seed_all prog)
+  in
+  let missed = List.filter (fun (_, _, ok) -> not ok) outcomes in
+  Fmt.pr "%d/%d defect(s) behaved as expected@."
+    (List.length outcomes - List.length missed)
+    (List.length outcomes);
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (Telemetry.Json.Obj
+           [ ("case", Telemetry.Json.String "aes-seeded-defects");
+             ( "defects",
+               Telemetry.Json.List
+                 (List.map
+                    (fun ((d : Defects.Seed.defect), cert, ok) ->
+                      Telemetry.Json.Obj
+                        [ ("id", Telemetry.Json.Int d.Defects.Seed.d_id);
+                          ( "benign",
+                            Telemetry.Json.Bool d.Defects.Seed.d_benign );
+                          ( "describe",
+                            Telemetry.Json.String d.Defects.Seed.d_describe );
+                          ("certificate", Refactor.Certify.certificate_to_json cert);
+                          ("as_expected", Telemetry.Json.Bool ok) ])
+                    outcomes) ) ]));
+  match missed with
+  | [] -> ()
+  | ((d : Defects.Seed.defect), cert, _) :: _ ->
+      raise
+        (Echo.Fault.Fault
+           (Echo.Fault.Certification
+              {
+                cert_step = Printf.sprintf "defect-%d" d.Defects.Seed.d_id;
+                cert_reason =
+                  Printf.sprintf
+                    "%d defect(s) not caught as expected (first: %s — %s)"
+                    (List.length missed) d.Defects.Seed.d_describe
+                    (Refactor.Certify.describe cert);
+              }))
+
+let cmd_certify defects trials jobs cache_dir json () =
+  with_errors
+    (if defects then cmd_certify_defects trials jobs cache_dir json
+     else cmd_certify_script trials jobs cache_dir json)
 
 let cmd_chaos probe () =
   with_errors (fun () ->
@@ -294,6 +454,9 @@ let exits =
                          VC generation or failed implication lemmas."
        5
   :: Cmd.Exit.info ~doc:"when flow analysis reports error-severity diagnostics." 6
+  :: Cmd.Exit.info ~doc:"when step certification refutes a refactoring step (or the \
+                         certification gate's expectation is violated)."
+       7
   :: Cmd.Exit.defaults
 
 let path_arg =
@@ -377,6 +540,14 @@ let aes_verify_cmd =
                    statically discharges exception-freedom VCs so the \
                    prover never sees them")
   in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"Certify every refactoring step: per-step equivalence \
+                   VCs through the proof cache plus a differential \
+                   fuzzing oracle.  A refuted step fails the run with \
+                   exit code 7")
+  in
   let cache_dir =
     Arg.(value & opt (some string) None
          & info [ "cache-dir" ] ~docv:"DIR"
@@ -405,7 +576,7 @@ let aes_verify_cmd =
              both proofs, with optional budgets, checkpoint/resume and telemetry")
     Term.(
       const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ analyze
-      $ jobs_arg $ cache_dir $ no_cache $ trace $ metrics $ const ())
+      $ certify $ jobs_arg $ cache_dir $ no_cache $ trace $ metrics $ const ())
 
 let aes_defects_cmd =
   let setup =
@@ -428,6 +599,40 @@ let aes_dump_cmd =
 let aes_cmd =
   Cmd.group (Cmd.info "aes" ~exits ~doc:"The AES case study (§6)")
     [ aes_refactor_cmd; aes_verify_cmd; aes_defects_cmd; aes_dump_cmd ]
+
+let certify_cmd =
+  let defects =
+    Arg.(value & flag
+         & info [ "defects" ]
+             ~doc:"Certify each seeded defect against the original \
+                   program instead of running the refactoring script; \
+                   every non-benign defect must be refuted with a \
+                   concrete counterexample")
+  in
+  let trials =
+    Arg.(value & opt int 24
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Differential-oracle trials per certification target")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persistent proof cache for the equivalence VCs; a \
+                   repeated script re-certifies its static side for free")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-step certificates (or per-defect \
+                   outcomes) as a JSON artifact")
+  in
+  Cmd.v
+    (Cmd.info "certify" ~exits
+       ~doc:"Certify the AES refactoring step by step: equivalence VCs on \
+             the proof farm plus a fuel-bounded differential fuzzing \
+             oracle.  Exit code 7 when a step is refuted or a seeded \
+             defect escapes")
+    Term.(const cmd_certify $ defects $ trials $ jobs_arg $ cache_dir $ json $ const ())
 
 let chaos_cmd =
   let probe =
@@ -464,6 +669,6 @@ let main =
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
     [ check_cmd; analyze_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd;
-      chaos_cmd; report_cmd ]
+      certify_cmd; chaos_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

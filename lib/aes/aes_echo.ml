@@ -32,8 +32,8 @@ let case_study : Echo.Pipeline.case_study =
   {
     Echo.Pipeline.cs_name = "AES (FIPS-197)";
     cs_refactor =
-      (fun () ->
-        let snapshots, history = Aes_refactoring.run () in
+      (fun ?certify () ->
+        let snapshots, history = Aes_refactoring.run ?certify () in
         emit_match_evolution snapshots;
         ( List.map
             (fun s ->

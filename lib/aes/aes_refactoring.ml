@@ -33,7 +33,12 @@ module T = Refactor.Transform
 let entries = [ "encrypt_block"; "decrypt_block" ]
 let trials = 8
 
-let apply h tr = ignore (H.apply ~entries ~trials h tr)
+(* Certification config for the current [run], when certification was
+   requested.  The block scripts funnel every application through [apply],
+   so one ref threads the config without changing 50 call sites. *)
+let certify_cfg : Refactor.Certify.config option ref = ref None
+
+let apply h tr = ignore (H.apply ~entries ~trials ?certify:!certify_cfg h tr)
 
 (* KAT gate: every block must leave FIPS-197 behaviour intact *)
 let check_kats h =
@@ -710,22 +715,24 @@ type snapshot = {
     Echo process).  [start] overrides the initial program (defaults to the
     pristine optimized implementation).  Returns the per-block snapshots
     (block 0 first) and the history. *)
-let run ?(upto = 14) ?(kat_gate = true) ?start () =
+let run ?(upto = 14) ?(kat_gate = true) ?certify ?start () =
   let env0, prog0 = match start with Some ep -> ep | None -> Aes_impl.checked () in
   let h = H.create env0 prog0 in
   let snapshots =
     ref [ { sn_block = 0; sn_title = "original optimized implementation";
             sn_env = env0; sn_program = prog0 } ]
   in
-  List.iter
-    (fun b ->
-      if b.b_index <= upto then begin
-        b.b_run h;
-        if kat_gate then check_kats h;
-        let env, prog = H.current h in
-        snapshots :=
-          { sn_block = b.b_index; sn_title = b.b_title; sn_env = env; sn_program = prog }
-          :: !snapshots
-      end)
-    blocks;
+  certify_cfg := certify;
+  Fun.protect ~finally:(fun () -> certify_cfg := None) (fun () ->
+      List.iter
+        (fun b ->
+          if b.b_index <= upto then begin
+            b.b_run h;
+            if kat_gate then check_kats h;
+            let env, prog = H.current h in
+            snapshots :=
+              { sn_block = b.b_index; sn_title = b.b_title; sn_env = env; sn_program = prog }
+              :: !snapshots
+          end)
+        blocks);
   (List.rev !snapshots, h)

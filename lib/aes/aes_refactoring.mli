@@ -19,13 +19,17 @@ type snapshot = {
 }
 
 val run :
-  ?upto:int -> ?kat_gate:bool ->
+  ?upto:int -> ?kat_gate:bool -> ?certify:Refactor.Certify.config ->
   ?start:Minispark.Typecheck.env * Minispark.Ast.program ->
   unit -> snapshot list * Refactor.History.t
 (** Run the refactoring through block [upto] (default 14).  [kat_gate]
     (default true) validates the FIPS vectors after every block; disable
     for the seeded-defect experiment, where the vectors are not part of
-    the Echo process.  [start] overrides the initial program.
+    the Echo process.  With [certify], every step is certified
+    ({!Refactor.Certify}) and its certificate recorded in the history.
+    [start] overrides the initial program.
     @raise Refactor.Transform.Not_applicable when a transformation's
     mechanical applicability check rejects (how defects are caught at this
-    stage). *)
+    stage).
+    @raise Refactor.Certify.Refutation when certification finds a
+    counterexample. *)

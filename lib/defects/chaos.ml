@@ -59,7 +59,7 @@ let case_with probe (cs : Echo.Pipeline.case_study) : Echo.Pipeline.case_study =
         cs with
         Echo.Pipeline.cs_name = cs.Echo.Pipeline.cs_name ^ "+" ^ probe_name probe;
         cs_refactor =
-          (fun () ->
+          (fun ?certify:_ () ->
             raise
               (Refactor.Transform.Not_applicable
                  "chaos: injected refactoring rejection"));

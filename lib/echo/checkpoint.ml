@@ -5,6 +5,7 @@
 
 type stage =
   | S_refactor
+  | S_certify
   | S_annotate
   | S_analyze
   | S_impl
@@ -12,10 +13,11 @@ type stage =
   | S_implication
 
 let all_stages =
-  [ S_refactor; S_annotate; S_analyze; S_impl; S_extract; S_implication ]
+  [ S_refactor; S_certify; S_annotate; S_analyze; S_impl; S_extract; S_implication ]
 
 let stage_name = function
   | S_refactor -> "refactor"
+  | S_certify -> "certify"
   | S_annotate -> "annotate"
   | S_analyze -> "analyze"
   | S_impl -> "implementation-proof"
@@ -24,21 +26,33 @@ let stage_name = function
 
 let stage_index = function
   | S_refactor -> 1
-  | S_annotate -> 2
-  | S_analyze -> 3
-  | S_impl -> 4
-  | S_extract -> 5
-  | S_implication -> 6
+  | S_certify -> 2
+  | S_annotate -> 3
+  | S_analyze -> 4
+  | S_impl -> 5
+  | S_extract -> 6
+  | S_implication -> 7
 
 type payload =
-  | P_refactor of { pr_final_src : string; pr_steps : int; pr_summary : string }
+  | P_refactor of {
+      pr_final_src : string;
+      pr_steps : int;
+      pr_summary : string;
+      pr_certificates : (int * string * Refactor.Certify.certificate) list;
+    }
+  | P_certify of {
+      pc_audit : Refactor.Certify.audit;
+      pc_stats : Refactor.Certify.stats;
+    }
   | P_annotate of { pa_src : string }
   | P_analyze of Analysis.Examiner.t
   | P_impl of Implementation_proof.report
   | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
   | P_implication of { pi_lemmas : (string * bool * string) list }
 
-let format_version = "ECHO-CKPT v2"
+(* v3: [P_refactor] carries per-step certificates and [S_certify] exists;
+   older files are rejected by the header check below and recomputed *)
+let format_version = "ECHO-CKPT v3"
 
 (* case names can contain spaces and parens; keep filenames tame *)
 let slug s =

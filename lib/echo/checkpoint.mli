@@ -12,6 +12,7 @@
 
 type stage =
   | S_refactor
+  | S_certify
   | S_annotate
   | S_analyze
   | S_impl
@@ -25,9 +26,23 @@ val stage_name : stage -> string
 val stage_index : stage -> int
 
 (** What each stage persists.  Programs travel as source text; everything
-    else is closed (closure-free) data. *)
+    else is closed (closure-free) data.  The format version is v3: the
+    refactor payload carries the per-step certificates recorded under
+    [--certify], and the certify stage persists its audit — v2 files are
+    rejected by the header check and recomputed, never misread. *)
 type payload =
-  | P_refactor of { pr_final_src : string; pr_steps : int; pr_summary : string }
+  | P_refactor of {
+      pr_final_src : string;
+      pr_steps : int;
+      pr_summary : string;
+      pr_certificates : (int * string * Refactor.Certify.certificate) list;
+          (** step index, transformation name, certificate; empty when the
+              run was not certified *)
+    }
+  | P_certify of {
+      pc_audit : Refactor.Certify.audit;
+      pc_stats : Refactor.Certify.stats;
+    }
   | P_annotate of { pa_src : string }
   | P_analyze of Analysis.Examiner.t
   | P_impl of Implementation_proof.report

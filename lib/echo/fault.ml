@@ -18,6 +18,7 @@ type t =
   | Injected of string
   | Crash of string
   | Analysis of { errors : int; first : string }
+  | Certification of { cert_step : string; cert_reason : string }
 
 exception Fault of t
 
@@ -26,6 +27,10 @@ let of_exn = function
   | Parser.Error (msg, line, col) -> Parse { msg; line; col }
   | Typecheck.Type_error msg -> Type msg
   | Refactor.Transform.Not_applicable msg -> Refactor msg
+  | Refactor.Certify.Refutation { rf_step; rf_cx } ->
+      Certification
+        { cert_step = rf_step;
+          cert_reason = Refactor.Certify.counterexample_to_string rf_cx }
   | Vcgen.Infeasible msg -> Vc_infeasible msg
   | Specl.Seval.Error msg -> Lemma { lemma = "<evaluation>"; reason = msg }
   | Stack_overflow -> Crash "stack overflow"
@@ -51,6 +56,7 @@ let class_name = function
   | Injected _ -> "injected"
   | Crash _ -> "crash"
   | Analysis _ -> "analysis"
+  | Certification _ -> "certify"
 
 let describe = function
   | Parse { msg; line; col } -> Printf.sprintf "parse error at %d:%d: %s" line col msg
@@ -68,6 +74,8 @@ let describe = function
   | Crash msg -> "crash: " ^ msg
   | Analysis { errors; first } ->
       Printf.sprintf "flow analysis found %d error(s), first: %s" errors first
+  | Certification { cert_step; cert_reason } ->
+      Printf.sprintf "certification refuted step %s: %s" cert_step cert_reason
 
 (* Exit codes are part of the CLI contract (echo_cli --help documents
    them): 2..5 for the four user-meaningful classes, 1 for everything the
@@ -78,11 +86,12 @@ let exit_code = function
   | Refactor _ -> 4
   | Vc_infeasible _ | Prover_timeout _ | Prover_stuck _ | Lemma _ | Deadline _ -> 5
   | Analysis _ -> 6
+  | Certification _ -> 7
   | Checkpoint _ | Injected _ | Crash _ -> 1
 
 let is_transient = function
   | Prover_timeout _ | Prover_stuck _ | Deadline _ -> true
   | Parse _ | Type _ | Refactor _ | Vc_infeasible _ | Lemma _ | Checkpoint _
-  | Injected _ | Crash _ | Analysis _ -> false
+  | Injected _ | Crash _ | Analysis _ | Certification _ -> false
 
 let pp ppf f = Fmt.pf ppf "[%s] %s" (class_name f) (describe f)

@@ -4,7 +4,8 @@
     travel as [result] values instead of raw exceptions and the
     orchestrator can decide per fault class whether to retry, degrade, or
     abort.  The classes also fix the CLI exit codes (parse=2, type=3,
-    not-applicable=4, proof-failure=5, flow-analysis=6). *)
+    not-applicable=4, proof-failure=5, flow-analysis=6,
+    certification-refuted=7). *)
 
 type t =
   | Parse of { msg : string; line : int; col : int }
@@ -32,15 +33,18 @@ type t =
   | Analysis of { errors : int; first : string }
       (** flow analysis reported error-severity diagnostics (the Examiner
           refuses the program before any proof is attempted) *)
+  | Certification of { cert_step : string; cert_reason : string }
+      (** per-step certification ({!Refactor.Certify}) refuted a
+          refactoring step with a concrete counterexample *)
 
 exception Fault of t
 (** Carrier for typed faults across code that still raises (the chaos
     probes use it); {!of_exn} maps it back to its payload. *)
 
 val of_exn : exn -> t
-(** Classify an exception: parser, typechecker, refactoring and VC-budget
-    exceptions map to their classes, [Fault] unwraps, anything else is
-    [Crash]. *)
+(** Classify an exception: parser, typechecker, refactoring, certification
+    and VC-budget exceptions map to their classes, [Fault] unwraps,
+    anything else is [Crash]. *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run a stage body, converting any escaping exception via {!of_exn}.
@@ -55,8 +59,8 @@ val describe : t -> string
 val exit_code : t -> int
 (** CLI exit code for the fault class: parse=2, type=3, not-applicable=4,
     everything proof-related (infeasible VCs, timeouts, stuck searches,
-    failed lemmas, blown deadlines)=5, flow-analysis errors=6,
-    checkpoint/crash/injected=1. *)
+    failed lemmas, blown deadlines)=5, flow-analysis errors=6, refuted
+    certification=7, checkpoint/crash/injected=1. *)
 
 val is_transient : t -> bool
 (** Faults worth retrying with a bigger budget (timeouts, stuck searches,

@@ -111,7 +111,9 @@ let interp_of env program =
         | Value.Vint n | Value.Vmod (n, _) -> Some n
         | Value.Vbool b -> Some (if b then 1 else 0)
         | Value.Varray _ -> None
-        | exception (Interp.Stuck _ | Value.Runtime_error _) -> None)
+        | exception (Interp.Stuck _ | Interp.Out_of_fuel | Value.Runtime_error _)
+          ->
+            None)
     | _ -> None
 
 let standard_hints = [ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ]

@@ -41,6 +41,7 @@ type config = {
   oc_max_steps : int;
   oc_budget : Vcgen.budget;
   oc_analyze : bool;
+  oc_certify : bool;
   oc_jobs : int;
   oc_cache : cache_mode;
   oc_hooks : hooks;
@@ -55,6 +56,7 @@ let default_config =
     oc_max_steps = 60_000;
     oc_budget = Vcgen.default_budget;
     oc_analyze = false;
+    oc_certify = false;
     oc_jobs = 1;
     oc_cache = Cache_default;
     oc_hooks = no_hooks;
@@ -94,6 +96,7 @@ type report = {
   o_stages : (CK.stage * stage_status) list;
   o_refactor_steps : int;
   o_analysis : Analysis.Examiner.t option;
+  o_certify : Refactor.Certify.audit option;
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;
@@ -250,29 +253,112 @@ let synthesize st (impl : Implementation_proof.report option)
 (* The five stages                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* when certifying, the equivalence-VC cache shares the proof cache's
+   directory: the keys are disjoint (a ":certify:" suffix), and a resumed
+   or repeated script re-certifies for free *)
+let certify_config_of st =
+  if not st.cfg.oc_certify then None
+  else
+    Some
+      {
+        (Refactor.Certify.default_config ()) with
+        Refactor.Certify.cf_jobs = st.cfg.oc_jobs;
+        cf_budget = st.cfg.oc_budget;
+        cf_cache =
+          Option.map (fun dir -> Farm.Cache.open_ ~dir) (cache_dir_of st.cfg);
+      }
+
 let stage_refactor st =
   stage st CK.S_refactor
     ~from_ckpt:(fun () ->
       match load_checkpoint st CK.S_refactor with
-      | Some (CK.P_refactor { pr_final_src; pr_steps; _ }) ->
-          Option.map (fun p -> (p, pr_steps)) (Fault.guard (fun () -> reparse_program pr_final_src) |> Result.to_option)
+      | Some (CK.P_refactor { pr_final_src; pr_steps; pr_certificates; _ }) ->
+          Option.map
+            (fun p -> (p, pr_steps, pr_certificates, None))
+            (Fault.guard (fun () -> reparse_program pr_final_src) |> Result.to_option)
       | _ -> None)
     ~body:(fun () ->
-      let stages, history = st.cs.Pipeline.cs_refactor () in
+      let certify = certify_config_of st in
+      let stages, history = st.cs.Pipeline.cs_refactor ?certify () in
       let final =
         match List.rev stages with
         | (_, p) :: _ -> p
         | [] -> invalid_arg "Orchestrator: refactoring produced no stages"
       in
       let steps = Refactor.History.step_count history in
+      let certs = Refactor.History.certificates history in
       save_checkpoint st CK.S_refactor
         (CK.P_refactor
            {
              pr_final_src = Pretty.program_to_string final;
              pr_steps = steps;
              pr_summary = Fmt.str "%a" Refactor.History.pp_summary history;
+             pr_certificates = certs;
            });
-      (final, steps))
+      (final, steps, certs, Some (Refactor.History.certification_stats history)))
+
+(* The certification gate: every refactoring step must carry a
+   certificate, and none may be refuted.  A live certified run raises
+   {!Refactor.Certify.Refutation} inside the refactor stage already; this
+   stage re-checks resumed checkpoints and turns [Unknown] certificates
+   into a degradation rather than silent acceptance. *)
+let stage_certify st ~steps ~certs ~stats =
+  stage st CK.S_certify
+    ~from_ckpt:(fun () ->
+      match load_checkpoint st CK.S_certify with
+      | Some (CK.P_certify { pc_audit; _ }) -> Some pc_audit
+      | _ -> None)
+    ~body:(fun () ->
+      if List.length certs < steps then
+        raise
+          (Fault.Fault
+             (Fault.Certification
+                {
+                  cert_step = "<all>";
+                  cert_reason =
+                    Printf.sprintf
+                      "only %d of %d steps carry a certificate (refactoring \
+                       checkpoint from an uncertified run?)"
+                      (List.length certs) steps;
+                }));
+      (match
+         List.find_opt
+           (fun (_, _, c) ->
+             match c with Refactor.Certify.Refuted _ -> true | _ -> false)
+           certs
+       with
+      | Some (_, name, Refactor.Certify.Refuted cx) ->
+          raise
+            (Fault.Fault
+               (Fault.Certification
+                  {
+                    cert_step = name;
+                    cert_reason = Refactor.Certify.counterexample_to_string cx;
+                  }))
+      | _ -> ());
+      let audit = Refactor.Certify.audit certs in
+      (match
+         List.find_opt
+           (fun (_, _, c) ->
+             match c with Refactor.Certify.Unknown _ -> true | _ -> false)
+           certs
+       with
+      | Some (_, name, Refactor.Certify.Unknown why) ->
+          degrade st CK.S_certify
+            (Fault.Certification
+               {
+                 cert_step = name;
+                 cert_reason =
+                   Printf.sprintf "%d step(s) could not be certified (first: %s)"
+                     audit.Refactor.Certify.au_unknown why;
+               })
+      | _ -> ());
+      let stats =
+        Option.value stats ~default:Refactor.Certify.zero_stats
+      in
+      save_checkpoint st CK.S_certify
+        (CK.P_certify { pc_audit = audit; pc_stats = stats });
+      audit)
 
 let stage_annotate st final =
   stage st CK.S_annotate
@@ -423,12 +509,20 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
   in
   let impl_ref = ref None in
   let analysis_ref = ref None in
+  let certify_ref = ref None in
   let match_ref = ref None in
   let steps_ref = ref 0 in
   let lemmas_ref = ref [] in
   (let ( let* ) r f = match r with Ok v -> f v | Error (_ : Fault.t) -> () in
-   let* final, steps = stage_refactor st in
+   let* final, steps, certs, cert_stats = stage_refactor st in
    steps_ref := steps;
+   let* cert_audit =
+     if st.cfg.oc_certify then
+       Result.map Option.some
+         (stage_certify st ~steps ~certs ~stats:cert_stats)
+     else Ok None
+   in
+   certify_ref := cert_audit;
    let* env, annotated = stage_annotate st final in
    let* analysis =
      if st.cfg.oc_analyze then
@@ -472,7 +566,11 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
   let reached = List.map fst st.statuses in
   let expected =
     List.filter
-      (fun s -> config.oc_analyze || s <> CK.S_analyze)
+      (fun s ->
+        match s with
+        | CK.S_analyze -> config.oc_analyze
+        | CK.S_certify -> config.oc_certify
+        | _ -> true)
       CK.all_stages
   in
   let statuses =
@@ -505,6 +603,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
     o_stages = statuses;
     o_refactor_steps = !steps_ref;
     o_analysis = !analysis_ref;
+    o_certify = !certify_ref;
     o_impl = !impl_ref;
     o_match = !match_ref;
     o_lemmas = !lemmas_ref;
@@ -551,6 +650,12 @@ let pp_report ppf r =
     (fun (s, status) ->
       Fmt.pf ppf "  %-22s %a@," (CK.stage_name s) pp_status status)
     r.o_stages;
+  (match r.o_certify with
+  | Some a ->
+      Fmt.pf ppf "certification: %d step(s): %d certified, %d refuted, %d unknown@,"
+        a.Refactor.Certify.au_steps a.Refactor.Certify.au_certified
+        a.Refactor.Certify.au_refuted a.Refactor.Certify.au_unknown
+  | None -> ());
   (match r.o_analysis with
   | Some an ->
       Fmt.pf ppf "analysis: %d error(s), %d warning(s), %d info(s)@,"

@@ -51,6 +51,13 @@ type config = {
           the implementation proof; error diagnostics fail the run
           ({!Fault.Analysis}) and interval analysis pre-discharges
           exception-freedom VCs so the ladder never schedules them *)
+  oc_certify : bool;
+      (** certify every refactoring step ({!Refactor.Certify}): per-step
+          equivalence VCs discharged through the proof cache plus the
+          differential fuzzing oracle.  A refuted step fails the run
+          ({!Fault.Certification}, exit code 7); steps left [Unknown]
+          degrade the verdict.  The certificates ride on the refactor
+          checkpoint, and the certify stage's audit is checkpointed too *)
   oc_jobs : int;
       (** proof-farm width for the implementation proof: number of
           domains dispatching VCs cost-descending with work stealing;
@@ -86,6 +93,7 @@ type report = {
   o_stages : (Checkpoint.stage * stage_status) list;  (** pipeline order *)
   o_refactor_steps : int;
   o_analysis : Analysis.Examiner.t option;  (** when [oc_analyze] *)
+  o_certify : Refactor.Certify.audit option;  (** when [oc_certify] *)
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;  (** name, holds?, method/reason *)

@@ -18,9 +18,14 @@ open Minispark
 type case_study = {
   cs_name : string;
   cs_refactor :
+    ?certify:Refactor.Certify.config ->
     unit -> (Typecheck.env * Ast.program) list * Refactor.History.t;
       (** run the verification refactoring; returns per-stage programs
-          (first = original, last = final) and the recorded history *)
+          (first = original, last = final) and the recorded history.  With
+          [certify], every step must be certified ({!Refactor.Certify})
+          and its certificate recorded in the history; a refutation raises
+          {!Refactor.Certify.Refutation} (folded into a fault by the
+          caller's guard) *)
   cs_annotate : Ast.program -> Ast.program;
       (** attach the low-level specification *)
   cs_original_spec : Specl.Sast.theory;
@@ -72,7 +77,7 @@ let empty_history () = Refactor.History.create empty_env empty_program
 (** Run the full Echo process for a case study.  Never raises: stage
     faults are folded into the verdict.  [jobs]/[cache_dir] are the
     proof-farm knobs, passed through to the implementation proof. *)
-let run ?(analyze = false) ?jobs ?cache_dir (cs : case_study) : report =
+let run ?(analyze = false) ?jobs ?cache_dir ?certify (cs : case_study) : report =
   let t0 = Logic.Clock.now () in
   let root_span =
     Telemetry.start_span ~cat:Telemetry.cat_pipeline
@@ -110,7 +115,7 @@ let run ?(analyze = false) ?jobs ?cache_dir (cs : case_study) : report =
   in
   match
     guarded "refactor" (fun () ->
-        let stages, history = cs.cs_refactor () in
+        let stages, history = cs.cs_refactor ?certify () in
         match List.rev stages with
         | (_, final) :: _ -> (final, history)
         | [] -> invalid_arg "Pipeline.run: no stages")

@@ -13,9 +13,13 @@ open Minispark
 type case_study = {
   cs_name : string;
   cs_refactor :
+    ?certify:Refactor.Certify.config ->
     unit -> (Typecheck.env * Ast.program) list * Refactor.History.t;
       (** run the verification refactoring; returns per-stage programs
-          (first = original, last = final) and the recorded history *)
+          (first = original, last = final) and the recorded history.  With
+          [certify], every step is certified ({!Refactor.Certify}) and its
+          certificate recorded in the history; a refutation raises
+          {!Refactor.Certify.Refutation} *)
   cs_annotate : Ast.program -> Ast.program;
       (** attach the low-level specification *)
   cs_original_spec : Specl.Sast.theory;
@@ -47,7 +51,9 @@ type report = {
   p_time : float;                 (** wall-clock seconds, whole pipeline *)
 }
 
-val run : ?analyze:bool -> ?jobs:int -> ?cache_dir:string -> case_study -> report
+val run :
+  ?analyze:bool -> ?jobs:int -> ?cache_dir:string ->
+  ?certify:Refactor.Certify.config -> case_study -> report
 (** Run the full Echo process.  Never raises: every stage body runs under
     {!Fault.guard}.  A refactoring step whose mechanical applicability
     check rejects (the §7 experiments catch seeded defects this way), an
@@ -66,7 +72,12 @@ val run : ?analyze:bool -> ?jobs:int -> ?cache_dir:string -> case_study -> repor
     [jobs] (default 1) dispatches the implementation-proof VCs over a
     work-stealing domain pool; [cache_dir] opens the persistent proof
     cache there, so a re-run after a refactoring block only re-proves
-    VCs whose formulas changed.  Neither affects the verdict. *)
+    VCs whose formulas changed.  Neither affects the verdict.
+
+    [certify] runs the refactoring under per-step certification
+    ({!Refactor.Certify}): every step records a certificate in the
+    history, and a refuted step folds into a [Failed] verdict carrying
+    the counterexample ({!Fault.Certification}). *)
 
 val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

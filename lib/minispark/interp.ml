@@ -11,8 +11,13 @@
 open Ast
 
 exception Stuck of string
-(** Raised when execution cannot proceed (fuel exhausted, runtime check
-    failure such as an out-of-range index or division by zero). *)
+(** Raised when execution cannot proceed (runtime check failure such as an
+    out-of-range index or division by zero). *)
+
+exception Out_of_fuel
+(** The step budget ran out.  A distinct outcome from {!Stuck}: a
+    differential oracle treats it as (suspected) divergence introduced by a
+    rewrite, not as a runtime fault of the program under test. *)
 
 let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
 
@@ -207,7 +212,7 @@ and exec_stmts rt frame stmts : Value.t option option =
 
 and exec_stmt rt frame stmt =
   rt.fuel <- rt.fuel - 1;
-  if rt.fuel <= 0 then stuck "out of fuel (non-terminating program?)";
+  if rt.fuel <= 0 then raise Out_of_fuel;
   match stmt with
   | Null -> None
   | Assert _ -> None (* annotation: not executed *)
@@ -259,7 +264,7 @@ and exec_stmt rt frame stmt =
       let rec run () =
         if Value.as_bool (eval rt frame wl.while_cond) then begin
           rt.fuel <- rt.fuel - 1;
-          if rt.fuel <= 0 then stuck "out of fuel in while loop";
+          if rt.fuel <= 0 then raise Out_of_fuel;
           match exec_stmts rt frame wl.while_body with
           | None -> run ()
           | Some _ as r -> r

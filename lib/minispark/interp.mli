@@ -7,8 +7,13 @@
     arrays are values, so there is no aliasing at runtime. *)
 
 exception Stuck of string
-(** Execution cannot proceed: fuel exhausted, out-of-range index, division
-    by zero, unbound name. *)
+(** Execution cannot proceed: out-of-range index, division by zero,
+    unbound name. *)
+
+exception Out_of_fuel
+(** The step budget ([?fuel]) was exhausted.  Distinct from {!Stuck} so a
+    differential oracle can report a rewrite that introduces divergence as
+    a counterexample rather than a generic runtime fault. *)
 
 type rt
 (** A runtime: a type-checked program with initialised globals and a fuel

@@ -1,0 +1,630 @@
+(* Per-step certification of refactoring transformations.
+
+   Every applied transformation must carry evidence that it preserved
+   semantics.  The decision procedure, per touched subprogram:
+
+   1. [M_identical] — the two versions differ only in annotations
+      (asserts, invariants, contracts), which the interpreter does not
+      execute: nothing to prove.
+   2. [M_vc] — static side: {!Vcgen.equivalence_sub} builds old = new
+      equivalence VCs under both versions' preconditions (the
+      applicability side-conditions); they are discharged on the proof
+      farm ({!Farm.Pool}) through the content-addressed proof cache, so a
+      repeated script re-certifies for free.  Loopy or under-constrained
+      bodies make generation raise [Infeasible], and an unproved VC is
+      never a refutation — both fall through to:
+   3. [M_oracle] — dynamic side: a differential fuzzing oracle.  QCheck
+      generates typed inputs (from the after version's parameter types,
+      restricted to the precondition's sampling domains), both versions
+      run under a fuel bound, and final values are compared.  Small
+      domains are enumerated exhaustively — a decision, not a test.  A
+      mismatch, a crash, or fuel exhaustion introduced by the rewrite is
+      a concrete counterexample: the step is [Refuted].
+   4. [M_entries] — a target the oracle cannot sample locally falls back
+      to differential execution of the configured entry points (the
+      pre-certification guarantee of [History.apply]).
+
+   Anything still undecided yields [Unknown] — recorded, surfaced, never
+   silently dropped. *)
+
+open Minispark
+module F = Logic.Formula
+module P = Logic.Prover
+
+type counterexample = {
+  cx_sub : string;       (** subprogram (or entry point) that disagreed *)
+  cx_inputs : string;    (** concrete input values *)
+  cx_before : string;    (** original's result *)
+  cx_after : string;     (** refactored result *)
+}
+
+let counterexample_to_string cx =
+  Printf.sprintf "%s(%s): %s vs %s" cx.cx_sub cx.cx_inputs cx.cx_before
+    cx.cx_after
+
+type method_ =
+  | M_identical
+  | M_vc of int  (** number of equivalence VCs discharged *)
+  | M_oracle of { trials : int; exhaustive : bool }
+  | M_entries of { trials : int }
+
+let method_to_string = function
+  | M_identical -> "identical"
+  | M_vc n -> Printf.sprintf "vc:%d" n
+  | M_oracle { trials; exhaustive } ->
+      Printf.sprintf "oracle:%d%s" trials (if exhaustive then ":exhaustive" else "")
+  | M_entries { trials } -> Printf.sprintf "entries:%d" trials
+
+type certificate =
+  | Certified of (string * method_) list  (** per-target evidence *)
+  | Refuted of counterexample
+  | Unknown of string
+
+let describe = function
+  | Certified ms ->
+      Printf.sprintf "certified (%s)"
+        (String.concat "; "
+           (List.map (fun (s, m) -> s ^ " " ^ method_to_string m) ms))
+  | Refuted cx -> "refuted: " ^ counterexample_to_string cx
+  | Unknown why -> "unknown: " ^ why
+
+exception Refutation of { rf_step : string; rf_cx : counterexample }
+
+type config = {
+  cf_seed : int;
+  cf_trials : int;        (** oracle trials per target *)
+  cf_fuel : int;          (** interpreter step bound per oracle run *)
+  cf_jobs : int;          (** proof-farm workers for VC discharge *)
+  cf_cache : Farm.Cache.t option;
+  cf_budget : Vcgen.budget;
+  cf_entries : string list;
+      (** behavioural entry points: certification targets when the
+          program shape changed, fallback for unsampleable targets *)
+}
+
+let default_config ?(entries = []) () =
+  {
+    cf_seed = 42;
+    cf_trials = 24;
+    cf_fuel = 2_000_000;
+    cf_jobs = 1;
+    cf_cache = None;
+    cf_budget = Vcgen.default_budget;
+    cf_entries = entries;
+  }
+
+type stats = {
+  ct_steps : int;
+  ct_targets : int;
+  ct_vcs_generated : int;
+  ct_vcs_proved : int;
+  ct_cache_hits : int;
+  ct_cache_misses : int;
+  ct_oracle_trials : int;
+}
+
+let zero_stats =
+  {
+    ct_steps = 0;
+    ct_targets = 0;
+    ct_vcs_generated = 0;
+    ct_vcs_proved = 0;
+    ct_cache_hits = 0;
+    ct_cache_misses = 0;
+    ct_oracle_trials = 0;
+  }
+
+let add_stats a b =
+  {
+    ct_steps = a.ct_steps + b.ct_steps;
+    ct_targets = a.ct_targets + b.ct_targets;
+    ct_vcs_generated = a.ct_vcs_generated + b.ct_vcs_generated;
+    ct_vcs_proved = a.ct_vcs_proved + b.ct_vcs_proved;
+    ct_cache_hits = a.ct_cache_hits + b.ct_cache_hits;
+    ct_cache_misses = a.ct_cache_misses + b.ct_cache_misses;
+    ct_oracle_trials = a.ct_oracle_trials + b.ct_oracle_trials;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Semantic diff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Annotations (asserts, invariants, contracts) are not executed, so two
+   bodies differing only there are dynamically identical. *)
+let rec strip_stmts ss = List.concat_map strip_stmt ss
+
+and strip_stmt (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Assert _ | Ast.Null -> []
+  | Ast.If (branches, els) ->
+      [ Ast.If
+          ( List.map (fun (g, b) -> (g, strip_stmts b)) branches,
+            strip_stmts els ) ]
+  | Ast.For fl ->
+      [ Ast.For
+          { fl with Ast.for_body = strip_stmts fl.Ast.for_body;
+            Ast.for_invariants = [] } ]
+  | Ast.While wl ->
+      [ Ast.While
+          { wl with Ast.while_body = strip_stmts wl.Ast.while_body;
+            Ast.while_invariants = [] } ]
+  | s -> [ s ]
+
+let rec deep_resolve env t =
+  match Typecheck.resolve env t with
+  | Ast.Tarray (lo, hi, elt) -> Ast.Tarray (lo, hi, deep_resolve env elt)
+  | t -> t
+
+(* dynamic interface: positional modes and resolved types *)
+let sub_interface env (sub : Ast.subprogram) =
+  ( List.map
+      (fun (p : Ast.param) -> (p.Ast.par_mode, deep_resolve env p.Ast.par_typ))
+      sub.Ast.sub_params,
+    Option.map (deep_resolve env) sub.Ast.sub_return )
+
+(* everything that determines dynamic behaviour of the body *)
+let sub_semantics env (sub : Ast.subprogram) =
+  ( sub_interface env sub,
+    List.map (fun (p : Ast.param) -> p.Ast.par_name) sub.Ast.sub_params,
+    List.map
+      (fun (v : Ast.var_decl) ->
+        (v.Ast.v_name, deep_resolve env v.Ast.v_typ, v.Ast.v_init))
+      sub.Ast.sub_locals,
+    strip_stmts sub.Ast.sub_body )
+
+type target = {
+  tg_name : string;
+  tg_vc_ok : bool;  (** interface and parameter names identical: eligible
+                        for shared-symbol equivalence VCs *)
+}
+
+(* Changed comparable subprograms, plus whether anything changed that a
+   per-subprogram comparison cannot localise (added/removed subs,
+   interface changes, global object or type changes). *)
+let diff (env_a, prog_a) (env_b, prog_b) =
+  let subs_a = Ast.subprograms prog_a and subs_b = Ast.subprograms prog_b in
+  let globals_changed =
+    let objs env p =
+      List.map
+        (fun (c : Ast.const_decl) ->
+          (c.Ast.k_name, `C (deep_resolve env c.Ast.k_typ, c.Ast.k_value)))
+        (Ast.constants p)
+      @ List.map
+          (fun (v : Ast.var_decl) ->
+            (v.Ast.v_name, `V (deep_resolve env v.Ast.v_typ, v.Ast.v_init)))
+          (Ast.global_vars p)
+    in
+    objs env_a prog_a <> objs env_b prog_b
+  in
+  let changed, incomparable =
+    List.fold_left
+      (fun (changed, incomp) (sb : Ast.subprogram) ->
+        match
+          List.find_opt
+            (fun (sa : Ast.subprogram) -> sa.Ast.sub_name = sb.Ast.sub_name)
+            subs_a
+        with
+        | None -> (changed, true) (* added subprogram *)
+        | Some sa ->
+            let ia, names_a, locals_a, body_a = sub_semantics env_a sa in
+            let ib, names_b, locals_b, body_b = sub_semantics env_b sb in
+            if (ia, names_a, locals_a, body_a) = (ib, names_b, locals_b, body_b)
+            then (changed, incomp)
+            else if ia = ib then
+              ( { tg_name = sb.Ast.sub_name; tg_vc_ok = names_a = names_b }
+                :: changed,
+                incomp )
+            else (changed, true) (* interface changed: not comparable *))
+      ([], false) subs_b
+  in
+  let removed =
+    List.exists
+      (fun (sa : Ast.subprogram) ->
+        not
+          (List.exists
+             (fun (sb : Ast.subprogram) -> sb.Ast.sub_name = sa.Ast.sub_name)
+             subs_b))
+      subs_a
+  in
+  (List.rev changed, globals_changed || incomparable || removed)
+
+(* ------------------------------------------------------------------ *)
+(* Static side: equivalence VCs on the proof farm                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key vc = F.vc_digest vc ^ ":certify:v1"
+
+let standard_hints = [ P.Hint_apply_hyp; P.Hint_induction; P.Hint_apply_hyp ]
+
+(* Discharge a batch of VCs; returns per-VC proved flags (input order)
+   plus (cache hits, misses). *)
+let discharge_vcs cfg (vcs : F.vc list) : bool list * (int * int) =
+  let slots =
+    List.map
+      (fun vc ->
+        match Option.bind cfg.cf_cache (fun c -> Farm.Cache.lookup c (cache_key vc)) with
+        | Some { Farm.Cache.en_status = Farm.Cache.E_auto | Farm.Cache.E_hinted _; _ } ->
+            `Hit true
+        | Some { Farm.Cache.en_status = Farm.Cache.E_residual _; _ } -> `Hit false
+        | None -> `Miss vc)
+      vcs
+  in
+  let misses =
+    Array.of_list (List.filter_map (function `Miss vc -> Some vc | `Hit _ -> None) slots)
+  in
+  let results, _ =
+    Farm.Pool.run ~jobs:cfg.cf_jobs
+      ~priority:(fun vc -> F.node_count (F.vc_formula vc))
+      ~f:(fun vc -> P.prove_vc ~hints:standard_hints vc)
+      misses
+  in
+  (match cfg.cf_cache with
+  | None -> ()
+  | Some cache ->
+      Array.iter2
+        (fun vc (r : P.proof_result) ->
+          let entry =
+            match r.P.pr_outcome with
+            | P.Proved when r.P.pr_hints_used = 0 ->
+                Some Farm.Cache.E_auto
+            | P.Proved -> Some (Farm.Cache.E_hinted r.P.pr_hints_used)
+            | P.Unknown why -> Some (Farm.Cache.E_residual why)
+            | P.Timeout _ -> None (* wall-clock dependent: never cached *)
+          in
+          Option.iter
+            (fun en_status ->
+              Farm.Cache.add cache (cache_key vc)
+                { Farm.Cache.en_status; en_attempts = 1; en_time = r.P.pr_time })
+            entry)
+        misses results;
+      (match Farm.Cache.save cache with
+      | Ok () -> ()
+      | Error why ->
+          Telemetry.instant "certify_cache_save_failed"
+            ~attrs:[ ("error", Telemetry.S why) ]));
+  let next = ref 0 in
+  let proved =
+    List.map
+      (function
+        | `Hit ok -> ok
+        | `Miss _ ->
+            let r = results.(!next) in
+            incr next;
+            P.is_proved r)
+      slots
+  in
+  (proved, (List.length vcs - Array.length misses, Array.length misses))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic side: QCheck differential oracle                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_value env (d : Equivalence.domain option) (t : Ast.typ) :
+    Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  match d with
+  | Some (Equivalence.Dmember vs) ->
+      let vs = Array.of_list vs in
+      map
+        (fun i ->
+          let v = vs.(i) in
+          match Typecheck.resolve env t with
+          | Ast.Tmod m -> Value.Vmod (((v mod m) + m) mod m, m)
+          | _ -> Value.Vint v)
+        (int_bound (Array.length vs - 1))
+  | Some (Equivalence.Dbelow n) -> (
+      match Typecheck.resolve env t with
+      | Ast.Tmod m -> map (fun v -> Value.Vmod (v, m)) (int_bound (max 0 (min n m - 1)))
+      | Ast.Tint (Some (lo, _)) ->
+          map (fun v -> Value.Vint v) (int_range lo (max lo (n - 1)))
+      | _ -> map (fun v -> Value.Vint v) (int_bound (max 0 (n - 1))))
+  | Some (Equivalence.Delems_below n) -> (
+      match Typecheck.resolve env t with
+      | Ast.Tarray (lo, hi, elt) ->
+          map
+            (fun arr -> Value.Varray (lo, arr))
+            (array_size
+               (return (hi - lo + 1))
+               (gen_value env (Some (Equivalence.Dbelow n)) elt))
+      | t -> gen_value env None t)
+  | None -> (
+      match Typecheck.resolve env t with
+      | Ast.Tbool -> map (fun b -> Value.Vbool b) bool
+      | Ast.Tint (Some (lo, hi)) -> map (fun v -> Value.Vint v) (int_range lo hi)
+      | Ast.Tint None -> map (fun v -> Value.Vint v) (int_range (-1000) 1000)
+      | Ast.Tmod m -> map (fun v -> Value.Vmod (v, m)) (int_bound (m - 1))
+      | Ast.Tarray (lo, hi, elt) ->
+          map
+            (fun arr -> Value.Varray (lo, arr))
+            (array_size (return (hi - lo + 1)) (gen_value env None elt))
+      | Ast.Tnamed _ -> assert false)
+
+(* typed input generator for a subprogram, honouring the precondition's
+   sampling domains *)
+let gen_inputs env (sub : Ast.subprogram) : Value.t list QCheck.Gen.t =
+  let domains = Equivalence.domains_of_pre sub.Ast.sub_pre in
+  QCheck.Gen.flatten_l
+    (List.filter_map
+       (fun (p : Ast.param) ->
+         match p.Ast.par_mode with
+         | Ast.Mode_in | Ast.Mode_in_out ->
+             Some
+               (gen_value env
+                  (List.assoc_opt p.Ast.par_name domains)
+                  p.Ast.par_typ)
+         | Ast.Mode_out -> None)
+       sub.Ast.sub_params)
+
+type oracle_outcome =
+  | O_agree of { trials : int; exhaustive : bool }
+  | O_refuted of counterexample
+  | O_unknown of string
+
+let show_values vs = String.concat ", " (List.map Value.to_string vs)
+
+(* one differential trial; [None] = agreement *)
+let run_case cfg (env_a, prog_a) sub_a (env_b, prog_b) sub_b inputs =
+  let name = sub_b.Ast.sub_name in
+  let cx before after =
+    Some
+      (`Cx { cx_sub = name; cx_inputs = show_values inputs;
+             cx_before = before; cx_after = after })
+  in
+  let run env prog sub = Equivalence.run_sub ~fuel:cfg.cf_fuel env prog sub inputs in
+  match run env_a prog_a sub_a with
+  | exception Interp.Out_of_fuel ->
+      Some (`Undecided (Printf.sprintf "original %s exhausts the fuel bound" name))
+  | exception (Interp.Stuck msg | Value.Runtime_error msg) -> (
+      (* the original crashed on a valid input: compare failure behaviour *)
+      match run env_b prog_b sub_b with
+      | exception (Interp.Stuck _ | Value.Runtime_error _) -> None
+      | _ | (exception Interp.Out_of_fuel) ->
+          cx (Printf.sprintf "raised: %s" msg) "a result")
+  | ra -> (
+      match run env_b prog_b sub_b with
+      | exception Interp.Out_of_fuel ->
+          cx (show_values ra) "out of fuel (divergence introduced)"
+      | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
+          cx (show_values ra) (Printf.sprintf "raised: %s" msg)
+      | rb ->
+          if Equivalence.values_equal ra rb then None
+          else cx (show_values ra) (show_values rb))
+
+let oracle cfg ~trials (env_a, prog_a) (env_b, prog_b) name : oracle_outcome =
+  match (Ast.find_sub prog_a name, Ast.find_sub prog_b name) with
+  | None, _ | _, None ->
+      O_unknown (Printf.sprintf "%s is not present in both versions" name)
+  | Some sub_a, Some sub_b -> (
+      let case inputs = run_case cfg (env_a, prog_a) sub_a (env_b, prog_b) sub_b inputs in
+      match Equivalence.enumerate_inputs env_b sub_b with
+      | Some all ->
+          (* small domain: decide by exhaustion *)
+          let valid = List.filter (Equivalence.satisfies_pre env_b prog_b sub_b) all in
+          let rec go n = function
+            | [] ->
+                if n = 0 then
+                  O_unknown (Printf.sprintf "no valid inputs for %s" name)
+                else O_agree { trials = n; exhaustive = true }
+            | inputs :: rest -> (
+                match case inputs with
+                | None -> go (n + 1) rest
+                | Some (`Cx cx) -> O_refuted cx
+                | Some (`Undecided why) -> O_unknown why)
+          in
+          go 0 valid
+      | None ->
+          (* zero trials would "agree" vacuously — that is no evidence,
+             not a certificate *)
+          if trials <= 0 then
+            O_unknown (Printf.sprintf "zero oracle trials configured for %s" name)
+          else
+          let rand =
+            Random.State.make [| cfg.cf_seed; Hashtbl.hash name; trials |]
+          in
+          let gen = gen_inputs env_b sub_b in
+          let rec go k rejections =
+            if k >= trials then O_agree { trials = k; exhaustive = false }
+            else if rejections > 200 * trials then
+              O_unknown
+                (Printf.sprintf "cannot sample the precondition of %s" name)
+            else
+              let inputs = gen rand in
+              if not (Equivalence.satisfies_pre env_b prog_b sub_b inputs) then
+                go k (rejections + 1)
+              else
+                match case inputs with
+                | None -> go (k + 1) rejections
+                | Some (`Cx cx) -> O_refuted cx
+                | Some (`Undecided why) -> O_unknown why
+          in
+          go 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* The decision procedure                                              *)
+(* ------------------------------------------------------------------ *)
+
+let certify cfg ~step_name ~before ~after : certificate * stats =
+  ignore step_name;
+  let _env_a, prog_a = before and _env_b, prog_b = after in
+  let stats = ref { zero_stats with ct_steps = 1 } in
+  let bump f = stats := f !stats in
+  let changed, escalate = diff before after in
+  let entry_targets =
+    if escalate then
+      List.filter_map
+        (fun e ->
+          if List.exists (fun t -> t.tg_name = e) changed then None
+          else
+            match (Ast.find_sub prog_a e, Ast.find_sub prog_b e) with
+            | Some _, Some _ -> Some { tg_name = e; tg_vc_ok = false }
+            | _ -> None)
+        cfg.cf_entries
+    else []
+  in
+  let targets = changed @ entry_targets in
+  if targets = [] && not escalate then
+    (Certified [ ("*", M_identical) ], !stats)
+  else if targets = [] then
+    ( Unknown
+        "the program shape changed and no behavioural entry points are configured",
+      !stats )
+  else begin
+    bump (fun s -> { s with ct_targets = List.length targets });
+    (* static side first: equivalence VCs through the farm + cache *)
+    let vc_batches =
+      List.filter_map
+        (fun t ->
+          if not t.tg_vc_ok then None
+          else
+            match
+              Vcgen.equivalence_sub ~budget:cfg.cf_budget ~before ~after t.tg_name
+            with
+            | [] -> None
+            | vcs -> Some (t.tg_name, vcs)
+            | exception Vcgen.Infeasible _ -> None)
+        targets
+    in
+    let all_vcs = List.concat_map snd vc_batches in
+    bump (fun s -> { s with ct_vcs_generated = List.length all_vcs });
+    let vc_certified =
+      if all_vcs = [] then []
+      else begin
+        let proved, (hits, misses) = discharge_vcs cfg all_vcs in
+        bump (fun s ->
+            { s with
+              ct_vcs_proved =
+                List.fold_left (fun n ok -> if ok then n + 1 else n) 0 proved;
+              ct_cache_hits = s.ct_cache_hits + hits;
+              ct_cache_misses = s.ct_cache_misses + misses });
+        let tbl = List.combine (List.map F.(fun vc -> vc.vc_name) all_vcs) proved in
+        List.filter_map
+          (fun (name, vcs) ->
+            let ok =
+              List.for_all
+                (fun (vc : F.vc) ->
+                  match List.assoc_opt vc.F.vc_name tbl with
+                  | Some ok -> ok
+                  | None -> false)
+                vcs
+            in
+            if ok then Some (name, M_vc (List.length vcs)) else None)
+          vc_batches
+      end
+    in
+    (* dynamic side for everything not statically certified *)
+    let residual =
+      List.filter (fun t -> not (List.mem_assoc t.tg_name vc_certified)) targets
+    in
+    let entries_fallback =
+      (* differential run of the configured entry points; memoised *)
+      let memo = ref None in
+      fun () ->
+        match !memo with
+        | Some r -> r
+        | None ->
+            let usable =
+              List.filter
+                (fun e ->
+                  Ast.find_sub prog_a e <> None && Ast.find_sub prog_b e <> None)
+                cfg.cf_entries
+            in
+            let r =
+              if usable = [] then `None
+              else
+                let rec go total = function
+                  | [] -> `Agree total
+                  | e :: rest -> (
+                      match oracle cfg ~trials:cfg.cf_trials before after e with
+                      | O_agree { trials; _ } ->
+                          bump (fun s ->
+                              { s with ct_oracle_trials = s.ct_oracle_trials + trials });
+                          go (total + trials) rest
+                      | O_refuted cx -> `Refuted cx
+                      | O_unknown why -> `Unknown why)
+                in
+                go 0 usable
+            in
+            memo := Some r;
+            r
+    in
+    let rec decide acc = function
+      | [] -> Certified (vc_certified @ List.rev acc)
+      | t :: rest -> (
+          match oracle cfg ~trials:cfg.cf_trials before after t.tg_name with
+          | O_agree { trials; exhaustive } ->
+              bump (fun s ->
+                  { s with ct_oracle_trials = s.ct_oracle_trials + trials });
+              decide ((t.tg_name, M_oracle { trials; exhaustive }) :: acc) rest
+          | O_refuted cx -> Refuted cx
+          | O_unknown why -> (
+              (* locally undecidable: fall back to the entry points *)
+              match entries_fallback () with
+              | `Agree trials ->
+                  decide ((t.tg_name, M_entries { trials }) :: acc) rest
+              | `Refuted cx -> Refuted cx
+              | `Unknown why' ->
+                  Unknown (Printf.sprintf "%s; entry fallback: %s" why why')
+              | `None -> Unknown why))
+    in
+    (* bind before building the pair: tuple components evaluate
+       right-to-left, which would read [stats] before [decide] bumps it *)
+    let cert = decide [] residual in
+    (cert, !stats)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Audits and JSON                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type audit = {
+  au_steps : int;
+  au_certified : int;
+  au_refuted : int;
+  au_unknown : int;
+}
+
+let audit (certs : (int * string * certificate) list) : audit =
+  List.fold_left
+    (fun a (_, _, c) ->
+      match c with
+      | Certified _ -> { a with au_steps = a.au_steps + 1; au_certified = a.au_certified + 1 }
+      | Refuted _ -> { a with au_steps = a.au_steps + 1; au_refuted = a.au_refuted + 1 }
+      | Unknown _ -> { a with au_steps = a.au_steps + 1; au_unknown = a.au_unknown + 1 })
+    { au_steps = 0; au_certified = 0; au_refuted = 0; au_unknown = 0 }
+    certs
+
+module J = Telemetry.Json
+
+let certificate_to_json = function
+  | Certified ms ->
+      J.Obj
+        [ ("status", J.String "certified");
+          ( "evidence",
+            J.List
+              (List.map
+                 (fun (s, m) ->
+                   J.Obj
+                     [ ("target", J.String s);
+                       ("method", J.String (method_to_string m)) ])
+                 ms) ) ]
+  | Refuted cx ->
+      J.Obj
+        [ ("status", J.String "refuted");
+          ( "counterexample",
+            J.Obj
+              [ ("sub", J.String cx.cx_sub);
+                ("inputs", J.String cx.cx_inputs);
+                ("before", J.String cx.cx_before);
+                ("after", J.String cx.cx_after) ] ) ]
+  | Unknown why ->
+      J.Obj [ ("status", J.String "unknown"); ("reason", J.String why) ]
+
+let stats_to_json s =
+  J.Obj
+    [ ("steps", J.Int s.ct_steps);
+      ("targets", J.Int s.ct_targets);
+      ("vcs_generated", J.Int s.ct_vcs_generated);
+      ("vcs_proved", J.Int s.ct_vcs_proved);
+      ("cache_hits", J.Int s.ct_cache_hits);
+      ("cache_misses", J.Int s.ct_cache_misses);
+      ("oracle_trials", J.Int s.ct_oracle_trials) ]

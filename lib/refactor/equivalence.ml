@@ -165,7 +165,8 @@ let satisfies_pre env program (sub : Ast.subprogram) inputs =
       match Interp.eval_expr rt bindings pre with
       | Value.Vbool b -> b
       | _ -> false
-      | exception (Interp.Stuck _ | Value.Runtime_error _) -> false)
+      | exception (Interp.Stuck _ | Interp.Out_of_fuel | Value.Runtime_error _) ->
+          false)
 
 (* enumerate all inputs when the domain is small; [None] otherwise *)
 let enumerate_inputs env ?(limit = 4096) (sub : Ast.subprogram) =
@@ -198,8 +199,8 @@ let enumerate_inputs env ?(limit = 4096) (sub : Ast.subprogram) =
   in
   product ins
 
-let run_sub env program (sub : Ast.subprogram) inputs =
-  let rt = Interp.make env program in
+let run_sub ?fuel env program (sub : Ast.subprogram) inputs =
+  let rt = Interp.make ?fuel env program in
   if sub.Ast.sub_return <> None then [ Interp.run_function rt sub.Ast.sub_name inputs ]
   else Interp.run_procedure rt sub.Ast.sub_name inputs
 
@@ -209,13 +210,14 @@ let values_equal a b =
 (** Differentially check one subprogram across two program versions.  The
     subprogram (same name) must exist in both; inputs are exhaustive when
     the domain is small, sampled otherwise. *)
-let check_sub ?(seed = 42) ?(trials = 64) env_a prog_a env_b prog_b name : verdict =
+let check_sub ?(seed = 42) ?(trials = 64) ?fuel env_a prog_a env_b prog_b name :
+    verdict =
   let sub_a = Ast.find_sub_exn prog_a name in
   let sub_b = Ast.find_sub_exn prog_b name in
   let run_case inputs =
     match
-      ( run_sub env_a prog_a sub_a inputs,
-        run_sub env_b prog_b sub_b inputs )
+      ( run_sub ?fuel env_a prog_a sub_a inputs,
+        run_sub ?fuel env_b prog_b sub_b inputs )
     with
     | ra, rb when values_equal ra rb -> None
     | ra, rb ->
@@ -226,6 +228,10 @@ let check_sub ?(seed = 42) ?(trials = 64) env_a prog_a env_b prog_b name : verdi
              (String.concat ", " (List.map Value.to_string rb)))
     | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
         Some (Printf.sprintf "%s raised: %s" name msg)
+    | exception Interp.Out_of_fuel ->
+        Some
+          (Printf.sprintf "%s(%s): out of fuel (divergence suspected)" name
+             (String.concat ", " (List.map Value.to_string inputs)))
   in
   (* inputs are generated from the *after* version's parameter types: a
      data-representation refactoring narrows value domains (word holding a
@@ -258,11 +264,12 @@ let check_sub ?(seed = 42) ?(trials = 64) env_a prog_a env_b prog_b name : verdi
       go 0 0 0
 
 (** Differentially check a whole program through the given entry points. *)
-let check_program ?(seed = 42) ?(trials = 32) ~entries env_a prog_a env_b prog_b : verdict =
+let check_program ?(seed = 42) ?(trials = 32) ?fuel ~entries env_a prog_a env_b
+    prog_b : verdict =
   let rec go total = function
     | [] -> Equivalent total
     | name :: rest -> (
-        match check_sub ~seed ~trials env_a prog_a env_b prog_b name with
+        match check_sub ~seed ~trials ?fuel env_a prog_a env_b prog_b name with
         | Equivalent n -> go (total + n) rest
         | Counterexample _ as c -> c)
   in
@@ -289,7 +296,9 @@ let check_expr_table env program ~table ~index_var ~replacement : verdict =
                 (Printf.sprintf "%s(%d) = %s but replacement yields %s" table i
                    (Value.to_string expected) (Value.to_string v))
         | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
-            bad := Some (Printf.sprintf "replacement stuck at %s(%d): %s" table i msg))
+            bad := Some (Printf.sprintf "replacement stuck at %s(%d): %s" table i msg)
+        | exception Interp.Out_of_fuel ->
+            bad := Some (Printf.sprintf "replacement out of fuel at %s(%d)" table i))
     data;
   match !bad with
   | None -> Equivalent (Array.length data)

@@ -15,15 +15,17 @@ type verdict =
 val is_equivalent : verdict -> bool
 
 val check_sub :
-  ?seed:int -> ?trials:int ->
+  ?seed:int -> ?trials:int -> ?fuel:int ->
   Typecheck.env -> Ast.program -> Typecheck.env -> Ast.program -> string -> verdict
 (** Differentially check one subprogram (same name in both programs).
     Inputs are generated from the *after* version's parameter types (a
     data-representation refactoring narrows domains; copy-in coercion
-    widens losslessly for the before version). *)
+    widens losslessly for the before version).  [fuel] bounds each
+    interpreter run; exhaustion counts as a counterexample (suspected
+    divergence). *)
 
 val check_program :
-  ?seed:int -> ?trials:int -> entries:string list ->
+  ?seed:int -> ?trials:int -> ?fuel:int -> entries:string list ->
   Typecheck.env -> Ast.program -> Typecheck.env -> Ast.program -> verdict
 
 val check_expr_table :
@@ -31,3 +33,34 @@ val check_expr_table :
   table:string -> index_var:string -> replacement:Ast.expr -> verdict
 (** Exhaustive proof that [replacement] computes exactly the entries of a
     constant table over its whole index range — a decision, not a test. *)
+
+(** {1 Oracle substrate}
+
+    Shared with {!Certify}'s differential fuzzing oracle: precondition
+    sampling domains, exhaustive enumeration for small domains, and
+    fuel-bounded execution of one subprogram. *)
+
+type domain =
+  | Dmember of int list        (** x = a or x = b or ... *)
+  | Delems_below of int        (** for all k => x (k) < n *)
+  | Dbelow of int              (** x < n *)
+
+val domains_of_pre : Ast.expr option -> (string * domain) list
+(** Sampling domains extracted from recognised precondition conjuncts. *)
+
+val satisfies_pre :
+  Typecheck.env -> Ast.program -> Ast.subprogram -> Value.t list -> bool
+(** Rejection filter: evaluate the precondition on candidate inputs. *)
+
+val enumerate_inputs :
+  Typecheck.env -> ?limit:int -> Ast.subprogram -> Value.t list list option
+(** All input tuples when the input domain has at most [limit] (default
+    4096) points; [None] otherwise. *)
+
+val run_sub :
+  ?fuel:int ->
+  Typecheck.env -> Ast.program -> Ast.subprogram -> Value.t list -> Value.t list
+(** Run one subprogram on concrete inputs: a function's result, or the
+    final out / in-out parameter values of a procedure. *)
+
+val values_equal : Value.t list -> Value.t list -> bool

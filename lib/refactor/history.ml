@@ -23,14 +23,17 @@ type step = {
   st_before : Ast.program;
   st_after : Ast.program;
   st_evidence : evidence list;
+  st_certificate : Certify.certificate option;
 }
 
 type t = {
   mutable steps : step list;  (** newest first *)
   mutable current : Typecheck.env * Ast.program;
+  mutable cert_stats : Certify.stats;
 }
 
-let create env program = { steps = []; current = (env, program) }
+let create env program =
+  { steps = []; current = (env, program); cert_stats = Certify.zero_stats }
 
 let current h = h.current
 let step_count h = List.length h.steps
@@ -39,7 +42,7 @@ let steps h = List.rev h.steps
 (** Apply a transformation, with differential-equivalence evidence over the
     given entry points, and record the step.  Raises
     [Transform.Not_applicable] (state unchanged) on rejection. *)
-let apply ?(entries = []) ?(trials = 24) h (tr : Transform.t) =
+let apply ?(entries = []) ?(trials = 24) ?certify h (tr : Transform.t) =
   let env, program = h.current in
   let span =
     Telemetry.start_span ~cat:Telemetry.cat_transform
@@ -54,15 +57,48 @@ let apply ?(entries = []) ?(trials = 24) h (tr : Transform.t) =
     try Transform.apply tr env program with e -> finish_rejected e
   in
   let evidence = ref [ Ev_typecheck ] in
-  (match entries with
-  | [] -> ()
-  | entries -> (
-      match Equivalence.check_program ~trials ~entries env program env' program' with
-      | Equivalence.Equivalent n -> evidence := Ev_differential n :: !evidence
-      | Equivalence.Counterexample msg -> (
-          try
-            Transform.reject "%s is not semantics-preserving: %s" tr.Transform.tr_name msg
-          with e -> finish_rejected e)));
+  let certificate = ref None in
+  (match certify with
+  | Some cfg ->
+      (* certification subsumes the legacy entry-point differential: the
+         oracle targets the touched subprograms directly and falls back to
+         the entry points itself *)
+      let cfg =
+        if cfg.Certify.cf_entries = [] then { cfg with Certify.cf_entries = entries }
+        else cfg
+      in
+      let cert, cstats =
+        Telemetry.with_span ~cat:Telemetry.cat_transform
+          ~attrs:[ ("step", Telemetry.S tr.Transform.tr_name) ]
+          "certify"
+          (fun () ->
+            Certify.certify cfg ~step_name:tr.Transform.tr_name
+              ~before:(env, program) ~after:(env', program'))
+      in
+      h.cert_stats <- Certify.add_stats h.cert_stats cstats;
+      if Telemetry.enabled () then begin
+        Telemetry.count "steps_certified";
+        Telemetry.annotate
+          [ ("certificate", Telemetry.S (Certify.describe cert)) ]
+      end;
+      (match cert with
+      | Certify.Refuted cx ->
+          Telemetry.finish_span span
+            ~attrs:[ ("outcome", Telemetry.S "refuted") ];
+          raise
+            (Certify.Refutation { rf_step = tr.Transform.tr_name; rf_cx = cx })
+      | Certify.Certified _ | Certify.Unknown _ -> ());
+      certificate := Some cert
+  | None -> (
+      match entries with
+      | [] -> ()
+      | entries -> (
+          match Equivalence.check_program ~trials ~entries env program env' program' with
+          | Equivalence.Equivalent n -> evidence := Ev_differential n :: !evidence
+          | Equivalence.Counterexample msg -> (
+              try
+                Transform.reject "%s is not semantics-preserving: %s" tr.Transform.tr_name msg
+              with e -> finish_rejected e))));
   (if not (Telemetry.enabled ()) then Telemetry.finish_span span
    else
      let m = Metrics.analyze program' in
@@ -83,6 +119,7 @@ let apply ?(entries = []) ?(trials = 24) h (tr : Transform.t) =
       st_before = program;
       st_after = program';
       st_evidence = !evidence;
+      st_certificate = !certificate;
     }
   in
   h.steps <- step :: h.steps;
@@ -115,3 +152,11 @@ let pp_summary ppf h =
     (fun (cat, n) -> Fmt.pf ppf "  %-55s %d@," (Transform.category_name cat) n)
     (category_counts h);
   Fmt.pf ppf "@]"
+
+let certificates h =
+  List.filter_map
+    (fun s ->
+      Option.map (fun c -> (s.st_index, s.st_name, c)) s.st_certificate)
+    (steps h)
+
+let certification_stats h = h.cert_stats

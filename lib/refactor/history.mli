@@ -19,6 +19,8 @@ type step = {
   st_before : Ast.program;
   st_after : Ast.program;
   st_evidence : evidence list;
+  st_certificate : Certify.certificate option;
+      (** present when the step was applied under certification *)
 }
 
 type t
@@ -28,10 +30,17 @@ val current : t -> Typecheck.env * Ast.program
 val step_count : t -> int
 val steps : t -> step list
 
-val apply : ?entries:string list -> ?trials:int -> t -> Transform.t -> step
+val apply :
+  ?entries:string list -> ?trials:int -> ?certify:Certify.config ->
+  t -> Transform.t -> step
 (** Apply a transformation: framework applicability check (re-typecheck)
     plus differential semantics-preservation evidence over the given entry
-    points.  @raise Transform.Not_applicable on rejection (state
+    points.  With [certify], the step is instead certified per touched
+    subprogram (equivalence VCs + differential oracle, see {!Certify});
+    the certificate is recorded on the step, and a refuted step raises
+    {!Certify.Refutation} with the state unchanged.  [entries] seeds the
+    certification config's entry points when it has none.
+    @raise Transform.Not_applicable on mechanical rejection (state
     unchanged). *)
 
 val undo : t -> step
@@ -39,3 +48,10 @@ val undo : t -> step
 
 val category_counts : t -> (Transform.category * int) list
 val pp_summary : t Fmt.t
+
+val certificates : t -> (int * string * Certify.certificate) list
+(** Per-step certificates (step index, transformation name), oldest
+    first; empty when the history was built without certification. *)
+
+val certification_stats : t -> Certify.stats
+(** Aggregate certification statistics across all applied steps. *)

@@ -41,14 +41,19 @@ let check_rejected what dir =
       Alcotest.failf "%s raised %s instead of returning Error" what
         (Printexc.to_string e)
 
-let test_v1_header_rejected () =
-  let dir = temp_dir "v1" in
+let test_stale_versions_rejected () =
+  let dir = temp_dir "stale" in
   mkdir_p dir;
-  (* a plausible older-format file: right shape, stale version *)
-  write_file (stage_file dir)
-    ("ECHO-CKPT v1\n" ^ case ^ "\n" ^ Marshal.to_string (42, "old payload") []);
-  Fun.protect ~finally:(fun () -> CK.clear ~dir)
-    (fun () -> check_rejected "v1-format checkpoint" dir)
+  (* plausible older-format files: right shape, stale version — in
+     particular a pre-certification v2 history must be discarded cleanly,
+     not misread as one carrying certificates *)
+  List.iter
+    (fun version ->
+      write_file (stage_file dir)
+        (version ^ "\n" ^ case ^ "\n" ^ Marshal.to_string (42, "old payload") []);
+      check_rejected (version ^ " checkpoint") dir)
+    [ "ECHO-CKPT v1"; "ECHO-CKPT v2" ];
+  CK.clear ~dir
 
 let test_garbage_rejected () =
   let dir = temp_dir "junk" in
@@ -59,9 +64,9 @@ let test_garbage_rejected () =
       check_rejected (Printf.sprintf "garbage checkpoint #%d" i) dir)
     [ "";                                    (* empty file *)
       "\x00\x01\x02binary junk";             (* no header line at all *)
-      "ECHO-CKPT v2\n";                      (* header but no case/payload *)
-      "ECHO-CKPT v2\nother-case\nx";         (* foreign case *)
-      "ECHO-CKPT v2\n" ^ case ^ "\nnot-marshal-data" ];
+      "ECHO-CKPT v3\n";                      (* header but no case/payload *)
+      "ECHO-CKPT v3\nother-case\nx";         (* foreign case *)
+      "ECHO-CKPT v3\n" ^ case ^ "\nnot-marshal-data" ];
   CK.clear ~dir
 
 let test_missing_is_none () =
@@ -75,7 +80,9 @@ let test_missing_is_none () =
 let test_good_roundtrip_still_works () =
   let dir = temp_dir "good" in
   let payload =
-    CK.P_refactor { pr_final_src = "program p is end p;"; pr_steps = 3; pr_summary = "s" }
+    CK.P_refactor
+      { pr_final_src = "program p is end p;"; pr_steps = 3; pr_summary = "s";
+        pr_certificates = [] }
   in
   (match CK.save ~dir ~case CK.S_refactor payload with
   | Ok () -> ()
@@ -86,6 +93,55 @@ let test_good_roundtrip_still_works () =
       | Some (Ok (CK.P_refactor r)) ->
           Alcotest.(check int) "steps survive" 3 r.pr_steps
       | _ -> Alcotest.fail "good checkpoint did not load")
+
+let test_certificates_roundtrip () =
+  (* certificates (including a counterexample) survive the refactor
+     checkpoint, and the certify stage's audit its own *)
+  let dir = temp_dir "certs" in
+  let certs =
+    [ (0, "reroll(f)",
+       Refactor.Certify.Certified
+         [ ("f", Refactor.Certify.M_vc 2);
+           ("g", Refactor.Certify.M_oracle { trials = 24; exhaustive = false }) ]);
+      (1, "inline(t)",
+       Refactor.Certify.Refuted
+         { Refactor.Certify.cx_sub = "g"; cx_inputs = "3, 4";
+           cx_before = "7"; cx_after = "8" });
+      (2, "strength(h)", Refactor.Certify.Unknown "no valid inputs for h") ]
+  in
+  (match
+     CK.save ~dir ~case CK.S_refactor
+       (CK.P_refactor
+          { pr_final_src = "program p is end p;"; pr_steps = 3;
+            pr_summary = "s"; pr_certificates = certs })
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save refactor: %s" e);
+  let audit = Refactor.Certify.audit certs in
+  (match
+     CK.save ~dir ~case CK.S_certify
+       (CK.P_certify { pc_audit = audit; pc_stats = Refactor.Certify.zero_stats })
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save certify: %s" e);
+  Fun.protect ~finally:(fun () -> CK.clear ~dir)
+    (fun () ->
+      (match CK.load ~dir ~case CK.S_refactor with
+      | Some (Ok (CK.P_refactor r)) ->
+          Alcotest.(check int) "certificate count" 3 (List.length r.pr_certificates);
+          (match List.nth r.pr_certificates 1 with
+          | _, name, Refactor.Certify.Refuted cx ->
+              Alcotest.(check string) "step name survives" "inline(t)" name;
+              Alcotest.(check string) "counterexample inputs survive" "3, 4"
+                cx.Refactor.Certify.cx_inputs
+          | _ -> Alcotest.fail "refuted certificate did not survive")
+      | _ -> Alcotest.fail "refactor checkpoint did not load");
+      match CK.load ~dir ~case CK.S_certify with
+      | Some (Ok (CK.P_certify { pc_audit; _ })) ->
+          Alcotest.(check int) "audit certified" 1 pc_audit.Refactor.Certify.au_certified;
+          Alcotest.(check int) "audit refuted" 1 pc_audit.Refactor.Certify.au_refuted;
+          Alcotest.(check int) "audit unknown" 1 pc_audit.Refactor.Certify.au_unknown
+      | _ -> Alcotest.fail "certify checkpoint did not load")
 
 (* ---------------- orchestrator-level recovery ---------------- *)
 
@@ -110,7 +166,7 @@ let tiny_case () : Echo.Pipeline.case_study =
   let spec = Extract.extract_program env prog in
   {
     Echo.Pipeline.cs_name = case;
-    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_refactor = (fun ?certify:_ () -> ([ (env, prog) ], Refactor.History.create env prog));
     cs_annotate = (fun p -> p);
     cs_original_spec = spec;
     cs_synonyms = [];
@@ -157,10 +213,13 @@ let test_resume_over_corrupt_run_dir () =
 
 let suites =
   [ ( "checkpoint:format",
-      [ Alcotest.test_case "v1 header rejected" `Quick test_v1_header_rejected;
+      [ Alcotest.test_case "stale v1/v2 headers rejected" `Quick
+          test_stale_versions_rejected;
         Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
         Alcotest.test_case "missing is None" `Quick test_missing_is_none;
         Alcotest.test_case "good roundtrip still works" `Quick
           test_good_roundtrip_still_works;
+        Alcotest.test_case "certificates round-trip" `Quick
+          test_certificates_roundtrip;
         Alcotest.test_case "resume over corrupt run dir" `Quick
           test_resume_over_corrupt_run_dir ] ) ]

@@ -62,7 +62,8 @@ let test_nonbenign_break_kats () =
       let pass =
         match Aes.Aes_kat.check_program env p' with
         | outcomes -> Aes.Aes_kat.all_pass outcomes
-        | exception Minispark.Interp.Stuck _ -> false (* crash = broken *)
+        | exception (Minispark.Interp.Stuck _ | Minispark.Interp.Out_of_fuel) ->
+            false (* crash = broken *)
       in
       if d.Defects.Seed.d_benign then
         Alcotest.(check bool) "benign defect preserves KATs" true pass

@@ -131,7 +131,7 @@ let swapper_case ?annotate ?lemmas () : Echo.Pipeline.case_study =
   let spec = Extract.extract_program env prog in
   {
     Echo.Pipeline.cs_name = "swapper";
-    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_refactor = (fun ?certify:_ () -> ([ (env, prog) ], Refactor.History.create env prog));
     cs_annotate = (match annotate with Some f -> f | None -> fun p -> p);
     cs_original_spec = spec;
     cs_synonyms = [];
@@ -176,7 +176,8 @@ let test_pipeline_rejected_refactoring_fails () =
     {
       case with
       Echo.Pipeline.cs_refactor =
-        (fun () -> raise (Refactor.Transform.Not_applicable "loop bound mismatch"));
+        (fun ?certify:_ () ->
+          raise (Refactor.Transform.Not_applicable "loop bound mismatch"));
     }
   in
   match (Echo.Pipeline.run case).Echo.Pipeline.p_verdict with

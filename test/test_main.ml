@@ -6,4 +6,5 @@ let () =
    @ Test_aes_spec.suites @ Test_aes_spec_props.suites @ Test_aes_pipeline.suites @ Test_defects.suites
    @ Test_properties.suites @ Test_aes_tables.suites @ Test_telemetry.suites
    @ Test_analysis.suites @ Test_analysis_props.suites @ Test_formula_digest.suites @ Test_hashcons.suites
-   @ Test_farm.suites @ Test_prover_domains.suites @ Test_checkpoint.suites)
+   @ Test_farm.suites @ Test_prover_domains.suites @ Test_checkpoint.suites
+   @ Test_certify.suites)

@@ -303,7 +303,7 @@ let tiny_case () : Echo.Pipeline.case_study =
   let spec = Extract.extract_program env prog in
   {
     Echo.Pipeline.cs_name = "tiny";
-    cs_refactor = (fun () -> ([ (env, prog) ], Refactor.History.create env prog));
+    cs_refactor = (fun ?certify:_ () -> ([ (env, prog) ], Refactor.History.create env prog));
     cs_annotate = (fun p -> p);
     cs_original_spec = spec;
     cs_synonyms = [];
