@@ -300,6 +300,144 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* short revision for the bench-history record: CI exposes GITHUB_SHA,
+   local runs ask git, and a tarball build degrades to "unknown" *)
+let git_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when String.length s >= 7 -> String.sub s 0 7
+  | Some s when s <> "" -> s
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+(* attribution artifacts distilled from one instrumented pipeline run:
+   per-category refactor time, a flamegraph, and the history record that
+   feeds the rolling-baseline regression gate *)
+let profile_artifacts events (r : Echo.Orchestrator.report) =
+  (* BENCH_refactor.json: per-transformation-category seconds, checked
+     against the refactor stage span so unattributed time is visible *)
+  let refactor_stage_seconds =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Telemetry.Span { sp_cat = cat; sp_name = name; sp_dur = dur; _ }
+          when cat = Telemetry.cat_stage && name = "refactor" ->
+            acc +. dur
+        | _ -> acc)
+      0.0 events
+  in
+  (* the per-block KAT gate is refactor-stage work that is not a
+     transformation; it has its own span and its own line here, so the
+     category sums plus the gate account for the whole stage *)
+  let kat_gate_seconds =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Telemetry.Span { sp_cat = cat; sp_name = name; sp_dur = dur; _ }
+          when cat = "gate" && name = "kat-gate" ->
+            acc +. dur
+        | _ -> acc)
+      0.0 events
+  in
+  let cats = Profile.refactor_categories events in
+  let cats_total = List.fold_left (fun a (_, _, s) -> a +. s) 0.0 cats in
+  let coverage_pct =
+    if refactor_stage_seconds <= 0.0 then 0.0
+    else 100.0 *. cats_total /. refactor_stage_seconds
+  in
+  let attributed_pct =
+    if refactor_stage_seconds <= 0.0 then 0.0
+    else 100.0 *. (cats_total +. kat_gate_seconds) /. refactor_stage_seconds
+  in
+  let cat_obj (c, steps, secs) =
+    Printf.sprintf {|    {"category": "%s", "steps": %d, "seconds": %.4f}|}
+      (json_escape c) steps secs
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "%s",
+  "refactor_stage_seconds": %.4f,
+  "categories": [
+%s
+  ],
+  "categories_total_seconds": %.4f,
+  "kat_gate_seconds": %.4f,
+  "coverage_pct": %.1f,
+  "attributed_pct": %.1f
+}
+|}
+      (json_escape r.Echo.Orchestrator.o_case)
+      refactor_stage_seconds
+      (String.concat ",\n" (List.map cat_obj cats))
+      cats_total kat_gate_seconds coverage_pct attributed_pct
+  in
+  let oc = open_out "BENCH_refactor.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr
+    "wrote BENCH_refactor.json (%d categories %.1f%%, + KAT gate = %.1f%% of refactor stage)@."
+    (List.length cats) coverage_pct attributed_pct;
+  (match Profile.write_folded ~path:"BENCH_flame.folded" events with
+  | Ok () -> Fmt.pr "wrote BENCH_flame.folded@."
+  | Error e -> Fmt.epr "warning: BENCH_flame.folded: %s@." e);
+  (* bench history: append this run, then compare against the rolling
+     baseline — warn-only, so a slow container never fails the build *)
+  let stage_seconds =
+    List.filter_map
+      (fun (s, status) ->
+        match status with
+        | Echo.Orchestrator.St_ok { st_time; _ } ->
+            Some (Echo.Checkpoint.stage_name s, st_time)
+        | _ -> None)
+      r.Echo.Orchestrator.o_stages
+  in
+  let vcs_per_sec =
+    match r.Echo.Orchestrator.o_impl with
+    | Some ip when ip.Echo.Implementation_proof.ip_time > 0.0 ->
+        float_of_int ip.Echo.Implementation_proof.ip_total
+        /. ip.Echo.Implementation_proof.ip_time
+    | _ -> 0.0
+  in
+  let steps_per_sec =
+    match List.assoc_opt "refactor" stage_seconds with
+    | Some t when t > 0.0 -> float_of_int r.Echo.Orchestrator.o_refactor_steps /. t
+    | _ -> 0.0
+  in
+  let record =
+    {
+      Profile.h_timestamp = Unix.time ();
+      h_git_rev = git_rev ();
+      h_cores = Domain.recommended_domain_count ();
+      h_total_seconds = r.Echo.Orchestrator.o_time;
+      h_stage_seconds = stage_seconds;
+      h_vcs_per_sec = vcs_per_sec;
+      h_steps_per_sec = steps_per_sec;
+    }
+  in
+  (match Profile.append_history ~path:"BENCH_history.jsonl" record with
+  | Ok () -> Fmt.pr "appended run to BENCH_history.jsonl@."
+  | Error e -> Fmt.epr "warning: BENCH_history.jsonl: %s@." e);
+  match Profile.load_history ~path:"BENCH_history.jsonl" with
+  | Error e -> Fmt.epr "warning: BENCH_history.jsonl: %s@." e
+  | Ok records -> (
+      match Profile.detect_regressions records with
+      | [] ->
+          Fmt.pr "  no perf regressions vs rolling baseline (%d record(s) in history)@."
+            (List.length records)
+      | regs ->
+          List.iter
+            (fun rg ->
+              Fmt.pr "  PERF WARNING: %s %.3f vs baseline %.3f (%+.1f%%)@."
+                rg.Profile.rg_metric rg.Profile.rg_latest rg.Profile.rg_baseline
+                rg.Profile.rg_delta_pct)
+            regs)
+
 let pipeline_json () =
   section "Orchestrated pipeline timing (BENCH_pipeline.json)";
   Telemetry.reset ();
@@ -371,10 +509,12 @@ let pipeline_json () =
   (match Telemetry.write_metrics ~path:"BENCH_telemetry.json" (Telemetry.snapshot ()) with
   | Ok () -> Fmt.pr "wrote BENCH_telemetry.json@."
   | Error e -> Fmt.epr "warning: BENCH_telemetry.json: %s@." e);
-  (match Telemetry.write_chrome_trace ~path:"BENCH_trace.json" (Telemetry.events ()) with
+  let events = Telemetry.events () in
+  (match Telemetry.write_chrome_trace ~path:"BENCH_trace.json" events with
   | Ok () -> Fmt.pr "wrote BENCH_trace.json@."
   | Error e -> Fmt.epr "warning: BENCH_trace.json: %s@." e);
   Telemetry.disable ();
+  profile_artifacts events r;
   Fmt.pr "%a@." Echo.Orchestrator.pp_report r;
   Fmt.pr "wrote BENCH_pipeline.json@."
 
@@ -668,17 +808,29 @@ let certify_json () =
   Fmt.pr "  %d step(s): %d certified, %d refuted, %d unknown (%d targets)@." steps
     audit.Refactor.Certify.au_certified audit.Refactor.Certify.au_refuted
     audit.Refactor.Certify.au_unknown s_cold.Refactor.Certify.ct_targets;
-  Fmt.pr "  cold: %.2fs (%.2f steps/s), %d VC(s) generated, %d proved, %d oracle trial(s)@."
-    t_cold (per_sec t_cold) s_cold.Refactor.Certify.ct_vcs_generated
+  Fmt.pr
+    "  cold: %.2fs (%.2f steps/s; VCs %.2fs, oracle %.2fs), %d VC(s) generated, %d proved, %d oracle trial(s)@."
+    t_cold (per_sec t_cold) s_cold.Refactor.Certify.ct_vc_seconds
+    s_cold.Refactor.Certify.ct_oracle_seconds s_cold.Refactor.Certify.ct_vcs_generated
     s_cold.Refactor.Certify.ct_vcs_proved s_cold.Refactor.Certify.ct_oracle_trials;
-  Fmt.pr "  warm: %.2fs (%.2f steps/s), cache %d hit(s) / %d miss(es) (%.1f%% hit rate)@."
-    t_warm (per_sec t_warm) s_warm.Refactor.Certify.ct_cache_hits
+  Fmt.pr
+    "  warm: %.2fs (%.2f steps/s; VCs %.2fs, oracle %.2fs), cache %d hit(s) / %d miss(es) (%.1f%% hit rate)@."
+    t_warm (per_sec t_warm) s_warm.Refactor.Certify.ct_vc_seconds
+    s_warm.Refactor.Certify.ct_oracle_seconds s_warm.Refactor.Certify.ct_cache_hits
     s_warm.Refactor.Certify.ct_cache_misses (hit_rate s_warm);
   let run_obj (s : Refactor.Certify.stats) dt =
+    let trials_per_sec =
+      if s.Refactor.Certify.ct_oracle_seconds <= 0.0 then 0.0
+      else
+        float_of_int s.Refactor.Certify.ct_oracle_trials
+        /. s.Refactor.Certify.ct_oracle_seconds
+    in
     Printf.sprintf
-      {|{"seconds": %.3f, "steps_per_sec": %.3f, "cache_hits": %d, "cache_misses": %d, "hit_rate_pct": %.1f}|}
-      dt (per_sec dt) s.Refactor.Certify.ct_cache_hits
-      s.Refactor.Certify.ct_cache_misses (hit_rate s)
+      {|{"seconds": %.3f, "steps_per_sec": %.3f, "vc_seconds": %.3f, "oracle_seconds": %.3f, "trials_per_sec": %.1f, "cache_hits": %d, "cache_misses": %d, "hit_rate_pct": %.1f}|}
+      dt (per_sec dt) s.Refactor.Certify.ct_vc_seconds
+      s.Refactor.Certify.ct_oracle_seconds trials_per_sec
+      s.Refactor.Certify.ct_cache_hits s.Refactor.Certify.ct_cache_misses
+      (hit_rate s)
   in
   let json =
     Printf.sprintf

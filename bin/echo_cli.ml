@@ -13,6 +13,9 @@
      certify    certify the AES refactoring step by step (equivalence VCs
                 + differential fuzzing oracle), or the seeded-defect corpus
      chaos      fault-injection suite over the orchestrated pipeline
+     report     render a recorded run's telemetry as a text dashboard
+     profile    perf attribution for a recorded run: cost centers,
+                critical path, worker utilisation, flamegraph export
 
    Exit codes follow the fault taxonomy (Echo.Fault.exit_code): 2 parse,
    3 type, 4 refactoring-not-applicable, 5 proof failure (residual VCs,
@@ -227,6 +230,110 @@ let cmd_report dir top trace_out () =
       | Some path ->
           write_or_warn path (Telemetry.write_chrome_trace ~path events);
           Fmt.pr "trace: %s (load in chrome://tracing or ui.perfetto.dev)@." path
+      | None -> ())
+
+(* `profile DIR`: perf attribution over the same persisted telemetry
+   `report` renders — hierarchical cost centers with GC deltas, the
+   critical path with parallelism efficiency, per-worker utilisation,
+   per-category refactor time, and an optional folded-stack flamegraph. *)
+
+let focus_pred = function
+  | "refactor" ->
+      fun ~cat ~name -> cat = Telemetry.cat_stage && name = "refactor"
+  | "prove" ->
+      fun ~cat ~name ->
+        cat = Telemetry.cat_stage
+        && (name = "implementation-proof" || name = "implication-proof")
+  | "certify" ->
+      fun ~cat ~name -> cat = Telemetry.cat_transform && name = "certify"
+  | _ -> fun ~cat:_ ~name:_ -> true
+
+let cmd_profile dir top focus flame () =
+  with_errors (fun () ->
+      let events_path = Filename.concat dir "telemetry.events.jsonl" in
+      if not (Sys.file_exists events_path) then begin
+        Fmt.epr
+          "%s: no telemetry found (expected %s).@.Produce it with: echo-verify aes \
+           verify --run-dir %s --trace trace.json@."
+          dir events_path dir;
+        exit 1
+      end;
+      let events =
+        match Telemetry.read_jsonl ~path:events_path with
+        | Ok evs -> evs
+        | Error e ->
+            Fmt.epr "%s: %s@." events_path e;
+            exit 1
+      in
+      let events =
+        match focus with
+        | None -> events
+        | Some f -> Profile.focus ~keep:(focus_pred f) events
+      in
+      let centers = Profile.cost_centers events in
+      if centers = [] then begin
+        Fmt.epr "no spans%s in %s@."
+          (match focus with Some f -> " matching --focus " ^ f | None -> "")
+          events_path;
+        exit 1
+      end;
+      Fmt.pr "top %d cost center(s) of %d (self-time order):@." (min top (List.length centers))
+        (List.length centers);
+      Fmt.pr "  %9s %9s %6s %11s %11s  %s@." "self(s)" "total(s)" "count"
+        "minor(Mw)" "major(Mw)" "cost center";
+      List.iteri
+        (fun i (cc : Profile.cost_center) ->
+          if i < top then
+            Fmt.pr "  %9.3f %9.3f %6d %11.2f %11.2f  %s@." cc.Profile.cc_self
+              cc.Profile.cc_total cc.Profile.cc_count
+              (cc.Profile.cc_gc_minor_w /. 1e6)
+              (cc.Profile.cc_gc_major_w /. 1e6)
+              (String.concat " / " cc.Profile.cc_path))
+        centers;
+      let cp = Profile.critical_path events in
+      Fmt.pr
+        "@.critical path %.3fs over %d frame(s), total work %.3fs, %d worker(s) \
+         -> parallelism efficiency %.1f%%@."
+        cp.Profile.cp_seconds
+        (List.length cp.Profile.cp_frames)
+        cp.Profile.cp_total_work cp.Profile.cp_workers
+        (100.0 *. cp.Profile.cp_efficiency);
+      (* the chain can run to hundreds of frames on a long refactoring
+         script; show where its time actually sits *)
+      let heaviest =
+        List.mapi (fun i (name, self) -> (i, name, self)) cp.Profile.cp_frames
+        |> List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+      in
+      Fmt.pr "  heaviest frames on the path (position. name):@.";
+      List.iteri
+        (fun rank (i, name, self) ->
+          if rank < top then Fmt.pr "    %4d. %-40s %9.3fs self@." i name self)
+        heaviest;
+      (match Profile.worker_stats events with
+      | [] -> ()
+      | ws ->
+          Fmt.pr "@.worker utilisation:@.";
+          List.iter
+            (fun (w : Profile.worker_stat) ->
+              Fmt.pr
+                "  %-12s wall %8.3fs  busy %8.3fs  idle %8.3fs  steal-scan \
+                 %7.3fs  %d job(s), %d steal(s)@."
+                w.Profile.w_name w.Profile.w_wall w.Profile.w_busy
+                w.Profile.w_idle w.Profile.w_steal w.Profile.w_jobs
+                w.Profile.w_steals)
+            ws);
+      (match Profile.refactor_categories events with
+      | [] -> ()
+      | cats ->
+          Fmt.pr "@.refactor time by transformation category:@.";
+          List.iter
+            (fun (cat, steps, secs) ->
+              Fmt.pr "  %-52s %3d step(s) %9.3fs@." cat steps secs)
+            cats);
+      match flame with
+      | Some path ->
+          write_or_warn path (Profile.write_folded ~path events);
+          Fmt.pr "@.flamegraph: %s (load in speedscope.app or flamegraph.pl)@." path
       | None -> ())
 
 (* `certify`: the refactoring certification gate as a standalone command.
@@ -664,11 +771,44 @@ let report_cmd =
              retry hot spots, match-ratio evolution, metrics")
     Term.(const cmd_report $ dir $ top $ trace_out $ const ())
 
+let profile_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR" ~doc:"Run directory with persisted telemetry")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"Rows in the cost-center table")
+  in
+  let focus =
+    Arg.(value
+         & opt (some (enum [ ("refactor", "refactor"); ("prove", "prove");
+                             ("certify", "certify") ]))
+             None
+         & info [ "focus" ] ~docv:"STAGE"
+             ~doc:"Restrict the analysis to one subtree: the refactor \
+                   stage, the proof stages, or the per-step certification \
+                   spans")
+  in
+  let flame =
+    Arg.(value & opt (some string) None
+         & info [ "flamegraph" ] ~docv:"FILE"
+             ~doc:"Write a folded-stack (Brendan Gregg collapse format) \
+                   flamegraph, loadable in speedscope or flamegraph.pl")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:"Attribute a recorded run's time: hierarchical cost centers with \
+             self/total time and GC words, the critical path with parallelism \
+             efficiency, per-worker utilisation, per-category refactor time, \
+             and folded-stack flamegraph export")
+    Term.(const cmd_profile $ dir $ top $ focus $ flame $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
     [ check_cmd; analyze_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd;
-      certify_cmd; chaos_cmd; report_cmd ]
+      certify_cmd; chaos_cmd; report_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main)

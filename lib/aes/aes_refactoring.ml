@@ -40,11 +40,15 @@ let certify_cfg : Refactor.Certify.config option ref = ref None
 
 let apply h tr = ignore (H.apply ~entries ~trials ?certify:!certify_cfg h tr)
 
-(* KAT gate: every block must leave FIPS-197 behaviour intact *)
+(* KAT gate: every block must leave FIPS-197 behaviour intact.  The gate
+   interprets full AES blocks, so it gets its own span — without one its
+   cost would surface as unattributed refactor-stage self time in the
+   profile *)
 let check_kats h =
-  let env, prog = H.current h in
-  if not (Aes_kat.all_pass (Aes_kat.check_program env prog)) then
-    failwith "refactoring broke a FIPS-197 known-answer test"
+  Telemetry.with_span ~cat:"gate" "kat-gate" (fun () ->
+      let env, prog = H.current h in
+      if not (Aes_kat.all_pass (Aes_kat.check_program env prog)) then
+        failwith "refactoring broke a FIPS-197 known-answer test")
 
 (* ------------------------------------------------------------------ *)
 (* helpers for template derivation ("derived from the code", §5.1)     *)

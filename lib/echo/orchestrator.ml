@@ -184,7 +184,13 @@ let stage st (stage_id : CK.stage) ~(from_ckpt : unit -> 'a option) ~(body : uni
             let t0 = Logic.Clock.now () in
             match Fault.guard body with
             | Ok v ->
-                record (St_ok { st_time = Logic.Clock.elapsed t0; st_from_checkpoint = false });
+                let st_time = Logic.Clock.elapsed t0 in
+                record (St_ok { st_time; st_from_checkpoint = false });
+                (* stage durations get their own coarse bucket ladder:
+                   under [default_buckets] every stage lands in the top
+                   bucket and the histogram says nothing *)
+                Telemetry.observe ~buckets:Telemetry.stage_buckets
+                  "stage_wall_s" st_time;
                 finish "ok";
                 Ok v
             | Error f ->

@@ -84,9 +84,18 @@ let run ?(analyze = false) ?jobs ?cache_dir ?certify (cs : case_study) : report 
       ~attrs:[ ("case", Telemetry.S cs.cs_name) ]
       "pipeline-run"
   in
-  (* each guarded stage gets one [stage] span, faulted or not *)
+  (* each guarded stage gets one [stage] span, faulted or not, and feeds
+     the coarse stage-duration histogram *)
   let guarded name body =
-    Telemetry.with_span ~cat:Telemetry.cat_stage name (fun () -> Fault.guard body)
+    Telemetry.with_span ~cat:Telemetry.cat_stage name (fun () ->
+        if not (Telemetry.enabled ()) then Fault.guard body
+        else begin
+          let t0 = Logic.Clock.now () in
+          let r = Fault.guard body in
+          Telemetry.observe ~buckets:Telemetry.stage_buckets "stage_wall_s"
+            (Logic.Clock.elapsed t0);
+          r
+        end)
   in
   let finish ?(history = empty_history ()) ?(final = empty_program)
       ?(annotated = empty_program) ?analysis ?(impl = Implementation_proof.empty)

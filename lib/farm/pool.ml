@@ -93,11 +93,17 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
         Telemetry.start_span ~cat:Telemetry.cat_worker ~parent
           (Printf.sprintf "worker-%d" w)
       in
+      (* utilisation accounting only when the collector is live: the clock
+         reads stay off the disabled hot path *)
+      let timed = Telemetry.enabled () in
+      let t_begin = if timed then Logic.Clock.now () else 0.0 in
+      let busy = ref 0.0 and stealing = ref 0.0 in
       let my = deques.(w) in
       let next () =
         match pop_own my with
         | Some i -> Some i
         | None ->
+            let t0 = if timed then Logic.Clock.now () else 0.0 in
             (* steal from the victim with the most work left *)
             let best = ref (-1) and best_left = ref 0 in
             Array.iteri
@@ -110,13 +116,17 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
                   end
                 end)
               deques;
-            if !best < 0 then None
-            else
-              match steal deques.(!best) with
-              | Some i ->
-                  steals.(w) <- steals.(w) + 1;
-                  Some i
-              | None -> None
+            let got =
+              if !best < 0 then None
+              else
+                match steal deques.(!best) with
+                | Some i ->
+                    steals.(w) <- steals.(w) + 1;
+                    Some i
+                | None -> None
+            in
+            if timed then stealing := !stealing +. Logic.Clock.elapsed t0;
+            got
       in
       let rec loop () =
         if Atomic.get failure <> None then ()
@@ -124,6 +134,7 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
           match next () with
           | None -> ()
           | Some i ->
+              let t0 = if timed then Logic.Clock.now () else 0.0 in
               (match f items.(i) with
               | r ->
                   results.(i) <- Some r;
@@ -134,6 +145,7 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
                      the same abort *)
                   ignore
                     (Atomic.compare_and_set failure None (Some (e, bt))));
+              if timed then busy := !busy +. Logic.Clock.elapsed t0;
               loop ()
       in
       loop ();
@@ -141,9 +153,21 @@ let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
          a mutex acquisition per steal / per job on the prove path *)
       if steals.(w) > 0 then Telemetry.count ~by:steals.(w) "farm_steals";
       Telemetry.Batch.flush ();
+      let util_attrs =
+        if not timed then []
+        else
+          let wall = Logic.Clock.elapsed t_begin in
+          [
+            ("busy_s", Telemetry.F !busy);
+            ("idle_s", Telemetry.F (Float.max 0.0 (wall -. !busy)));
+            ("steal_s", Telemetry.F !stealing);
+          ]
+      in
       Telemetry.finish_span
         ~attrs:
-          [ ("jobs", Telemetry.I ran.(w)); ("steals", Telemetry.I steals.(w)) ]
+          (("jobs", Telemetry.I ran.(w))
+           :: ("steals", Telemetry.I steals.(w))
+           :: util_attrs)
         span
     in
     let domains =

@@ -21,7 +21,11 @@
     Telemetry: each worker domain runs under a [cat_worker] span
     (parented on the caller's current span, so the trace nests the farm
     under the dispatching stage), annotated with its job and steal
-    counts; every successful steal bumps the [farm_steals] counter. *)
+    counts plus utilisation attributes — [busy_s] (seconds applying
+    jobs), [idle_s] (wall − busy) and [steal_s] (seconds in the
+    steal/scan path) — for {!Profile.worker_stats}; every successful
+    steal bumps the [farm_steals] counter.  The utilisation clock reads
+    happen only while collection is enabled. *)
 
 type stats = {
   ps_jobs : int;        (** jobs executed *)

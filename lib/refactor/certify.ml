@@ -101,6 +101,8 @@ type stats = {
   ct_cache_hits : int;
   ct_cache_misses : int;
   ct_oracle_trials : int;
+  ct_vc_seconds : float;
+  ct_oracle_seconds : float;
 }
 
 let zero_stats =
@@ -112,6 +114,8 @@ let zero_stats =
     ct_cache_hits = 0;
     ct_cache_misses = 0;
     ct_oracle_trials = 0;
+    ct_vc_seconds = 0.0;
+    ct_oracle_seconds = 0.0;
   }
 
 let add_stats a b =
@@ -123,6 +127,8 @@ let add_stats a b =
     ct_cache_hits = a.ct_cache_hits + b.ct_cache_hits;
     ct_cache_misses = a.ct_cache_misses + b.ct_cache_misses;
     ct_oracle_trials = a.ct_oracle_trials + b.ct_oracle_trials;
+    ct_vc_seconds = a.ct_vc_seconds +. b.ct_vc_seconds;
+    ct_oracle_seconds = a.ct_oracle_seconds +. b.ct_oracle_seconds;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -448,6 +454,22 @@ let certify cfg ~step_name ~before ~after : certificate * stats =
   let _env_a, prog_a = before and _env_b, prog_b = after in
   let stats = ref { zero_stats with ct_steps = 1 } in
   let bump f = stats := f !stats in
+  (* every interpreter-based differential run goes through here, so
+     [ct_oracle_seconds] accounts for the full dynamic side and the
+     warm-vs-cold comparison can no longer blame the VC cache for
+     oracle-dominated time *)
+  let timed_oracle name =
+    let t0 = Logic.Clock.now () in
+    let r =
+      Telemetry.with_span ~cat:Telemetry.cat_transform
+        ~attrs:[ ("target", Telemetry.S name) ]
+        "oracle"
+        (fun () -> oracle cfg ~trials:cfg.cf_trials before after name)
+    in
+    bump (fun s ->
+        { s with ct_oracle_seconds = s.ct_oracle_seconds +. Logic.Clock.elapsed t0 });
+    r
+  in
   let changed, escalate = diff before after in
   let entry_targets =
     if escalate then
@@ -489,13 +511,18 @@ let certify cfg ~step_name ~before ~after : certificate * stats =
     let vc_certified =
       if all_vcs = [] then []
       else begin
-        let proved, (hits, misses) = discharge_vcs cfg all_vcs in
+        let t_vc = Logic.Clock.now () in
+        let proved, (hits, misses) =
+          Telemetry.with_span ~cat:Telemetry.cat_transform "equivalence-vcs"
+            (fun () -> discharge_vcs cfg all_vcs)
+        in
         bump (fun s ->
             { s with
               ct_vcs_proved =
                 List.fold_left (fun n ok -> if ok then n + 1 else n) 0 proved;
               ct_cache_hits = s.ct_cache_hits + hits;
-              ct_cache_misses = s.ct_cache_misses + misses });
+              ct_cache_misses = s.ct_cache_misses + misses;
+              ct_vc_seconds = s.ct_vc_seconds +. Logic.Clock.elapsed t_vc });
         let tbl = List.combine (List.map F.(fun vc -> vc.vc_name) all_vcs) proved in
         List.filter_map
           (fun (name, vcs) ->
@@ -534,7 +561,7 @@ let certify cfg ~step_name ~before ~after : certificate * stats =
                 let rec go total = function
                   | [] -> `Agree total
                   | e :: rest -> (
-                      match oracle cfg ~trials:cfg.cf_trials before after e with
+                      match timed_oracle e with
                       | O_agree { trials; _ } ->
                           bump (fun s ->
                               { s with ct_oracle_trials = s.ct_oracle_trials + trials });
@@ -550,7 +577,7 @@ let certify cfg ~step_name ~before ~after : certificate * stats =
     let rec decide acc = function
       | [] -> Certified (vc_certified @ List.rev acc)
       | t :: rest -> (
-          match oracle cfg ~trials:cfg.cf_trials before after t.tg_name with
+          match timed_oracle t.tg_name with
           | O_agree { trials; exhaustive } ->
               bump (fun s ->
                   { s with ct_oracle_trials = s.ct_oracle_trials + trials });
@@ -627,4 +654,6 @@ let stats_to_json s =
       ("vcs_proved", J.Int s.ct_vcs_proved);
       ("cache_hits", J.Int s.ct_cache_hits);
       ("cache_misses", J.Int s.ct_cache_misses);
-      ("oracle_trials", J.Int s.ct_oracle_trials) ]
+      ("oracle_trials", J.Int s.ct_oracle_trials);
+      ("vc_seconds", J.Float s.ct_vc_seconds);
+      ("oracle_seconds", J.Float s.ct_oracle_seconds) ]

@@ -70,6 +70,12 @@ type stats = {
   ct_cache_hits : int;
   ct_cache_misses : int;
   ct_oracle_trials : int;
+  ct_vc_seconds : float;
+      (** wall seconds generating-and-discharging equivalence VCs —
+          the part the proof cache can amortise *)
+  ct_oracle_seconds : float;
+      (** wall seconds in differential interpreter runs — never cached,
+          so a warm run repays only [ct_vc_seconds] *)
 }
 
 val zero_stats : stats

@@ -52,13 +52,29 @@ let make ~name ~category ~describe apply =
 
 (** Apply with a mechanical applicability check: the transformed program
     must still type-check (transformations that break static semantics are
-    rejected, not silently produced). *)
+    rejected, not silently produced).  Both halves — the rewrite (which
+    runs the applicability checks) and the full re-typecheck — get their
+    own [cat_transform] span and counter, so the profiler can say how
+    much of a transformation's cost is matching versus re-checking. *)
 let apply (tr : t) env program =
-  let program' = tr.tr_apply env program in
-  match Typecheck.check program' with
-  | env', checked -> (env', checked)
-  | exception Typecheck.Type_error msg ->
-      reject "%s: transformed program does not type-check: %s" tr.tr_name msg
+  let attrs =
+    [
+      ("transform", Telemetry.S tr.tr_name);
+      ("category", Telemetry.S (category_name tr.tr_category));
+    ]
+  in
+  let program' =
+    Telemetry.with_span ~cat:Telemetry.cat_transform ~attrs "rewrite" (fun () ->
+        Telemetry.count "transform_rewrites";
+        tr.tr_apply env program)
+  in
+  Telemetry.with_span ~cat:Telemetry.cat_transform ~attrs "retypecheck"
+    (fun () ->
+      Telemetry.count "transform_retypechecks";
+      match Typecheck.check program' with
+      | env', checked -> (env', checked)
+      | exception Typecheck.Type_error msg ->
+          reject "%s: transformed program does not type-check: %s" tr.tr_name msg)
 
 (* ------------------------------------------------------------------ *)
 (* Template matching with metavariables                                *)

@@ -288,6 +288,12 @@ type open_span = {
   os_name : string;
   os_cat : string;
   os_start : float;
+  (* Gc.quick_stat words at open; close attaches the deltas so every span
+     carries its own allocation cost.  quick_stat reads domain-local
+     counters, and a span opens and closes on the same domain, so the
+     subtraction is race-free. *)
+  os_minor_w : float;
+  os_major_w : float;
   mutable os_attrs : attrs;
 }
 
@@ -357,15 +363,25 @@ let start_span ?(cat = "") ?(attrs = []) ?parent name =
       | Some p -> p
       | None -> ( match !stk with [] -> 0 | os :: _ -> os.os_id)
     in
+    let g = Gc.quick_stat () in
     stk :=
       { os_id = id; os_parent = parent; os_name = name; os_cat = cat;
-        os_start = Logic.Clock.now (); os_attrs = attrs }
+        os_start = Logic.Clock.now ();
+        os_minor_w = g.Gc.minor_words; os_major_w = g.Gc.major_words;
+        os_attrs = attrs }
       :: !stk;
     id
   end
 
 let close_open ?(attrs = []) os =
   let t = Logic.Clock.now () in
+  let g = Gc.quick_stat () in
+  let gc_attrs =
+    [
+      ("gc_minor_w", F (Float.max 0.0 (g.Gc.minor_words -. os.os_minor_w)));
+      ("gc_major_w", F (Float.max 0.0 (g.Gc.major_words -. os.os_major_w)));
+    ]
+  in
   let span =
     Span
       {
@@ -375,7 +391,7 @@ let close_open ?(attrs = []) os =
         sp_cat = os.os_cat;
         sp_start = os.os_start;
         sp_dur = Float.max 0.0 (t -. os.os_start);
-        sp_attrs = merge_attrs os.os_attrs attrs;
+        sp_attrs = merge_attrs gc_attrs (merge_attrs os.os_attrs attrs);
       }
   in
   locked (fun () -> st.finished <- span :: st.finished)
@@ -469,6 +485,12 @@ let gauge name v =
 
 let default_buckets =
   [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+
+(* coarser ladder for stage-level durations: whole pipeline stages run for
+   seconds to minutes, and under [default_buckets] they all crowd the top
+   bucket, which makes the per-stage histogram unreadable *)
+let stage_buckets =
+  [| 0.1; 0.5; 1.0; 2.5; 5.0; 10.0; 20.0; 30.0; 60.0; 120.0; 300.0 |]
 
 (* assumes [mu] is held *)
 let observe_locked ~buckets name v =

@@ -113,7 +113,10 @@ val start_span : ?cat:string -> ?attrs:attrs -> ?parent:int -> string -> int
 (** Open a span nested under the innermost open span of the calling
     domain — or under [?parent] when given (how a worker's root span
     nests under the coordinator's dispatch span); returns its id (0 when
-    disabled). *)
+    disabled).  [Gc.quick_stat] minor/major words are sampled at open and
+    again at close, and every finished span carries the deltas as
+    ["gc_minor_w"] / ["gc_major_w"] float attributes — sampled only when
+    collection is enabled, so disabled runs stay zero-cost. *)
 
 val finish_span : ?attrs:attrs -> int -> unit
 (** Close the span with the given id, merging [attrs] into it.  Any
@@ -152,6 +155,10 @@ val gauge : string -> float -> unit
 
 val default_buckets : float array
 (** Wall-clock seconds ladder: 1ms .. 60s. *)
+
+val stage_buckets : float array
+(** Coarser ladder (100ms .. 300s) for whole-stage durations, which crowd
+    the top of {!default_buckets}. *)
 
 val observe : ?buckets:float array -> string -> float -> unit
 (** Record into a fixed-bucket histogram (created on first observation;
