@@ -860,6 +860,124 @@ let certify_json () =
   Fmt.pr "wrote BENCH_certify.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Change-impact analysis: incremental re-verification economics       *)
+(* ------------------------------------------------------------------ *)
+
+(* the synthetic one-subprogram edit the CI gate is built on: a true
+   assert prepended to the body — changes the body digest and adds one
+   trivial VC while leaving every contract and verdict class alone *)
+let impact_edit_sub = "shift_rows"
+
+let impact_benign_edit prog =
+  Ast.update_sub prog impact_edit_sub (fun sp ->
+      { sp with Ast.sub_body = Ast.Assert (Ast.Bool_lit true) :: sp.Ast.sub_body })
+
+let impact_json () =
+  section "Change-impact incremental re-verification (BENCH_impact.json)";
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "echo-bench-impact-%s-%d" name (Unix.getpid ()))
+  in
+  let base_dir = tmp "base" and ref_dir = tmp "ref" and incr_dir = tmp "incr" in
+  (* ECHO_JOBS lets each CI matrix leg exercise its own farm width *)
+  let jobs =
+    match Sys.getenv_opt "ECHO_JOBS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 4)
+    | None -> 4
+  in
+  let timed config =
+    let t0 = Unix.gettimeofday () in
+    let r = Echo.Orchestrator.run ~config Aes.Aes_echo.case_study in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* 1. the cold full run: pristine program, fresh run directory — the
+     wall clock the incremental run is measured against *)
+  let cfg_full =
+    { Echo.Orchestrator.default_config with
+      Echo.Orchestrator.oc_run_dir = Some base_dir;
+      oc_jobs = jobs }
+  in
+  let r_full, t_full = timed cfg_full in
+  Fmt.pr "  full (cold):        %.2fs  %a@." t_full Echo.Orchestrator.pp_verdict
+    r_full.Echo.Orchestrator.o_verdict;
+  (* 2. the reference run: the same edit, full re-prove (carry off) — the
+     verdicts the incremental run must reproduce exactly *)
+  let cfg_ref =
+    { cfg_full with
+      Echo.Orchestrator.oc_run_dir = Some ref_dir;
+      oc_baseline = Some base_dir;
+      oc_edit = Some impact_benign_edit;
+      oc_carry = false }
+  in
+  let r_ref, t_ref = timed cfg_ref in
+  Fmt.pr "  full on edited:     %.2fs  %a@." t_ref Echo.Orchestrator.pp_verdict
+    r_ref.Echo.Orchestrator.o_verdict;
+  (* 3. the incremental run: same edit, carry on — only the impacted VCs
+     are re-proved, every other baseline verdict is carried over *)
+  let cfg_incr = { cfg_ref with Echo.Orchestrator.oc_run_dir = Some incr_dir;
+                   oc_carry = true } in
+  let r_incr, t_incr = timed cfg_incr in
+  Fmt.pr "  incremental:        %.2fs  %a@." t_incr Echo.Orchestrator.pp_verdict
+    r_incr.Echo.Orchestrator.o_verdict;
+  let impl r =
+    match r.Echo.Orchestrator.o_impl with
+    | Some ip -> ip
+    | None -> failwith "impact bench: run produced no implementation proof"
+  in
+  let ip_incr = impl r_incr in
+  let total = ip_incr.Echo.Implementation_proof.ip_total in
+  let carried = ip_incr.Echo.Implementation_proof.ip_carried in
+  let reproved = total - carried in
+  let reproved_pct =
+    if total = 0 then 0.0 else 100.0 *. float_of_int reproved /. float_of_int total
+  in
+  (* verdict identity: carried results keep the baseline status, so the
+     per-VC (name, status) multiset must match the full-on-edited run *)
+  let keys r = List.sort compare (verdict_keys (impl r)) in
+  let verdicts_identical = keys r_incr = keys r_ref in
+  let speedup = if t_incr <= 0.0 then 0.0 else t_full /. t_incr in
+  let audit =
+    match r_incr.Echo.Orchestrator.o_impact with
+    | Some a -> a
+    | None -> failwith "impact bench: incremental run produced no impact audit"
+  in
+  let changed = List.length audit.Echo.Checkpoint.im_changed in
+  let impacted = List.length audit.Echo.Checkpoint.im_impacted in
+  let carried_subs = List.length audit.Echo.Checkpoint.im_carried in
+  Fmt.pr
+    "  impact: %d changed, %d re-prove, %d carried; VCs %d/%d re-proved (%.1f%%)@."
+    changed impacted carried_subs reproved total reproved_pct;
+  Fmt.pr "  verdicts identical: %b; speedup vs cold full run: %.1fx@."
+    verdicts_identical speedup;
+  let json =
+    Printf.sprintf
+      {|{
+  "case": "aes-one-subprogram-edit",
+  "edit_sub": "%s",
+  "jobs": %d,
+  "subs_changed": %d,
+  "impact_set_size": %d,
+  "subs_carried": %d,
+  "total_vcs": %d,
+  "reproved_vcs": %d,
+  "carried_vcs": %d,
+  "reproved_pct": %.1f,
+  "verdicts_identical": %b,
+  "full_seconds": %.3f,
+  "full_on_edited_seconds": %.3f,
+  "incremental_seconds": %.3f,
+  "speedup": %.1f
+}
+|}
+      impact_edit_sub jobs changed impacted carried_subs total reproved carried
+      reproved_pct verdicts_identical t_full t_ref t_incr speedup
+  in
+  let oc = open_out "BENCH_impact.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_impact.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -923,7 +1041,8 @@ let () =
     analysis_json ();
     prover_json ();
     farm_json ();
-    certify_json ()
+    certify_json ();
+    impact_json ()
   end
   else begin
     if want "fig2ab" || !only = None then fig2_metrics ();
@@ -941,6 +1060,7 @@ let () =
     if want "prover" || !only = None then prover_json ();
     if want "farm" || !only = None then farm_json ();
     if want "certify" || !only = None then certify_json ();
+    if want "impact" || !only = None then impact_json ();
     if want "micro" || !only = None then micro_benchmarks ()
   end;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

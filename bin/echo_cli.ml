@@ -69,6 +69,64 @@ let cmd_analyze path json no_vcs () =
         in
         raise (Echo.Fault.Fault (Echo.Fault.Analysis { errors = errs; first })))
 
+(* `impact OLD NEW`: change-impact analysis between two versions of a
+   program — semantic diff, dependency-graph escalation, and (unless
+   --no-vcs) the VC counts behind the re-prove set. *)
+let cmd_impact old_path new_path json no_vcs () =
+  with_errors (fun () ->
+      let old_env, old_p = read_program old_path in
+      let env, new_p = read_program new_path in
+      let plan = Analysis.Impact.compute ~old_p ~new_p in
+      let vc_counts =
+        if no_vcs then None
+        else
+          let digests e p = Vcgen.vc_digests (Vcgen.generate e p) in
+          let baseline = digests old_env old_p in
+          let current = digests env new_p in
+          let plan = Analysis.Impact.refine plan ~baseline ~current in
+          let count names =
+            List.fold_left
+              (fun acc (s, ds) ->
+                if List.mem s names then acc + List.length ds else acc)
+              0 current
+          in
+          let reprove = count (Analysis.Impact.impacted_subs plan) in
+          let total =
+            List.fold_left (fun acc (_, ds) -> acc + List.length ds) 0 current
+          in
+          Some (plan, reprove, total)
+      in
+      let plan, vcs =
+        match vc_counts with
+        | Some (p, reprove, total) -> (p, Some (reprove, total))
+        | None -> (plan, None)
+      in
+      if json then begin
+        let b = Buffer.create 512 in
+        Buffer.add_string b "{\"old\":";
+        Buffer.add_string b (Printf.sprintf "%S" old_path);
+        Buffer.add_string b ",\"new\":";
+        Buffer.add_string b (Printf.sprintf "%S" new_path);
+        Buffer.add_string b ",\"impact\":";
+        Buffer.add_string b (Analysis.Impact.to_json plan);
+        (match vcs with
+        | Some (reprove, total) ->
+            Buffer.add_string b
+              (Printf.sprintf ",\"vcs\":{\"reprove\":%d,\"total\":%d}" reprove
+                 total)
+        | None -> ());
+        Buffer.add_string b "}";
+        print_endline (Buffer.contents b)
+      end
+      else begin
+        Fmt.pr "%a@." Analysis.Semdiff.pp plan.Analysis.Impact.pl_diff;
+        Fmt.pr "%a@." Analysis.Impact.pp plan;
+        match vcs with
+        | Some (reprove, total) ->
+            Fmt.pr "VCs to re-prove: %d of %d@." reprove total
+        | None -> ()
+      end)
+
 let cmd_metrics path () =
   with_errors (fun () ->
       let _, prog = read_program path in
@@ -146,8 +204,21 @@ let write_or_warn what = function
   | Ok () -> ()
   | Error e -> Fmt.epr "warning: could not write %s: %s@." what e
 
+(* the synthetic one-subprogram edit behind `--edit-sub`: a benign assert
+   prepended to the named body — changes the subprogram's digest (and adds
+   one trivially-true VC) without touching its meaning or its contract,
+   so the blast radius of the impact analysis is exactly measurable *)
+let benign_edit name prog =
+  if Ast.find_sub prog name = None then
+    invalid_arg (Printf.sprintf "--edit-sub: no subprogram %S" name);
+  Ast.update_sub prog name (fun sp ->
+      {
+        sp with
+        Ast.sub_body = Ast.Assert (Ast.Bool_lit true) :: sp.Ast.sub_body;
+      })
+
 let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze certify
-    jobs cache_dir no_cache trace metrics () =
+    jobs cache_dir no_cache incremental baseline edit_sub trace metrics () =
   with_errors (fun () ->
       if resume && run_dir = None then begin
         Fmt.epr "--resume requires --run-dir@.";
@@ -157,6 +228,25 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze certify
         Fmt.epr "--no-cache and --cache-dir are mutually exclusive@.";
         exit 1
       end;
+      let incremental = incremental || baseline <> None in
+      let baseline =
+        if not incremental then None
+        else
+          match (baseline, run_dir) with
+          | Some b, _ -> Some b
+          | None, Some d -> Some d
+          | None, None ->
+              Fmt.epr "--incremental requires --baseline or --run-dir@.";
+              exit 1
+      in
+      if edit_sub <> None && not incremental then begin
+        Fmt.epr "--edit-sub only makes sense with --incremental@.";
+        exit 1
+      end;
+      (* an incremental run without its own --run-dir updates the
+         baseline directory in place (safe: the baseline is snapshotted
+         before any stage writes) *)
+      let run_dir = if incremental && run_dir = None then baseline else run_dir in
       if trace <> None || metrics <> None then Telemetry.enable ();
       let cache =
         if no_cache then Echo.Orchestrator.Cache_off
@@ -175,6 +265,8 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze certify
           oc_certify = certify;
           oc_jobs = jobs;
           oc_cache = cache;
+          oc_baseline = baseline;
+          oc_edit = Option.map benign_edit edit_sub;
         }
       in
       let report = Echo.Orchestrator.run ~resume ~config Aes.Aes_echo.case_study in
@@ -590,6 +682,32 @@ let analyze_cmd =
              interval discharge of exception-freedom VCs")
     Term.(const cmd_analyze $ path_arg $ json $ no_vcs $ const ())
 
+let impact_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Baseline MiniSpark source file")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Edited MiniSpark source file")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output")
+  in
+  let no_vcs =
+    Arg.(value & flag
+         & info [ "no-vcs" ]
+             ~doc:"Skip VC generation (dependency graph, semantic diff and \
+                   impact plan only — no re-prove VC counts)")
+  in
+  Cmd.v
+    (Cmd.info "impact" ~exits
+       ~doc:"Change-impact analysis between two versions of a program: \
+             semantic diff over per-subprogram digests, interprocedural \
+             dependency propagation, and the minimal sound set of VCs to \
+             re-prove")
+    Term.(const cmd_impact $ old_arg $ new_arg $ json $ no_vcs $ const ())
+
 let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~exits ~doc:"Print the verification-guidance metrics (§5.2)")
     Term.(const cmd_metrics $ path_arg $ const ())
@@ -666,6 +784,28 @@ let aes_verify_cmd =
          & info [ "no-cache" ]
              ~doc:"Never consult or write the persistent proof cache")
   in
+  let incremental =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"Incremental re-verification: load the baseline run's \
+                   checkpoints, diff the annotated program, re-prove only \
+                   the impacted VCs and carry every other baseline verdict \
+                   (the impact audit is checkpointed and printed)")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"DIR"
+             ~doc:"Baseline run directory for --incremental (default: \
+                   --run-dir; implies --incremental when given)")
+  in
+  let edit_sub =
+    Arg.(value & opt (some string) None
+         & info [ "edit-sub" ] ~docv:"NAME"
+             ~doc:"With --incremental: apply a benign synthetic edit (a \
+                   true assert) to the named subprogram of the baseline's \
+                   annotated program before re-verifying — the measurable \
+                   one-subprogram change the CI gate is built on")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -680,10 +820,12 @@ let aes_verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~exits
        ~doc:"Full Echo pipeline on AES under the resilient orchestrator: refactor, \
-             both proofs, with optional budgets, checkpoint/resume and telemetry")
+             both proofs, with optional budgets, checkpoint/resume, incremental \
+             re-verification and telemetry")
     Term.(
       const cmd_aes_verify $ run_dir $ resume $ deadline $ vc_deadline $ analyze
-      $ certify $ jobs_arg $ cache_dir $ no_cache $ trace $ metrics $ const ())
+      $ certify $ jobs_arg $ cache_dir $ no_cache $ incremental $ baseline
+      $ edit_sub $ trace $ metrics $ const ())
 
 let aes_defects_cmd =
   let setup =
@@ -808,7 +950,7 @@ let main =
   Cmd.group
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
-    [ check_cmd; analyze_cmd; metrics_cmd; suggest_cmd; vcs_cmd; prove_cmd; aes_cmd;
-      certify_cmd; chaos_cmd; report_cmd; profile_cmd ]
+    [ check_cmd; analyze_cmd; impact_cmd; metrics_cmd; suggest_cmd; vcs_cmd;
+      prove_cmd; aes_cmd; certify_cmd; chaos_cmd; report_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -125,6 +125,32 @@ let packed_findings program =
       else None)
     (Ast.subprograms program)
 
-let check program =
+(* Dead code rides the lint: the paper's transformations match on
+   statement windows, and dead stores or unused declarations both widen
+   those windows and block exact clone matches — remove them first. *)
+let dead_findings flow =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Diag.t) ->
+      match d.Diag.d_code with
+      | Diag.FLOW_UNUSED | Diag.FLOW_INEFFECTIVE | Diag.FLOW_DEAD_INIT
+      | Diag.FLOW_UNUSED_GLOBAL ->
+          Hashtbl.replace tbl d.Diag.d_sub
+            (1 + (try Hashtbl.find tbl d.Diag.d_sub with Not_found -> 0))
+      | _ -> ())
+    flow;
+  List.sort compare
+    (Hashtbl.fold
+       (fun sub n acc ->
+         Diag.make ~sub Diag.AMEN_DEAD
+           (Printf.sprintf
+              "%d dead-code finding(s) (unused declarations, dead stores): \
+               removing them first shrinks and stabilises the statement \
+               windows the refactoring matchers work on"
+              n)
+         :: acc)
+       tbl [])
+
+let check ?(flow = []) program =
   reroll_findings program @ clone_findings program @ table_findings program
-  @ packed_findings program
+  @ packed_findings program @ dead_findings flow

@@ -15,6 +15,12 @@
       computation;
     - [AMEN_PACKED]: an or/xor tree combining two or more shifted
       operands (packed-word idiom) — [Data_structures.word_to_bytes]
-      applies. *)
+      applies;
+    - [AMEN_DEAD]: per subprogram, a count of the dead-code findings the
+      {!Flow} checks reported there (unused declarations, ineffective
+      assignments, dead initializers) — dead code widens and destabilises
+      the statement windows the transformation matchers work on, so
+      removing it belongs before any structural refactoring.  Only
+      emitted when the caller passes the flow diagnostics via [?flow]. *)
 
-val check : Minispark.Ast.program -> Diag.t list
+val check : ?flow:Diag.t list -> Minispark.Ast.program -> Diag.t list

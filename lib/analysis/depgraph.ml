@@ -1,0 +1,391 @@
+open Minispark
+
+type edge_kind = Ecall | Espec | Eglobal of Ast.ident
+
+let edge_kind_name = function
+  | Ecall -> "call"
+  | Espec -> "spec"
+  | Eglobal g -> "global:" ^ g
+
+(* call > spec > global: when several edges link the same pair, the
+   strongest reason is the one reported. *)
+let edge_rank = function Ecall -> 2 | Espec -> 1 | Eglobal _ -> 0
+
+module SS = Set.Make (String)
+
+type node = {
+  n_body_refs : SS.t;   (** subprogram names referenced from the body *)
+  n_spec_refs : SS.t;   (** subprogram names referenced from pre/post *)
+  n_greads : SS.t;
+  n_gwrites : SS.t;
+  n_decls : SS.t;       (** const/global/type declarations referenced *)
+}
+
+type t = {
+  order : string list;
+  nodes : (string, node) Hashtbl.t;
+  fwd : (string, (string * edge_kind) list) Hashtbl.t;
+  rev : (string, (string * edge_kind) list) Hashtbl.t;
+}
+
+(* {2 Reference collection} *)
+
+let expr_sub_refs ~is_sub acc e =
+  let acc = ref acc in
+  Ast.iter_expr
+    (function Ast.Call (f, _) when is_sub f -> acc := SS.add f !acc | _ -> ())
+    e;
+  !acc
+
+let expr_name_refs acc e =
+  List.fold_left (fun s v -> SS.add v s) acc (Ast.expr_vars e)
+
+(* Every expression attached to a subprogram: body statements (guards,
+   bounds, invariants, assertions, arguments), local initialisers and the
+   contract annotations. *)
+let iter_sub_exprs ~spec f (sub : Ast.subprogram) =
+  Ast.iter_stmts (Ast.iter_own_exprs f) sub.Ast.sub_body;
+  List.iter
+    (fun (v : Ast.var_decl) -> Option.iter f v.Ast.v_init)
+    sub.Ast.sub_locals;
+  if spec then begin
+    Option.iter f sub.Ast.sub_pre;
+    Option.iter f sub.Ast.sub_post
+  end
+
+let rec typ_named acc = function
+  | Ast.Tnamed n -> SS.add n acc
+  | Ast.Tarray (_, _, elt) -> typ_named acc elt
+  | Ast.Tbool | Ast.Tint _ | Ast.Tmod _ -> acc
+
+let build (program : Ast.program) =
+  let subs = Ast.subprograms program in
+  let sub_names =
+    List.fold_left (fun s (sp : Ast.subprogram) -> SS.add sp.Ast.sub_name s)
+      SS.empty subs
+  in
+  let is_sub n = SS.mem n sub_names in
+  let global_names =
+    List.fold_left (fun s (v : Ast.var_decl) -> SS.add v.Ast.v_name s)
+      SS.empty (Ast.global_vars program)
+  in
+  let const_names =
+    List.fold_left (fun s (k : Ast.const_decl) -> SS.add k.Ast.k_name s)
+      SS.empty (Ast.constants program)
+  in
+  let type_env = Ast.type_decls program in
+  (* Direct references of each program-level declaration: a constant's
+     value may read other constants or globals, a global initialiser
+     likewise, and any declared type can mention further type names —
+     declaration dependency is closed over all of these, so a change to
+     [K2] in [K1 : T := K2 + 1] reaches everything that reads [K1]. *)
+  let decl_ref_map = Hashtbl.create 16 in
+  let expr_decl_refs e =
+    List.fold_left (fun s v -> SS.add v s) SS.empty (Ast.expr_vars e)
+    |> SS.filter (fun v -> SS.mem v const_names || SS.mem v global_names)
+  in
+  List.iter
+    (fun (n, rhs) -> Hashtbl.replace decl_ref_map n (typ_named SS.empty rhs))
+    type_env;
+  List.iter
+    (fun (k : Ast.const_decl) ->
+      Hashtbl.replace decl_ref_map k.Ast.k_name
+        (SS.union (typ_named SS.empty k.Ast.k_typ) (expr_decl_refs k.Ast.k_value)))
+    (Ast.constants program);
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      Hashtbl.replace decl_ref_map v.Ast.v_name
+        (SS.union
+           (typ_named SS.empty v.Ast.v_typ)
+           (match v.Ast.v_init with
+           | Some e -> expr_decl_refs e
+           | None -> SS.empty)))
+    (Ast.global_vars program);
+  let close_decls init =
+    let rec go acc frontier =
+      match SS.choose_opt frontier with
+      | None -> acc
+      | Some n ->
+          let frontier = SS.remove n frontier in
+          if SS.mem n acc then go acc frontier
+          else
+            let acc = SS.add n acc in
+            let more =
+              match Hashtbl.find_opt decl_ref_map n with
+              | Some refs -> SS.diff refs acc
+              | None -> SS.empty
+            in
+            go acc (SS.union frontier more)
+    in
+    go SS.empty init
+  in
+  let out_params_of name =
+    match Ast.find_sub program name with
+    | None -> []
+    | Some sp ->
+        List.mapi (fun i (p : Ast.param) -> (i, p.Ast.par_mode)) sp.Ast.sub_params
+        |> List.filter_map (fun (i, m) -> if m <> Ast.Mode_in then Some i else None)
+  in
+  let node_of (sp : Ast.subprogram) =
+    let shadowed =
+      List.fold_left (fun s (p : Ast.param) -> SS.add p.Ast.par_name s)
+        SS.empty sp.Ast.sub_params
+      |> fun s ->
+      List.fold_left (fun s (v : Ast.var_decl) -> SS.add v.Ast.v_name s) s
+        sp.Ast.sub_locals
+    in
+    (* Subprogram references from the body (including local initialisers
+       and call statements) vs from the contract. *)
+    let body_refs = ref SS.empty and spec_refs = ref SS.empty in
+    iter_sub_exprs ~spec:false
+      (fun e -> body_refs := expr_sub_refs ~is_sub !body_refs e)
+      sp;
+    Ast.iter_stmts
+      (function
+        | Ast.Call_stmt (p, _) when is_sub p ->
+            body_refs := SS.add p !body_refs
+        | _ -> ())
+      sp.Ast.sub_body;
+    Option.iter
+      (fun e -> spec_refs := expr_sub_refs ~is_sub !spec_refs e)
+      sp.Ast.sub_pre;
+    Option.iter
+      (fun e -> spec_refs := expr_sub_refs ~is_sub !spec_refs e)
+      sp.Ast.sub_post;
+    (* Name references (variables and constants), with locals and
+       parameters shadowing globals. *)
+    let names = ref SS.empty in
+    iter_sub_exprs ~spec:true (fun e -> names := expr_name_refs !names e) sp;
+    let visible = SS.diff !names shadowed in
+    let greads =
+      let reads =
+        List.fold_left (fun s v -> SS.add v s) SS.empty
+          (Ast.read_vars sp.Ast.sub_body)
+      in
+      let reads =
+        List.fold_left
+          (fun s (v : Ast.var_decl) ->
+            match v.Ast.v_init with
+            | Some e -> expr_name_refs s e
+            | None -> s)
+          reads sp.Ast.sub_locals
+      in
+      let reads =
+        List.fold_left
+          (fun s e -> match e with Some e -> expr_name_refs s e | None -> s)
+          reads [ sp.Ast.sub_pre; sp.Ast.sub_post ]
+      in
+      SS.inter (SS.diff reads shadowed) global_names
+    in
+    let gwrites =
+      let writes =
+        List.fold_left (fun s v -> SS.add v s) SS.empty
+          (Ast.written_vars ~out_params_of sp.Ast.sub_body)
+      in
+      SS.inter (SS.diff writes shadowed) global_names
+    in
+    (* Declarations the subprogram's meaning reads: referenced constants
+       and globals, plus every named type its signature or objects
+       mention — closed over declaration right-hand sides. *)
+    let consts = SS.inter visible const_names in
+    let own_types =
+      let t = ref SS.empty in
+      List.iter
+        (fun (p : Ast.param) -> t := typ_named !t p.Ast.par_typ)
+        sp.Ast.sub_params;
+      Option.iter (fun ty -> t := typ_named !t ty) sp.Ast.sub_return;
+      List.iter
+        (fun (v : Ast.var_decl) -> t := typ_named !t v.Ast.v_typ)
+        sp.Ast.sub_locals;
+      !t
+    in
+    {
+      n_body_refs = !body_refs;
+      n_spec_refs = !spec_refs;
+      n_greads = greads;
+      n_gwrites = gwrites;
+      n_decls =
+        close_decls
+          (SS.union consts (SS.union (SS.union greads gwrites) own_types));
+    }
+  in
+  let nodes = Hashtbl.create 32 in
+  List.iter
+    (fun (sp : Ast.subprogram) ->
+      Hashtbl.replace nodes sp.Ast.sub_name (node_of sp))
+    subs;
+  let fwd = Hashtbl.create 32 and rev = Hashtbl.create 32 in
+  let add tbl k v kind =
+    let merge edges =
+      match List.assoc_opt v edges with
+      | Some k' when edge_rank k' >= edge_rank kind -> edges
+      | Some _ -> (v, kind) :: List.remove_assoc v edges
+      | None -> (v, kind) :: edges
+    in
+    Hashtbl.replace tbl k (merge (Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+  in
+  let add_edge src dst kind =
+    if src <> dst then begin
+      add fwd src dst kind;
+      add rev dst src kind
+    end
+  in
+  Hashtbl.iter
+    (fun name node ->
+      SS.iter (fun c -> add_edge name c Ecall) node.n_body_refs;
+      SS.iter (fun c -> add_edge name c Espec) node.n_spec_refs)
+    nodes;
+  (* Global dataflow: a reader of [g] depends on every writer of [g]. *)
+  let writers = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun name node ->
+      SS.iter
+        (fun g ->
+          Hashtbl.replace writers g
+            (name :: Option.value ~default:[] (Hashtbl.find_opt writers g)))
+        node.n_gwrites)
+    nodes;
+  Hashtbl.iter
+    (fun name node ->
+      SS.iter
+        (fun g ->
+          List.iter
+            (fun w -> add_edge name w (Eglobal g))
+            (Option.value ~default:[] (Hashtbl.find_opt writers g)))
+        node.n_greads)
+    nodes;
+  let order = List.map (fun (sp : Ast.subprogram) -> sp.Ast.sub_name) subs in
+  { order; nodes; fwd; rev }
+
+(* {2 Queries} *)
+
+let subs t = t.order
+
+let sorted_edges tbl name =
+  Option.value ~default:[] (Hashtbl.find_opt tbl name)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let callees t name = sorted_edges t.fwd name
+let callers t name = sorted_edges t.rev name
+
+let direct_callers t name =
+  callers t name
+  |> List.filter_map (fun (c, k) ->
+         match k with Ecall | Espec -> Some c | Eglobal _ -> None)
+
+let node_opt t name = Hashtbl.find_opt t.nodes name
+
+let globals_read t name =
+  match node_opt t name with
+  | None -> []
+  | Some n -> SS.elements n.n_greads
+
+let globals_written t name =
+  match node_opt t name with
+  | None -> []
+  | Some n -> SS.elements n.n_gwrites
+
+let decl_refs t name =
+  match node_opt t name with None -> [] | Some n -> SS.elements n.n_decls
+
+let dependents t seeds =
+  let rec go acc = function
+    | [] -> acc
+    | s :: rest ->
+        if SS.mem s acc then go acc rest
+        else
+          let acc = SS.add s acc in
+          let preds = List.map fst (callers t s) in
+          go acc (preds @ rest)
+  in
+  SS.elements (go SS.empty seeds)
+
+let eval_deps t name =
+  match node_opt t name with
+  | None -> []
+  | Some node ->
+      (* Functions the prover may apply while ground-evaluating [name]'s
+         VCs: those its own text references, plus those appearing in its
+         direct callees' contracts (which vcgen inlines into the caller's
+         obligations).  Close under body references — the interpreter
+         executes bodies, transitively. *)
+      let direct = SS.union node.n_body_refs node.n_spec_refs in
+      let seeds =
+        SS.fold
+          (fun callee acc ->
+            match node_opt t callee with
+            | None -> acc
+            | Some cn -> SS.union acc cn.n_spec_refs)
+          direct direct
+      in
+      let rec close acc frontier =
+        match SS.choose_opt frontier with
+        | None -> acc
+        | Some f ->
+            let frontier = SS.remove f frontier in
+            if SS.mem f acc then close acc frontier
+            else
+              let acc = SS.add f acc in
+              let more =
+                match node_opt t f with
+                | None -> SS.empty
+                | Some fn -> SS.diff fn.n_body_refs acc
+              in
+              close acc (SS.union frontier more)
+      in
+      SS.elements (SS.remove name (close SS.empty seeds))
+
+let decl_closure t names =
+  List.fold_left
+    (fun acc n ->
+      List.fold_left (fun acc d -> SS.add d acc) acc (decl_refs t n))
+    SS.empty names
+  |> SS.elements
+
+let edge_count t = Hashtbl.fold (fun _ es n -> n + List.length es) t.fwd 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dependency graph: %d subprograms, %d edges@,"
+    (List.length t.order) (edge_count t);
+  List.iter
+    (fun s ->
+      match callees t s with
+      | [] -> ()
+      | es ->
+          Fmt.pf ppf "  %s -> %a@," s
+            Fmt.(list ~sep:(any ", ") (fun ppf (d, k) ->
+                     Fmt.pf ppf "%s[%s]" d (edge_kind_name k)))
+            es)
+    t.order;
+  Fmt.pf ppf "@]"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"subprograms\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":%S,\"callees\":[" s);
+      List.iteri
+        (fun j (d, k) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"to\":%S,\"kind\":%S}" d (edge_kind_name k)))
+        (callees t s);
+      Buffer.add_string b "],\"globals_read\":[";
+      List.iteri
+        (fun j g ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%S" g))
+        (globals_read t s);
+      Buffer.add_string b "],\"globals_written\":[";
+      List.iteri
+        (fun j g ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%S" g))
+        (globals_written t s);
+      Buffer.add_string b "]}")
+    t.order;
+  Buffer.add_string b
+    (Printf.sprintf "],\"edges\":%d}" (edge_count t));
+  Buffer.contents b

@@ -7,12 +7,15 @@ type code =
   | FLOW_OUT_UNSET
   | FLOW_INEFFECTIVE
   | FLOW_UNUSED
+  | FLOW_UNUSED_GLOBAL
+  | FLOW_DEAD_INIT
   | FLOW_UNREACHABLE
   | FLOW_STABLE_COND
   | AMEN_REROLL
   | AMEN_CLONE
   | AMEN_TABLE
   | AMEN_PACKED
+  | AMEN_DEAD
 
 type t = {
   d_code : code;
@@ -27,12 +30,15 @@ let code_name = function
   | FLOW_OUT_UNSET -> "FLOW_OUT_UNSET"
   | FLOW_INEFFECTIVE -> "FLOW_INEFFECTIVE"
   | FLOW_UNUSED -> "FLOW_UNUSED"
+  | FLOW_UNUSED_GLOBAL -> "FLOW_UNUSED_GLOBAL"
+  | FLOW_DEAD_INIT -> "FLOW_DEAD_INIT"
   | FLOW_UNREACHABLE -> "FLOW_UNREACHABLE"
   | FLOW_STABLE_COND -> "FLOW_STABLE_COND"
   | AMEN_REROLL -> "AMEN_REROLL"
   | AMEN_CLONE -> "AMEN_CLONE"
   | AMEN_TABLE -> "AMEN_TABLE"
   | AMEN_PACKED -> "AMEN_PACKED"
+  | AMEN_DEAD -> "AMEN_DEAD"
 
 let severity_name = function
   | Error -> "error"
@@ -41,9 +47,10 @@ let severity_name = function
 
 let natural_severity = function
   | FLOW_UNINIT | FLOW_OUT_UNSET -> Error
-  | FLOW_INEFFECTIVE | FLOW_UNUSED | FLOW_UNREACHABLE | FLOW_STABLE_COND ->
+  | FLOW_INEFFECTIVE | FLOW_UNUSED | FLOW_UNUSED_GLOBAL | FLOW_DEAD_INIT
+  | FLOW_UNREACHABLE | FLOW_STABLE_COND ->
       Warning
-  | AMEN_REROLL | AMEN_CLONE | AMEN_TABLE | AMEN_PACKED -> Info
+  | AMEN_REROLL | AMEN_CLONE | AMEN_TABLE | AMEN_PACKED | AMEN_DEAD -> Info
 
 let make ?severity ?(sub = "") ?(line = 0) code message =
   let d_severity =

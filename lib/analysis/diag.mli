@@ -9,12 +9,18 @@ type code =
   | FLOW_OUT_UNSET  (** [out] parameter never assigned in the body *)
   | FLOW_INEFFECTIVE  (** assignment whose value is never used *)
   | FLOW_UNUSED  (** local or parameter referenced nowhere *)
+  | FLOW_UNUSED_GLOBAL
+      (** program-level constant or global in no subprogram's
+          declaration frontier *)
+  | FLOW_DEAD_INIT
+      (** declaration initializer overwritten before any read *)
   | FLOW_UNREACHABLE  (** statement after an unconditional [Return] *)
   | FLOW_STABLE_COND  (** [While] condition no body statement can change *)
   | AMEN_REROLL  (** unrolled loop run; [Refactor.Reroll] applies *)
   | AMEN_CLONE  (** repeated clone; [Refactor.Inline_reverse] applies *)
   | AMEN_TABLE  (** constant-table lookups; table-introduction applies *)
   | AMEN_PACKED  (** packed-word shift/mask idiom *)
+  | AMEN_DEAD  (** dead code from the flow checks; remove before refactoring *)
 
 type t = {
   d_code : code;

@@ -12,7 +12,7 @@ type t = {
 
 let analyze ?(vcs = false) ?budget env program =
   let ex_flow = Flow.check program in
-  let ex_amen = Amenability.check program in
+  let ex_amen = Amenability.check ~flow:ex_flow program in
   if not vcs then
     {
       ex_flow;

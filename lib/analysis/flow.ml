@@ -308,8 +308,38 @@ let ineffective program (sub : Ast.subprogram) =
         let entry = live_stmts ~emit stable wl.Ast.while_body in
         SSet.union (SSet.union stable entry) cond
   in
-  let (_ : SSet.t) = live_stmts ~emit:true exit_live sub.Ast.sub_body in
-  List.rev !diags
+  let entry = live_stmts ~emit:true exit_live sub.Ast.sub_body in
+  (* declaration initializers are assignments too: fold them backward
+     from the body's entry liveness (a later local's initializer may read
+     an earlier one).  A never-referenced local is FLOW_UNUSED territory,
+     not a dead store on top. *)
+  let referenced =
+    SSet.union
+      (SSet.of_list (Ast.read_vars sub.Ast.sub_body))
+      (SSet.of_list
+         (Ast.written_vars ~out_params_of:(out_positions program)
+            sub.Ast.sub_body))
+  in
+  let live = ref entry in
+  let dead_inits =
+    List.fold_right
+      (fun (v : Ast.var_decl) acc ->
+        match v.Ast.v_init with
+        | None -> acc
+        | Some e ->
+            let is_dead = not (SSet.mem v.Ast.v_name !live) in
+            live := SSet.union (SSet.remove v.Ast.v_name !live) (vars_of e);
+            if is_dead && SSet.mem v.Ast.v_name referenced then
+              Diag.make ~sub:sub.Ast.sub_name Diag.FLOW_DEAD_INIT
+                (Printf.sprintf
+                   "initializer of '%s' is dead: the value is overwritten \
+                    before any read"
+                   v.Ast.v_name)
+              :: acc
+            else acc)
+      sub.Ast.sub_locals []
+  in
+  List.rev !diags @ dead_inits
 
 (* ------------------------------------------------------------------ *)
 (* Unused locals and parameters                                        *)
@@ -373,6 +403,33 @@ let stable_conditions program (sub : Ast.subprogram) =
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
+(* Unused program-level declarations                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A constant or global variable in no subprogram's declaration frontier.
+   {!Depgraph.decl_refs} is transitively closed, so a constant kept alive
+   only through another live declaration is not flagged. *)
+let unused_globals program =
+  let g = Depgraph.build program in
+  let used =
+    List.fold_left
+      (fun acc s -> SSet.union acc (SSet.of_list (Depgraph.decl_refs g s)))
+      SSet.empty (Depgraph.subs g)
+  in
+  let flag kind name =
+    if SSet.mem name used then None
+    else
+      Some
+        (Diag.make Diag.FLOW_UNUSED_GLOBAL
+           (Printf.sprintf "%s '%s' is referenced by no subprogram" kind name))
+  in
+  List.filter_map (fun (c : Ast.const_decl) -> flag "constant" c.Ast.k_name)
+    (Ast.constants program)
+  @ List.filter_map
+      (fun (v : Ast.var_decl) -> flag "global variable" v.Ast.v_name)
+      (Ast.global_vars program)
+
+(* ------------------------------------------------------------------ *)
 
 let check_sub program (sub : Ast.subprogram) =
   let unset = out_unset program sub in
@@ -399,4 +456,5 @@ let check_sub program (sub : Ast.subprogram) =
   @ stable_conditions program sub
 
 let check program =
-  List.concat_map (check_sub program) (Ast.subprograms program)
+  unused_globals program
+  @ List.concat_map (check_sub program) (Ast.subprograms program)

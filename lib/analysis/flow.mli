@@ -1,6 +1,6 @@
 (** Examiner-style data-flow checks over MiniSpark subprograms.
 
-    Six checks, all running on the type-checked (normalised) program:
+    Eight checks, all running on the type-checked (normalised) program:
 
     - {b definite initialization} ([FLOW_UNINIT], error): a variable is
       read and {e no} earlier statement on {e any} path can have written
@@ -18,6 +18,15 @@
       of the array).
     - {b unused declaration} ([FLOW_UNUSED], warning): a local or
       parameter referenced nowhere, annotations included.
+    - {b unused program-level declaration} ([FLOW_UNUSED_GLOBAL],
+      warning): a constant or global variable in no subprogram's
+      (transitively closed) declaration frontier ({!Depgraph.decl_refs})
+      — reported once at program level ([d_sub = ""]), only by {!check}.
+    - {b dead initializer} ([FLOW_DEAD_INIT], warning): a local's
+      declaration initializer overwritten before any statement (or a
+      later local's initializer) can read it — the declaration-site twin
+      of [FLOW_INEFFECTIVE].  Suppressed for never-referenced locals,
+      which are [FLOW_UNUSED] already.
     - {b unreachable code} ([FLOW_UNREACHABLE], warning): statements
       strictly after a point where every path has returned.
     - {b stable loop condition} ([FLOW_STABLE_COND], warning): a

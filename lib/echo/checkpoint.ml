@@ -8,18 +8,23 @@ type stage =
   | S_certify
   | S_annotate
   | S_analyze
+  | S_impact
   | S_impl
   | S_extract
   | S_implication
 
 let all_stages =
-  [ S_refactor; S_certify; S_annotate; S_analyze; S_impl; S_extract; S_implication ]
+  [
+    S_refactor; S_certify; S_annotate; S_analyze; S_impact; S_impl; S_extract;
+    S_implication;
+  ]
 
 let stage_name = function
   | S_refactor -> "refactor"
   | S_certify -> "certify"
   | S_annotate -> "annotate"
   | S_analyze -> "analyze"
+  | S_impact -> "impact"
   | S_impl -> "implementation-proof"
   | S_extract -> "extract"
   | S_implication -> "implication-proof"
@@ -29,9 +34,22 @@ let stage_index = function
   | S_certify -> 2
   | S_annotate -> 3
   | S_analyze -> 4
-  | S_impl -> 5
-  | S_extract -> 6
-  | S_implication -> 7
+  | S_impact -> 5
+  | S_impl -> 6
+  | S_extract -> 7
+  | S_implication -> 8
+
+(* The change-impact audit persisted by incremental runs: what the
+   semantic diff found, which subprograms re-prove and why, and which
+   baseline verdicts were carried.  Plain data so external tools can be
+   handed [im_json] without understanding Marshal. *)
+type impact_audit = {
+  im_changed : string list;               (* subprograms the diff flagged *)
+  im_impacted : (string * string list) list;  (* name, re-prove reasons *)
+  im_carried : string list;               (* subprograms carried over *)
+  im_carried_vcs : int;    (* baseline VC verdicts scheduled for carry *)
+  im_json : string;        (* the full Analysis.Impact plan as JSON *)
+}
 
 type payload =
   | P_refactor of {
@@ -46,13 +64,15 @@ type payload =
     }
   | P_annotate of { pa_src : string }
   | P_analyze of Analysis.Examiner.t
+  | P_impact of impact_audit
   | P_impl of Implementation_proof.report
   | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
   | P_implication of { pi_lemmas : (string * bool * string) list }
 
-(* v3: [P_refactor] carries per-step certificates and [S_certify] exists;
-   older files are rejected by the header check below and recomputed *)
-let format_version = "ECHO-CKPT v3"
+(* v4: [S_impact] exists (stage indices shifted), [P_impact] carries the
+   change-impact audit, and the proof report gained [ip_carried]; older
+   files are rejected by the header check below and recomputed *)
+let format_version = "ECHO-CKPT v4"
 
 (* case names can contain spaces and parens; keep filenames tame *)
 let slug s =

@@ -15,6 +15,7 @@ type stage =
   | S_certify
   | S_annotate
   | S_analyze
+  | S_impact   (** change-impact planning, incremental runs only *)
   | S_impl
   | S_extract
   | S_implication
@@ -25,11 +26,22 @@ val all_stages : stage list
 val stage_name : stage -> string
 val stage_index : stage -> int
 
+(** The change-impact audit persisted by incremental runs: what the
+    semantic diff found, which subprograms re-prove and why, and which
+    baseline verdicts were carried over. *)
+type impact_audit = {
+  im_changed : string list;
+  im_impacted : (string * string list) list;  (** name, re-prove reasons *)
+  im_carried : string list;
+  im_carried_vcs : int;   (** baseline VC verdicts scheduled for carry *)
+  im_json : string;       (** the full {!Analysis.Impact} plan as JSON *)
+}
+
 (** What each stage persists.  Programs travel as source text; everything
-    else is closed (closure-free) data.  The format version is v3: the
-    refactor payload carries the per-step certificates recorded under
-    [--certify], and the certify stage persists its audit — v2 files are
-    rejected by the header check and recomputed, never misread. *)
+    else is closed (closure-free) data.  The format version is v4: the
+    impact stage exists (stage indices shifted) and persists its audit,
+    and the proof report carries [ip_carried] — v3 files are rejected by
+    the header check and recomputed, never misread. *)
 type payload =
   | P_refactor of {
       pr_final_src : string;
@@ -45,6 +57,7 @@ type payload =
     }
   | P_annotate of { pa_src : string }
   | P_analyze of Analysis.Examiner.t
+  | P_impact of impact_audit
   | P_impl of Implementation_proof.report
   | P_extract of { px_theory : Specl.Sast.theory; px_match : Specl.Match_ratio.result }
   | P_implication of { pi_lemmas : (string * bool * string) list }

@@ -67,6 +67,8 @@ type report = {
   ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_cache_hits : int;   (** VCs replayed from the proof cache *)
   ip_cache_misses : int; (** VCs sent to the prover despite an open cache *)
+  ip_carried : int;      (** baseline verdicts carried over by impact
+                             analysis; never re-proved *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
@@ -85,6 +87,7 @@ let empty =
     ip_attempts = 0;
     ip_cache_hits = 0;
     ip_cache_misses = 0;
+    ip_carried = 0;
     ip_generated_nodes = 0;
     ip_time = 0.0;
     ip_infeasible = None;
@@ -129,34 +132,90 @@ let hint_sig = function
       Printf.sprintf "unfold:%s(%s)=%s" n (String.concat "," formals)
         (F.digest body)
 
-(* Signature of everything besides the VC formula that can change its
-   proof outcome: the retry ladder (rungs, hints, fuel), the prover's
-   search knobs, and — because [cfg.interp] ground-evaluates program
-   functions — the definitions of those functions.  A refactoring that
-   rewrites procedure bodies but leaves the spec-level functions alone
-   keeps this signature stable, so unchanged VCs still hit.  The per-VC
-   deadline is deliberately excluded: a recorded proof stays a proof
-   under any deadline, and timeouts are never cached. *)
-let config_signature ~(policy : Retry.policy) ~(cfg : P.config) program =
+(* Signature of everything besides the VC formula and the program text
+   that can change a proof outcome: the retry ladder (rungs, hints, fuel)
+   and the prover's search knobs.  The per-VC deadline is deliberately
+   excluded: a recorded proof stays a proof under any deadline, and
+   timeouts are never cached.  The "pf2" marker versions the key scheme,
+   so entries recorded under the old whole-program signature can never
+   collide with the per-subprogram keys below. *)
+let base_signature ~(policy : Retry.policy) ~(cfg : P.config) =
   let buf = Buffer.create 512 in
-  Printf.ksprintf (Buffer.add_string buf) "split=%d;steps=%d;" cfg.P.max_split
-    cfg.P.max_steps;
+  Printf.ksprintf (Buffer.add_string buf) "pf2;split=%d;steps=%d;"
+    cfg.P.max_split cfg.P.max_steps;
   List.iter
     (fun (rg : Retry.rung) ->
       Printf.ksprintf (Buffer.add_string buf) "rung=%s,%b,%d[%s];"
         rg.Retry.rg_name rg.Retry.rg_presimplify rg.Retry.rg_fuel_factor
         (String.concat "," (List.map hint_sig rg.Retry.rg_hints)))
     policy.Retry.pol_rungs;
-  List.iter
-    (fun d ->
-      match d with
-      | Ast.Dsub sub when sub.Ast.sub_return <> None ->
-          Printf.ksprintf (Buffer.add_string buf) "fn=%s:%s;" sub.Ast.sub_name
-            (Digest.to_hex
-               (Digest.string (Fmt.str "%a" (Pretty.pp_subprogram 0) sub)))
-      | _ -> ())
-    program.Ast.prog_decls;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Per-subprogram program signature: because [cfg.interp] ground-evaluates
+   program functions, a VC's outcome depends on the definitions on its
+   owner's evaluation frontier ({!Analysis.Depgraph.eval_deps} — the
+   bodies the interpreter may execute, transitively) and on the constants,
+   globals and named types those texts reference (the interpreter's
+   environment).  Scoping the signature to that frontier instead of the
+   whole program is what makes incremental re-verification pay: editing
+   one procedure leaves every unrelated subprogram's keys untouched, so
+   their proofs still hit the cache.  Earlier key schemes hashed every
+   function program-wide — one edit anywhere invalidated the entire
+   store — and silently omitted constants and globals, which the
+   evaluator also reads. *)
+let sub_signature program =
+  let graph = lazy (Analysis.Depgraph.build program) in
+  let memo = Hashtbl.create 16 in
+  fun sub_name ->
+    match Hashtbl.find_opt memo sub_name with
+    | Some s -> s
+    | None ->
+        let g = Lazy.force graph in
+        let buf = Buffer.create 512 in
+        List.iter
+          (fun d ->
+            match Ast.find_sub program d with
+            | Some sp ->
+                Printf.ksprintf (Buffer.add_string buf) "fn=%s:%s;" d
+                  (Digest.to_hex
+                     (Digest.string (Fmt.str "%a" (Pretty.pp_subprogram 0) sp)))
+            | None -> ())
+          (Analysis.Depgraph.eval_deps g sub_name);
+        List.iter
+          (fun d ->
+            Printf.ksprintf (Buffer.add_string buf) "decl=%s:%s;" d
+              (Digest.to_hex
+                 (Digest.string
+                    (match List.assoc_opt d (Ast.type_decls program) with
+                    | Some ty -> "type:" ^ Pretty.typ_to_string ty
+                    | None -> (
+                        match
+                          List.find_opt
+                            (fun (k : Ast.const_decl) -> k.Ast.k_name = d)
+                            (Ast.constants program)
+                        with
+                        | Some k ->
+                            Printf.sprintf "const:%s:%s"
+                              (Pretty.typ_to_string k.Ast.k_typ)
+                              (Pretty.expr_to_string k.Ast.k_value)
+                        | None -> (
+                            match
+                              List.find_opt
+                                (fun (v : Ast.var_decl) -> v.Ast.v_name = d)
+                                (Ast.global_vars program)
+                            with
+                            | Some v ->
+                                Printf.sprintf "var:%s:%s"
+                                  (Pretty.typ_to_string v.Ast.v_typ)
+                                  (match v.Ast.v_init with
+                                  | Some e -> Pretty.expr_to_string e
+                                  | None -> "-")
+                            | None -> "-"))))))
+          (Analysis.Depgraph.decl_closure g
+             (sub_name :: Analysis.Depgraph.eval_deps g sub_name));
+        let s = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+        Hashtbl.add memo sub_name s;
+        s
 
 let status_of_entry (e : Farm.Cache.entry) : vc_status =
   match e.Farm.Cache.en_status with
@@ -204,7 +263,7 @@ let count_status = count_status_with (fun n -> Telemetry.count n)
    the orchestrator/chaos hook points. *)
 let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ?(tune_cfg = fun (c : P.config) -> c) ?(give_up = fun () -> false)
-    ?discharge ?(budget = Vcgen.default_budget) ?(max_steps = 60_000)
+    ?discharge ?carry ?(budget = Vcgen.default_budget) ?(max_steps = 60_000)
     ?(jobs = 1) ?cache env program : report =
   let t0 = Logic.Clock.now () in
   let gen = Vcgen.generate ~budget env program in
@@ -275,11 +334,13 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
         List.map (fun vc -> (sr, vc)) (filter_vcs sr.Vcgen.sr_vcs))
       gen.Vcgen.r_subs
   in
-  let cfg_sig = lazy (config_signature ~policy ~cfg program) in
+  let base_sig = lazy (base_signature ~policy ~cfg) in
+  let sub_sig = sub_signature program in
   let slots = Array.make (List.length all) None in
-  let hits = ref 0 and misses = ref 0 in
-  (* coordinator-side pass: statically discharged VCs and cache hits are
-     settled here; everything else becomes a farm job *)
+  let hits = ref 0 and misses = ref 0 and carried = ref 0 in
+  (* coordinator-side pass: statically discharged VCs, impact-carried
+     verdicts and cache hits are settled here; everything else becomes a
+     farm job *)
   let pending = ref [] in
   List.iteri
     (fun i ((sr : Vcgen.sub_report), vc) ->
@@ -291,10 +352,26 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
               vr_time = 0.0; vr_cached = false }
       end
       else
+        match Option.bind carry (fun f -> f vc) with
+        | Some (vr : vc_result) ->
+            (* a baseline verdict certified still-valid by change-impact
+               analysis: replayed like a cache hit, never re-proved *)
+            incr carried;
+            let status = vr.vr_status in
+            if Telemetry.enabled () then begin
+              Telemetry.count "carried_verdicts";
+              count_status status
+            end;
+            slots.(i) <-
+              Some { vr with vr_vc = vc; vr_time = 0.0; vr_cached = true }
+        | None -> (
         match cache with
         | None -> pending := (i, sr, vc, None) :: !pending
         | Some c -> (
-            let key = F.vc_digest vc ^ ":" ^ Lazy.force cfg_sig in
+            let key =
+              F.vc_digest vc ^ ":" ^ Lazy.force base_sig ^ ":"
+              ^ sub_sig vc.F.vc_sub
+            in
             match Farm.Cache.lookup c key with
             | Some e ->
                 incr hits;
@@ -311,7 +388,7 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
             | None ->
                 incr misses;
                 if Telemetry.enabled () then Telemetry.count "cache_misses";
-                pending := (i, sr, vc, Some key) :: !pending))
+                pending := (i, sr, vc, Some key) :: !pending)))
     all;
   let pending = Array.of_list (List.rev !pending) in
   (* dispatch cost-descending: the VC generator's unfolded node count is
@@ -385,6 +462,7 @@ let run_with ~(policy : Retry.policy) ?(filter_vcs = fun vcs -> vcs)
     ip_attempts = List.fold_left (fun acc r -> acc + r.vr_attempts) 0 results;
     ip_cache_hits = !hits;
     ip_cache_misses = !misses;
+    ip_carried = !carried;
     ip_generated_nodes = Vcgen.total_nodes gen;
     ip_time = Logic.Clock.elapsed t0;
     ip_infeasible = gen.Vcgen.r_infeasible;
@@ -396,9 +474,10 @@ let run ?discharge ?budget ?max_steps ?jobs ?cache env program : report =
     ?max_steps ?jobs ?cache env program
 
 let run_resilient ?(policy = Retry.default_policy standard_hints) ?filter_vcs ?tune_cfg
-    ?give_up ?discharge ?budget ?max_steps ?jobs ?cache env program : report =
-  run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?discharge ?budget ?max_steps
-    ?jobs ?cache env program
+    ?give_up ?discharge ?carry ?budget ?max_steps ?jobs ?cache env program :
+    report =
+  run_with ~policy ?filter_vcs ?tune_cfg ?give_up ?discharge ?carry ?budget
+    ?max_steps ?jobs ?cache env program
 
 let pp_report ppf r =
   Fmt.pf ppf
@@ -411,7 +490,10 @@ let pp_report ppf r =
     r.ip_discharged (fully_auto_subs r) (List.length r.ip_subs) r.ip_attempts r.ip_time;
   if r.ip_cache_hits > 0 then
     Fmt.pf ppf "@,proof cache: %d hit(s), %d miss(es)" r.ip_cache_hits
-      r.ip_cache_misses
+      r.ip_cache_misses;
+  if r.ip_carried > 0 then
+    Fmt.pf ppf "@,impact carry: %d verdict(s) carried from the baseline"
+      r.ip_carried
 
 let pp_details ppf r =
   pp_report ppf r;

@@ -57,6 +57,8 @@ type report = {
   ip_attempts : int;     (** ladder attempts across all VCs *)
   ip_cache_hits : int;   (** VCs replayed from the proof cache *)
   ip_cache_misses : int; (** VCs sent to the prover despite an open cache *)
+  ip_carried : int;      (** baseline verdicts carried over by change-impact
+                             analysis; never re-proved *)
   ip_generated_nodes : int;
   ip_time : float;
   ip_infeasible : string option;
@@ -93,6 +95,7 @@ val run_resilient :
   ?tune_cfg:(Logic.Prover.config -> Logic.Prover.config) ->
   ?give_up:(unit -> bool) ->
   ?discharge:(Logic.Formula.vc -> bool) ->
+  ?carry:(Logic.Formula.vc -> vc_result option) ->
   ?budget:Vcgen.budget -> ?max_steps:int ->
   ?jobs:int -> ?cache:Farm.Cache.t ->
   Typecheck.env -> Ast.program -> report
@@ -101,7 +104,14 @@ val run_resilient :
     harness).  [give_up] is polled before each VC — once true (e.g. the
     orchestrator's global deadline expired), remaining VCs are charged as
     timed out with zero attempts.  Timeouts are reported per VC, never
-    raised. *)
+    raised.
+
+    [carry] is the incremental-verification hook: consulted per VC before
+    the proof cache, it returns a baseline verdict that change-impact
+    analysis has certified still-valid ({!Analysis.Impact}); carried VCs
+    are marked [vr_cached] and counted in [ip_carried], and the prover
+    never sees them.  The caller is responsible for never carrying
+    timeouts. *)
 
 val pp_report : report Fmt.t
 val pp_details : report Fmt.t

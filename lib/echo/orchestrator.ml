@@ -44,6 +44,9 @@ type config = {
   oc_certify : bool;
   oc_jobs : int;
   oc_cache : cache_mode;
+  oc_baseline : string option;
+  oc_edit : (Ast.program -> Ast.program) option;
+  oc_carry : bool;
   oc_hooks : hooks;
 }
 
@@ -59,18 +62,26 @@ let default_config =
     oc_certify = false;
     oc_jobs = 1;
     oc_cache = Cache_default;
+    oc_baseline = None;
+    oc_edit = None;
+    oc_carry = true;
     oc_hooks = no_hooks;
   }
 
 (* effective cache directory: an explicit [--cache-dir] wins; otherwise
-   the cache lives beside the checkpoints so [--resume] inherits it; no
-   run dir and no explicit dir means no persistence to offer *)
+   the cache lives beside the checkpoints so [--resume] inherits it — and
+   an incremental run shares the baseline's cache, so re-proved VCs whose
+   keys survived the edit still replay; no run dir and no explicit dir
+   means no persistence to offer *)
 let cache_dir_of cfg =
   match cfg.oc_cache with
   | Cache_off -> None
   | Cache_dir d -> Some d
-  | Cache_default ->
-      Option.map (fun d -> Filename.concat d "proof-cache") cfg.oc_run_dir
+  | Cache_default -> (
+      match (cfg.oc_baseline, cfg.oc_run_dir) with
+      | Some b, _ -> Some (Filename.concat b "proof-cache")
+      | None, Some d -> Some (Filename.concat d "proof-cache")
+      | None, None -> None)
 
 type stage_status =
   | St_ok of { st_time : float; st_from_checkpoint : bool }
@@ -97,6 +108,7 @@ type report = {
   o_refactor_steps : int;
   o_analysis : Analysis.Examiner.t option;
   o_certify : Refactor.Certify.audit option;
+  o_impact : CK.impact_audit option;
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;
@@ -110,11 +122,26 @@ type report = {
 (* Running state threaded through the stages                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Baseline payloads for incremental runs, snapshotted before any stage
+   writes: when the run directory IS the baseline directory, stages
+   overwrite the files they were loaded from, so reading lazily mid-run
+   would hand the impact analysis its own output as the baseline. *)
+type baseline = {
+  b_refactor : CK.payload option;
+  b_certify : CK.payload option;
+  b_annotate : string option;                       (* baseline source *)
+  b_impl : Implementation_proof.report option;
+}
+
+let no_baseline =
+  { b_refactor = None; b_certify = None; b_annotate = None; b_impl = None }
+
 type state = {
   cfg : config;
   cs : Pipeline.case_study;
   resume_run : bool;
   global_deadline : float;  (* absolute monotonic clock value *)
+  baseline : baseline;      (* [no_baseline] outside incremental mode *)
   mutable statuses : (CK.stage * stage_status) list;  (* reverse order *)
   mutable notes : string list;
   mutable degradations : (string * Fault.t) list;  (* reverse order *)
@@ -277,12 +304,29 @@ let certify_config_of st =
 let stage_refactor st =
   stage st CK.S_refactor
     ~from_ckpt:(fun () ->
-      match load_checkpoint st CK.S_refactor with
-      | Some (CK.P_refactor { pr_final_src; pr_steps; pr_certificates; _ }) ->
-          Option.map
-            (fun p -> (p, pr_steps, pr_certificates, None))
-            (Fault.guard (fun () -> reparse_program pr_final_src) |> Result.to_option)
-      | _ -> None)
+      (* incremental runs reuse the baseline's refactoring wholesale —
+         the edit under analysis happens after annotation, so re-deriving
+         the refactored program would only burn the wall-clock the
+         incremental mode exists to save *)
+      match st.baseline.b_refactor with
+      | Some (CK.P_refactor { pr_final_src; pr_steps; pr_certificates; _ } as p)
+        -> (
+          match Fault.guard (fun () -> reparse_program pr_final_src) with
+          | Ok final ->
+              save_checkpoint st CK.S_refactor p;
+              Some (final, pr_steps, pr_certificates, None)
+          | Error _ ->
+              note st "baseline refactor checkpoint did not reparse; running full";
+              None)
+      | _ -> (
+          match load_checkpoint st CK.S_refactor with
+          | Some (CK.P_refactor { pr_final_src; pr_steps; pr_certificates; _ })
+            ->
+              Option.map
+                (fun p -> (p, pr_steps, pr_certificates, None))
+                (Fault.guard (fun () -> reparse_program pr_final_src)
+                |> Result.to_option)
+          | _ -> None))
     ~body:(fun () ->
       let certify = certify_config_of st in
       let stages, history = st.cs.Pipeline.cs_refactor ?certify () in
@@ -311,9 +355,14 @@ let stage_refactor st =
 let stage_certify st ~steps ~certs ~stats =
   stage st CK.S_certify
     ~from_ckpt:(fun () ->
-      match load_checkpoint st CK.S_certify with
-      | Some (CK.P_certify { pc_audit; _ }) -> Some pc_audit
-      | _ -> None)
+      match st.baseline.b_certify with
+      | Some (CK.P_certify { pc_audit; _ } as p) ->
+          save_checkpoint st CK.S_certify p;
+          Some pc_audit
+      | _ -> (
+          match load_checkpoint st CK.S_certify with
+          | Some (CK.P_certify { pc_audit; _ }) -> Some pc_audit
+          | _ -> None))
     ~body:(fun () ->
       if List.length certs < steps then
         raise
@@ -369,13 +418,24 @@ let stage_certify st ~steps ~certs ~stats =
 let stage_annotate st final =
   stage st CK.S_annotate
     ~from_ckpt:(fun () ->
-      match load_checkpoint st CK.S_annotate with
-      | Some (CK.P_annotate { pa_src }) ->
+      (* a resumed incremental run must still apply the edit, so the
+         baseline path below (in the body) handles both cases *)
+      match (st.baseline.b_annotate, load_checkpoint st CK.S_annotate) with
+      | None, Some (CK.P_annotate { pa_src }) ->
           Fault.guard (fun () -> Typecheck.check (Parser.of_string pa_src))
           |> Result.to_option
       | _ -> None)
     ~body:(fun () ->
-      let env, annotated = Typecheck.check (st.cs.Pipeline.cs_annotate final) in
+      let annotated_raw =
+        match st.baseline.b_annotate with
+        | Some pa_src ->
+            (* incremental: the baseline's annotated program is the
+               starting point; [oc_edit] is the change under analysis *)
+            let base = Parser.of_string pa_src in
+            (Option.value ~default:Fun.id st.cfg.oc_edit) base
+        | None -> st.cs.Pipeline.cs_annotate final
+      in
+      let env, annotated = Typecheck.check annotated_raw in
       save_checkpoint st CK.S_annotate
         (CK.P_annotate { pa_src = Pretty.program_to_string annotated });
       (env, annotated))
@@ -408,7 +468,103 @@ let stage_analyze st env annotated =
       save_checkpoint st CK.S_analyze (CK.P_analyze an);
       an)
 
-let stage_impl st ~discharge env annotated =
+(* Change-impact planning (incremental runs only): diff the edited
+   annotated program against the baseline's, compose with the dependency
+   graph and a VC-digest drift check, and hand the implementation proof a
+   carry function that replays baseline verdicts for every VC whose
+   subprogram the plan certifies untouched.  Any missing or unreadable
+   baseline piece degrades to a full re-prove with a note — never a
+   fault. *)
+let stage_impact st env annotated =
+  stage st CK.S_impact
+    ~from_ckpt:(fun () -> None)  (* cheap and carry isn't serialisable *)
+    ~body:(fun () ->
+      match (st.baseline.b_annotate, st.baseline.b_impl) with
+      | None, _ ->
+          note st "impact: baseline annotate checkpoint missing; full re-prove";
+          None
+      | _, None ->
+          note st "impact: baseline proof checkpoint missing; full re-prove";
+          None
+      | Some base_src, Some base_impl ->
+          let old_p = reparse_program base_src in
+          let plan = Analysis.Impact.compute ~old_p ~new_p:annotated in
+          (* VC-digest refinement: regenerate under the same budget the
+             proof stage uses and escalate any carried subprogram whose
+             obligations drifted from the baseline's *)
+          let current =
+            Vcgen.vc_digests (Vcgen.generate ~budget:st.cfg.oc_budget env annotated)
+          in
+          let module M = Map.Make (String) in
+          let by_sub =
+            List.fold_left
+              (fun m (vr : Implementation_proof.vc_result) ->
+                let s = vr.Implementation_proof.vr_vc.Logic.Formula.vc_sub in
+                M.update s
+                  (function
+                    | None -> Some [ vr ] | Some vs -> Some (vr :: vs))
+                  m)
+              M.empty base_impl.Implementation_proof.ip_results
+          in
+          let baseline_digests =
+            M.bindings by_sub
+            |> List.map (fun (s, vrs) ->
+                   ( s,
+                     List.map
+                       (fun (vr : Implementation_proof.vc_result) ->
+                         Logic.Formula.vc_digest
+                           vr.Implementation_proof.vr_vc)
+                       vrs ))
+          in
+          let plan =
+            Analysis.Impact.refine plan ~baseline:baseline_digests ~current
+          in
+          (* the carry table: baseline verdicts for carried subprograms,
+             keyed strictly by owner + name + formula digest; timeouts are
+             wall-clock accidents and are never carried *)
+          let carry_tbl = Hashtbl.create 256 in
+          List.iter
+            (fun s ->
+              List.iter
+                (fun (vr : Implementation_proof.vc_result) ->
+                  match vr.Implementation_proof.vr_status with
+                  | Implementation_proof.Timed_out _ -> ()
+                  | _ ->
+                      let vc = vr.Implementation_proof.vr_vc in
+                      Hashtbl.replace carry_tbl
+                        (vc.Logic.Formula.vc_sub ^ "|"
+                       ^ vc.Logic.Formula.vc_name ^ "|"
+                        ^ Logic.Formula.vc_digest vc)
+                        vr)
+                (Option.value ~default:[] (M.find_opt s by_sub)))
+            plan.Analysis.Impact.pl_carried;
+          let audit =
+            {
+              CK.im_changed =
+                Analysis.Semdiff.changed_subs plan.Analysis.Impact.pl_diff;
+              im_impacted =
+                List.map
+                  (fun (n, rs) ->
+                    (n, List.map Analysis.Impact.reason_name rs))
+                  plan.Analysis.Impact.pl_impacted;
+              im_carried = plan.Analysis.Impact.pl_carried;
+              im_carried_vcs = Hashtbl.length carry_tbl;
+              im_json = Analysis.Impact.to_json plan;
+            }
+          in
+          save_checkpoint st CK.S_impact (CK.P_impact audit);
+          note st "impact: %d subprogram(s) re-prove, %d carried (%d VC verdict(s))"
+            (List.length audit.CK.im_impacted)
+            (List.length audit.CK.im_carried)
+            audit.CK.im_carried_vcs;
+          let carry (vc : Logic.Formula.vc) =
+            Hashtbl.find_opt carry_tbl
+              (vc.Logic.Formula.vc_sub ^ "|" ^ vc.Logic.Formula.vc_name ^ "|"
+             ^ Logic.Formula.vc_digest vc)
+          in
+          Some (audit, if st.cfg.oc_carry then Some carry else None))
+
+let stage_impl st ~discharge ?carry env annotated =
   stage st CK.S_impl
     ~from_ckpt:(fun () ->
       match load_checkpoint st CK.S_impl with
@@ -421,7 +577,8 @@ let stage_impl st ~discharge env annotated =
         Implementation_proof.run_resilient ~policy
           ~filter_vcs:st.cfg.oc_hooks.h_vcs ~tune_cfg:st.cfg.oc_hooks.h_prover
           ~give_up:(fun () -> global_expired st)
-          ?discharge ~budget:st.cfg.oc_budget ~max_steps:st.cfg.oc_max_steps
+          ?discharge ?carry ~budget:st.cfg.oc_budget
+          ~max_steps:st.cfg.oc_max_steps
           ~jobs:st.cfg.oc_jobs ?cache env annotated
       in
       (match report.Implementation_proof.ip_cache_hits with
@@ -484,9 +641,35 @@ let stage_implication st extracted =
 
 let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) : report =
   let t0 = Logic.Clock.now () in
-  (* a fresh run must not mix its checkpoints with a previous run's *)
+  (* snapshot the baseline before touching any file: the run directory
+     may BE the baseline directory, and stages overwrite as they go *)
+  let baseline =
+    match config.oc_baseline with
+    | None -> no_baseline
+    | Some dir ->
+        let get stage =
+          match CK.load ~dir ~case:cs.Pipeline.cs_name stage with
+          | Some (Ok p) -> Some p
+          | Some (Error _) | None -> None
+        in
+        {
+          b_refactor = get CK.S_refactor;
+          b_certify = get CK.S_certify;
+          b_annotate =
+            (match get CK.S_annotate with
+            | Some (CK.P_annotate { pa_src }) -> Some pa_src
+            | _ -> None);
+          b_impl =
+            (match get CK.S_impl with
+            | Some (CK.P_impl r) -> Some r
+            | _ -> None);
+        }
+  in
+  (* a fresh run must not mix its checkpoints with a previous run's —
+     except in incremental mode when run dir and baseline coincide, where
+     clearing would destroy the baseline we just came for *)
   (match (resume, config.oc_run_dir) with
-  | false, Some dir -> CK.clear ~dir
+  | false, Some dir when config.oc_baseline <> Some dir -> CK.clear ~dir
   | _ -> ());
   (* a resumed run replays the interrupted run's trace first, so the
      persisted trace covers the whole logical run *)
@@ -508,6 +691,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
       cs;
       resume_run = resume;
       global_deadline = Logic.Clock.deadline config.oc_global_deadline_s;
+      baseline;
       statuses = [];
       notes = [];
       degradations = [];
@@ -516,6 +700,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
   let impl_ref = ref None in
   let analysis_ref = ref None in
   let certify_ref = ref None in
+  let impact_ref = ref None in
   let match_ref = ref None in
   let steps_ref = ref 0 in
   let lemmas_ref = ref [] in
@@ -540,7 +725,19 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
    let discharge =
      if st.cfg.oc_analyze then Some Analysis.Discharge.vc_discharged else None
    in
-   let* impl = stage_impl st ~discharge env annotated in
+   let* carry =
+     if config.oc_baseline <> None then
+       Result.map
+         (fun outcome ->
+           match outcome with
+           | Some (audit, carry) ->
+               impact_ref := Some audit;
+               carry
+           | None -> None)
+         (stage_impact st env annotated)
+     else Ok None
+   in
+   let* impl = stage_impl st ~discharge ?carry env annotated in
    impl_ref := Some impl;
    (match impl.Implementation_proof.ip_infeasible with
    | Some reason -> degrade st CK.S_impl (Fault.Vc_infeasible reason)
@@ -576,6 +773,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
         match s with
         | CK.S_analyze -> config.oc_analyze
         | CK.S_certify -> config.oc_certify
+        | CK.S_impact -> config.oc_baseline <> None
         | _ -> true)
       CK.all_stages
   in
@@ -610,6 +808,7 @@ let run ?(resume = false) ?(config = default_config) (cs : Pipeline.case_study) 
     o_refactor_steps = !steps_ref;
     o_analysis = !analysis_ref;
     o_certify = !certify_ref;
+    o_impact = !impact_ref;
     o_impl = !impl_ref;
     o_match = !match_ref;
     o_lemmas = !lemmas_ref;
@@ -668,6 +867,18 @@ let pp_report ppf r =
         (Analysis.Examiner.errors an)
         (Analysis.Diag.count Analysis.Diag.Warning (Analysis.Examiner.diags an))
         (Analysis.Diag.count Analysis.Diag.Info (Analysis.Examiner.diags an))
+  | None -> ());
+  (match r.o_impact with
+  | Some a ->
+      Fmt.pf ppf
+        "impact: %d changed, %d re-prove, %d carried (%d VC verdict(s))@,"
+        (List.length a.CK.im_changed)
+        (List.length a.CK.im_impacted)
+        (List.length a.CK.im_carried) a.CK.im_carried_vcs;
+      List.iter
+        (fun (n, reasons) ->
+          Fmt.pf ppf "  re-prove %-24s %s@," n (String.concat ", " reasons))
+        a.CK.im_impacted
   | None -> ());
   (match r.o_impl with
   | Some impl -> Fmt.pf ppf "%a@," Implementation_proof.pp_report impl

@@ -64,6 +64,23 @@ type config = {
           [1] (the default) runs inline.  Verdicts are identical for any
           value *)
   oc_cache : cache_mode;  (** persistent proof-cache placement *)
+  oc_baseline : string option;
+      (** incremental mode: a previous run's directory.  The refactor,
+          certify and annotate checkpoints are loaded from there instead
+          of recomputed, the annotated program is diffed against the
+          baseline's ({!Analysis.Semdiff}), and only the impacted VCs
+          ({!Analysis.Impact}) are re-proved — every other VC's baseline
+          verdict is carried over.  Under [Cache_default] the baseline's
+          proof cache is shared.  A missing or unreadable baseline piece
+          degrades to a full re-prove with a note, never a fault *)
+  oc_edit : (Minispark.Ast.program -> Minispark.Ast.program) option;
+      (** incremental mode: the edit under analysis, applied to the
+          baseline's annotated program before re-verification (stands in
+          for the user editing the source between runs) *)
+  oc_carry : bool;
+      (** incremental mode: when [false], the impact plan is computed and
+          audited but every VC is still re-proved — the reference
+          configuration incremental verdicts are validated against *)
   oc_hooks : hooks;
 }
 
@@ -94,6 +111,7 @@ type report = {
   o_refactor_steps : int;
   o_analysis : Analysis.Examiner.t option;  (** when [oc_analyze] *)
   o_certify : Refactor.Certify.audit option;  (** when [oc_certify] *)
+  o_impact : Checkpoint.impact_audit option;  (** when [oc_baseline] *)
   o_impl : Implementation_proof.report option;
   o_match : Specl.Match_ratio.result option;
   o_lemmas : (string * bool * string) list;  (** name, holds?, method/reason *)

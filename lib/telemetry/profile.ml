@@ -506,8 +506,12 @@ let detect_regressions ?(window = 5) ?(tolerance_pct = 25.0) records =
   | latest :: previous ->
       let baseline = List.filteri (fun i _ -> i < window) previous in
       let mean getter =
+        (* one surviving sample is noise, not a baseline: comparing
+           against it makes the second run of a fresh history (or of a
+           newly-recorded stage/rate) spuriously loud, so each metric
+           waits until two comparable samples exist *)
         match List.filter_map getter baseline with
-        | [] -> None
+        | [] | [ _ ] -> None
         | xs ->
             Some
               (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))

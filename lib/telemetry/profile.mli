@@ -118,5 +118,8 @@ val detect_regressions :
 (** Compare the newest record against the mean of up to [window]
     (default 5) preceding records.  Times regress when more than
     [tolerance_pct] (default 25%) above baseline; rates
-    ([vcs_per_sec], [steps_per_sec]) when more than that below.  Empty
-    with fewer than two records — the gate warms up silently. *)
+    ([vcs_per_sec], [steps_per_sec]) when more than that below.  Each
+    metric needs at least two baseline samples before it can regress, so
+    histories shorter than three records — and metrics that only just
+    started being recorded — warm up silently instead of flagging
+    against a single noisy sample. *)

@@ -52,7 +52,7 @@ let test_stale_versions_rejected () =
       write_file (stage_file dir)
         (version ^ "\n" ^ case ^ "\n" ^ Marshal.to_string (42, "old payload") []);
       check_rejected (version ^ " checkpoint") dir)
-    [ "ECHO-CKPT v1"; "ECHO-CKPT v2" ];
+    [ "ECHO-CKPT v1"; "ECHO-CKPT v2"; "ECHO-CKPT v3" ];
   CK.clear ~dir
 
 let test_garbage_rejected () =
@@ -64,9 +64,9 @@ let test_garbage_rejected () =
       check_rejected (Printf.sprintf "garbage checkpoint #%d" i) dir)
     [ "";                                    (* empty file *)
       "\x00\x01\x02binary junk";             (* no header line at all *)
-      "ECHO-CKPT v3\n";                      (* header but no case/payload *)
-      "ECHO-CKPT v3\nother-case\nx";         (* foreign case *)
-      "ECHO-CKPT v3\n" ^ case ^ "\nnot-marshal-data" ];
+      "ECHO-CKPT v4\n";                      (* header but no case/payload *)
+      "ECHO-CKPT v4\nother-case\nx";         (* foreign case *)
+      "ECHO-CKPT v4\n" ^ case ^ "\nnot-marshal-data" ];
   CK.clear ~dir
 
 let test_missing_is_none () =

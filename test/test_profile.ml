@@ -319,7 +319,22 @@ let test_detector_warms_up_and_stays_quiet () =
     (List.length (Profile.detect_regressions [ record 10.0 ]));
   Alcotest.(check int) "stable series" 0
     (List.length
-       (Profile.detect_regressions [ record 10.0; record 10.0; record 10.0 ]))
+       (Profile.detect_regressions [ record 10.0; record 10.0; record 10.0 ]));
+  (* a history shorter than the window must not flag against a baseline
+     of one sample, however large the jump *)
+  Alcotest.(check int) "two records: single-sample baseline stays quiet" 0
+    (List.length (Profile.detect_regressions [ record 10.0; record 100.0 ]));
+  (* same per metric: a stage that only just started being recorded has
+     one comparable sample and warms up quietly *)
+  let fresh_stage =
+    [
+      record 10.0;
+      record ~stages:[ ("impact", 1.0) ] 10.0;
+      record ~stages:[ ("impact", 3.0) ] 10.0;
+    ]
+  in
+  Alcotest.(check int) "newly recorded stage warms up quietly" 0
+    (List.length (Profile.detect_regressions fresh_stage))
 
 let test_detector_flags_time_and_rate () =
   let history = [ record 10.0; record 10.0; record 10.0; record 20.0 ] in
