@@ -16,20 +16,25 @@
      report     render a recorded run's telemetry as a text dashboard
      profile    perf attribution for a recorded run: cost centers,
                 critical path, worker utilisation, flamegraph export
+     serve      run the long-lived verification daemon (job queue +
+                process-sharded proof workers, NDJSON over a Unix socket)
+     submit     send one program to a running daemon and stream verdicts
 
    Exit codes follow the fault taxonomy (Echo.Fault.exit_code): 2 parse,
    3 type, 4 refactoring-not-applicable, 5 proof failure (residual VCs,
    timeouts, failed lemmas), 6 flow-analysis errors, 7 refuted
-   certification, 1 everything else. *)
+   certification, 8 service errors, 1 everything else. *)
 
 open Minispark
 
-let read_program path =
+let read_source path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  Typecheck.check (Parser.of_string src)
+  src
+
+let read_program path = Typecheck.check (Parser.of_string (read_source path))
 
 (* every failure leaves through the fault taxonomy, so each class has a
    stable exit code (documented in --help) *)
@@ -39,6 +44,23 @@ let with_errors f =
   | Error fault ->
       Fmt.epr "%a@." Echo.Fault.pp fault;
       exit (Echo.Fault.exit_code fault)
+
+(* Resolve a --jobs request: 0 (the default) = the visible core count,
+   because a fixed default oversubscribes small containers — jobs=4
+   measured 3x slower than jobs=1 at one visible core (BENCH_farm.json).
+   Explicit oversubscription is honoured but called out. *)
+let resolve_jobs jobs =
+  if jobs <= 0 then Farm.Pool.default_jobs ()
+  else begin
+    (match Farm.Pool.oversubscribed ~jobs with
+    | Some cores ->
+        Fmt.epr
+          "warning: --jobs %d exceeds the %d visible core(s); extra domains \
+           only time-share@."
+          jobs cores
+    | None -> ());
+    jobs
+  end
 
 (* ---------------- subcommands ---------------- *)
 
@@ -168,6 +190,7 @@ let cmd_vcs path () =
 
 let cmd_prove path verbose jobs () =
   with_errors (fun () ->
+      let jobs = resolve_jobs jobs in
       let env, prog = read_program path in
       let r = Echo.Implementation_proof.run ~jobs env prog in
       if verbose then Fmt.pr "%a@." Echo.Implementation_proof.pp_details r
@@ -263,7 +286,7 @@ let cmd_aes_verify run_dir resume global_deadline vc_deadline analyze certify
           oc_vc_deadline_s = vc_deadline;
           oc_analyze = analyze;
           oc_certify = certify;
-          oc_jobs = jobs;
+          oc_jobs = resolve_jobs jobs;
           oc_cache = cache;
           oc_baseline = baseline;
           oc_edit = Option.map benign_edit edit_sub;
@@ -457,7 +480,7 @@ let cmd_certify_script trials jobs cache_dir json () =
     {
       (Refactor.Certify.default_config ~entries:certify_entries ()) with
       Refactor.Certify.cf_trials = trials;
-      cf_jobs = jobs;
+      cf_jobs = resolve_jobs jobs;
       cf_cache = cache;
     }
   in
@@ -514,7 +537,7 @@ let cmd_certify_defects trials jobs cache_dir json () =
     {
       (Refactor.Certify.default_config ~entries:certify_entries ()) with
       Refactor.Certify.cf_trials = trials;
-      cf_jobs = jobs;
+      cf_jobs = resolve_jobs jobs;
       cf_cache = cache;
     }
   in
@@ -640,6 +663,104 @@ let cmd_aes_dump which path () =
           close_out oc;
           Fmt.pr "wrote %s@." path)
 
+(* ---------------- the verification service ---------------- *)
+
+let default_socket () =
+  Filename.concat (Filename.get_temp_dir_name ()) "echo-serve.sock"
+
+let default_state_dir () =
+  Filename.concat (Filename.get_temp_dir_name ()) "echo-serve"
+
+let cmd_serve socket jobs capacity max_attempts cache_dir no_cache state_dir
+    telemetry verbose () =
+  with_errors (fun () ->
+      let jobs = if jobs <= 0 then Farm.Pool.default_jobs () else resolve_jobs jobs in
+      let state_dir = Option.value ~default:(default_state_dir ()) state_dir in
+      let cache_dir =
+        if no_cache then None
+        else Some (Option.value ~default:(Filename.concat state_dir "cache") cache_dir)
+      in
+      let config =
+        {
+          Serve.Daemon.default_config with
+          Serve.Daemon.dc_jobs = jobs;
+          dc_capacity = capacity;
+          dc_max_attempts = max_attempts;
+          dc_cache_dir = cache_dir;
+          dc_state_dir = Some state_dir;
+          dc_telemetry = telemetry;
+          dc_log =
+            (if verbose then Some (fun m -> Fmt.epr "[serve] %s@." m) else None);
+        }
+      in
+      Fmt.pr "echo serve: %d worker(s), queue capacity %d, socket %s@." jobs
+        capacity socket;
+      Fmt.pr "SIGTERM drains: running jobs finish, queued jobs checkpoint to %s@."
+        (Filename.concat state_dir "queue.jsonl");
+      let st = Serve.Daemon.run_socket ~config ~path:socket () in
+      Fmt.pr
+        "served %d submission(s): %d completed, %d dedup hit(s), %d rejected, \
+         %d worker crash(es) survived@."
+        st.Serve.Protocol.st_submitted st.Serve.Protocol.st_completed
+        st.Serve.Protocol.st_dedup_hits st.Serve.Protocol.st_rejected
+        st.Serve.Protocol.st_worker_crashes)
+
+let pp_stage_event quiet ev =
+  if not quiet then
+    match ev with
+    | Serve.Protocol.Accepted { ev_job; ev_depth } ->
+        Fmt.pr "accepted as %s (queue depth %d)@." ev_job ev_depth
+    | Serve.Protocol.Stage { ev_stage; ev_phase; ev_attempt; _ } -> (
+        match ev_phase with
+        | Serve.Protocol.P_start ->
+            if ev_attempt > 1 then
+              Fmt.pr "  %-8s start (attempt %d)@." ev_stage ev_attempt
+            else Fmt.pr "  %-8s start@." ev_stage
+        | Serve.Protocol.P_ok s -> Fmt.pr "  %-8s ok    %.3fs@." ev_stage s
+        | Serve.Protocol.P_failed d -> Fmt.pr "  %-8s failed: %s@." ev_stage d)
+    | _ -> ()
+
+let cmd_submit path socket id analyze priority deadline baseline_job quiet () =
+  with_errors (fun () ->
+      (* a daemon that vanishes mid-write must surface as exit 8, not
+         SIGPIPE death *)
+      ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+      let source = read_source path in
+      match Serve.Client.connect ~path:socket with
+      | Error e ->
+          Fmt.epr "%s@." e;
+          exit (Serve.Protocol.exit_code_of_class "service")
+      | Ok cl -> (
+          let js =
+            Serve.Protocol.job ~id ~analyze ~priority ?deadline_s:deadline
+              ?baseline_job ~source ()
+          in
+          match Serve.Client.run_job ~on_event:(pp_stage_event quiet) cl js with
+          | Error reason ->
+              Serve.Client.close cl;
+              Fmt.epr "rejected: %s@." reason;
+              exit (Serve.Protocol.exit_code_of_class "service")
+          | Ok (w, dedup, _attempts) ->
+              Serve.Client.close cl;
+              Fmt.pr "%s: %d VCs — %d auto, %d hinted, %d discharged, %d \
+                      carried, %d residual, %d timed out (%.3fs%s)@."
+                w.Serve.Protocol.w_verdict w.Serve.Protocol.w_total
+                w.Serve.Protocol.w_auto w.Serve.Protocol.w_hinted
+                w.Serve.Protocol.w_discharged w.Serve.Protocol.w_carried
+                w.Serve.Protocol.w_residual w.Serve.Protocol.w_timed_out
+                w.Serve.Protocol.w_seconds
+                (if dedup then ", deduplicated" else "");
+              List.iter (fun n -> Fmt.pr "note: %s@." n) w.Serve.Protocol.w_notes;
+              (match w.Serve.Protocol.w_verdict with
+              | "verified" -> ()
+              | "failed" ->
+                  let cls, detail =
+                    Option.value ~default:("other", "") w.Serve.Protocol.w_fault
+                  in
+                  Fmt.epr "fault (%s): %s@." cls detail;
+                  exit (Serve.Protocol.exit_code_of_class cls)
+              | _ -> exit 5)))
+
 (* ---------------- cmdliner wiring ---------------- *)
 
 open Cmdliner
@@ -656,6 +777,10 @@ let exits =
   :: Cmd.Exit.info ~doc:"when step certification refutes a refactoring step (or the \
                          certification gate's expectation is violated)."
        7
+  :: Cmd.Exit.info ~doc:"on verification-service errors: no daemon at the socket, \
+                         rejected submissions, or a worker process that crashed \
+                         past its retry budget."
+       8
   :: Cmd.Exit.defaults
 
 let path_arg =
@@ -721,10 +846,12 @@ let vcs_cmd =
     Term.(const cmd_vcs $ path_arg $ const ())
 
 let jobs_arg =
-  Arg.(value & opt int 1
+  Arg.(value & opt int 0
        & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Prove VCs on N domains with work stealing (default 1 = \
-                 inline).  Verdicts are identical for any value")
+           ~doc:"Prove VCs on N domains with work stealing.  Defaults to the \
+                 visible core count; explicit values above it are honoured \
+                 with a warning (extra domains only time-share).  Verdicts \
+                 are identical for any value")
 
 let prove_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-VC details") in
@@ -946,11 +1073,104 @@ let profile_cmd =
              and folded-stack flamegraph export")
     Term.(const cmd_profile $ dir $ top $ focus $ flame $ const ())
 
+let socket_arg =
+  let doc = "Unix-domain socket the daemon listens on" in
+  Arg.(value
+       & opt string (default_socket ())
+       & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let capacity =
+    Arg.(value & opt int 64
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Job-queue bound; submissions past it are rejected with \
+                   backpressure")
+  in
+  let max_attempts =
+    Arg.(value & opt int 2
+         & info [ "max-attempts" ] ~docv:"N"
+             ~doc:"Attempts per job including retries after worker crashes")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Proof-cache directory shared by all workers (default: \
+                   CACHE under --state-dir)")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the shared proof cache")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Daemon state: queue checkpoints, telemetry scratch")
+  in
+  let telemetry =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Collect a daemon trace (per-job spans with each worker's \
+                   span tree merged in); written to serve-trace.jsonl under \
+                   --state-dir on exit")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log daemon activity to stderr")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Run the verification daemon: a bounded priority job queue feeding \
+             forked proof-worker processes, streaming per-stage status and \
+             verdicts to clients over NDJSON.  Duplicate submissions are \
+             answered from the outcome table; jobs naming a baseline job \
+             re-prove only the impacted subprograms; worker crashes are \
+             retried on a respawned worker without daemon downtime")
+    Term.(const cmd_serve $ socket_arg $ jobs_arg $ capacity $ max_attempts
+          $ cache_dir $ no_cache $ state_dir $ telemetry $ verbose $ const ())
+
+let submit_cmd =
+  let id =
+    Arg.(value & opt string ""
+         & info [ "id" ] ~docv:"ID"
+             ~doc:"Job id (daemon assigns one when omitted); later jobs can \
+                   name it as their --baseline")
+  in
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Flow-analysis pre-pass + interval discharge before the proof")
+  in
+  let priority =
+    Arg.(value & opt int 1
+         & info [ "priority" ] ~docv:"P"
+             ~doc:"Queue level: 0 urgent, 1 normal, 2 batch")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-job wall-clock budget")
+  in
+  let baseline_job =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"JOB"
+             ~doc:"Completed job id to verify incrementally against: only \
+                   subprograms the change-impact analysis flags are re-proved, \
+                   every other verdict is carried over")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-stage progress")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~exits
+       ~doc:"Submit a MiniSpark program to a running daemon, stream its \
+             per-stage progress, and exit with the verdict's fault-taxonomy \
+             code")
+    Term.(const cmd_submit $ path_arg $ socket_arg $ id $ analyze $ priority
+          $ deadline $ baseline_job $ quiet $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "echo-verify" ~version:"1.0.0" ~exits
        ~doc:"Echo verification with refactoring (Yin, Knight & Weimer, DSN 2009)")
     [ check_cmd; analyze_cmd; impact_cmd; metrics_cmd; suggest_cmd; vcs_cmd;
-      prove_cmd; aes_cmd; certify_cmd; chaos_cmd; report_cmd; profile_cmd ]
+      prove_cmd; aes_cmd; certify_cmd; chaos_cmd; report_cmd; profile_cmd;
+      serve_cmd; submit_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,6 +19,7 @@ type t =
   | Crash of string
   | Analysis of { errors : int; first : string }
   | Certification of { cert_step : string; cert_reason : string }
+  | Service of { srv_op : string; srv_reason : string }
 
 exception Fault of t
 
@@ -57,6 +58,7 @@ let class_name = function
   | Crash _ -> "crash"
   | Analysis _ -> "analysis"
   | Certification _ -> "certify"
+  | Service _ -> "service"
 
 let describe = function
   | Parse { msg; line; col } -> Printf.sprintf "parse error at %d:%d: %s" line col msg
@@ -76,6 +78,8 @@ let describe = function
       Printf.sprintf "flow analysis found %d error(s), first: %s" errors first
   | Certification { cert_step; cert_reason } ->
       Printf.sprintf "certification refuted step %s: %s" cert_step cert_reason
+  | Service { srv_op; srv_reason } ->
+      Printf.sprintf "service error in %s: %s" srv_op srv_reason
 
 (* Exit codes are part of the CLI contract (echo_cli --help documents
    them): 2..5 for the four user-meaningful classes, 1 for everything the
@@ -87,11 +91,12 @@ let exit_code = function
   | Vc_infeasible _ | Prover_timeout _ | Prover_stuck _ | Lemma _ | Deadline _ -> 5
   | Analysis _ -> 6
   | Certification _ -> 7
+  | Service _ -> 8
   | Checkpoint _ | Injected _ | Crash _ -> 1
 
 let is_transient = function
   | Prover_timeout _ | Prover_stuck _ | Deadline _ -> true
   | Parse _ | Type _ | Refactor _ | Vc_infeasible _ | Lemma _ | Checkpoint _
-  | Injected _ | Crash _ | Analysis _ | Certification _ -> false
+  | Injected _ | Crash _ | Analysis _ | Certification _ | Service _ -> false
 
 let pp ppf f = Fmt.pf ppf "[%s] %s" (class_name f) (describe f)

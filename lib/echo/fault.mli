@@ -5,7 +5,7 @@
     orchestrator can decide per fault class whether to retry, degrade, or
     abort.  The classes also fix the CLI exit codes (parse=2, type=3,
     not-applicable=4, proof-failure=5, flow-analysis=6,
-    certification-refuted=7). *)
+    certification-refuted=7, service=8). *)
 
 type t =
   | Parse of { msg : string; line : int; col : int }
@@ -36,6 +36,10 @@ type t =
   | Certification of { cert_step : string; cert_reason : string }
       (** per-step certification ({!Refactor.Certify}) refuted a
           refactoring step with a concrete counterexample *)
+  | Service of { srv_op : string; srv_reason : string }
+      (** the verification service ({i Serve.Daemon}) could not honour a
+          request: malformed submission, queue overflow, a worker process
+          that crashed past its retry budget, or a dead daemon socket *)
 
 exception Fault of t
 (** Carrier for typed faults across code that still raises (the chaos
@@ -60,7 +64,7 @@ val exit_code : t -> int
 (** CLI exit code for the fault class: parse=2, type=3, not-applicable=4,
     everything proof-related (infeasible VCs, timeouts, stuck searches,
     failed lemmas, blown deadlines)=5, flow-analysis errors=6, refuted
-    certification=7, checkpoint/crash/injected=1. *)
+    certification=7, service errors=8, checkpoint/crash/injected=1. *)
 
 val is_transient : t -> bool
 (** Faults worth retrying with a bigger budget (timeouts, stuck searches,

@@ -110,6 +110,20 @@ let open_ ~dir =
   load_into entries (index_file dir);
   { c_dir = dir; c_entries = entries }
 
+(* Re-merge the on-disk index: entries a sibling process saved since we
+   opened become visible (in-memory entries win, as in [save]).  This is
+   how long-lived proof workers sharing one cache directory inherit each
+   other's proofs between jobs without reopening the cache. *)
+let refresh t =
+  let before = Hashtbl.length t.c_entries in
+  let disk = Hashtbl.create 64 in
+  load_into disk (index_file t.c_dir);
+  Hashtbl.iter
+    (fun k e ->
+      if not (Hashtbl.mem t.c_entries k) then Hashtbl.replace t.c_entries k e)
+    disk;
+  Hashtbl.length t.c_entries - before
+
 let rec mkdir_p path =
   if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
   else begin
@@ -132,7 +146,11 @@ let save t =
       Hashtbl.fold (fun k _ acc -> k :: acc) t.c_entries []
       |> List.sort String.compare
     in
-    let tmp = index_file t.c_dir ^ ".tmp" in
+    (* pid-unique temp name: concurrent saves from sibling worker
+       processes must never interleave writes into one temp file *)
+    let tmp =
+      Printf.sprintf "%s.%d.tmp" (index_file t.c_dir) (Unix.getpid ())
+    in
     let oc = open_out tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)

@@ -41,6 +41,13 @@ val dir : t -> string
 val size : t -> int
 val lookup : t -> string -> entry option
 
+val refresh : t -> int
+(** Merge entries that other processes have saved to the on-disk index
+    since {!open_} (or the previous refresh) into memory; in-memory
+    entries win on conflict.  Returns the number of entries gained.  This
+    is how the serve daemon's proof-worker processes, which share one
+    cache directory, see each other's proofs between jobs. *)
+
 val add : t -> string -> entry -> unit
 (** Record an outcome under a key (replacing any previous entry).  Not
     thread-safe: the farm coordinator is the only writer. *)

@@ -53,6 +53,18 @@ let remaining dq = with_mu dq.dq_mu (fun () -> max 0 (dq.dq_hi - dq.dq_lo + 1))
    absurd requests. *)
 let clamp_jobs jobs = max 1 (min jobs 64)
 
+(* The farm's auto width: the visible core count, never more.  Callers
+   that default to a fixed width (the old jobs=4 habit) oversubscribe
+   single-core hosts badly — BENCH_farm.json records jobs=4 running 3x
+   slower than jobs=1 at one visible core — so every "pick a width for
+   me" site should go through [default_jobs] instead. *)
+let visible_cores () = max 1 (Domain.recommended_domain_count ())
+let default_jobs () = clamp_jobs (visible_cores ())
+
+let oversubscribed ~jobs =
+  let cores = visible_cores () in
+  if jobs > cores then Some cores else None
+
 let run (type a b) ?(jobs = 1) ~priority ~(f : a -> b) (items : a array) :
     b array * stats =
   let n = Array.length items in

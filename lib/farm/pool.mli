@@ -33,6 +33,21 @@ type stats = {
   ps_steals : int;      (** successful steals across all workers *)
 }
 
+val visible_cores : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val default_jobs : unit -> int
+(** The farm's auto width: {!visible_cores} (clamped like [run]'s [jobs]).
+    Use this wherever a width must be {e chosen} rather than requested —
+    defaulting to a fixed number oversubscribes single-core hosts (jobs=4
+    measured 3x slower than jobs=1 at one visible core in
+    [BENCH_farm.json]). *)
+
+val oversubscribed : jobs:int -> int option
+(** [Some cores] when an explicitly requested [jobs] exceeds the visible
+    core count — the caller should warn (extra domains only time-share);
+    [None] when the request fits. *)
+
 val run :
   ?jobs:int ->
   priority:('a -> int) ->

@@ -398,6 +398,8 @@ type history_record = {
   h_stage_seconds : (string * float) list;
   h_vcs_per_sec : float;
   h_steps_per_sec : float;
+  h_serve_jobs_per_sec : float;
+  h_serve_p95_s : float;
 }
 
 let history_record_to_json r =
@@ -414,6 +416,8 @@ let history_record_to_json r =
              r.h_stage_seconds) );
       ("vcs_per_sec", Telemetry.Json.Float r.h_vcs_per_sec);
       ("steps_per_sec", Telemetry.Json.Float r.h_steps_per_sec);
+      ("serve_jobs_per_sec", Telemetry.Json.Float r.h_serve_jobs_per_sec);
+      ("serve_p95_s", Telemetry.Json.Float r.h_serve_p95_s);
     ]
 
 let json_number = function
@@ -451,6 +455,12 @@ let history_record_of_json j =
           h_vcs_per_sec = Option.value ~default:0.0 (json_number (m "vcs_per_sec"));
           h_steps_per_sec =
             Option.value ~default:0.0 (json_number (m "steps_per_sec"));
+          (* service-path rates arrived later than the format: absent in
+             old lines, so they default like the other rates *)
+          h_serve_jobs_per_sec =
+            Option.value ~default:0.0 (json_number (m "serve_jobs_per_sec"));
+          h_serve_p95_s =
+            Option.value ~default:0.0 (json_number (m "serve_p95_s"));
         }
   | _ -> Error "history record missing a required field"
 
@@ -553,4 +563,10 @@ let detect_regressions ?(window = 5) ?(tolerance_pct = 25.0) records =
           if r.h_vcs_per_sec > 0.0 then Some r.h_vcs_per_sec else None);
       lower_is_worse "steps_per_sec" latest.h_steps_per_sec (fun r ->
           if r.h_steps_per_sec > 0.0 then Some r.h_steps_per_sec else None);
+      lower_is_worse "serve_jobs_per_sec" latest.h_serve_jobs_per_sec (fun r ->
+          if r.h_serve_jobs_per_sec > 0.0 then Some r.h_serve_jobs_per_sec
+          else None);
+      (if latest.h_serve_p95_s > 0.0 then
+         higher_is_worse "serve_p95_s" latest.h_serve_p95_s (fun r ->
+             if r.h_serve_p95_s > 0.0 then Some r.h_serve_p95_s else None));
       List.rev !regs

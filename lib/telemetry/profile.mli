@@ -96,6 +96,10 @@ type history_record = {
   h_stage_seconds : (string * float) list;
   h_vcs_per_sec : float;     (** 0 when unknown *)
   h_steps_per_sec : float;   (** 0 when unknown *)
+  h_serve_jobs_per_sec : float;
+      (** serve-daemon throughput over the bench job stream; 0 when the
+          record predates the service or the serve bench did not run *)
+  h_serve_p95_s : float;     (** serve p95 job latency; 0 when unknown *)
 }
 
 val history_record_to_json : history_record -> Telemetry.Json.t

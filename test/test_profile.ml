@@ -275,7 +275,8 @@ let test_refactor_categories () =
 
 (* ---------------- bench history ---------------- *)
 
-let record ?(stages = [ ("refactor", 1.0) ]) ?(vcs = 10.0) ?(steps = 2.0) total =
+let record ?(stages = [ ("refactor", 1.0) ]) ?(vcs = 10.0) ?(steps = 2.0)
+    ?(serve_rate = 0.0) ?(serve_p95 = 0.0) total =
   {
     Profile.h_timestamp = 1700000000.0 +. total;
     h_git_rev = "abc1234";
@@ -284,6 +285,8 @@ let record ?(stages = [ ("refactor", 1.0) ]) ?(vcs = 10.0) ?(steps = 2.0) total 
     h_stage_seconds = stages;
     h_vcs_per_sec = vcs;
     h_steps_per_sec = steps;
+    h_serve_jobs_per_sec = serve_rate;
+    h_serve_p95_s = serve_p95;
   }
 
 let test_history_round_trip () =
@@ -360,7 +363,20 @@ let test_detector_flags_time_and_rate () =
     [ record ~vcs:100.0 10.0; record ~vcs:100.0 10.0; record ~vcs:40.0 10.0 ]
   in
   Alcotest.(check (list string)) "throughput drop flagged" [ "vcs_per_sec" ]
-    (metrics (Profile.detect_regressions slow_rate))
+    (metrics (Profile.detect_regressions slow_rate));
+  (* the service path: throughput drop and p95 blow-up are both covered,
+     and pre-service records (rate 0) never poison the baseline *)
+  let slow_serve =
+    [
+      record 10.0;  (* predates the serve bench *)
+      record ~serve_rate:8.0 ~serve_p95:0.5 10.0;
+      record ~serve_rate:8.0 ~serve_p95:0.5 10.0;
+      record ~serve_rate:3.0 ~serve_p95:1.0 10.0;
+    ]
+  in
+  Alcotest.(check (list string)) "serve throughput drop and p95 blow-up flagged"
+    [ "serve_jobs_per_sec"; "serve_p95_s" ]
+    (metrics (Profile.detect_regressions slow_serve))
 
 let test_detector_window_is_rolling () =
   (* an ancient slow run outside the window must not inflate the baseline *)

@@ -1,0 +1,453 @@
+(* The verification service (lib/serve).
+
+   Three layers:
+   - QCheck properties over the bounded job queue: strict priority
+     between levels, FIFO within a level, and capacity backpressure
+     ([`Full] past the bound, never silent growth);
+   - codec round-trips for the NDJSON protocol, including hostile
+     strings and chunked line framing;
+   - end-to-end daemon sessions over a forked daemon ({!Client.with_daemon}):
+     a cold job matches a direct [Echo.Verify] run verdict-for-verdict, a
+     warm duplicate is answered from the outcome table, a baseline-job
+     submission re-proves only the impacted subprogram, a parse-broken
+     submission fails with the right fault class, and an injected worker
+     crash is retried on a respawned worker while the daemon keeps
+     serving. *)
+
+open Minispark
+module Jobq = Serve.Jobq
+module Protocol = Serve.Protocol
+module Daemon = Serve.Daemon
+module Client = Serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* job queue properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* model: stable sort by clamped priority reproduces pop order *)
+let prop_priority_fifo =
+  QCheck.Test.make ~name:"jobq pops by priority, FIFO within a level"
+    ~count:200
+    QCheck.(list (pair (int_range (-1) 4) small_nat))
+    (fun pushes ->
+      let levels = 3 in
+      let capacity = max 1 (List.length pushes) in
+      let q = Jobq.create ~levels ~capacity () in
+      List.iter
+        (fun (prio, x) ->
+          match Jobq.push q ~prio (prio, x) with
+          | `Ok _ -> ()
+          | `Full -> QCheck.Test.fail_report "queue refused within capacity")
+        pushes;
+      let popped = Jobq.drain q in
+      let clamp p = max 0 (min p (levels - 1)) in
+      let expected =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> compare (clamp p1) (clamp p2))
+          pushes
+      in
+      popped = expected && Jobq.length q = 0)
+
+let prop_backpressure =
+  QCheck.Test.make ~name:"jobq backpressure: `Full past capacity, depth exact"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (list (int_range 0 2)))
+    (fun (capacity, prios) ->
+      let q = Jobq.create ~capacity () in
+      let accepted =
+        List.fold_left
+          (fun acc prio ->
+            match Jobq.push q ~prio prio with
+            | `Ok depth ->
+                if depth <> Jobq.length q then
+                  QCheck.Test.fail_report "depth out of sync";
+                acc + 1
+            | `Full ->
+                if Jobq.length q < capacity then
+                  QCheck.Test.fail_report "refused below capacity";
+                acc)
+          0 prios
+      in
+      accepted = min capacity (List.length prios)
+      && Jobq.length q = accepted
+      && List.length (Jobq.drain q) = accepted)
+
+(* pushing after pops frees capacity again *)
+let jobq_reuse () =
+  let q = Jobq.create ~capacity:2 () in
+  ignore (Jobq.push q ~prio:1 "a");
+  ignore (Jobq.push q ~prio:1 "b");
+  Alcotest.(check bool) "full at capacity" true (Jobq.push q ~prio:0 "c" = `Full);
+  Alcotest.(check (option string)) "pop a" (Some "a") (Jobq.pop q);
+  (match Jobq.push q ~prio:0 "c" with
+  | `Ok 2 -> ()
+  | _ -> Alcotest.fail "push after pop should succeed at depth 2");
+  Alcotest.(check (list string)) "urgent first" [ "c"; "b" ] (Jobq.drain q)
+
+(* ------------------------------------------------------------------ *)
+(* protocol codecs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reencode to_json of_json v =
+  let line = Telemetry.Json.to_string (to_json v) in
+  match Telemetry.Json.of_string line with
+  | Error e -> Error ("reparse: " ^ e)
+  | Ok j -> of_json j
+
+let sample_summary =
+  {
+    Echo.Verify.vs_name = "fletcher.3";
+    vs_sub = "fletcher";
+    vs_digest = "abc123";
+    vs_status = "hinted:2";
+    vs_attempts = 3;
+    vs_time = 0.25;
+    vs_cached = true;
+  }
+
+let nasty = "line\nbreak \"quoted\" back\\slash\ttab"
+
+let job_round_trip () =
+  let js =
+    Protocol.job ~id:"j-1" ~analyze:true ~jobs:2 ~priority:0 ~deadline_s:1.5
+      ~baseline:{ Echo.Verify.vb_program = nasty; vb_results = [ sample_summary ] }
+      ~fail:"crash" ~source:("program p is\n" ^ nasty) ()
+  in
+  match reencode Protocol.job_to_json Protocol.job_of_json js with
+  | Error e -> Alcotest.fail e
+  | Ok js' -> Alcotest.(check bool) "job round-trips" true (js = js')
+
+let prop_job_round_trip =
+  QCheck.Test.make ~name:"job spec codec round-trips" ~count:200
+    QCheck.(
+      quad printable_string printable_string (int_range 0 2)
+        (option (int_range 0 100)))
+    (fun (id, source, prio, deadline) ->
+      let js =
+        Protocol.job ~id ~priority:prio
+          ?deadline_s:(Option.map float_of_int deadline)
+          ~source ()
+      in
+      match reencode Protocol.job_to_json Protocol.job_of_json js with
+      | Ok js' -> js = js'
+      | Error _ -> false)
+
+let event_round_trip () =
+  let outcome =
+    {
+      Protocol.w_verdict = "conditional";
+      w_fault = Some ("service", "worker crashed 2 time(s)");
+      w_total = 5;
+      w_auto = 2;
+      w_hinted = 1;
+      w_residual = 2;
+      w_timed_out = 0;
+      w_discharged = 0;
+      w_carried = 3;
+      w_cache_hits = 1;
+      w_cache_misses = 4;
+      w_attempts = 9;
+      w_impacted_subs = 1;
+      w_results = [ sample_summary ];
+      w_notes = [ nasty ];
+      w_seconds = 1.5;
+    }
+  in
+  let events =
+    [
+      Protocol.Accepted { ev_job = "j"; ev_depth = 4 };
+      Protocol.Rejected { ev_job = "j"; ev_reason = nasty };
+      Protocol.Stage
+        { ev_job = "j"; ev_stage = "prove"; ev_phase = Protocol.P_start; ev_attempt = 2 };
+      Protocol.Stage
+        { ev_job = "j"; ev_stage = "prove"; ev_phase = Protocol.P_ok 0.5; ev_attempt = 1 };
+      Protocol.Stage
+        {
+          ev_job = "j";
+          ev_stage = "parse";
+          ev_phase = Protocol.P_failed "syntax error";
+          ev_attempt = 1;
+        };
+      Protocol.Verdict
+        { ev_job = "j"; ev_outcome = outcome; ev_dedup = true; ev_attempts = 2 };
+      Protocol.Stats_reply
+        {
+          st_submitted = 1; st_completed = 2; st_dedup_hits = 3; st_rejected = 4;
+          st_retries = 5; st_worker_crashes = 6; st_worker_restarts = 7;
+          st_queue_depth = 8; st_workers = 9; st_uptime_s = 10.5;
+        };
+      Protocol.Bye;
+    ]
+  in
+  List.iteri
+    (fun i ev ->
+      match reencode Protocol.event_to_json Protocol.event_of_json ev with
+      | Error e -> Alcotest.fail (Printf.sprintf "event %d: %s" i e)
+      | Ok ev' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "event %d round-trips" i)
+            true (ev = ev'))
+    events
+
+let request_round_trip () =
+  let reqs =
+    [ Protocol.Submit (Protocol.job ~source:"program p is" ()); Protocol.Stats;
+      Protocol.Shutdown ]
+  in
+  List.iteri
+    (fun i req ->
+      match reencode Protocol.request_to_json Protocol.request_of_json req with
+      | Error e -> Alcotest.fail (Printf.sprintf "request %d: %s" i e)
+      | Ok req' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d round-trips" i)
+            true (req = req'))
+    reqs;
+  let a =
+    {
+      Protocol.as_job = Protocol.job ~id:"x" ~source:"s" ();
+      as_attempt = 2;
+      as_telemetry = Some "/tmp/t.jsonl";
+    }
+  in
+  match reencode Protocol.assignment_to_json Protocol.assignment_of_json a with
+  | Error e -> Alcotest.fail e
+  | Ok a' -> Alcotest.(check bool) "assignment round-trips" true (a = a')
+
+let framing () =
+  let l = Protocol.Lines.create () in
+  Protocol.Lines.feed l "{\"a\":1}\n{\"b\"";
+  Alcotest.(check (option string)) "first line" (Some "{\"a\":1}")
+    (Protocol.Lines.pop l);
+  Alcotest.(check (option string)) "partial held back" None (Protocol.Lines.pop l);
+  Protocol.Lines.feed l ":2}\n\n";
+  Alcotest.(check (option string)) "completed line" (Some "{\"b\":2}")
+    (Protocol.Lines.pop l);
+  Alcotest.(check (option string)) "empty line" (Some "") (Protocol.Lines.pop l);
+  Alcotest.(check (option string)) "drained" None (Protocol.Lines.pop l)
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end daemon sessions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_example name =
+  let candidates =
+    [ Filename.concat "../examples/programs" name;
+      Filename.concat "examples/programs" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("example program not found: " ^ name)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let checksum_src () = read_file (resolve_example "checksum.mspark")
+
+(* the bench's benign edit: a trivially true assert prepended to one
+   subprogram, changing its VC set without changing any verdict class *)
+let edited_src src =
+  let prog = Parser.of_string src in
+  let prog =
+    Ast.update_sub prog "fletcher" (fun sp ->
+        { sp with Ast.sub_body = Ast.Assert (Ast.Bool_lit true) :: sp.Ast.sub_body })
+  in
+  Pretty.program_to_string prog
+
+let verdict_keys (results : Echo.Verify.vc_summary list) =
+  List.map
+    (fun (s : Echo.Verify.vc_summary) ->
+      (s.Echo.Verify.vs_sub, s.Echo.Verify.vs_name, s.Echo.Verify.vs_status))
+    results
+  |> List.sort compare
+
+let temp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "echo-serve-test-%s-%d" name (Unix.getpid ()))
+  in
+  d
+
+let test_config name =
+  {
+    Daemon.default_config with
+    Daemon.dc_jobs = 1;
+    dc_capacity = 16;
+    dc_cache_dir = Some (temp_dir (name ^ "-cache"));
+    dc_state_dir = Some (temp_dir (name ^ "-state"));
+  }
+
+(* One session covering the acceptance scenarios: the assertions chain,
+   so run it as a single alcotest case to pay the daemon boot once. *)
+let daemon_session () =
+  let src = checksum_src () in
+  let direct = Echo.Verify.run ~source:src () in
+  let edited = edited_src src in
+  let direct_edited = Echo.Verify.run ~source:edited () in
+  Client.with_daemon ~config:(test_config "session") (fun cl ->
+      (* cold *)
+      let cold, cold_dedup, _ =
+        match Client.run_job cl (Protocol.job ~id:"cold" ~source:src ()) with
+        | Ok r -> r
+        | Error e -> Alcotest.fail ("cold job: " ^ e)
+      in
+      Alcotest.(check bool) "cold not dedup" false cold_dedup;
+      Alcotest.(check string) "cold verdict matches direct run"
+        (Echo.Verify.verdict_string direct.Echo.Verify.vj_verdict)
+        cold.Protocol.w_verdict;
+      Alcotest.(check (list (triple string string string)))
+        "cold per-VC verdicts match direct run"
+        (verdict_keys direct.Echo.Verify.vj_results)
+        (verdict_keys cold.Protocol.w_results);
+      (* warm duplicate: same source, answered from the outcome table *)
+      let warm, warm_dedup, warm_attempts =
+        match Client.run_job cl (Protocol.job ~id:"warm" ~source:src ()) with
+        | Ok r -> r
+        | Error e -> Alcotest.fail ("warm job: " ^ e)
+      in
+      Alcotest.(check bool) "warm duplicate deduplicated" true warm_dedup;
+      Alcotest.(check int) "warm used no worker attempts" 0 warm_attempts;
+      Alcotest.(check (list (triple string string string)))
+        "warm verdicts identical to cold"
+        (verdict_keys cold.Protocol.w_results)
+        (verdict_keys warm.Protocol.w_results);
+      (* incremental: edited program, baseline = the cold job *)
+      let incr, _, _ =
+        match
+          Client.run_job cl
+            (Protocol.job ~id:"incr" ~source:edited ~baseline_job:"cold" ())
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.fail ("incremental job: " ^ e)
+      in
+      Alcotest.(check (list (triple string string string)))
+        "incremental verdicts match full run on edited program"
+        (verdict_keys direct_edited.Echo.Verify.vj_results)
+        (verdict_keys incr.Protocol.w_results);
+      Alcotest.(check bool) "incremental carried baseline verdicts" true
+        (incr.Protocol.w_carried > 0);
+      Alcotest.(check int) "only the edited subprogram re-proves" 1
+        incr.Protocol.w_impacted_subs;
+      (* a submission that cannot parse fails with the parse fault class *)
+      let broken, _, _ =
+        match
+          Client.run_job cl
+            (Protocol.job ~id:"broken" ~source:"program oops is garbage" ())
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.fail ("broken job should verdict, got: " ^ e)
+      in
+      Alcotest.(check string) "broken verdict" "failed" broken.Protocol.w_verdict;
+      (match broken.Protocol.w_fault with
+      | Some (cls, _) ->
+          Alcotest.(check string) "broken fault class" "parse" cls;
+          Alcotest.(check int) "parse exit code" 2
+            (Protocol.exit_code_of_class cls)
+      | None -> Alcotest.fail "broken job carries no fault");
+      (* unknown baseline reference is rejected, not crashed *)
+      (match
+         Client.run_job cl
+           (Protocol.job ~id:"orphan" ~source:src ~baseline_job:"no-such" ())
+       with
+      | Error reason ->
+          Alcotest.(check bool) "rejection names the missing baseline" true
+            (Astring.String.is_infix ~affix:"no-such" reason)
+      | Ok _ -> Alcotest.fail "unknown baseline reference must be rejected");
+      (* stats reflect the session *)
+      match Client.stats cl with
+      | Error e -> Alcotest.fail ("stats: " ^ e)
+      | Ok st ->
+          Alcotest.(check int) "five submissions" 5 st.Protocol.st_submitted;
+          Alcotest.(check int) "one dedup hit" 1 st.Protocol.st_dedup_hits;
+          Alcotest.(check int) "one rejection" 1 st.Protocol.st_rejected;
+          Alcotest.(check int) "no crashes" 0 st.Protocol.st_worker_crashes;
+          Alcotest.(check int) "queue drained" 0 st.Protocol.st_queue_depth)
+
+(* kill-a-worker-mid-job: the injected crash takes the worker process
+   down on attempt 1; the daemon must respawn, retry, and stay up. *)
+let crash_recovery () =
+  let src = checksum_src () in
+  Client.with_daemon ~config:(test_config "crash") (fun cl ->
+      let stages = ref [] in
+      let outcome, dedup, attempts =
+        match
+          Client.run_job cl
+            ~on_event:(fun ev ->
+              match ev with
+              | Protocol.Stage { ev_attempt; _ } -> stages := ev_attempt :: !stages
+              | _ -> ())
+            (Protocol.job ~id:"boom" ~source:src ~fail:"crash" ())
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.fail ("crash job: " ^ e)
+      in
+      Alcotest.(check bool) "not dedup" false dedup;
+      Alcotest.(check int) "verdict arrived on the retry attempt" 2 attempts;
+      Alcotest.(check bool) "stage events from both attempts" true
+        (List.mem 1 !stages && List.mem 2 !stages);
+      (* the retried run completes normally: same verdict as a direct run *)
+      let direct = Echo.Verify.run ~source:src () in
+      Alcotest.(check string) "retried verdict matches direct run"
+        (Echo.Verify.verdict_string direct.Echo.Verify.vj_verdict)
+        outcome.Protocol.w_verdict;
+      (* daemon survived: it still answers, and owns a respawned worker *)
+      match Client.stats cl with
+      | Error e -> Alcotest.fail ("stats after crash: " ^ e)
+      | Ok st ->
+          Alcotest.(check int) "one worker crash recorded" 1
+            st.Protocol.st_worker_crashes;
+          Alcotest.(check int) "one worker respawned" 1
+            st.Protocol.st_worker_restarts;
+          Alcotest.(check int) "one retry recorded" 1 st.Protocol.st_retries;
+          Alcotest.(check int) "job completed despite the crash" 1
+            st.Protocol.st_completed)
+
+(* a job past the attempt budget surfaces as a service fault, exit 8 *)
+let crash_budget_exhausted () =
+  let src = checksum_src () in
+  let config = { (test_config "budget") with Daemon.dc_max_attempts = 1 } in
+  Client.with_daemon ~config (fun cl ->
+      match
+        Client.run_job cl (Protocol.job ~id:"doom" ~source:src ~fail:"crash" ())
+      with
+      | Error e -> Alcotest.fail ("budget job should verdict, got: " ^ e)
+      | Ok (outcome, _, _) -> (
+          Alcotest.(check string) "failed verdict" "failed"
+            outcome.Protocol.w_verdict;
+          match outcome.Protocol.w_fault with
+          | Some (cls, _) ->
+              Alcotest.(check string) "service fault class" "service" cls;
+              Alcotest.(check int) "service exit code" 8
+                (Protocol.exit_code_of_class cls)
+          | None -> Alcotest.fail "no fault attached"))
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [ prop_priority_fifo; prop_backpressure; prop_job_round_trip ]
+
+let suites =
+  [
+    ( "serve.jobq",
+      props
+      @ [ Alcotest.test_case "capacity reuse after pops" `Quick jobq_reuse ] );
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "job spec round-trip (hostile strings)" `Quick
+          job_round_trip;
+        Alcotest.test_case "event round-trips" `Quick event_round_trip;
+        Alcotest.test_case "request/assignment round-trips" `Quick
+          request_round_trip;
+        Alcotest.test_case "NDJSON framing" `Quick framing;
+      ] );
+    ( "serve.daemon",
+      [
+        Alcotest.test_case "cold/warm/incremental session" `Slow daemon_session;
+        Alcotest.test_case "worker crash: retried, daemon survives" `Slow
+          crash_recovery;
+        Alcotest.test_case "crash past attempt budget: service fault" `Slow
+          crash_budget_exhausted;
+      ] );
+  ]
