@@ -199,6 +199,26 @@ let remove_decl program name =
 (* Traversal and rewriting                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* All rewriting combinators below preserve physical sharing: a node (or
+   list) none of whose parts changed is returned as-is, not rebuilt.  A
+   one-procedure transformation therefore leaves every other declaration
+   physically identical, which the incremental re-typechecker and the
+   applicability-memoization layer key on. *)
+
+(** [List.map] that returns the original list when every element is
+    physically unchanged. *)
+let map_sharing f xs =
+  let changed = ref false in
+  let ys =
+    List.map
+      (fun x ->
+        let y = f x in
+        if y != x then changed := true;
+        y)
+      xs
+  in
+  if !changed then ys else xs
+
 (** Bottom-up expression rewriting: children first (left to right, in a
     deterministic order — effectful rewriters rely on it), then the node
     itself. *)
@@ -209,76 +229,135 @@ let rec map_expr f e =
     | Index (a, i) ->
         let a' = map_expr f a in
         let i' = map_expr f i in
-        Index (a', i')
-    | Unop (op, a) -> Unop (op, map_expr f a)
+        if a' == a && i' == i then e else Index (a', i')
+    | Unop (op, a) ->
+        let a' = map_expr f a in
+        if a' == a then e else Unop (op, a')
     | Binop (op, a, b) ->
         let a' = map_expr f a in
         let b' = map_expr f b in
-        Binop (op, a', b')
-    | Call (name, args) -> Call (name, List.map (map_expr f) args)
-    | Aggregate es -> Aggregate (List.map (map_expr f) es)
+        if a' == a && b' == b then e else Binop (op, a', b')
+    | Call (name, args) ->
+        let args' = map_sharing (map_expr f) args in
+        if args' == args then e else Call (name, args')
+    | Aggregate es ->
+        let es' = map_sharing (map_expr f) es in
+        if es' == es then e else Aggregate es'
     | Quantified (q, i, lo, hi, body) ->
         let lo' = map_expr f lo in
         let hi' = map_expr f hi in
         let body' = map_expr f body in
-        Quantified (q, i, lo', hi', body')
+        if lo' == lo && hi' == hi && body' == body then e
+        else Quantified (q, i, lo', hi', body')
   in
   f e'
 
-let rec map_lvalue_exprs f = function
-  | Lvar x -> Lvar x
-  | Lindex (lv, i) ->
-      let lv' = map_lvalue_exprs f lv in
+let rec map_lvalue_exprs f lv =
+  match lv with
+  | Lvar _ -> lv
+  | Lindex (inner, i) ->
+      let inner' = map_lvalue_exprs f inner in
       let i' = map_expr f i in
-      Lindex (lv', i')
+      if inner' == inner && i' == i then lv else Lindex (inner', i')
 
 (** Rewrite every expression occurring in a statement (guards, bounds,
     right-hand sides, call arguments, invariants, assertions). *)
 let rec map_stmt_exprs f stmt =
   match stmt with
-  | Null -> Null
-  | Assign (lv, e) -> Assign (map_lvalue_exprs f lv, map_expr f e)
+  | Null -> stmt
+  | Assign (lv, e) ->
+      let lv' = map_lvalue_exprs f lv in
+      let e' = map_expr f e in
+      if lv' == lv && e' == e then stmt else Assign (lv', e')
   | If (branches, els) ->
-      let branch (g, body) = (map_expr f g, List.map (map_stmt_exprs f) body) in
-      If (List.map branch branches, List.map (map_stmt_exprs f) els)
+      let branch ((g, body) as br) =
+        let g' = map_expr f g in
+        let body' = map_sharing (map_stmt_exprs f) body in
+        if g' == g && body' == body then br else (g', body')
+      in
+      let branches' = map_sharing branch branches in
+      let els' = map_sharing (map_stmt_exprs f) els in
+      if branches' == branches && els' == els then stmt
+      else If (branches', els')
   | For fl ->
-      For
-        {
-          fl with
-          for_lo = map_expr f fl.for_lo;
-          for_hi = map_expr f fl.for_hi;
-          for_invariants = List.map (map_expr f) fl.for_invariants;
-          for_body = List.map (map_stmt_exprs f) fl.for_body;
-        }
+      let lo' = map_expr f fl.for_lo in
+      let hi' = map_expr f fl.for_hi in
+      let invs' = map_sharing (map_expr f) fl.for_invariants in
+      let body' = map_sharing (map_stmt_exprs f) fl.for_body in
+      if
+        lo' == fl.for_lo && hi' == fl.for_hi
+        && invs' == fl.for_invariants
+        && body' == fl.for_body
+      then stmt
+      else
+        For
+          {
+            fl with
+            for_lo = lo';
+            for_hi = hi';
+            for_invariants = invs';
+            for_body = body';
+          }
   | While wl ->
-      While
-        {
-          while_cond = map_expr f wl.while_cond;
-          while_invariants = List.map (map_expr f) wl.while_invariants;
-          while_body = List.map (map_stmt_exprs f) wl.while_body;
-        }
-  | Call_stmt (name, args) -> Call_stmt (name, List.map (map_expr f) args)
-  | Return e -> Return (Option.map (map_expr f) e)
-  | Assert e -> Assert (map_expr f e)
+      let cond' = map_expr f wl.while_cond in
+      let invs' = map_sharing (map_expr f) wl.while_invariants in
+      let body' = map_sharing (map_stmt_exprs f) wl.while_body in
+      if
+        cond' == wl.while_cond
+        && invs' == wl.while_invariants
+        && body' == wl.while_body
+      then stmt
+      else
+        While
+          { while_cond = cond'; while_invariants = invs'; while_body = body' }
+  | Call_stmt (name, args) ->
+      let args' = map_sharing (map_expr f) args in
+      if args' == args then stmt else Call_stmt (name, args')
+  | Return None -> stmt
+  | Return (Some e) ->
+      let e' = map_expr f e in
+      if e' == e then stmt else Return (Some e')
+  | Assert e ->
+      let e' = map_expr f e in
+      if e' == e then stmt else Assert e'
 
 (** Rewrite statements bottom-up: [f] sees each statement after its
     sub-statements have been rewritten, and may expand one statement into a
     list (or delete it by returning []). *)
 let rec map_stmts f stmts =
-  List.concat_map
-    (fun stmt ->
-      let stmt' =
-        match stmt with
-        | Null | Assign _ | Call_stmt _ | Return _ | Assert _ -> stmt
-        | If (branches, els) ->
-            If
-              ( List.map (fun (g, body) -> (g, map_stmts f body)) branches,
-                map_stmts f els )
-        | For fl -> For { fl with for_body = map_stmts f fl.for_body }
-        | While wl -> While { wl with while_body = map_stmts f wl.while_body }
-      in
-      f stmt')
-    stmts
+  let changed = ref false in
+  let groups =
+    List.map
+      (fun stmt ->
+        let stmt' =
+          match stmt with
+          | Null | Assign _ | Call_stmt _ | Return _ | Assert _ -> stmt
+          | If (branches, els) ->
+              let branch ((g, body) as br) =
+                let body' = map_stmts f body in
+                if body' == body then br else (g, body')
+              in
+              let branches' = map_sharing branch branches in
+              let els' = map_stmts f els in
+              if branches' == branches && els' == els then stmt
+              else If (branches', els')
+          | For fl ->
+              let body' = map_stmts f fl.for_body in
+              if body' == fl.for_body then stmt
+              else For { fl with for_body = body' }
+          | While wl ->
+              let body' = map_stmts f wl.while_body in
+              if body' == wl.while_body then stmt
+              else While { wl with while_body = body' }
+        in
+        match f stmt' with
+        | [ s ] when s == stmt -> [ s ]
+        | group ->
+            changed := true;
+            group)
+      stmts
+  in
+  if !changed then List.concat groups else stmts
 
 let rec iter_expr f e =
   f e;
@@ -311,33 +390,49 @@ let rec iter_lvalue_exprs f = function
     expression, left to right, so effectful rewriters (literal collectors)
     see a deterministic single traversal. *)
 let map_own_exprs f stmt =
-  let rec lv_map = function
-    | Lvar x -> Lvar x
-    | Lindex (lv, i) ->
-        let lv' = lv_map lv in
+  let rec lv_map lv =
+    match lv with
+    | Lvar _ -> lv
+    | Lindex (inner, i) ->
+        let inner' = lv_map inner in
         let i' = f i in
-        Lindex (lv', i')
+        if inner' == inner && i' == i then lv else Lindex (inner', i')
   in
   match stmt with
-  | Null -> Null
+  | Null -> stmt
   | Assign (lv, e) ->
       let lv' = lv_map lv in
       let e' = f e in
-      Assign (lv', e')
+      if lv' == lv && e' == e then stmt else Assign (lv', e')
   | If (branches, els) ->
-      If (List.map (fun (g, body) -> (f g, body)) branches, els)
+      let branch ((g, body) as br) =
+        let g' = f g in
+        if g' == g then br else (g', body)
+      in
+      let branches' = map_sharing branch branches in
+      if branches' == branches then stmt else If (branches', els)
   | For fl ->
       let lo = f fl.for_lo in
       let hi = f fl.for_hi in
-      let invs = List.map f fl.for_invariants in
-      For { fl with for_lo = lo; for_hi = hi; for_invariants = invs }
+      let invs = map_sharing f fl.for_invariants in
+      if lo == fl.for_lo && hi == fl.for_hi && invs == fl.for_invariants then
+        stmt
+      else For { fl with for_lo = lo; for_hi = hi; for_invariants = invs }
   | While wl ->
       let cond = f wl.while_cond in
-      let invs = List.map f wl.while_invariants in
-      While { wl with while_cond = cond; while_invariants = invs }
-  | Call_stmt (name, args) -> Call_stmt (name, List.map f args)
-  | Return e -> Return (Option.map f e)
-  | Assert e -> Assert (f e)
+      let invs = map_sharing f wl.while_invariants in
+      if cond == wl.while_cond && invs == wl.while_invariants then stmt
+      else While { wl with while_cond = cond; while_invariants = invs }
+  | Call_stmt (name, args) ->
+      let args' = map_sharing f args in
+      if args' == args then stmt else Call_stmt (name, args')
+  | Return None -> stmt
+  | Return (Some e) ->
+      let e' = f e in
+      if e' == e then stmt else Return (Some e')
+  | Assert e ->
+      let e' = f e in
+      if e' == e then stmt else Assert e'
 
 (** Apply [f] once to each whole expression attached directly to one
     statement node (guards, bounds, invariants, arguments), not to nested
@@ -465,15 +560,21 @@ let rec subst_lvalue env lv =
   match lv with
   | Lvar x -> (
       match List.assoc_opt x env with
-      | Some (Var y) -> Lvar y
-      | Some _ | None -> Lvar x)
-  | Lindex (lv, i) -> Lindex (subst_lvalue env lv, subst_expr env i)
+      | Some (Var y) -> if String.equal y x then lv else Lvar y
+      | Some _ | None -> lv)
+  | Lindex (inner, i) ->
+      let inner' = subst_lvalue env inner in
+      let i' = subst_expr env i in
+      if inner' == inner && i' == i then lv else Lindex (inner', i')
 
 let subst_stmts env stmts =
   map_stmts
     (fun stmt ->
       match stmt with
-      | Assign (lv, e) -> [ Assign (subst_lvalue env lv, subst_expr env e) ]
+      | Assign (lv, e) ->
+          let lv' = subst_lvalue env lv in
+          let e' = subst_expr env e in
+          [ (if lv' == lv && e' == e then stmt else Assign (lv', e')) ]
       | other -> [ map_own_exprs (subst_expr env) other ])
     stmts
 

@@ -142,7 +142,17 @@ val insert_decl_before : program -> anchor:ident -> decl -> program
 
 val remove_decl : program -> ident -> program
 
-(** {1 Traversal and rewriting} *)
+(** {1 Traversal and rewriting}
+
+    All rewriting combinators preserve physical sharing: a node (or list)
+    none of whose parts changed is returned as-is, not rebuilt.  A
+    one-procedure transformation therefore leaves every other declaration
+    physically identical — the incremental re-typechecker and the
+    applicability memoization layer key on this. *)
+
+val map_sharing : ('a -> 'a) -> 'a list -> 'a list
+(** [List.map] that returns the original list when every element is
+    physically unchanged. *)
 
 val map_expr : (expr -> expr) -> expr -> expr
 (** Bottom-up expression rewriting: children first (left to right, in a

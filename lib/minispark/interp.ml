@@ -21,11 +21,39 @@ exception Out_of_fuel
 
 let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
 
+(* Per-program interpreter data, cached per domain and keyed by the
+   *physical* program (transformation steps share unchanged programs by
+   pointer, see Share):
+
+   - a subprogram index replacing the linear [env.subs] scan on every
+     call (built from the program's declarations, first name wins, the
+     same resolution order as [Ast.find_sub]);
+   - the evaluated global initialisers as a template, so a fresh runtime
+     copies one small table instead of re-evaluating ten 256-element AES
+     tables;
+   - a memo of "const functions" (scalar in-parameters, reads no mutable
+     global, transitively) and their results — gf_mul/xtime-style helpers
+     dominate differential-oracle time.
+
+   Values are immutable (arrays are copy-on-update), so sharing the
+   template values and memoized results across runtimes is safe.  A memo
+   hit skips the callee's fuel consumption: fuel stays an upper bound on
+   work actually performed, and a divergence can only be reported when
+   the body was actually run. *)
+type progdata = {
+  pd_subs : (ident, subprogram) Hashtbl.t;
+  pd_fn_memo : (ident * Value.t list, Value.t) Hashtbl.t;
+  pd_fn_const : (ident, bool) Hashtbl.t;
+  mutable pd_template : (ident, Value.t) Hashtbl.t option;
+  mutable pd_init_cost : int;
+}
+
 type rt = {
   env : Typecheck.env;
   program : program;
   globals : (ident, Value.t) Hashtbl.t;
   mutable fuel : int;
+  pd : progdata;
 }
 
 let rec default_value env t =
@@ -127,6 +155,132 @@ let compare_values op a b =
   | Ge -> Value.Vbool (Value.as_int a >= Value.as_int b)
   | _ -> assert false
 
+(* ---------------- per-program data ---------------- *)
+
+let pd_bucket_cap = 8
+let pd_table_cap = 256
+let fn_memo_cap = 131_072
+
+let pd_cache : (int, (program * progdata) list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let progdata_of program =
+  let cache = Domain.DLS.get pd_cache in
+  let h = Hashtbl.hash program in
+  let bucket =
+    match Hashtbl.find_opt cache h with
+    | Some b -> b
+    | None ->
+        if Hashtbl.length cache >= pd_table_cap then Hashtbl.reset cache;
+        let b = ref [] in
+        Hashtbl.replace cache h b;
+        b
+  in
+  match List.find_opt (fun (p, _) -> p == program) !bucket with
+  | Some (_, pd) -> pd
+  | None ->
+      let subs = Hashtbl.create 32 in
+      List.iter
+        (function
+          | Dsub s ->
+              if not (Hashtbl.mem subs s.sub_name) then
+                Hashtbl.add subs s.sub_name s
+          | Dtype _ | Dconst _ | Dvar _ -> ())
+        program.prog_decls;
+      let pd =
+        {
+          pd_subs = subs;
+          pd_fn_memo = Hashtbl.create 64;
+          pd_fn_const = Hashtbl.create 16;
+          pd_template = None;
+          pd_init_cost = 0;
+        }
+      in
+      let rest =
+        if List.length !bucket >= pd_bucket_cap then
+          List.filteri (fun i _ -> i < pd_bucket_cap - 1) !bucket
+        else !bucket
+      in
+      bucket := (program, pd) :: rest;
+      pd
+
+let scalar_typ env t =
+  match Typecheck.resolve env t with
+  | Tbool | Tint _ | Tmod _ -> true
+  | Tarray _ | Tnamed _ -> false
+
+(* A name is "global-free" when evaluating its body can never read a
+   mutable global: no identifier in its body or local initialisers names
+   an [Obj_global], and every subprogram it calls is itself global-free.
+   Conservative: a local shadowing a global name disqualifies, cycles are
+   resolved optimistically (a recursive function is global-free unless
+   some body in the cycle reads a global — the provisional [true] is
+   corrected before anyone observes it because the whole cycle is
+   analysed within this call). *)
+let rec global_free pd env name =
+  match Hashtbl.find_opt pd.pd_fn_const ("g:" ^ name) with
+  | Some b -> b
+  | None -> (
+      Hashtbl.replace pd.pd_fn_const ("g:" ^ name) true;
+      let result =
+        match Hashtbl.find_opt pd.pd_subs name with
+        | None -> false
+        | Some s ->
+            let ok = ref true in
+            let check_ident x =
+              match List.assoc_opt x env.Typecheck.objects with
+              | Some (Typecheck.Obj_global, _) -> ok := false
+              | Some _ | None -> ()
+            in
+            let visit_expr e =
+              iter_expr
+                (fun e ->
+                  match e with
+                  | Var x | Old x -> check_ident x
+                  | Call (f, _) ->
+                      if Hashtbl.mem pd.pd_subs f then (
+                        if not (global_free pd env f) then ok := false)
+                      else check_ident f
+                  | Bool_lit _ | Int_lit _ | Index _ | Unop _ | Binop _
+                  | Aggregate _ | Result | Quantified _ ->
+                      ())
+                e
+            in
+            List.iter (fun v -> Option.iter visit_expr v.v_init) s.sub_locals;
+            iter_stmts
+              (fun st ->
+                (match st with
+                | Call_stmt (f, _) -> if not (global_free pd env f) then ok := false
+                | Null | Assign _ | If _ | For _ | While _ | Return _ | Assert _
+                  ->
+                    ());
+                iter_own_exprs visit_expr st)
+              s.sub_body;
+            !ok
+      in
+      Hashtbl.replace pd.pd_fn_const ("g:" ^ name) result;
+      result)
+
+(* Memoizable calls: functions whose parameters are all scalar (the key
+   stays small and hash-friendly) and that never read mutable globals, so
+   the result is a pure function of the argument values. *)
+let fn_const pd env name =
+  match Hashtbl.find_opt pd.pd_fn_const name with
+  | Some b -> b
+  | None ->
+      let result =
+        match Hashtbl.find_opt pd.pd_subs name with
+        | None -> false
+        | Some s ->
+            s.sub_return <> None
+            && List.for_all
+                 (fun p -> p.par_mode = Mode_in && scalar_typ env p.par_typ)
+                 s.sub_params
+            && global_free pd env name
+      in
+      Hashtbl.replace pd.pd_fn_const name result;
+      result
+
 let rec eval rt (frame : frame) e =
   match e with
   | Bool_lit b -> Value.Vbool b
@@ -171,7 +325,7 @@ let rec eval rt (frame : frame) e =
   | Binop (Or_else, a, b) ->
       if Value.as_bool (eval rt frame a) then Value.Vbool true else eval rt frame b
   | Call (name, args) -> (
-      match List.assoc_opt name rt.env.subs with
+      match Hashtbl.find_opt rt.pd.pd_subs name with
       | Some callee when callee.sub_return <> None ->
           let argv = List.map (eval rt frame) args in
           call_function rt callee argv
@@ -239,22 +393,20 @@ and exec_stmt rt frame stmt =
       let hi = Value.as_int (eval rt frame fl.for_hi) in
       let had_binding = Hashtbl.mem frame fl.for_var in
       let saved = if had_binding then Some (Hashtbl.find frame fl.for_var) else None in
-      let indices =
-        if lo > hi then []
-        else
-          let n = hi - lo + 1 in
-          List.init n (fun k -> if fl.for_reverse then hi - k else lo + k)
-      in
       let result =
-        let rec run = function
-          | [] -> None
-          | i :: rest -> (
-              Hashtbl.replace frame fl.for_var (Value.Vint i);
-              match exec_stmts rt frame fl.for_body with
-              | None -> run rest
-              | Some _ as r -> r)
-        in
-        run indices
+        if lo > hi then None
+        else begin
+          let first = if fl.for_reverse then hi else lo in
+          let last = if fl.for_reverse then lo else hi in
+          let step = if fl.for_reverse then -1 else 1 in
+          let rec run i =
+            Hashtbl.replace frame fl.for_var (Value.Vint i);
+            match exec_stmts rt frame fl.for_body with
+            | None -> if i = last then None else run (i + step)
+            | Some _ as r -> r
+          in
+          run first
+        end
       in
       (match saved with
       | Some v -> Hashtbl.replace frame fl.for_var v
@@ -274,7 +426,7 @@ and exec_stmt rt frame stmt =
       run ()
   | Return e -> Some (Option.map (eval rt frame) e)
   | Call_stmt (name, args) -> (
-      match List.assoc_opt name rt.env.subs with
+      match Hashtbl.find_opt rt.pd.pd_subs name with
       | None -> stuck "unknown procedure %s" name
       | Some callee ->
           let results = call_procedure_values rt frame callee args in
@@ -333,6 +485,19 @@ and bind_params rt callee argv =
   frame
 
 and call_function rt callee argv =
+  if fn_const rt.pd rt.env callee.sub_name then begin
+    let key = (callee.sub_name, argv) in
+    match Hashtbl.find_opt rt.pd.pd_fn_memo key with
+    | Some v -> v
+    | None ->
+        let v = call_function_uncached rt callee argv in
+        if Hashtbl.length rt.pd.pd_fn_memo < fn_memo_cap then
+          Hashtbl.add rt.pd.pd_fn_memo key v;
+        v
+  end
+  else call_function_uncached rt callee argv
+
+and call_function_uncached rt callee argv =
   let frame = bind_params rt callee argv in
   match exec_stmts rt frame callee.sub_body with
   | Some (Some v) ->
@@ -367,26 +532,39 @@ and call_procedure_values rt caller_frame callee args =
 let default_fuel = 50_000_000
 
 (** Build a runtime for a type-checked program: evaluates global constant
-    and variable initialisers. *)
+    and variable initialisers.  The evaluated initialisers are cached per
+    (domain, physical program) and copied into subsequent runtimes — the
+    values are immutable, so sharing them is safe.  A cached construction
+    still accounts the fuel the initialisers consumed when first built. *)
 let make ?(fuel = default_fuel) (env : Typecheck.env) (program : program) =
-  let rt = { env; program; globals = Hashtbl.create 64; fuel } in
-  List.iter
-    (fun decl ->
-      match decl with
-      | Dtype _ | Dsub _ -> ()
-      | Dconst c ->
-          let frame = frame_create () in
-          Hashtbl.replace rt.globals c.k_name (coerce env c.k_typ (eval rt frame c.k_value))
-      | Dvar v ->
-          let frame = frame_create () in
-          let value =
-            match v.v_init with
-            | Some e -> coerce env v.v_typ (eval rt frame e)
-            | None -> default_value env v.v_typ
-          in
-          Hashtbl.replace rt.globals v.v_name value)
-    program.prog_decls;
-  rt
+  let pd = progdata_of program in
+  match pd.pd_template with
+  | Some template ->
+      let remaining = fuel - pd.pd_init_cost in
+      if remaining <= 0 then raise Out_of_fuel;
+      { env; program; globals = Hashtbl.copy template; fuel = remaining; pd }
+  | None ->
+      let rt = { env; program; globals = Hashtbl.create 64; fuel; pd } in
+      List.iter
+        (fun decl ->
+          match decl with
+          | Dtype _ | Dsub _ -> ()
+          | Dconst c ->
+              let frame = frame_create () in
+              Hashtbl.replace rt.globals c.k_name
+                (coerce env c.k_typ (eval rt frame c.k_value))
+          | Dvar v ->
+              let frame = frame_create () in
+              let value =
+                match v.v_init with
+                | Some e -> coerce env v.v_typ (eval rt frame e)
+                | None -> default_value env v.v_typ
+              in
+              Hashtbl.replace rt.globals v.v_name value)
+        program.prog_decls;
+      pd.pd_template <- Some (Hashtbl.copy rt.globals);
+      pd.pd_init_cost <- fuel - rt.fuel;
+      rt
 
 let fresh_runtime ?fuel env program = make ?fuel env program
 

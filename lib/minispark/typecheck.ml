@@ -457,74 +457,202 @@ let check_subprogram env sub =
   let body = check_stmts ctx sub.sub_body in
   { sub with sub_pre = pre; sub_post = post; sub_locals = locals'; sub_body = body }
 
+(** Check one declaration against the environment accumulated so far;
+    returns the extended environment and the normalised declaration.  The
+    result is interned ({!Share.intern_decl}), so re-deriving a
+    structurally equal declaration yields the same physical object — the
+    incremental checker and downstream memo layers key on this. *)
+let check_decl env decl =
+  match decl with
+  | Dtype (n, t) ->
+      if List.mem_assoc n env.types then error "duplicate type %s" n;
+      let t' = resolve env t in
+      ({ env with types = (n, t') :: env.types }, Share.intern_decl (Dtype (n, t)))
+  | Dconst c ->
+      if List.mem_assoc c.k_name env.objects then error "duplicate object %s" c.k_name;
+      let t = resolve env c.k_typ in
+      let ctx = { env; locals = []; current = None; annot = Ctx_code } in
+      let value =
+        match c.k_value with
+        | Aggregate _ ->
+            check_aggregate_shape env c.k_typ c.k_value;
+            (* normalise elements *)
+            let rec norm t e =
+              match (resolve env t, e) with
+              | Tarray (_, _, elt), Aggregate es -> Aggregate (List.map (norm elt) es)
+              | _, e -> fst (infer ctx e)
+            in
+            norm c.k_typ c.k_value
+        | e ->
+            let e', te = infer ctx e in
+            if not (compatible te t) then error "constant %s type mismatch" c.k_name;
+            e'
+      in
+      ( { env with objects = (c.k_name, (Obj_const, t)) :: env.objects },
+        Share.intern_decl (Dconst { c with k_value = value }) )
+  | Dvar v ->
+      if List.mem_assoc v.v_name env.objects then error "duplicate object %s" v.v_name;
+      let t = resolve env v.v_typ in
+      let ctx = { env; locals = []; current = None; annot = Ctx_code } in
+      let init =
+        Option.map
+          (fun e ->
+            match e with
+            | Aggregate _ ->
+                check_aggregate_shape env v.v_typ e;
+                e
+            | _ ->
+                let e', te = infer ctx e in
+                if not (compatible te t) then
+                  error "initialiser type mismatch for %s" v.v_name;
+                e')
+          v.v_init
+      in
+      ( { env with objects = (v.v_name, (Obj_global, t)) :: env.objects },
+        Share.intern_decl (Dvar { v with v_init = init }) )
+  | Dsub sub ->
+      if List.mem_assoc sub.sub_name env.subs then
+        error "duplicate subprogram %s" sub.sub_name;
+      (* allow recursion: add the signature before checking the body *)
+      let env' = { env with subs = (sub.sub_name, sub) :: env.subs } in
+      let sub' = check_subprogram env' sub in
+      let d' = Share.intern_decl (Dsub sub') in
+      let sub'' = match d' with Dsub s -> s | _ -> assert false in
+      ({ env with subs = (sub.sub_name, sub'') :: env.subs }, d')
+
 (** Type-check a program; returns the normalised program.
     Declarations are processed in order, so every name must be declared
     before use (as in Ada). *)
 let check program =
-  let step env decl =
-    match decl with
-    | Dtype (n, t) ->
-        if List.mem_assoc n env.types then error "duplicate type %s" n;
-        let t' = resolve env t in
-        ({ env with types = (n, t') :: env.types }, Dtype (n, t))
-    | Dconst c ->
-        if List.mem_assoc c.k_name env.objects then error "duplicate object %s" c.k_name;
-        let t = resolve env c.k_typ in
-        let ctx = { env; locals = []; current = None; annot = Ctx_code } in
-        let value =
-          match c.k_value with
-          | Aggregate _ ->
-              check_aggregate_shape env c.k_typ c.k_value;
-              (* normalise elements *)
-              let rec norm t e =
-                match (resolve env t, e) with
-                | Tarray (_, _, elt), Aggregate es -> Aggregate (List.map (norm elt) es)
-                | _, e -> fst (infer ctx e)
-              in
-              norm c.k_typ c.k_value
-          | e ->
-              let e', te = infer ctx e in
-              if not (compatible te t) then error "constant %s type mismatch" c.k_name;
-              e'
-        in
-        ( { env with objects = (c.k_name, (Obj_const, t)) :: env.objects },
-          Dconst { c with k_value = value } )
-    | Dvar v ->
-        if List.mem_assoc v.v_name env.objects then error "duplicate object %s" v.v_name;
-        let t = resolve env v.v_typ in
-        let ctx = { env; locals = []; current = None; annot = Ctx_code } in
-        let init =
-          Option.map
-            (fun e ->
-              match e with
-              | Aggregate _ ->
-                  check_aggregate_shape env v.v_typ e;
-                  e
-              | _ ->
-                  let e', te = infer ctx e in
-                  if not (compatible te t) then
-                    error "initialiser type mismatch for %s" v.v_name;
-                  e')
-            v.v_init
-        in
-        ( { env with objects = (v.v_name, (Obj_global, t)) :: env.objects },
-          Dvar { v with v_init = init } )
-    | Dsub sub ->
-        if List.mem_assoc sub.sub_name env.subs then
-          error "duplicate subprogram %s" sub.sub_name;
-        (* allow recursion: add the signature before checking the body *)
-        let env' = { env with subs = (sub.sub_name, sub) :: env.subs } in
-        let sub' = check_subprogram env' sub in
-        ({ env with subs = (sub.sub_name, sub') :: env.subs }, Dsub sub')
-  in
   let env, rev_decls =
     List.fold_left
       (fun (env, acc) d ->
-        let env', d' = step env d in
+        let env', d' = check_decl env d in
         (env', d' :: acc))
       (empty_env, []) program.prog_decls
   in
   (env, { program with prog_decls = List.rev rev_decls })
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-checking                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The "surface" of a declaration is the part of it other declarations'
+   checking can observe: a type's resolved right-hand side, an object's
+   kind and resolved type, a subprogram's resolved signature.  Bodies,
+   contract annotations, parameter names and constant values are not
+   surface — a body-only edit never dirties its callers. *)
+type surface =
+  | Sf_type of typ
+  | Sf_obj of obj_kind * typ
+  | Sf_sub of (param_mode * typ) list * typ option
+
+let decl_name = function
+  | Dtype (n, _) -> n
+  | Dconst c -> c.k_name
+  | Dvar v -> v.v_name
+  | Dsub s -> s.sub_name
+
+let sub_surface env s =
+  Sf_sub
+    ( List.map (fun p -> (p.par_mode, resolve env p.par_typ)) s.sub_params,
+      Option.map (resolve env) s.sub_return )
+
+let surface_of env d =
+  match d with
+  | Dtype (n, _) -> Sf_type (List.assoc n env.types)
+  | Dconst c ->
+      let k, t = List.assoc c.k_name env.objects in
+      Sf_obj (k, t)
+  | Dvar v ->
+      let k, t = List.assoc v.v_name env.objects in
+      Sf_obj (k, t)
+  | Dsub s -> sub_surface env s
+
+(** Re-check a program against a checked baseline, reusing every
+    declaration that is physically equal to its baseline namesake and
+    whose referenced names all kept their surface.  The result is
+    structurally identical to [check program] — agreement is what the
+    QCheck properties in [test_typecheck_incremental] assert — at the
+    cost of re-checking only the edited declarations and their
+    surface-affected dependents.
+
+    Precondition: [baseline] is a pair returned by {!check} or by this
+    function (the baseline program must be normalised, or a physically
+    reused declaration could skip normalisation). *)
+let check_incremental ~baseline:(env0, prog0) program =
+  let base_decl = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let n = decl_name d in
+      if not (Hashtbl.mem base_decl n) then Hashtbl.add base_decl n d)
+    prog0.prog_decls;
+  let base_surface = Hashtbl.create 64 in
+  List.iter (fun (n, t) -> Hashtbl.replace base_surface n (Sf_type t)) env0.types;
+  List.iter
+    (fun (n, (k, t)) -> Hashtbl.replace base_surface n (Sf_obj (k, t)))
+    env0.objects;
+  List.iter
+    (fun (n, s) -> Hashtbl.replace base_surface n (sub_surface env0 s))
+    env0.subs;
+  let declared = Hashtbl.create 64 in
+  let new_surface = Hashtbl.create 64 in
+  let process (env, acc) d =
+    let n = decl_name d in
+    let reusable =
+      (not (Hashtbl.mem declared n))
+      &&
+      match Hashtbl.find_opt base_decl n with
+      | Some d0 when d0 == d ->
+          (* every name the declaration mentions must denote the same
+             surface it denoted in the baseline (or be absent in both:
+             locals, loop variables, intrinsics) *)
+          List.for_all
+            (fun r ->
+              String.equal r n
+              ||
+              match
+                (Hashtbl.find_opt base_surface r, Hashtbl.find_opt new_surface r)
+              with
+              | None, None -> true
+              | Some s0, Some s1 -> s0 = s1
+              | None, Some _ | Some _, None -> false)
+            (Share.decl_refs d)
+      | Some _ | None -> false
+    in
+    Hashtbl.replace declared n ();
+    if reusable then (
+      let env' =
+        match d with
+        | Dtype (tn, _) ->
+            let t = List.assoc tn env0.types in
+            { env with types = (tn, t) :: env.types }
+        | Dconst _ | Dvar _ ->
+            let entry = List.assoc n env0.objects in
+            { env with objects = (n, entry) :: env.objects }
+        | Dsub s -> { env with subs = (n, s) :: env.subs }
+      in
+      Hashtbl.replace new_surface n (Hashtbl.find base_surface n);
+      (env', d :: acc))
+    else
+      let env', d' = check_decl env d in
+      Hashtbl.replace new_surface n (surface_of env' d');
+      (env', d' :: acc)
+  in
+  let env, rev_decls =
+    List.fold_left process (empty_env, []) program.prog_decls
+  in
+  let decls = List.rev rev_decls in
+  (* a fully reused declaration list preserves the program record itself,
+     so no-op re-checks keep digest memos and downstream == fast paths *)
+  let prog =
+    if
+      List.length decls = List.length program.prog_decls
+      && List.for_all2 ( == ) decls program.prog_decls
+    then program
+    else { program with prog_decls = decls }
+  in
+  (env, prog)
 
 (** Convenience: the resolved type of a (checked) expression in the context
     of a given subprogram — used by the VC generator. *)

@@ -41,6 +41,28 @@ val compatible : typ -> typ -> bool
 val check : program -> env * program
 (** Type-check; returns the environment and the normalised program.
     Declarations are processed in order (declare-before-use, as in Ada).
+    Every returned declaration is interned ({!Share.intern_decl}), so
+    re-deriving a structurally equal declaration yields the same physical
+    object.
+    @raise Type_error on violations. *)
+
+val check_decl : env -> decl -> env * decl
+(** Check one declaration against the environment accumulated so far;
+    returns the extended environment and the normalised (interned)
+    declaration. *)
+
+val check_incremental : baseline:(env * program) -> program -> env * program
+(** Re-check a program against a checked baseline, reusing every
+    declaration that is physically equal to its baseline namesake and
+    whose referenced names all kept their observable surface (resolved
+    type right-hand side, object kind/type, subprogram signature).  The
+    result — environment and program — is structurally identical to
+    [check program]; only edited declarations and their surface-affected
+    dependents pay the re-checking cost.
+
+    Precondition: [baseline] was returned by {!check} or by this function
+    (a physically reused declaration skips normalisation, so the baseline
+    must already be normalised).
     @raise Type_error on violations. *)
 
 val expr_type : env -> subprogram option -> expr -> typ

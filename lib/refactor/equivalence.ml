@@ -207,6 +207,105 @@ let run_sub ?fuel env program (sub : Ast.subprogram) inputs =
 let values_equal a b =
   List.length a = List.length b && List.for_all2 Value.equal a b
 
+(* ------------------------------------------------------------------ *)
+(* Memoized oracle substrate                                           *)
+(*                                                                     *)
+(* In a transformation history, step k's after-program IS step k+1's   *)
+(* before-program (physically, thanks to the sharing-preserving        *)
+(* rewrite combinators), so every program version would otherwise be   *)
+(* executed twice on the same inputs — once as "after", once as        *)
+(* "before".  Generated inputs and per-case run outcomes are therefore *)
+(* memoized per domain, keyed by content digests: the before-side of   *)
+(* each step is a warm hit, and verdicts/messages are bit-identical to *)
+(* the unmemoized computation.                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cases =
+  | C_exhaustive of Value.t list list
+  | C_sampled of Value.t list list
+  | C_cannot_sample
+
+type outcome =
+  | R_vals of Value.t list
+  | R_raised of string
+  | R_fuel
+
+type memos = {
+  inputs_tbl : (string, cases) Hashtbl.t;
+  runs_tbl : (string, outcome array) Hashtbl.t;
+}
+
+let memos_key : memos Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { inputs_tbl = Hashtbl.create 128; runs_tbl = Hashtbl.create 512 })
+
+let memos () = Domain.DLS.get memos_key
+let inputs_cap = 1024
+let runs_cap = 8192
+
+let marshal_digest x =
+  Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+
+(* inputs are generated from the *after* version's parameter types: a
+   data-representation refactoring narrows value domains (word holding a
+   byte value -> byte), and the narrower domain is the contract both
+   versions must agree on; the interpreter's copy-in coercion widens the
+   values losslessly for the before version *)
+let cases_for ~seed ~trials env_b prog_b (sub_b : Ast.subprogram) name : cases =
+  let m = memos () in
+  let key =
+    Printf.sprintf "%s:%s:%d:%d" (Share.program_digest prog_b) name seed trials
+  in
+  match Hashtbl.find_opt m.inputs_tbl key with
+  | Some c -> c
+  | None ->
+      let c =
+        match enumerate_inputs env_b sub_b with
+        | Some cases ->
+            C_exhaustive (List.filter (satisfies_pre env_b prog_b sub_b) cases)
+        | None ->
+            let rng = make_rng seed in
+            let rec go k acc rejections =
+              if k >= trials then C_sampled (List.rev acc)
+              else if rejections > 200 * trials then C_cannot_sample
+              else
+                let inputs = random_inputs env_b rng sub_b in
+                if satisfies_pre env_b prog_b sub_b inputs then
+                  go (k + 1) (inputs :: acc) rejections
+                else go k acc (rejections + 1)
+            in
+            go 0 [] 0
+      in
+      if Hashtbl.length m.inputs_tbl >= inputs_cap then
+        Hashtbl.reset m.inputs_tbl;
+      Hashtbl.add m.inputs_tbl key c;
+      c
+
+let runs_for ?fuel env prog (sub : Ast.subprogram) name cases_digest cases :
+    outcome array =
+  let m = memos () in
+  let key =
+    Printf.sprintf "%s:%s:%s:%d" (Share.program_digest prog) name cases_digest
+      (match fuel with None -> -1 | Some f -> f)
+  in
+  match Hashtbl.find_opt m.runs_tbl key with
+  | Some o -> o
+  | None ->
+      let o =
+        Array.of_list
+          (List.map
+             (fun inputs ->
+               match run_sub ?fuel env prog sub inputs with
+               | vs -> R_vals vs
+               | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
+                   R_raised msg
+               | exception Interp.Out_of_fuel -> R_fuel)
+             cases)
+      in
+      if Hashtbl.length m.runs_tbl >= runs_cap then Hashtbl.reset m.runs_tbl;
+      Hashtbl.add m.runs_tbl key o;
+      o
+
 (** Differentially check one subprogram across two program versions.  The
     subprogram (same name) must exist in both; inputs are exhaustive when
     the domain is small, sampled otherwise. *)
@@ -214,54 +313,45 @@ let check_sub ?(seed = 42) ?(trials = 64) ?fuel env_a prog_a env_b prog_b name :
     verdict =
   let sub_a = Ast.find_sub_exn prog_a name in
   let sub_b = Ast.find_sub_exn prog_b name in
-  let run_case inputs =
-    match
-      ( run_sub ?fuel env_a prog_a sub_a inputs,
-        run_sub ?fuel env_b prog_b sub_b inputs )
-    with
-    | ra, rb when values_equal ra rb -> None
-    | ra, rb ->
-        Some
-          (Printf.sprintf "%s(%s): %s vs %s" name
-             (String.concat ", " (List.map Value.to_string inputs))
-             (String.concat ", " (List.map Value.to_string ra))
-             (String.concat ", " (List.map Value.to_string rb)))
-    | exception (Interp.Stuck msg | Value.Runtime_error msg) ->
-        Some (Printf.sprintf "%s raised: %s" name msg)
-    | exception Interp.Out_of_fuel ->
-        Some
-          (Printf.sprintf "%s(%s): out of fuel (divergence suspected)" name
-             (String.concat ", " (List.map Value.to_string inputs)))
-  in
-  (* inputs are generated from the *after* version's parameter types: a
-     data-representation refactoring narrows value domains (word holding a
-     byte value -> byte), and the narrower domain is the contract both
-     versions must agree on; the interpreter's copy-in coercion widens the
-     values losslessly for the before version *)
-  match enumerate_inputs env_b sub_b with
-  | Some cases -> (
-      let cases = List.filter (satisfies_pre env_b prog_b sub_b) cases in
-      let failures = List.filter_map run_case cases in
-      match failures with
-      | [] -> Equivalent (List.length cases)
-      | msg :: _ -> Counterexample msg)
-  | None ->
-      let rng = make_rng seed in
-      let rec go k checked rejections =
-        if k >= trials then Equivalent checked
-        else if rejections > 200 * trials then
-          Counterexample
-            (Printf.sprintf "cannot sample the precondition of %s" name)
-        else
-          let inputs = random_inputs env_b rng sub_b in
-          if not (satisfies_pre env_b prog_b sub_b inputs) then
-            go k checked (rejections + 1)
-          else
-            match run_case inputs with
-            | None -> go (k + 1) (checked + 1) rejections
-            | Some msg -> Counterexample msg
+  match cases_for ~seed ~trials env_b prog_b sub_b name with
+  | C_cannot_sample ->
+      Counterexample (Printf.sprintf "cannot sample the precondition of %s" name)
+  | C_exhaustive cases | C_sampled cases ->
+      let cases_digest = marshal_digest cases in
+      let outs_a = runs_for ?fuel env_a prog_a sub_a name cases_digest cases in
+      let outs_b = runs_for ?fuel env_b prog_b sub_b name cases_digest cases in
+      let msg_raised m = Printf.sprintf "%s raised: %s" name m in
+      let msg_fuel inputs =
+        Printf.sprintf "%s(%s): out of fuel (divergence suspected)" name
+          (String.concat ", " (List.map Value.to_string inputs))
       in
-      go 0 0 0
+      let msg_diff inputs ra rb =
+        Printf.sprintf "%s(%s): %s vs %s" name
+          (String.concat ", " (List.map Value.to_string inputs))
+          (String.concat ", " (List.map Value.to_string ra))
+          (String.concat ", " (List.map Value.to_string rb))
+      in
+      (* the after version is inspected first, matching the historical
+         right-to-left evaluation of the compared pair *)
+      let case_failure i inputs =
+        match outs_b.(i) with
+        | R_raised m -> Some (msg_raised m)
+        | R_fuel -> Some (msg_fuel inputs)
+        | R_vals rb -> (
+            match outs_a.(i) with
+            | R_raised m -> Some (msg_raised m)
+            | R_fuel -> Some (msg_fuel inputs)
+            | R_vals ra ->
+                if values_equal ra rb then None else Some (msg_diff inputs ra rb))
+      in
+      let rec scan i = function
+        | [] -> Equivalent (List.length cases)
+        | inputs :: rest -> (
+            match case_failure i inputs with
+            | Some msg -> Counterexample msg
+            | None -> scan (i + 1) rest)
+      in
+      scan 0 cases
 
 (** Differentially check a whole program through the given entry points. *)
 let check_program ?(seed = 42) ?(trials = 32) ?fuel ~entries env_a prog_a env_b

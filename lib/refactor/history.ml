@@ -21,6 +21,9 @@ type step = {
   st_name : string;
   st_category : Transform.category;
   st_before : Ast.program;
+  st_env_before : Typecheck.env;
+      (** the checked environment of [st_before]; undo restores it without
+          a full re-typecheck *)
   st_after : Ast.program;
   st_evidence : evidence list;
   st_certificate : Certify.certificate option;
@@ -117,6 +120,7 @@ let apply ?(entries = []) ?(trials = 24) ?certify h (tr : Transform.t) =
       st_name = tr.Transform.tr_name;
       st_category = tr.Transform.tr_category;
       st_before = program;
+      st_env_before = env;
       st_after = program';
       st_evidence = !evidence;
       st_certificate = !certificate;
@@ -126,14 +130,29 @@ let apply ?(entries = []) ?(trials = 24) ?certify h (tr : Transform.t) =
   h.current <- (env', program');
   step
 
+(** Append an externally constructed step — a parallel block merge
+    (see {!Parblocks}) — and advance the current state to its after-image.
+    The step's index is renumbered to the append position. *)
+let record h ~env_after step =
+  let step = { step with st_index = List.length h.steps } in
+  if step.st_before != snd h.current then
+    invalid_arg "History.record: step pre-image is not the current program";
+  h.steps <- step :: h.steps;
+  h.current <- (env_after, step.st_after);
+  step
+
+let add_cert_stats h stats =
+  h.cert_stats <- Certify.add_stats h.cert_stats stats
+
 (** Roll back the most recent step. *)
 let undo h =
   match h.steps with
   | [] -> invalid_arg "History.undo: empty history"
   | step :: rest ->
       h.steps <- rest;
-      let env, before = Typecheck.check step.st_before in
-      h.current <- (env, before);
+      (* the pre-image and its environment were recorded when the step was
+         applied; re-checking them here would be pure redundancy *)
+      h.current <- (step.st_env_before, step.st_before);
       step
 
 let category_counts h =

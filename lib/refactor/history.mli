@@ -17,6 +17,9 @@ type step = {
   st_name : string;
   st_category : Transform.category;
   st_before : Ast.program;
+  st_env_before : Typecheck.env;
+      (** the checked environment of [st_before]; undo restores it without
+          a full re-typecheck *)
   st_after : Ast.program;
   st_evidence : evidence list;
   st_certificate : Certify.certificate option;
@@ -42,6 +45,18 @@ val apply :
     certification config's entry points when it has none.
     @raise Transform.Not_applicable on mechanical rejection (state
     unchanged). *)
+
+val record : t -> env_after:Typecheck.env -> step -> step
+(** Append an externally constructed step — used by {!Parblocks} when
+    merging steps produced by parallel block workers — and advance the
+    current state to [(env_after, step.st_after)].  The step's index is
+    renumbered to the append position.
+    @raise Invalid_argument when [step.st_before] is not (physically) the
+    current program. *)
+
+val add_cert_stats : t -> Certify.stats -> unit
+(** Fold externally gathered certification statistics (parallel block
+    workers) into the history's aggregate. *)
 
 val undo : t -> step
 (** Roll back the most recent step, restoring its pre-image. *)

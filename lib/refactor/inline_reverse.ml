@@ -66,22 +66,33 @@ let extract_function ~name ~params ~ret ~body ?(min_occurrences = 1) () =
                 Ast.Call (name, List.map (fun m -> List.assoc m subst) metas)
             | None -> e)
       in
+      let cache_key =
+        Printf.sprintf "xf:%s:%s" name
+          (Digest.to_hex (Digest.string (Marshal.to_string (metas, body) [])))
+      in
       let decls =
-        List.map
-          (function
+        Ast.map_sharing
+          (fun d ->
+            match d with
             | Ast.Dsub s ->
-                Ast.Dsub
-                  {
-                    s with
-                    Ast.sub_body =
-                      Ast.map_stmts
-                        (fun st -> [ Ast.map_own_exprs rw st ])
-                        s.Ast.sub_body;
-                  }
+                let body0 = s.Ast.sub_body in
+                if Transform.known_no_match ~key:cache_key body0 then d
+                else
+                  let body' =
+                    Ast.map_stmts (fun st -> [ Ast.map_own_exprs rw st ]) body0
+                  in
+                  if body' == body0 then begin
+                    Transform.record_no_match ~key:cache_key body0;
+                    d
+                  end
+                  else Ast.Dsub { s with Ast.sub_body = body' }
             | d -> d)
           program.Ast.prog_decls
       in
-      let program = { program with Ast.prog_decls = decls } in
+      let program =
+        if decls == program.Ast.prog_decls then program
+        else { program with Ast.prog_decls = decls }
+      in
       if !occurrences < min_occurrences then
         Transform.reject "only %d occurrence(s) of the %s template found" !occurrences
           name;
@@ -136,6 +147,7 @@ let extract_procedure ~name ~params ~(template : Ast.stmt list) ?(min_occurrence
         let n = Array.length arr in
         let out = ref [] in
         let i = ref 0 in
+        let changed = ref false in
         while !i < n do
           let matched =
             if !i + tlen <= n then
@@ -161,31 +173,59 @@ let extract_procedure ~name ~params ~(template : Ast.stmt list) ?(min_occurrence
                   params
               in
               incr count;
+              changed := true;
               out := Ast.Call_stmt (name, args) :: !out;
               i := !i + tlen
           | None ->
+              let s0 = arr.(!i) in
               let s =
-                match arr.(!i) with
+                match s0 with
                 | Ast.If (branches, els) ->
-                    Ast.If
-                      ( List.map (fun (g, b) -> (g, rewrite_body b)) branches,
-                        rewrite_body els )
+                    let branches' =
+                      Ast.map_sharing
+                        (fun (g, b) ->
+                          let b' = rewrite_body b in
+                          if b' == b then (g, b) else (g, b'))
+                        branches
+                    in
+                    let els' = rewrite_body els in
+                    if branches' == branches && els' == els then s0
+                    else Ast.If (branches', els')
                 | Ast.For fl ->
-                    Ast.For { fl with Ast.for_body = rewrite_body fl.Ast.for_body }
+                    let b' = rewrite_body fl.Ast.for_body in
+                    if b' == fl.Ast.for_body then s0
+                    else Ast.For { fl with Ast.for_body = b' }
                 | Ast.While wl ->
-                    Ast.While { wl with Ast.while_body = rewrite_body wl.Ast.while_body }
+                    let b' = rewrite_body wl.Ast.while_body in
+                    if b' == wl.Ast.while_body then s0
+                    else Ast.While { wl with Ast.while_body = b' }
                 | s -> s
               in
+              if s != s0 then changed := true;
               out := s :: !out;
               incr i);
           ()
         done;
-        List.rev !out
+        if !changed then List.rev !out else body
+      in
+      let cache_key =
+        Printf.sprintf "xp:%s:%s" name
+          (Digest.to_hex (Digest.string (Marshal.to_string (metas, template) [])))
       in
       let decls =
-        List.map
-          (function
-            | Ast.Dsub s -> Ast.Dsub { s with Ast.sub_body = rewrite_body s.Ast.sub_body }
+        Ast.map_sharing
+          (fun d ->
+            match d with
+            | Ast.Dsub s ->
+                let body0 = s.Ast.sub_body in
+                if Transform.known_no_match ~key:cache_key body0 then d
+                else
+                  let body' = rewrite_body body0 in
+                  if body' == body0 then begin
+                    Transform.record_no_match ~key:cache_key body0;
+                    d
+                  end
+                  else Ast.Dsub { s with Ast.sub_body = body' }
             | d -> d)
           program.Ast.prog_decls
       in

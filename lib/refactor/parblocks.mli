@@ -1,0 +1,45 @@
+(** Parallel application of independent transformation blocks (§17.4).
+
+    Consecutive blocks whose declared footprints are disjoint commute;
+    their evidence gathering (differential oracles, certification) runs
+    on separate domains ({!Farm.Pool}) from the shared pre-group state,
+    and the workers' steps are merged back {e in block order} as
+    declaration-level deltas, each re-checked incrementally.  The merged
+    history's programs, evidence, certificates and gate verdicts are
+    bit-identical to a sequential run of the same blocks — parallelism
+    changes wall-clock, never results. *)
+
+type spec = {
+  pb_index : int;              (** block number (ordering, display) *)
+  pb_title : string;
+  pb_touches : string list;
+      (** declarations the block adds, modifies or removes; ["*"] =
+          potentially everything (never grouped) *)
+  pb_reads : string list;
+      (** declarations the block's transforms read but leave unchanged *)
+  pb_run : History.t -> unit;
+}
+
+val conflict : spec -> spec -> bool
+(** Either block writes a declaration the other reads or writes (the
+    wildcard conflicts with everything). *)
+
+val plan : spec list -> spec list list
+(** Greedy grouping of consecutive mutually non-conflicting blocks;
+    concatenating the groups restores the input order. *)
+
+val graft_step : History.t -> History.step -> unit
+(** Apply one worker step's declaration delta to the history's current
+    program, re-check incrementally, and record it with the worker's
+    evidence/certificate.  Precondition: the step's touched declarations
+    are disjoint from every change since the worker's base snapshot. *)
+
+val run :
+  ?jobs:int ->
+  ?on_block:(spec -> History.t -> unit) ->
+  History.t -> spec list -> unit
+(** Run the blocks, parallelising within each planned group ([jobs]
+    defaults to {!Farm.Pool.run}'s default of 1 — pass
+    [Farm.Pool.default_jobs ()] to use the visible cores).  [on_block]
+    fires after each block's steps are in the history (merge order =
+    block order), e.g. for a per-block validation gate. *)

@@ -19,7 +19,8 @@ let reverse ~table ~index_var ~replacement ?(helpers = []) () =
     ~name:(Printf.sprintf "reverse_table(%s)" table)
     ~category:Transform.Reverse_table_lookups
     ~describe:(Printf.sprintf "replace lookups of %s by explicit computation" table)
-    (fun _env program ->
+    (fun env0 program ->
+      let baseline = (env0, program) in
       (* 1. install helpers so the replacement is interpretable *)
       let decl_name = function
         | Ast.Dtype (n, _) -> n
@@ -46,7 +47,7 @@ let reverse ~table ~index_var ~replacement ?(helpers = []) () =
           program helpers
       in
       let env', program =
-        match Typecheck.check program with
+        match Typecheck.check_incremental ~baseline program with
         | r -> r
         | exception Typecheck.Type_error msg ->
             Transform.reject "helper definitions do not type-check: %s" msg
@@ -64,23 +65,55 @@ let reverse ~table ~index_var ~replacement ?(helpers = []) () =
                 Transform.fold_expr (Ast.subst_expr [ (index_var, idx) ] replacement)
             | e -> e)
       in
+      let cache_key =
+        Printf.sprintf "tr:%s:%s" table
+          (Digest.to_hex
+             (Digest.string (Marshal.to_string (index_var, replacement) [])))
+      in
+      let opt_rw o =
+        match o with
+        | Some e ->
+            let e' = rw e in
+            if e' == e then o else Some e'
+        | None -> None
+      in
       let decls =
         List.filter_map
-          (function
+          (fun d ->
+            match d with
             | Ast.Dconst c when String.equal c.Ast.k_name table -> None
             | Ast.Dsub s ->
-                Some
-                  (Ast.Dsub
-                     {
-                       s with
-                       Ast.sub_body =
-                         Transform.fold_stmts
-                           (Ast.map_stmts
-                              (fun st -> [ Ast.map_own_exprs rw st ])
-                              s.Ast.sub_body);
-                       sub_pre = Option.map rw s.Ast.sub_pre;
-                       sub_post = Option.map rw s.Ast.sub_post;
-                     })
+                let body0 = s.Ast.sub_body in
+                let body' =
+                  if Transform.known_no_match ~key:cache_key body0 then body0
+                  else
+                    let b =
+                      Transform.fold_stmts
+                        (Ast.map_stmts
+                           (fun st -> [ Ast.map_own_exprs rw st ])
+                           body0)
+                    in
+                    if b == body0 then begin
+                      Transform.record_no_match ~key:cache_key body0;
+                      body0
+                    end
+                    else b
+                in
+                let pre' = opt_rw s.Ast.sub_pre in
+                let post' = opt_rw s.Ast.sub_post in
+                if
+                  body' == body0 && pre' == s.Ast.sub_pre
+                  && post' == s.Ast.sub_post
+                then Some d
+                else
+                  Some
+                    (Ast.Dsub
+                       {
+                         s with
+                         Ast.sub_body = body';
+                         sub_pre = pre';
+                         sub_post = post';
+                       })
             | d -> Some d)
           program.Ast.prog_decls
       in

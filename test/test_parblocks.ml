@@ -1,0 +1,137 @@
+(* Parallel transformation blocks (Refactor.Parblocks):
+
+   - planning: footprint-disjoint consecutive blocks group, wildcard
+     blocks never do, and concatenating the groups restores block order;
+   - the headline identity: run_parallel produces bit-identical results
+     to the sequential run — final program digest, per-block snapshots,
+     per-step names/categories/evidence, and the KAT gate verdict;
+   - certificates: a certified parallel run over a grouped prefix yields
+     exactly the sequential run's certificates. *)
+
+module P = Refactor.Parblocks
+module H = Refactor.History
+module Share = Minispark.Share
+
+let specs () = Aes.Aes_refactoring.block_specs ()
+
+let test_plan_shape () =
+  let groups = P.plan (specs ()) in
+  let flat = List.concat groups in
+  Alcotest.(check (list int)) "concatenating groups restores block order"
+    (List.map (fun (s : P.spec) -> s.P.pb_index) (specs ()))
+    (List.map (fun (s : P.spec) -> s.P.pb_index) flat);
+  Alcotest.(check bool) "some group is parallel" true
+    (List.exists (fun g -> List.length g >= 2) groups);
+  (* wildcard blocks are always alone *)
+  List.iter
+    (fun g ->
+      if List.exists (fun (s : P.spec) -> List.mem "*" s.P.pb_touches) g then
+        Alcotest.(check int) "wildcard blocks are singleton groups" 1
+          (List.length g))
+    groups
+
+let test_conflict_symmetry () =
+  let ss = specs () in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "conflict is symmetric" (P.conflict a b)
+            (P.conflict b a))
+        ss)
+    ss
+
+let digest p = Share.program_digest p
+
+let test_parallel_identity () =
+  let snap_s, h_s = Lazy.force Test_aes_pipeline.pipeline in
+  let snap_p, h_p = Aes.Aes_refactoring.run_parallel ~jobs:2 () in
+  let _, ps = H.current h_s and _, pp = H.current h_p in
+  Alcotest.(check string) "final program digest identical" (digest ps)
+    (digest pp);
+  Alcotest.(check int) "same number of steps" (H.step_count h_s)
+    (H.step_count h_p);
+  List.iter2
+    (fun (a : Aes.Aes_refactoring.snapshot) (b : Aes.Aes_refactoring.snapshot) ->
+      Alcotest.(check int) "snapshot block" a.sn_block b.sn_block;
+      Alcotest.(check string)
+        (Printf.sprintf "snapshot digest at block %d" a.sn_block)
+        (digest a.sn_program) (digest b.sn_program))
+    snap_s snap_p;
+  List.iter2
+    (fun (a : H.step) (b : H.step) ->
+      Alcotest.(check string) "step name" a.H.st_name b.H.st_name;
+      Alcotest.(check int) "step index" a.H.st_index b.H.st_index;
+      Alcotest.(check bool)
+        (Printf.sprintf "evidence at %s" a.H.st_name)
+        true
+        (a.H.st_evidence = b.H.st_evidence);
+      Alcotest.(check string)
+        (Printf.sprintf "after-digest at %s" a.H.st_name)
+        (digest a.H.st_after) (digest b.H.st_after))
+    (H.steps h_s) (H.steps h_p)
+
+(* certified identity over the grouped region: blocks 1..9 include the
+   parallel group, with a light oracle budget to keep the test quick *)
+let test_certified_identity () =
+  let cfg =
+    { (Refactor.Certify.default_config
+         ~entries:[ "encrypt_block"; "decrypt_block" ] ())
+      with
+      Refactor.Certify.cf_trials = 4
+    }
+  in
+  let _, h_s = Aes.Aes_refactoring.run ~upto:9 ~certify:cfg () in
+  let _, h_p = Aes.Aes_refactoring.run_parallel ~upto:9 ~jobs:2 ~certify:cfg () in
+  let _, ps = H.current h_s and _, pp = H.current h_p in
+  Alcotest.(check string) "certified final digest identical" (digest ps)
+    (digest pp);
+  let cs = H.certificates h_s and cp = H.certificates h_p in
+  Alcotest.(check int) "same number of certificates" (List.length cs)
+    (List.length cp);
+  List.iter2
+    (fun (i_s, n_s, c_s) (i_p, n_p, c_p) ->
+      Alcotest.(check int) "certificate index" i_s i_p;
+      Alcotest.(check string) "certificate step" n_s n_p;
+      Alcotest.(check string)
+        (Printf.sprintf "certificate at %s" n_s)
+        (Refactor.Certify.describe c_s)
+        (Refactor.Certify.describe c_p);
+      Alcotest.(check bool) "certificate structurally equal" true (c_s = c_p))
+    cs cp;
+  let ss = H.certification_stats h_s and sp = H.certification_stats h_p in
+  Alcotest.(check int) "same steps certified" ss.Refactor.Certify.ct_steps
+    sp.Refactor.Certify.ct_steps;
+  Alcotest.(check int) "same targets" ss.Refactor.Certify.ct_targets
+    sp.Refactor.Certify.ct_targets;
+  Alcotest.(check int) "same oracle trials" ss.Refactor.Certify.ct_oracle_trials
+    sp.Refactor.Certify.ct_oracle_trials
+
+(* graft precondition: recording a step whose pre-image is not the current
+   program is rejected *)
+let test_record_guards_preimage () =
+  let _, h_s = Lazy.force Test_aes_pipeline.pipeline in
+  match H.steps h_s with
+  | first :: _ :: _ ->
+      let env0, prog0 = Aes.Aes_impl.checked () in
+      let h = H.create env0 prog0 in
+      (* first step's pre-image is structurally prog0 but (normally) a
+         different program object; guard on the actual physical test *)
+      if first.H.st_before == prog0 then ()
+      else
+        Alcotest.check_raises "record rejects foreign pre-image"
+          (Invalid_argument
+             "History.record: step pre-image is not the current program")
+          (fun () -> ignore (H.record h ~env_after:env0 first))
+  | _ -> Alcotest.fail "pipeline has steps"
+
+let suites =
+  [ ( "refactor:parblocks",
+      [ Alcotest.test_case "plan shape" `Quick test_plan_shape;
+        Alcotest.test_case "conflict symmetry" `Quick test_conflict_symmetry;
+        Alcotest.test_case "parallel identity (full pipeline)" `Quick
+          test_parallel_identity;
+        Alcotest.test_case "certified parallel identity (blocks 1-9)" `Quick
+          test_certified_identity;
+        Alcotest.test_case "record guards the pre-image" `Quick
+          test_record_guards_preimage ] ) ]

@@ -1,0 +1,221 @@
+(* Typecheck.check_incremental agreement with the full checker:
+
+   - QCheck: random small programs, random single-declaration edits built
+     by splicing a re-parsed declaration into the checked baseline (so
+     every other declaration keeps its physical identity and the reuse
+     fast path actually fires); the incremental result must match the
+     full check — same digest, same environment — and the two must agree
+     on rejection;
+   - interface changes dirty their dependents (observable agreement);
+   - declaration removal errors agree;
+   - the whole AES history: every step's after-program re-checked
+     incrementally against its before-state matches the full check. *)
+
+open Minispark
+module Share = Minispark.Share
+
+let decl_name = function
+  | Ast.Dtype (n, _) -> n
+  | Ast.Dconst c -> c.Ast.k_name
+  | Ast.Dvar v -> v.Ast.v_name
+  | Ast.Dsub s -> s.Ast.sub_name
+
+(* deterministic little program family: a chain of mod-types, constants,
+   globals and functions where f_i reads g and calls f_{i-1} *)
+let decl_src i v =
+  match i mod 4 with
+  | 0 -> Printf.sprintf "type t%d is mod %d;" i (1 lsl (1 + (abs v mod 8)))
+  | 1 -> Printf.sprintf "c%d : constant byte := %d;" i (abs v mod 256)
+  | 2 -> Printf.sprintf "g%d : byte := %d;" i (abs v mod 256)
+  | _ ->
+      let call =
+        if i >= 7 then Printf.sprintf "f%d (x)" (i - 4) else "x"
+      in
+      Printf.sprintf
+        "function f%d (x : in byte) return byte is begin return %s xor %d; end f%d;"
+        i call (abs v mod 256) i
+
+let program_src vals =
+  let decls = List.mapi decl_src vals in
+  Printf.sprintf "program p is type byte is mod 256; %s end p;"
+    (String.concat " " decls)
+
+(* parse a single replacement declaration in a skeletal context *)
+let parse_decl i v =
+  let p =
+    Parser.of_string
+      (Printf.sprintf "program p is type byte is mod 256; %s end p;"
+         (decl_src i v))
+  in
+  List.nth p.Ast.prog_decls 1
+
+let digests_agree prog0 env0 prog1 =
+  let full =
+    match Typecheck.check prog1 with
+    | env, p -> Ok (env, p)
+    | exception Typecheck.Type_error m -> Error m
+  in
+  let incr =
+    match Typecheck.check_incremental ~baseline:(env0, prog0) prog1 with
+    | env, p -> Ok (env, p)
+    | exception Typecheck.Type_error m -> Error m
+  in
+  match (full, incr) with
+  | Error _, Error _ -> true
+  | Ok (env_f, p_f), Ok (env_i, p_i) ->
+      String.equal (Share.program_digest p_f) (Share.program_digest p_i)
+      && env_f = env_i
+  | _ -> false
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 8 12 >>= fun n ->
+    list_size (return n) (int_range 0 10_000) >>= fun vals ->
+    int_range 0 (n - 1) >>= fun edit_pos ->
+    int_range 0 10_000 >>= fun edit_val -> return (vals, edit_pos, edit_val))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (vals, p, v) ->
+      Printf.sprintf "%s\nedit decl %d -> %d" (program_src vals) p v)
+    gen_case
+
+let prop_incremental_agrees_on_edit =
+  QCheck.Test.make ~name:"incremental = full on random single-decl edits"
+    ~count:100 arb_case (fun (vals, edit_pos, edit_val) ->
+      let prog = Parser.of_string (program_src vals) in
+      let env0, prog0 = Typecheck.check prog in
+      (* splice the re-parsed edit into the *checked* program: all other
+         declarations keep their physical identity *)
+      let replacement = parse_decl edit_pos edit_val in
+      let target = decl_name replacement in
+      let decls1 =
+        List.map
+          (fun d -> if String.equal (decl_name d) target then replacement else d)
+          prog0.Ast.prog_decls
+      in
+      digests_agree prog0 env0 { prog0 with Ast.prog_decls = decls1 })
+
+let prop_incremental_agrees_on_removal =
+  QCheck.Test.make ~name:"incremental = full on declaration removal" ~count:60
+    arb_case (fun (vals, edit_pos, _) ->
+      let prog = Parser.of_string (program_src vals) in
+      let env0, prog0 = Typecheck.check prog in
+      let victim = decl_name (List.nth prog0.Ast.prog_decls (edit_pos + 1)) in
+      let decls1 =
+        List.filter
+          (fun d -> not (String.equal (decl_name d) victim))
+          prog0.Ast.prog_decls
+      in
+      digests_agree prog0 env0 { prog0 with Ast.prog_decls = decls1 })
+
+(* identical program: every declaration reused, result identical *)
+let test_noop_reuses_everything () =
+  let prog = Parser.of_string (program_src [ 1; 2; 3; 4; 5; 6; 7; 8 ]) in
+  let env0, prog0 = Typecheck.check prog in
+  let env1, prog1 = Typecheck.check_incremental ~baseline:(env0, prog0) prog0 in
+  Alcotest.(check bool) "program physically reused" true (prog1 == prog0);
+  Alcotest.(check bool) "environment equal" true (env1 = env0)
+
+(* a body-only edit must not dirty dependents: the dependent declaration
+   comes back physically reused *)
+let test_body_edit_keeps_dependents () =
+  let src =
+    {|program p is
+       type byte is mod 256;
+       function f (x : in byte) return byte is begin return x xor 1; end f;
+       function g (x : in byte) return byte is begin return f (x) xor 2; end g;
+      end p;|}
+  in
+  let env0, prog0 = Typecheck.check (Parser.of_string src) in
+  let f' =
+    parse_decl 3 0
+    |> function
+    | Ast.Dsub s -> Ast.Dsub { s with Ast.sub_name = "f" }
+    | d -> d
+  in
+  let decls1 =
+    List.map
+      (fun d -> if String.equal (decl_name d) "f" then f' else d)
+      prog0.Ast.prog_decls
+  in
+  let env1, prog1 =
+    Typecheck.check_incremental ~baseline:(env0, prog0)
+      { prog0 with Ast.prog_decls = decls1 }
+  in
+  let g0 =
+    List.find (fun d -> String.equal (decl_name d) "g") prog0.Ast.prog_decls
+  in
+  let g1 =
+    List.find (fun d -> String.equal (decl_name d) "g") prog1.Ast.prog_decls
+  in
+  Alcotest.(check bool) "dependent of a body-only edit is reused" true
+    (g0 == g1);
+  (* and the result still agrees with the full check *)
+  let env_f, prog_f = Typecheck.check { prog0 with Ast.prog_decls = decls1 } in
+  Alcotest.(check string) "digest agrees"
+    (Share.program_digest prog_f) (Share.program_digest prog1);
+  Alcotest.(check bool) "env agrees" true (env_f = env1)
+
+(* an interface change (return type) must dirty the caller *)
+let test_interface_change_dirties_dependents () =
+  let src =
+    {|program p is
+       type byte is mod 256;
+       type word is mod 65536;
+       function f (x : in byte) return byte is begin return x; end f;
+       function g (x : in byte) return byte is begin return f (x); end g;
+      end p;|}
+  in
+  let env0, prog0 = Typecheck.check (Parser.of_string src) in
+  let f' =
+    match
+      Parser.of_string
+        {|program p is
+           type byte is mod 256;
+           type word is mod 65536;
+           function f (x : in byte) return word is begin return x; end f;
+          end p;|}
+    with
+    | p -> List.nth p.Ast.prog_decls 2
+  in
+  let decls1 =
+    List.map
+      (fun d -> if String.equal (decl_name d) "f" then f' else d)
+      prog0.Ast.prog_decls
+  in
+  let prog1 = { prog0 with Ast.prog_decls = decls1 } in
+  Alcotest.(check bool) "incremental agrees with full after interface change"
+    true (digests_agree prog0 env0 prog1)
+
+(* every step of the real AES history: incremental re-check of the
+   after-program against the before-state must match the full check *)
+let test_aes_history_agrees () =
+  let _, h = Lazy.force Test_aes_pipeline.pipeline in
+  List.iter
+    (fun (s : Refactor.History.step) ->
+      let env_f, p_f = Typecheck.check s.Refactor.History.st_after in
+      let env_i, p_i =
+        Typecheck.check_incremental
+          ~baseline:(s.Refactor.History.st_env_before, s.Refactor.History.st_before)
+          s.Refactor.History.st_after
+      in
+      if not (String.equal (Share.program_digest p_f) (Share.program_digest p_i))
+      then Alcotest.failf "digest mismatch at %s" s.Refactor.History.st_name;
+      if not (env_f = env_i) then
+        Alcotest.failf "environment mismatch at %s" s.Refactor.History.st_name)
+    (Refactor.History.steps h);
+  Alcotest.(check bool) "all steps agree" true true
+
+let suites =
+  [ ( "minispark:typecheck-incremental",
+      [ QCheck_alcotest.to_alcotest prop_incremental_agrees_on_edit;
+        QCheck_alcotest.to_alcotest prop_incremental_agrees_on_removal;
+        Alcotest.test_case "no-op reuses everything" `Quick
+          test_noop_reuses_everything;
+        Alcotest.test_case "body edits keep dependents" `Quick
+          test_body_edit_keeps_dependents;
+        Alcotest.test_case "interface changes dirty dependents" `Quick
+          test_interface_change_dirties_dependents;
+        Alcotest.test_case "AES history agrees" `Quick test_aes_history_agrees ]
+    ) ]
